@@ -1,0 +1,350 @@
+//! Cell-centered index boxes — the basic rectangular building block of
+//! block-structured AMR.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ivec::IntVect;
+
+/// A non-empty, cell-centered rectangular region of index space; both
+/// corners are inclusive, matching AMReX's `Box` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Box3 {
+    lo: IntVect,
+    hi: IntVect,
+}
+
+impl Box3 {
+    /// Constructs a box from inclusive corners.
+    ///
+    /// # Panics
+    /// Panics if any component of `lo` exceeds the matching component of
+    /// `hi` (boxes are non-empty by construction).
+    pub fn new(lo: IntVect, hi: IntVect) -> Self {
+        assert!(
+            lo.all_le(hi),
+            "Box3 corners out of order: lo={lo:?} hi={hi:?}"
+        );
+        Box3 { lo, hi }
+    }
+
+    /// Box spanning `[0, n)` in each dimension.
+    pub fn from_dims(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "box dims must be positive");
+        Box3 {
+            lo: IntVect::ZERO,
+            hi: IntVect::new(nx as i64 - 1, ny as i64 - 1, nz as i64 - 1),
+        }
+    }
+
+    /// Unit-volume box containing a single cell.
+    pub fn single(cell: IntVect) -> Self {
+        Box3 { lo: cell, hi: cell }
+    }
+
+    #[inline]
+    pub fn lo(&self) -> IntVect {
+        self.lo
+    }
+
+    #[inline]
+    pub fn hi(&self) -> IntVect {
+        self.hi
+    }
+
+    /// Extent along each axis, in cells.
+    #[inline]
+    pub fn size(&self) -> [usize; 3] {
+        [
+            (self.hi[0] - self.lo[0] + 1) as usize,
+            (self.hi[1] - self.lo[1] + 1) as usize,
+            (self.hi[2] - self.lo[2] + 1) as usize,
+        ]
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        let s = self.size();
+        s[0] * s[1] * s[2]
+    }
+
+    /// Extent along one axis, in cells.
+    #[inline]
+    pub fn extent(&self, axis: usize) -> usize {
+        (self.hi[axis] - self.lo[axis] + 1) as usize
+    }
+
+    #[inline]
+    pub fn contains(&self, iv: IntVect) -> bool {
+        self.lo.all_le(iv) && iv.all_le(self.hi)
+    }
+
+    #[inline]
+    pub fn contains_box(&self, other: &Box3) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(&self, other: &Box3) -> Option<Box3> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        lo.all_le(hi).then_some(Box3 { lo, hi })
+    }
+
+    pub fn intersects(&self, other: &Box3) -> bool {
+        self.lo.max(other.lo).all_le(self.hi.min(other.hi))
+    }
+
+    /// Smallest box containing both.
+    pub fn union_hull(&self, other: &Box3) -> Box3 {
+        Box3 { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Grows the box by `n` cells on every face (may be negative to shrink;
+    /// panics if shrinking empties the box).
+    pub fn grow(&self, n: i64) -> Box3 {
+        Box3::new(self.lo - IntVect::splat(n), self.hi + IntVect::splat(n))
+    }
+
+    /// Translates the box.
+    pub fn shift(&self, by: IntVect) -> Box3 {
+        Box3 { lo: self.lo + by, hi: self.hi + by }
+    }
+
+    /// The refinement map: each cell becomes a `ratio³` block of fine cells.
+    pub fn refine(&self, ratio: i64) -> Box3 {
+        debug_assert!(ratio > 0);
+        Box3 {
+            lo: self.lo.refine(ratio),
+            hi: self.hi.refine(ratio) + IntVect::splat(ratio - 1),
+        }
+    }
+
+    /// The coarsening map: the smallest coarse box whose refinement covers
+    /// this box.
+    pub fn coarsen(&self, ratio: i64) -> Box3 {
+        debug_assert!(ratio > 0);
+        Box3 { lo: self.lo.coarsen(ratio), hi: self.hi.coarsen(ratio) }
+    }
+
+    /// Whether the box's lo/hi are aligned to multiples of `ratio` — i.e.
+    /// it is exactly a refinement of a coarse box.
+    pub fn is_aligned(&self, ratio: i64) -> bool {
+        self.coarsen(ratio).refine(ratio) == *self
+    }
+
+    /// Splits the box at cell index `at` along `axis`: the first part keeps
+    /// cells `< at`, the second keeps cells `>= at`. Returns `None` unless
+    /// `at` is strictly inside the box extent.
+    pub fn chop(&self, axis: usize, at: i64) -> Option<(Box3, Box3)> {
+        if at <= self.lo[axis] || at > self.hi[axis] {
+            return None;
+        }
+        let mut left_hi = self.hi;
+        left_hi[axis] = at - 1;
+        let mut right_lo = self.lo;
+        right_lo[axis] = at;
+        Some((
+            Box3 { lo: self.lo, hi: left_hi },
+            Box3 { lo: right_lo, hi: self.hi },
+        ))
+    }
+
+    /// The axis with the largest extent (ties broken toward x).
+    pub fn longest_axis(&self) -> usize {
+        let s = self.size();
+        let mut best = 0;
+        for axis in 1..3 {
+            if s[axis] > s[best] {
+                best = axis;
+            }
+        }
+        best
+    }
+
+    /// Iterates over all cells in x-fastest order.
+    pub fn cells(&self) -> impl Iterator<Item = IntVect> + '_ {
+        let (lo, hi) = (self.lo, self.hi);
+        (lo[2]..=hi[2]).flat_map(move |k| {
+            (lo[1]..=hi[1])
+                .flat_map(move |j| (lo[0]..=hi[0]).map(move |i| IntVect::new(i, j, k)))
+        })
+    }
+
+    /// Linear offset of `iv` inside the box (x-fastest layout).
+    #[inline]
+    pub fn offset(&self, iv: IntVect) -> usize {
+        debug_assert!(self.contains(iv), "{iv:?} outside {self:?}");
+        let s = self.size();
+        let d = iv - self.lo;
+        d[0] as usize + s[0] * (d[1] as usize + s[1] * d[2] as usize)
+    }
+
+    /// Subtraction: the parts of `self` not covered by `cut`, as up to six
+    /// disjoint boxes.
+    pub fn subtract(&self, cut: &Box3) -> Vec<Box3> {
+        let Some(mid) = self.intersect(cut) else {
+            return vec![*self];
+        };
+        if mid == *self {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut rest = *self;
+        for axis in 0..3 {
+            // Piece below the cut along this axis.
+            if rest.lo[axis] < mid.lo()[axis] {
+                let mut hi = rest.hi;
+                hi[axis] = mid.lo()[axis] - 1;
+                out.push(Box3 { lo: rest.lo, hi });
+                let mut lo = rest.lo;
+                lo[axis] = mid.lo()[axis];
+                rest = Box3 { lo, hi: rest.hi };
+            }
+            // Piece above the cut along this axis.
+            if rest.hi[axis] > mid.hi()[axis] {
+                let mut lo = rest.lo;
+                lo[axis] = mid.hi()[axis] + 1;
+                out.push(Box3 { lo, hi: rest.hi });
+                let mut hi = rest.hi;
+                hi[axis] = mid.hi()[axis];
+                rest = Box3 { lo: rest.lo, hi };
+            }
+        }
+        debug_assert_eq!(rest, mid);
+        out
+    }
+}
+
+impl std::fmt::Display for Box3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[({},{},{})..({},{},{})]",
+            self.lo[0], self.lo[1], self.lo[2], self.hi[0], self.hi[1], self.hi[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+        Box3::new(IntVect(lo), IntVect(hi))
+    }
+
+    #[test]
+    fn size_and_cells() {
+        let bx = b([0, 0, 0], [3, 1, 0]);
+        assert_eq!(bx.size(), [4, 2, 1]);
+        assert_eq!(bx.num_cells(), 8);
+        assert_eq!(bx.cells().count(), 8);
+        // x-fastest ordering
+        let cells: Vec<_> = bx.cells().take(5).collect();
+        assert_eq!(cells[0], IntVect::new(0, 0, 0));
+        assert_eq!(cells[1], IntVect::new(1, 0, 0));
+        assert_eq!(cells[4], IntVect::new(0, 1, 0));
+    }
+
+    #[test]
+    fn offsets_match_cell_order() {
+        let bx = b([-1, 2, 0], [2, 4, 1]);
+        for (n, cell) in bx.cells().enumerate() {
+            assert_eq!(bx.offset(cell), n);
+        }
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = b([0, 0, 0], [7, 7, 7]);
+        let c = b([4, 4, 4], [10, 10, 10]);
+        assert_eq!(a.intersect(&c), Some(b([4, 4, 4], [7, 7, 7])));
+        let d = b([8, 0, 0], [9, 7, 7]);
+        assert_eq!(a.intersect(&d), None);
+        assert!(!a.intersects(&d));
+        // Touching along a face still intersects when sharing cells? They
+        // share no cells (8 > 7), so no.
+        assert!(a.intersects(&b([7, 7, 7], [9, 9, 9])));
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip() {
+        let bx = b([1, -2, 3], [4, 5, 6]);
+        let fine = bx.refine(2);
+        assert_eq!(fine, b([2, -4, 6], [9, 11, 13]));
+        assert_eq!(fine.coarsen(2), bx);
+        assert!(fine.is_aligned(2));
+        assert_eq!(fine.num_cells(), bx.num_cells() * 8);
+    }
+
+    #[test]
+    fn coarsen_unaligned_box_covers_it() {
+        let bx = b([1, 1, 1], [6, 6, 6]);
+        let coarse = bx.coarsen(4);
+        assert!(coarse.refine(4).contains_box(&bx));
+        assert!(!bx.is_aligned(4));
+    }
+
+    #[test]
+    fn chop_partitions() {
+        let bx = b([0, 0, 0], [9, 4, 4]);
+        let (l, r) = bx.chop(0, 4).unwrap();
+        assert_eq!(l, b([0, 0, 0], [3, 4, 4]));
+        assert_eq!(r, b([4, 0, 0], [9, 4, 4]));
+        assert_eq!(l.num_cells() + r.num_cells(), bx.num_cells());
+        assert!(bx.chop(0, 0).is_none());
+        assert!(bx.chop(0, 10).is_none());
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let a = b([0, 0, 0], [3, 3, 3]);
+        let c = b([10, 10, 10], [12, 12, 12]);
+        assert_eq!(a.subtract(&c), vec![a]);
+    }
+
+    #[test]
+    fn subtract_covering_returns_empty() {
+        let a = b([1, 1, 1], [2, 2, 2]);
+        let c = b([0, 0, 0], [5, 5, 5]);
+        assert!(a.subtract(&c).is_empty());
+    }
+
+    #[test]
+    fn subtract_center_hole_preserves_cell_count() {
+        let a = b([0, 0, 0], [5, 5, 5]);
+        let hole = b([2, 2, 2], [3, 3, 3]);
+        let parts = a.subtract(&hole);
+        let total: usize = parts.iter().map(Box3::num_cells).sum();
+        assert_eq!(total, a.num_cells() - hole.num_cells());
+        // Parts must be disjoint and exclude the hole.
+        for (i, p) in parts.iter().enumerate() {
+            assert!(!p.intersects(&hole));
+            for q in &parts[i + 1..] {
+                assert!(!p.intersects(q), "{p} overlaps {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn longest_axis_detection() {
+        assert_eq!(b([0, 0, 0], [9, 3, 3]).longest_axis(), 0);
+        assert_eq!(b([0, 0, 0], [3, 9, 3]).longest_axis(), 1);
+        assert_eq!(b([0, 0, 0], [3, 3, 9]).longest_axis(), 2);
+        assert_eq!(b([0, 0, 0], [3, 3, 3]).longest_axis(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_inverted_corners() {
+        b([1, 0, 0], [0, 0, 0]);
+    }
+
+    #[test]
+    fn grow_and_shift() {
+        let bx = b([0, 0, 0], [1, 1, 1]);
+        assert_eq!(bx.grow(2), b([-2, -2, -2], [3, 3, 3]));
+        assert_eq!(bx.shift(IntVect::new(5, 0, -1)), b([5, 0, -1], [6, 1, 0]));
+    }
+}

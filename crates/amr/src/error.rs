@@ -1,0 +1,67 @@
+//! Error type shared across the AMR crate.
+
+use std::fmt;
+
+/// Errors produced by AMR construction, validation and I/O.
+#[derive(Debug)]
+pub enum AmrError {
+    /// A box or box array violated a structural requirement.
+    InvalidStructure(String),
+    /// A field name was not found in a hierarchy.
+    UnknownField(String),
+    /// Level index out of range.
+    BadLevel { requested: usize, available: usize },
+    /// Underlying I/O failure (plotfile read/write).
+    Io(std::io::Error),
+    /// Plotfile content could not be parsed.
+    Corrupt(String),
+}
+
+impl fmt::Display for AmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmrError::InvalidStructure(msg) => write!(f, "invalid AMR structure: {msg}"),
+            AmrError::UnknownField(name) => write!(f, "unknown field: {name}"),
+            AmrError::BadLevel { requested, available } => {
+                write!(f, "level {requested} out of range ({available} levels)")
+            }
+            AmrError::Io(e) => write!(f, "I/O error: {e}"),
+            AmrError::Corrupt(msg) => write!(f, "corrupt plotfile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AmrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AmrError {
+    fn from(e: std::io::Error) -> Self {
+        AmrError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AmrError::BadLevel { requested: 3, available: 2 };
+        assert!(e.to_string().contains("level 3"));
+        let e = AmrError::UnknownField("rho".into());
+        assert!(e.to_string().contains("rho"));
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        use std::error::Error;
+        let e: AmrError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! `Fab` — a dense scalar field on a single box (AMReX `FArrayBox`).
+
+use crate::boxes::Box3;
+use crate::ivec::IntVect;
+
+/// A dense, cell-centered `f64` field on one [`Box3`], stored x-fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fab {
+    bx: Box3,
+    data: Vec<f64>,
+}
+
+impl Fab {
+    /// Zero-filled fab on `bx`.
+    pub fn zeros(bx: Box3) -> Self {
+        Fab { data: vec![0.0; bx.num_cells()], bx }
+    }
+
+    /// Constant-filled fab on `bx`.
+    pub fn constant(bx: Box3, v: f64) -> Self {
+        Fab { data: vec![v; bx.num_cells()], bx }
+    }
+
+    /// Fab taking ownership of an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != bx.num_cells()`.
+    pub fn from_vec(bx: Box3, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), bx.num_cells(), "fab buffer size mismatch");
+        Fab { bx, data }
+    }
+
+    /// Fills the fab by evaluating `f` at every cell index.
+    pub fn from_fn(bx: Box3, mut f: impl FnMut(IntVect) -> f64) -> Self {
+        let mut data = Vec::with_capacity(bx.num_cells());
+        for cell in bx.cells() {
+            data.push(f(cell));
+        }
+        Fab { bx, data }
+    }
+
+    #[inline]
+    pub fn box3(&self) -> Box3 {
+        self.bx
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, iv: IntVect) -> f64 {
+        self.data[self.bx.offset(iv)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, iv: IntVect, v: f64) {
+        let off = self.bx.offset(iv);
+        self.data[off] = v;
+    }
+
+    /// Value if the cell lies inside the fab's box.
+    #[inline]
+    pub fn try_get(&self, iv: IntVect) -> Option<f64> {
+        self.bx.contains(iv).then(|| self.get(iv))
+    }
+
+    /// Iterates `(cell, value)` in x-fastest order.
+    pub fn iter(&self) -> impl Iterator<Item = (IntVect, f64)> + '_ {
+        self.bx.cells().zip(self.data.iter().copied())
+    }
+
+    /// Minimum value (NaNs propagate as in `f64::min`).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Copies the overlap region from `src` into `self`. Returns the number
+    /// of cells copied (0 when the boxes do not overlap).
+    pub fn copy_from(&mut self, src: &Fab) -> usize {
+        let Some(overlap) = self.bx.intersect(&src.bx) else {
+            return 0;
+        };
+        let (dst_bx, src_bx) = (self.bx, src.bx);
+        let [onx, ony, onz] = overlap.size();
+        let dlo = overlap.lo() - dst_bx.lo();
+        let slo = overlap.lo() - src_bx.lo();
+        let [dnx, dny, _] = dst_bx.size();
+        let [snx, sny, _] = src_bx.size();
+        for kk in 0..onz {
+            for jj in 0..ony {
+                let drow = (dlo[0] as usize)
+                    + dnx * ((dlo[1] as usize + jj) + dny * (dlo[2] as usize + kk));
+                let srow = (slo[0] as usize)
+                    + snx * ((slo[1] as usize + jj) + sny * (slo[2] as usize + kk));
+                self.data[drow..drow + onx].copy_from_slice(&src.data[srow..srow + onx]);
+            }
+        }
+        onx * ony * onz
+    }
+
+    /// Applies `f` to every value in place.
+    pub fn apply(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Extracts a sub-fab over `region` (must be contained in the fab box).
+    pub fn subfab(&self, region: Box3) -> Fab {
+        assert!(self.bx.contains_box(&region), "subfab region outside fab");
+        let mut out = Fab::zeros(region);
+        out.copy_from(self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+        Box3::new(IntVect(lo), IntVect(hi))
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let bx = b([1, 1, 1], [3, 3, 3]);
+        let fab = Fab::from_fn(bx, |iv| (iv[0] * 100 + iv[1] * 10 + iv[2]) as f64);
+        assert_eq!(fab.get(IntVect::new(2, 3, 1)), 231.0);
+        assert_eq!(fab.try_get(IntVect::new(0, 0, 0)), None);
+        assert_eq!(fab.min(), 111.0);
+        assert_eq!(fab.max(), 333.0);
+    }
+
+    #[test]
+    fn copy_from_overlap_only() {
+        let mut dst = Fab::constant(b([0, 0, 0], [3, 3, 3]), -1.0);
+        let src = Fab::from_fn(b([2, 2, 2], [5, 5, 5]), |iv| iv.sum() as f64);
+        let n = dst.copy_from(&src);
+        assert_eq!(n, 8); // 2×2×2 overlap
+        assert_eq!(dst.get(IntVect::new(3, 3, 3)), 9.0);
+        assert_eq!(dst.get(IntVect::new(2, 2, 2)), 6.0);
+        assert_eq!(dst.get(IntVect::new(1, 1, 1)), -1.0); // untouched
+    }
+
+    #[test]
+    fn copy_from_disjoint_is_noop() {
+        let mut dst = Fab::constant(b([0, 0, 0], [1, 1, 1]), 5.0);
+        let src = Fab::constant(b([10, 10, 10], [11, 11, 11]), 7.0);
+        assert_eq!(dst.copy_from(&src), 0);
+        assert!(dst.data().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn subfab_extracts_values() {
+        let fab = Fab::from_fn(b([0, 0, 0], [4, 4, 4]), |iv| iv.sum() as f64);
+        let sub = fab.subfab(b([1, 2, 3], [2, 3, 4]));
+        assert_eq!(sub.box3().num_cells(), 8);
+        for (cell, v) in sub.iter() {
+            assert_eq!(v, cell.sum() as f64);
+        }
+    }
+
+    #[test]
+    fn iter_matches_layout() {
+        let bx = b([0, 0, 0], [1, 1, 0]);
+        let fab = Fab::from_vec(bx, vec![0.0, 1.0, 2.0, 3.0]);
+        let items: Vec<_> = fab.iter().collect();
+        assert_eq!(items[1], (IntVect::new(1, 0, 0), 1.0));
+        assert_eq!(items[2], (IntVect::new(0, 1, 0), 2.0));
+    }
+
+    #[test]
+    fn apply_transforms_in_place() {
+        let mut fab = Fab::constant(b([0, 0, 0], [1, 0, 0]), 2.0);
+        fab.apply(|v| v * v + 1.0);
+        assert!(fab.data().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_checks_length() {
+        Fab::from_vec(b([0, 0, 0], [1, 1, 1]), vec![0.0; 7]);
+    }
+}

@@ -1,0 +1,260 @@
+//! `MultiFab` — one scalar field over the box array of an AMR level.
+
+use rayon::prelude::*;
+
+use crate::box_array::BoxArray;
+use crate::boxes::Box3;
+use crate::fab::Fab;
+use crate::ivec::IntVect;
+
+/// A field over a whole level: one [`Fab`] per box of the level's
+/// [`BoxArray`], in the same order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFab {
+    fabs: Vec<Fab>,
+}
+
+impl MultiFab {
+    /// Zero-filled field on `ba`.
+    pub fn zeros(ba: &BoxArray) -> Self {
+        MultiFab { fabs: ba.iter().map(|&bx| Fab::zeros(bx)).collect() }
+    }
+
+    /// Builds a field by evaluating `f` at every cell of every box.
+    /// Evaluation is parallel over boxes.
+    pub fn from_fn(ba: &BoxArray, f: impl Fn(IntVect) -> f64 + Sync) -> Self {
+        let fabs = ba
+            .boxes()
+            .par_iter()
+            .map(|&bx| Fab::from_fn(bx, &f))
+            .collect();
+        MultiFab { fabs }
+    }
+
+    pub fn from_fabs(fabs: Vec<Fab>) -> Self {
+        MultiFab { fabs }
+    }
+
+    pub fn fabs(&self) -> &[Fab] {
+        &self.fabs
+    }
+
+    pub fn fabs_mut(&mut self) -> &mut [Fab] {
+        &mut self.fabs
+    }
+
+    pub fn len(&self) -> usize {
+        self.fabs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fabs.is_empty()
+    }
+
+    /// The box array this field lives on.
+    pub fn box_array(&self) -> BoxArray {
+        BoxArray::new(self.fabs.iter().map(|f| f.box3()).collect())
+    }
+
+    /// Total cell count.
+    pub fn num_cells(&self) -> usize {
+        self.fabs.iter().map(|f| f.box3().num_cells()).sum()
+    }
+
+    /// Looks up the value at a cell, scanning boxes (patch-based levels are
+    /// disjoint, so the first hit is authoritative).
+    pub fn value_at(&self, iv: IntVect) -> Option<f64> {
+        self.fabs.iter().find_map(|f| f.try_get(iv))
+    }
+
+    /// Global minimum across all fabs.
+    pub fn min(&self) -> f64 {
+        self.fabs
+            .par_iter()
+            .map(Fab::min)
+            .reduce(|| f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum across all fabs.
+    pub fn max(&self) -> f64 {
+        self.fabs
+            .par_iter()
+            .map(Fab::max)
+            .reduce(|| f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `(min, max)` in a single pass.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.fabs
+            .par_iter()
+            .map(|f| {
+                f.data().iter().fold(
+                    (f64::INFINITY, f64::NEG_INFINITY),
+                    |(lo, hi), &v| (lo.min(v), hi.max(v)),
+                )
+            })
+            .reduce(
+                || (f64::INFINITY, f64::NEG_INFINITY),
+                |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
+            )
+    }
+
+    /// L2 norm of all values.
+    pub fn norm_l2(&self) -> f64 {
+        self.fabs
+            .par_iter()
+            .map(|f| f.data().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Copies overlapping regions from `src` into `self` (fab-by-fab
+    /// all-pairs; counts copied cells).
+    pub fn copy_from(&mut self, src: &MultiFab) -> usize {
+        let mut copied = 0;
+        for dst in &mut self.fabs {
+            for s in &src.fabs {
+                copied += dst.copy_from(s);
+            }
+        }
+        copied
+    }
+
+    /// Applies `f` to every value, in parallel over fabs.
+    pub fn apply(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        self.fabs.par_iter_mut().for_each(|fab| fab.apply(&f));
+    }
+
+    /// Concatenates all fab buffers into one `Vec` in box order. The inverse
+    /// of [`MultiFab::from_flat`].
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_cells());
+        for f in &self.fabs {
+            out.extend_from_slice(f.data());
+        }
+        out
+    }
+
+    /// Rebuilds a multifab from a flat buffer laid out like
+    /// [`MultiFab::to_flat`] over `ba`.
+    pub fn from_flat(ba: &BoxArray, flat: &[f64]) -> Self {
+        assert_eq!(flat.len(), ba.num_cells(), "flat buffer size mismatch");
+        let mut fabs = Vec::with_capacity(ba.len());
+        let mut off = 0;
+        for &bx in ba.iter() {
+            let n = bx.num_cells();
+            fabs.push(Fab::from_vec(bx, flat[off..off + n].to_vec()));
+            off += n;
+        }
+        MultiFab { fabs }
+    }
+}
+
+/// Rasterizes a multifab onto a dense array over `region`, writing values of
+/// cells covered by the multifab and leaving others untouched. Returns the
+/// number of cells written.
+pub fn rasterize_into(mf: &MultiFab, region: Box3, out: &mut [f64]) -> usize {
+    assert_eq!(out.len(), region.num_cells());
+    let [nx, ny, _] = region.size();
+    let mut written = 0;
+    for fab in mf.fabs() {
+        let Some(overlap) = fab.box3().intersect(&region) else {
+            continue;
+        };
+        let src_bx = fab.box3();
+        let [snx, sny, _] = src_bx.size();
+        let [onx, ony, onz] = overlap.size();
+        let dlo = overlap.lo() - region.lo();
+        let slo = overlap.lo() - src_bx.lo();
+        for kk in 0..onz {
+            for jj in 0..ony {
+                let drow = (dlo[0] as usize)
+                    + nx * ((dlo[1] as usize + jj) + ny * (dlo[2] as usize + kk));
+                let srow = (slo[0] as usize)
+                    + snx * ((slo[1] as usize + jj) + sny * (slo[2] as usize + kk));
+                out[drow..drow + onx].copy_from_slice(&fab.data()[srow..srow + onx]);
+            }
+        }
+        written += onx * ony * onz;
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+        Box3::new(IntVect(lo), IntVect(hi))
+    }
+
+    fn sample_ba() -> BoxArray {
+        BoxArray::new(vec![b([0, 0, 0], [3, 3, 3]), b([4, 0, 0], [7, 3, 3])])
+    }
+
+    #[test]
+    fn from_fn_fills_all_boxes() {
+        let ba = sample_ba();
+        let mf = MultiFab::from_fn(&ba, |iv| iv[0] as f64);
+        assert_eq!(mf.num_cells(), ba.num_cells());
+        assert_eq!(mf.value_at(IntVect::new(6, 1, 2)), Some(6.0));
+        assert_eq!(mf.value_at(IntVect::new(8, 0, 0)), None);
+        assert_eq!(mf.min(), 0.0);
+        assert_eq!(mf.max(), 7.0);
+        assert_eq!(mf.min_max(), (0.0, 7.0));
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let ba = sample_ba();
+        let mf = MultiFab::from_fn(&ba, |iv| (iv[0] + 10 * iv[1] + 100 * iv[2]) as f64);
+        let flat = mf.to_flat();
+        let back = MultiFab::from_flat(&ba, &flat);
+        assert_eq!(mf, back);
+    }
+
+    #[test]
+    fn copy_from_transfers_overlap() {
+        let ba = sample_ba();
+        let mut dst = MultiFab::zeros(&ba);
+        let src = MultiFab::from_fn(
+            &BoxArray::single(b([2, 0, 0], [5, 3, 3])),
+            |_| 9.0,
+        );
+        let copied = dst.copy_from(&src);
+        assert_eq!(copied, 4 * 4 * 4);
+        assert_eq!(dst.value_at(IntVect::new(3, 0, 0)), Some(9.0));
+        assert_eq!(dst.value_at(IntVect::new(1, 0, 0)), Some(0.0));
+    }
+
+    #[test]
+    fn rasterize_into_region() {
+        let ba = sample_ba();
+        let mf = MultiFab::from_fn(&ba, |iv| iv.sum() as f64);
+        let region = b([0, 0, 0], [7, 3, 3]);
+        let mut out = vec![f64::NAN; region.num_cells()];
+        let written = rasterize_into(&mf, region, &mut out);
+        assert_eq!(written, region.num_cells());
+        for (n, cell) in region.cells().enumerate() {
+            assert_eq!(out[n], cell.sum() as f64);
+        }
+    }
+
+    #[test]
+    fn rasterize_partial_leaves_gaps() {
+        let mf = MultiFab::from_fn(&BoxArray::single(b([0, 0, 0], [1, 1, 1])), |_| 1.0);
+        let region = b([0, 0, 0], [3, 1, 1]);
+        let mut out = vec![-5.0; region.num_cells()];
+        let written = rasterize_into(&mf, region, &mut out);
+        assert_eq!(written, 8);
+        assert_eq!(out.iter().filter(|&&v| v == -5.0).count(), 8);
+    }
+
+    #[test]
+    fn norms() {
+        let mf = MultiFab::from_fn(&BoxArray::single(b([0, 0, 0], [0, 0, 1])), |iv| {
+            if iv[2] == 0 { 3.0 } else { 4.0 }
+        });
+        assert!((mf.norm_l2() - 5.0).abs() < 1e-12);
+    }
+}

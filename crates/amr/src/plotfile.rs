@@ -1,0 +1,194 @@
+//! A simple on-disk plotfile format for AMR hierarchies.
+//!
+//! Layout mirrors the spirit of AMReX plotfiles / HDF5 groups (paper §2.2,
+//! Fig. 3): one human-readable header describing geometry, refinement
+//! ratios, box arrays and fields, plus one raw binary file per
+//! (field, level) holding all fab data concatenated in box order,
+//! little-endian `f64`.
+//!
+//! ```text
+//! <dir>/
+//!   Header.json
+//!   <field>_L<level>.bin
+//! ```
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::box_array::BoxArray;
+use crate::error::AmrError;
+use crate::geometry::Geometry;
+use crate::hierarchy::AmrHierarchy;
+use crate::multifab::MultiFab;
+
+/// Serialized header describing a hierarchy.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    /// Format magic/version — bump on incompatible changes.
+    version: u32,
+    geometry: Geometry,
+    ref_ratios: Vec<i64>,
+    box_arrays: Vec<BoxArray>,
+    fields: Vec<String>,
+    time: f64,
+    step: u64,
+}
+
+const VERSION: u32 = 1;
+
+/// Writes a hierarchy (all fields) to `dir`, creating it if needed.
+pub fn write_plotfile(dir: &Path, hier: &AmrHierarchy) -> Result<(), AmrError> {
+    fs::create_dir_all(dir)?;
+    let header = Header {
+        version: VERSION,
+        geometry: *hier.geometry(),
+        ref_ratios: hier.ref_ratios().to_vec(),
+        box_arrays: hier.box_arrays().to_vec(),
+        fields: hier.field_names().iter().map(|s| s.to_string()).collect(),
+        time: hier.time,
+        step: hier.step,
+    };
+    let header_json = serde_json::to_string_pretty(&header)
+        .map_err(|e| AmrError::Corrupt(format!("header serialization: {e}")))?;
+    fs::write(dir.join("Header.json"), header_json)?;
+
+    for field in hier.fields() {
+        for (lev, mf) in field.levels.iter().enumerate() {
+            let path = dir.join(format!("{}_L{}.bin", field.name, lev));
+            let mut w = BufWriter::new(fs::File::create(path)?);
+            for fab in mf.fabs() {
+                for &v in fab.data() {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            w.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a hierarchy (all fields) from `dir`.
+pub fn read_plotfile(dir: &Path) -> Result<AmrHierarchy, AmrError> {
+    let header_text = fs::read_to_string(dir.join("Header.json"))?;
+    let header: Header = serde_json::from_str(&header_text)
+        .map_err(|e| AmrError::Corrupt(format!("header parse: {e}")))?;
+    if header.version != VERSION {
+        return Err(AmrError::Corrupt(format!(
+            "unsupported plotfile version {}",
+            header.version
+        )));
+    }
+    let mut hier = AmrHierarchy::new(header.geometry, header.ref_ratios, header.box_arrays)?;
+    hier.time = header.time;
+    hier.step = header.step;
+
+    for name in &header.fields {
+        let mut levels = Vec::with_capacity(hier.num_levels());
+        for lev in 0..hier.num_levels() {
+            let ba = hier.box_array(lev).clone();
+            let path = dir.join(format!("{name}_L{lev}.bin"));
+            let expected = ba.num_cells();
+            let mut r = BufReader::new(fs::File::open(&path)?);
+            let mut bytes = Vec::with_capacity(expected * 8);
+            r.read_to_end(&mut bytes)?;
+            if bytes.len() != expected * 8 {
+                return Err(AmrError::Corrupt(format!(
+                    "{}: expected {} bytes, found {}",
+                    path.display(),
+                    expected * 8,
+                    bytes.len()
+                )));
+            }
+            let flat: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect();
+            levels.push(MultiFab::from_flat(&ba, &flat));
+        }
+        hier.add_field(name, levels)?;
+    }
+    Ok(hier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::Box3;
+    use crate::ivec::IntVect;
+
+    fn sample_hierarchy() -> AmrHierarchy {
+        let geom = Geometry::new(
+            Box3::from_dims(8, 8, 8),
+            [0.0, 0.0, 0.0],
+            [1.0, 2.0, 3.0],
+        );
+        let mut h = AmrHierarchy::new(
+            geom,
+            vec![2],
+            vec![
+                BoxArray::single(geom.domain),
+                BoxArray::new(vec![
+                    Box3::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+                    Box3::new(IntVect::new(8, 8, 8), IntVect::new(15, 15, 15)),
+                ]),
+            ],
+        )
+        .unwrap();
+        h.time = 1.25;
+        h.step = 42;
+        h.add_field_from_fn("density", |lev, iv| {
+            lev as f64 * 1000.0 + iv[0] as f64 + 0.5 * iv[1] as f64 - iv[2] as f64
+        })
+        .unwrap();
+        h.add_field_from_fn("temp", |_, iv| (iv.sum() as f64).exp() % 7.0)
+            .unwrap();
+        h
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = std::env::temp_dir().join(format!("amrviz_pf_{}", std::process::id()));
+        let h = sample_hierarchy();
+        write_plotfile(&dir, &h).unwrap();
+        let back = read_plotfile(&dir).unwrap();
+        assert_eq!(back.num_levels(), h.num_levels());
+        assert_eq!(back.ref_ratios(), h.ref_ratios());
+        assert_eq!(back.geometry(), h.geometry());
+        assert_eq!(back.time, 1.25);
+        assert_eq!(back.step, 42);
+        assert_eq!(back.field_names(), h.field_names());
+        for name in ["density", "temp"] {
+            for lev in 0..h.num_levels() {
+                let a = h.field_level(name, lev).unwrap();
+                let b = back.field_level(name, lev).unwrap();
+                assert_eq!(a, b, "{name} level {lev} differs");
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_data_detected() {
+        let dir = std::env::temp_dir().join(format!("amrviz_pf_trunc_{}", std::process::id()));
+        let h = sample_hierarchy();
+        write_plotfile(&dir, &h).unwrap();
+        // Truncate one data file.
+        let victim = dir.join("density_L0.bin");
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 8]).unwrap();
+        match read_plotfile(&dir) {
+            Err(AmrError::Corrupt(msg)) => assert!(msg.contains("expected")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let res = read_plotfile(Path::new("/nonexistent/amrviz_nope"));
+        assert!(matches!(res, Err(AmrError::Io(_))));
+    }
+}

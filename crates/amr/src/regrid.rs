@@ -1,0 +1,337 @@
+//! Tagging and Berger–Rigoutsos box clustering.
+//!
+//! During an AMR run, cells needing refinement are *tagged* (e.g. where a
+//! gradient norm or the value itself exceeds a threshold — paper §2.2) and
+//! the tagged set is clustered into rectangular patches. We implement the
+//! classic Berger–Rigoutsos signature/inflection algorithm, operating on a
+//! grid coarsened by the blocking factor so that the produced boxes are
+//! automatically aligned and disjoint.
+
+use crate::box_array::BoxArray;
+use crate::boxes::Box3;
+use crate::ivec::IntVect;
+use crate::mask::Raster;
+
+/// Parameters controlling box generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RegridConfig {
+    /// Minimum fraction of tagged cells a produced box must contain before
+    /// recursion stops (AMReX `grid_eff`). Typical: 0.7.
+    pub efficiency: f64,
+    /// Boxes are aligned to multiples of this (power of two). Typical: 4.
+    pub blocking_factor: i64,
+    /// If set, boxes are chopped so none exceeds this many cells.
+    pub max_box_cells: Option<usize>,
+}
+
+impl Default for RegridConfig {
+    fn default() -> Self {
+        RegridConfig { efficiency: 0.7, blocking_factor: 4, max_box_cells: Some(64 * 64 * 64) }
+    }
+}
+
+/// Clusters tagged cells into boxes. `tags` lives at the level being
+/// refined; the returned boxes are at the same level (refine them by the
+/// ratio to get the new fine level's box array), clipped to `tags.region()`,
+/// pairwise disjoint, and aligned to the blocking factor (except where
+/// clipped by the domain boundary).
+pub fn berger_rigoutsos(tags: &Raster, cfg: &RegridConfig) -> BoxArray {
+    assert!(cfg.blocking_factor >= 1);
+    assert!(
+        (0.0..=1.0).contains(&cfg.efficiency),
+        "efficiency must be in [0,1]"
+    );
+    if !tags.any() {
+        return BoxArray::default();
+    }
+    // Work on the blocking-factor-coarsened grid: any tag marks its block.
+    let coarse_tags = tags.coarsen_any(cfg.blocking_factor);
+    let mut out: Vec<Box3> = Vec::new();
+    let Some(bbox) = bounding_box(&coarse_tags, coarse_tags.region()) else {
+        return BoxArray::default();
+    };
+    cluster(&coarse_tags, bbox, cfg.efficiency, &mut out);
+    // Back to the original index space, clipped to the tag region.
+    let mut boxes: Vec<Box3> = out
+        .into_iter()
+        .filter_map(|b| b.refine(cfg.blocking_factor).intersect(&tags.region()))
+        .collect();
+    if let Some(maxc) = cfg.max_box_cells {
+        boxes = BoxArray::new(boxes).chop_to_max_cells(maxc).boxes().to_vec();
+    }
+    BoxArray::new(boxes)
+}
+
+/// Bounding box of tagged cells within `within`, or `None` if untagged.
+fn bounding_box(tags: &Raster, within: Box3) -> Option<Box3> {
+    let mut lo = None;
+    let mut hi = None;
+    for cell in within.cells() {
+        if tags.get_unchecked(cell) {
+            lo = Some(lo.map_or(cell, |l: IntVect| l.min(cell)));
+            hi = Some(hi.map_or(cell, |h: IntVect| h.max(cell)));
+        }
+    }
+    Some(Box3::new(lo?, hi?))
+}
+
+fn count_tags(tags: &Raster, bx: Box3) -> usize {
+    bx.cells().filter(|&c| tags.get_unchecked(c)).count()
+}
+
+fn cluster(tags: &Raster, candidate: Box3, efficiency: f64, out: &mut Vec<Box3>) {
+    let ntags = count_tags(tags, candidate);
+    debug_assert!(ntags > 0, "cluster called on untagged box");
+    let eff = ntags as f64 / candidate.num_cells() as f64;
+    if eff >= efficiency || candidate.num_cells() == 1 {
+        out.push(candidate);
+        return;
+    }
+    let Some(at_axis) = find_split(tags, candidate) else {
+        out.push(candidate);
+        return;
+    };
+    let (axis, at) = at_axis;
+    let (a, b) = candidate
+        .chop(axis, at)
+        .expect("find_split returned an interior plane");
+    for half in [a, b] {
+        if let Some(bb) = bounding_box(tags, half) {
+            cluster(tags, bb, efficiency, out);
+        }
+    }
+}
+
+/// Chooses a split plane: first a signature hole, then the strongest
+/// Laplacian sign-change (inflection), finally the midpoint of the longest
+/// axis. Returns `(axis, at)` where `at` is a valid `chop` plane, or `None`
+/// if the box cannot be split.
+#[allow(clippy::needless_range_loop)] // axis loops read clearer than zip chains here
+fn find_split(tags: &Raster, bx: Box3) -> Option<(usize, i64)> {
+    let size = bx.size();
+    // Signatures: tag counts per plane along each axis.
+    let mut sigs: [Vec<usize>; 3] =
+        [vec![0; size[0]], vec![0; size[1]], vec![0; size[2]]];
+    for cell in bx.cells() {
+        if tags.get_unchecked(cell) {
+            let d = cell - bx.lo();
+            sigs[0][d[0] as usize] += 1;
+            sigs[1][d[1] as usize] += 1;
+            sigs[2][d[2] as usize] += 1;
+        }
+    }
+
+    // 1. Holes — prefer the one closest to the box center, on the longest
+    //    possible axis.
+    let mut best_hole: Option<(usize, i64, i64)> = None; // (axis, at, dist-to-center)
+    for axis in 0..3 {
+        let n = size[axis];
+        for (i, &s) in sigs[axis].iter().enumerate() {
+            if s == 0 && i > 0 {
+                let at = bx.lo()[axis] + i as i64;
+                let dist = (2 * i as i64 - n as i64).abs();
+                if best_hole.is_none_or(|(_, _, d)| dist < d) {
+                    best_hole = Some((axis, at, dist));
+                }
+            }
+        }
+    }
+    if let Some((axis, at, _)) = best_hole {
+        return Some((axis, at));
+    }
+
+    // 2. Inflection: largest |Δlap| across a sign change of the discrete
+    //    Laplacian of the signature.
+    let mut best_infl: Option<(usize, i64, i64)> = None; // (axis, at, strength)
+    for axis in 0..3 {
+        let sig = &sigs[axis];
+        let n = sig.len();
+        if n < 4 {
+            continue;
+        }
+        let lap: Vec<i64> = (1..n - 1)
+            .map(|i| sig[i - 1] as i64 - 2 * sig[i] as i64 + sig[i + 1] as i64)
+            .collect();
+        for w in 0..lap.len().saturating_sub(1) {
+            if lap[w].signum() * lap[w + 1].signum() < 0 {
+                let strength = (lap[w + 1] - lap[w]).abs();
+                // Laplacian index w corresponds to plane offset w+1; the
+                // sign change sits between offsets w+1 and w+2.
+                let at = bx.lo()[axis] + w as i64 + 2;
+                if at > bx.lo()[axis] && at <= bx.hi()[axis]
+                    && best_infl.is_none_or(|(_, _, s)| strength > s)
+                {
+                    best_infl = Some((axis, at, strength));
+                }
+            }
+        }
+    }
+    if let Some((axis, at, _)) = best_infl {
+        return Some((axis, at));
+    }
+
+    // 3. Midpoint of the longest axis.
+    let axis = bx.longest_axis();
+    if size[axis] < 2 {
+        return None;
+    }
+    Some((axis, bx.lo()[axis] + size[axis] as i64 / 2))
+}
+
+/// Convenience: tags every cell of a dense field (over `region`) where
+/// `pred(value)` holds.
+pub fn tag_where(region: Box3, values: &[f64], pred: impl Fn(f64) -> bool) -> Raster {
+    assert_eq!(values.len(), region.num_cells());
+    let mut tags = Raster::falses(region);
+    for (n, cell) in region.cells().enumerate() {
+        if pred(values[n]) {
+            tags.set(cell, true);
+        }
+    }
+    tags
+}
+
+/// Convenience: tags cells where the centered-difference gradient magnitude
+/// of a dense field exceeds `threshold` (one-sided at the region boundary).
+pub fn tag_gradient(region: Box3, values: &[f64], threshold: f64) -> Raster {
+    assert_eq!(values.len(), region.num_cells());
+    let [nx, ny, nz] = region.size();
+    let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
+    let mut tags = Raster::falses(region);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let v = |a: isize, b: isize, c: isize| {
+                    let ii = (i as isize + a).clamp(0, nx as isize - 1) as usize;
+                    let jj = (j as isize + b).clamp(0, ny as isize - 1) as usize;
+                    let kk = (k as isize + c).clamp(0, nz as isize - 1) as usize;
+                    values[idx(ii, jj, kk)]
+                };
+                let gx = 0.5 * (v(1, 0, 0) - v(-1, 0, 0));
+                let gy = 0.5 * (v(0, 1, 0) - v(0, -1, 0));
+                let gz = 0.5 * (v(0, 0, 1) - v(0, 0, -1));
+                if (gx * gx + gy * gy + gz * gz).sqrt() > threshold {
+                    tags.set(region.lo() + IntVect::new(i as i64, j as i64, k as i64), true);
+                }
+            }
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+        Box3::new(IntVect(lo), IntVect(hi))
+    }
+
+    fn check_invariants(tags: &Raster, ba: &BoxArray) {
+        assert!(ba.validate_disjoint().is_ok(), "boxes overlap");
+        for cell in tags.true_cells() {
+            assert!(ba.contains(cell), "tagged cell {cell:?} not covered");
+        }
+        for bx in ba.iter() {
+            assert!(tags.region().contains_box(bx), "box {bx} escapes domain");
+        }
+    }
+
+    #[test]
+    fn empty_tags_give_no_boxes() {
+        let tags = Raster::falses(b([0, 0, 0], [15, 15, 15]));
+        let ba = berger_rigoutsos(&tags, &RegridConfig::default());
+        assert!(ba.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_yields_tight_box() {
+        let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
+        tags.set_box(&b([8, 8, 8], [15, 15, 15]), true);
+        let cfg = RegridConfig { blocking_factor: 4, ..Default::default() };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        check_invariants(&tags, &ba);
+        // The cluster is exactly blocking-aligned, so coverage should be tight.
+        assert_eq!(ba.num_cells(), 8 * 8 * 8);
+    }
+
+    #[test]
+    fn two_separated_clusters_split() {
+        let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
+        tags.set_box(&b([0, 0, 0], [7, 7, 7]), true);
+        tags.set_box(&b([24, 24, 24], [31, 31, 31]), true);
+        let cfg = RegridConfig { blocking_factor: 4, ..Default::default() };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        check_invariants(&tags, &ba);
+        assert!(ba.len() >= 2, "expected a split, got {:?}", ba.boxes());
+        // Efficiency: the two tight clusters shouldn't blow up coverage.
+        assert!(ba.num_cells() <= 2 * 512 + 4096, "coverage too loose");
+    }
+
+    #[test]
+    fn l_shaped_cluster_respects_efficiency() {
+        let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 7]));
+        tags.set_box(&b([0, 0, 0], [31, 7, 7]), true);
+        tags.set_box(&b([0, 8, 0], [7, 31, 7]), true);
+        let cfg = RegridConfig { efficiency: 0.8, blocking_factor: 4, ..Default::default() };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        check_invariants(&tags, &ba);
+        let tagged = tags.count();
+        let covered = ba.num_cells();
+        assert!(
+            (covered as f64) < 1.6 * tagged as f64,
+            "L-shape covered inefficiently: {covered} cells for {tagged} tags"
+        );
+    }
+
+    #[test]
+    fn boxes_align_to_blocking_factor() {
+        let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
+        tags.set(IntVect::new(13, 17, 5), true);
+        let cfg = RegridConfig { blocking_factor: 8, ..Default::default() };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        check_invariants(&tags, &ba);
+        for bx in ba.iter() {
+            assert!(bx.is_aligned(8), "{bx} not aligned");
+        }
+    }
+
+    #[test]
+    fn max_box_cells_enforced() {
+        let tags = Raster::trues(b([0, 0, 0], [31, 31, 31]));
+        let cfg = RegridConfig {
+            blocking_factor: 4,
+            max_box_cells: Some(1024),
+            ..Default::default()
+        };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        check_invariants(&tags, &ba);
+        for bx in ba.iter() {
+            assert!(bx.num_cells() <= 1024);
+        }
+        assert_eq!(ba.num_cells(), 32 * 32 * 32);
+    }
+
+    #[test]
+    fn tag_where_predicate() {
+        let region = b([0, 0, 0], [3, 3, 3]);
+        let vals: Vec<f64> = region.cells().map(|c| c.sum() as f64).collect();
+        let tags = tag_where(region, &vals, |v| v > 7.0);
+        assert_eq!(tags.count(), vals.iter().filter(|&&v| v > 7.0).count());
+    }
+
+    #[test]
+    fn tag_gradient_flags_interfaces() {
+        let region = b([0, 0, 0], [7, 7, 7]);
+        // Step function along x: gradient concentrated at x≈3.5.
+        let vals: Vec<f64> = region
+            .cells()
+            .map(|c| if c[0] <= 3 { 0.0 } else { 10.0 })
+            .collect();
+        let tags = tag_gradient(region, &vals, 1.0);
+        assert!(tags.any());
+        for cell in tags.true_cells() {
+            assert!((3..=4).contains(&cell[0]), "tag far from interface: {cell:?}");
+        }
+    }
+}

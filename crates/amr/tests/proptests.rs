@@ -1,0 +1,209 @@
+//! Property-based tests of the AMR substrate's algebraic invariants.
+
+use amrviz_amr::regrid::tag_where;
+use amrviz_amr::{
+    berger_rigoutsos, Box3, BoxArray, Fab, IntVect, Raster, RegridConfig,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random non-empty box with coordinates in ±32 and extents
+/// up to 16.
+fn arb_box() -> impl Strategy<Value = Box3> {
+    (
+        -32i64..32,
+        -32i64..32,
+        -32i64..32,
+        1i64..16,
+        1i64..16,
+        1i64..16,
+    )
+        .prop_map(|(x, y, z, dx, dy, dz)| {
+            Box3::new(
+                IntVect::new(x, y, z),
+                IntVect::new(x + dx - 1, y + dy - 1, z + dz - 1),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_box(), b in arb_box()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_box(&i));
+            prop_assert!(b.contains_box(&i));
+            // Every cell of the intersection is in both boxes.
+            for c in i.cells().take(64) {
+                prop_assert!(a.contains(c) && b.contains(c));
+            }
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn union_hull_contains_both(a in arb_box(), b in arb_box()) {
+        let h = a.union_hull(&b);
+        prop_assert!(h.contains_box(&a));
+        prop_assert!(h.contains_box(&b));
+    }
+
+    #[test]
+    fn subtract_partitions_exactly(a in arb_box(), b in arb_box()) {
+        let parts = a.subtract(&b);
+        // Disjointness.
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!p.intersects(&b));
+            prop_assert!(a.contains_box(p));
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+        // Cell count conservation.
+        let cut = a.intersect(&b).map_or(0, |i| i.num_cells());
+        let total: usize = parts.iter().map(Box3::num_cells).sum();
+        prop_assert_eq!(total + cut, a.num_cells());
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip(a in arb_box(), r in 2i64..5) {
+        prop_assert_eq!(a.refine(r).coarsen(r), a);
+        // Coarsening any box then refining covers the original.
+        prop_assert!(a.coarsen(r).refine(r).contains_box(&a));
+        prop_assert_eq!(a.refine(r).num_cells(), a.num_cells() * (r * r * r) as usize);
+    }
+
+    #[test]
+    fn coarsen_is_minimal_cover(a in arb_box(), r in 2i64..5) {
+        // No strictly smaller aligned coarse box covers `a`.
+        let c = a.coarsen(r);
+        if c.num_cells() > 1 {
+            // Shrinking any face by one must lose coverage.
+            for axis in 0..3 {
+                if c.extent(axis) > 1 {
+                    let mut hi = c.hi();
+                    hi[axis] -= 1;
+                    let smaller = Box3::new(c.lo(), hi);
+                    prop_assert!(!smaller.refine(r).contains_box(&a)
+                        || !smaller.refine(r).contains_box(&a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chop_to_max_cells_is_a_partition(a in arb_box(), max_cells in 1usize..64) {
+        let ba = BoxArray::single(a).chop_to_max_cells(max_cells);
+        prop_assert!(ba.validate_disjoint().is_ok());
+        prop_assert_eq!(ba.num_cells(), a.num_cells());
+        for b in ba.iter() {
+            prop_assert!(a.contains_box(b));
+            prop_assert!(b.num_cells() <= max_cells.max(1));
+        }
+    }
+
+    #[test]
+    fn complement_in_partitions(a in arb_box(), cuts in prop::collection::vec(arb_box(), 0..4)) {
+        let ba = BoxArray::new(cuts.clone());
+        let rest = ba.complement_in(&a);
+        // Disjoint, inside `a`, not intersecting any cut.
+        for (i, p) in rest.iter().enumerate() {
+            prop_assert!(a.contains_box(p));
+            prop_assert!(!ba.intersects(p));
+            for q in &rest[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+        // Conservation: |rest| + |a ∩ union(cuts)| == |a| — verify by
+        // rasterizing (authoritative but O(n)).
+        let mut mask = Raster::falses(a);
+        for c in &cuts {
+            mask.set_box(c, true);
+        }
+        let covered_in_a = mask.count();
+        let total: usize = rest.iter().map(Box3::num_cells).sum();
+        prop_assert_eq!(total + covered_in_a, a.num_cells());
+    }
+
+    #[test]
+    fn raster_coarsen_any_matches_definition(
+        seeds in prop::collection::vec((0usize..16, 0usize..16, 0usize..16), 1..20),
+        r in 2i64..4,
+    ) {
+        let region = Box3::from_dims(16, 16, 16);
+        let mut tags = Raster::falses(region);
+        for (i, j, k) in seeds {
+            tags.set(IntVect::new(i as i64, j as i64, k as i64), true);
+        }
+        let coarse = tags.coarsen_any(r);
+        for cell in tags.true_cells() {
+            prop_assert!(coarse.get(cell.coarsen(r)));
+        }
+        // Count consistency: every true coarse cell has ≥1 true child.
+        for cc in coarse.true_cells() {
+            let base = cc.refine(r);
+            let mut any = false;
+            for dz in 0..r {
+                for dy in 0..r {
+                    for dx in 0..r {
+                        any |= tags.get(base + IntVect::new(dx, dy, dz));
+                    }
+                }
+            }
+            prop_assert!(any);
+        }
+    }
+
+    #[test]
+    fn berger_rigoutsos_covers_all_tags(
+        boxes in prop::collection::vec(
+            (0i64..24, 0i64..24, 0i64..24, 1i64..8, 1i64..8, 1i64..8),
+            1..4,
+        ),
+        eff in 0.3f64..0.95,
+    ) {
+        let region = Box3::from_dims(32, 32, 32);
+        let mut tags = Raster::falses(region);
+        for (x, y, z, dx, dy, dz) in boxes {
+            let lo = IntVect::new(x, y, z);
+            let hi = IntVect::new(
+                (x + dx - 1).min(31),
+                (y + dy - 1).min(31),
+                (z + dz - 1).min(31),
+            );
+            tags.set_box(&Box3::new(lo, hi), true);
+        }
+        let cfg = RegridConfig { efficiency: eff, blocking_factor: 4, max_box_cells: None };
+        let ba = berger_rigoutsos(&tags, &cfg);
+        prop_assert!(ba.validate_disjoint().is_ok());
+        for cell in tags.true_cells() {
+            prop_assert!(ba.contains(cell), "tag {cell:?} uncovered");
+        }
+        for b in ba.iter() {
+            prop_assert!(region.contains_box(b));
+        }
+    }
+
+    #[test]
+    fn fab_copy_roundtrip(a in arb_box(), b in arb_box()) {
+        let src = Fab::from_fn(b, |iv| (iv[0] * 31 + iv[1] * 7 + iv[2]) as f64);
+        let mut dst = Fab::constant(a, f64::NAN);
+        let copied = dst.copy_from(&src);
+        let overlap = a.intersect(&b).map_or(0, |o| o.num_cells());
+        prop_assert_eq!(copied, overlap);
+        for (cell, v) in dst.iter() {
+            if b.contains(cell) {
+                prop_assert_eq!(v, src.get(cell));
+            } else {
+                prop_assert!(v.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn tag_where_count_matches_predicate(vals in prop::collection::vec(-10.0f64..10.0, 27)) {
+        let region = Box3::from_dims(3, 3, 3);
+        let tags = tag_where(region, &vals, |v| v > 0.0);
+        prop_assert_eq!(tags.count(), vals.iter().filter(|&&v| v > 0.0).count());
+    }
+}

@@ -1,0 +1,26 @@
+//! Times the Figs. 12–13 workload: one rate-distortion point (compress +
+//! decompress + PSNR/SSIM) per compressor per application.
+
+use amrviz_bench::bench_scenario;
+use amrviz_core::experiment::{run_compression, CompressorKind};
+use amrviz_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_13_rate_distortion");
+    g.sample_size(10);
+    for (app, fig) in [(Application::Warpx, "fig12"), (Application::Nyx, "fig13")] {
+        let built = bench_scenario(app, Scale::Tiny);
+        for kind in CompressorKind::PAPER {
+            let tag = kind.label().replace('/', "");
+            g.bench_function(format!("{fig}_point_{tag}"), |b| {
+                b.iter(|| black_box(run_compression(&built, kind, 1e-3)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Times the Fig. 14 demonstration path (1D compression + re-sampling).
+
+use amrviz_bench::{fig14_series, step_roughness};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_quantizer");
+    g.bench_function("series_1024", |b| {
+        b.iter(|| {
+            let (o, d, r) = fig14_series(1024, 1.4);
+            black_box(step_roughness(&o) + step_roughness(&d) + step_roughness(&r))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

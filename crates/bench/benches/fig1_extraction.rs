@@ -1,0 +1,36 @@
+//! Times the Fig. 1 workload: isosurface extraction of original AMR data
+//! with all three methods.
+
+use amrviz_bench::bench_scenario;
+use amrviz_core::prelude::*;
+use amrviz_viz::extract_amr_isosurface;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_extraction");
+    g.sample_size(10);
+    let built = bench_scenario(Application::Warpx, Scale::Tiny);
+    let levels = built
+        .hierarchy
+        .field(built.spec.app.eval_field())
+        .unwrap()
+        .levels
+        .clone();
+    for method in IsoMethod::ALL {
+        g.bench_function(method.label(), |b| {
+            b.iter(|| {
+                black_box(extract_amr_isosurface(
+                    &built.hierarchy,
+                    &levels,
+                    built.iso,
+                    method,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

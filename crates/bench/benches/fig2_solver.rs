@@ -1,0 +1,31 @@
+//! Times the Fig. 2 workload: AMR advection steps and regridding.
+
+use amrviz_sim::AmrAdvection;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn blob(p: [f64; 3]) -> f64 {
+    let r2 = (p[0] - 0.3).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2);
+    (-r2 / (2.0 * 0.07f64.powi(2))).exp()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_solver");
+    g.sample_size(10);
+    g.bench_function("construct_and_initial_regrid_32", |b| {
+        b.iter(|| black_box(AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, blob)))
+    });
+    g.bench_function("advance_8_steps_32", |b| {
+        b.iter_with_setup(
+            || AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, blob),
+            |mut sim| {
+                sim.run(8);
+                black_box(sim.hierarchy().total_cells())
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Times the Figs. 9–11 workload: decompress → extract → compare for one
+//! (compressor, bound, method) cell of the grid.
+
+use amrviz_bench::bench_scenario;
+use amrviz_core::experiment::{run_viz_quality, CompressorKind};
+use amrviz_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_11_viz_pipeline");
+    g.sample_size(10);
+    let warpx = bench_scenario(Application::Warpx, Scale::Tiny);
+    g.bench_function("warpx_szlr_1e-2_both_methods", |b| {
+        b.iter(|| {
+            black_box(run_viz_quality(
+                &warpx,
+                CompressorKind::SzLr,
+                &[1e-2],
+                &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the hot kernels underlying every experiment:
+//! predictors, entropy coding, marching, SSIM, surface distance.
+
+use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_compress::{Compressor, ErrorBound, Field3, SzInterp, SzLr, ZfpLike};
+use amrviz_metrics::{ssim3, SsimConfig};
+use amrviz_viz::{marching_tetrahedra, surface_distance, SampledGrid};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn smooth_field(n: usize) -> Field3 {
+    Field3::from_fn([n, n, n], |i, j, k| {
+        (i as f64 * 0.12).sin() * (j as f64 * 0.1).cos() + 0.03 * k as f64
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 48;
+    let field = smooth_field(n);
+    let bytes = field.nbytes() as u64;
+
+    let mut g = c.benchmark_group("kernels/compressors");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    let compressors: [(&str, Box<dyn Compressor>); 3] = [
+        ("szlr", Box::new(SzLr::default())),
+        ("szinterp", Box::new(SzInterp)),
+        ("zfp_like", Box::new(ZfpLike)),
+    ];
+    for (name, comp) in &compressors {
+        g.bench_function(format!("compress_{name}_48cube"), |b| {
+            b.iter(|| black_box(comp.compress(&field, ErrorBound::Rel(1e-3))))
+        });
+        let blob = comp.compress(&field, ErrorBound::Rel(1e-3));
+        g.bench_function(format!("decompress_{name}_48cube"), |b| {
+            b.iter(|| black_box(comp.decompress(&blob).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("kernels/codec");
+    let symbols: Vec<u32> = (0..200_000u32).map(|i| (i * i) % 50).collect();
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.bench_function("huffman_encode", |b| {
+        b.iter(|| black_box(huffman_encode(&symbols)))
+    });
+    let enc = huffman_encode(&symbols);
+    g.bench_function("huffman_decode", |b| {
+        b.iter(|| black_box(huffman_decode(&enc).unwrap()))
+    });
+    let raw: Vec<u8> = (0..200_000u32).map(|i| ((i / 7) % 251) as u8).collect();
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("lzss_compress", |b| b.iter(|| black_box(lzss_compress(&raw))));
+    let lz = lzss_compress(&raw);
+    g.bench_function("lzss_decompress", |b| {
+        b.iter(|| black_box(lzss_decompress(&lz).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("kernels/viz");
+    g.sample_size(10);
+    let grid = SampledGrid::from_fn([49, 49, 49], [0.0; 3], [1.0 / 48.0; 3], |x, y, z| {
+        0.3 - ((x - 0.5).powi(2) + (y - 0.5).powi(2) + (z - 0.5).powi(2)).sqrt()
+    });
+    g.bench_function("marching_tetrahedra_sphere_48cube", |b| {
+        b.iter(|| black_box(marching_tetrahedra(&grid, 0.0)))
+    });
+    let mesh = marching_tetrahedra(&grid, 0.0);
+    g.bench_function("surface_distance_self", |b| {
+        b.iter(|| black_box(surface_distance(&mesh, &mesh)))
+    });
+    let a = smooth_field(n);
+    let noisy = Field3::new(a.dims, a.data.iter().map(|v| v + 1e-3).collect());
+    g.bench_function("ssim3_48cube", |b| {
+        b.iter(|| black_box(ssim3(&a.data, &noisy.data, a.dims, &SsimConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Times the Table 1 workload: generating the two AMR scenarios
+//! (spectral synthesis + clustering + hierarchy assembly).
+
+use amrviz_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_generation");
+    g.sample_size(10);
+    g.bench_function("generate_warpx_tiny", |b| {
+        b.iter(|| black_box(Scenario::new(Application::Warpx, Scale::Tiny, 42).build()))
+    });
+    g.bench_function("generate_nyx_tiny", |b| {
+        b.iter(|| black_box(Scenario::new(Application::Nyx, Scale::Tiny, 42).build()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

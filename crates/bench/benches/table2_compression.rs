@@ -1,0 +1,66 @@
+//! Times the Table 2 workload: hierarchy compression and decompression
+//! with both paper compressors on both applications.
+
+use amrviz_bench::bench_scenario;
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, ErrorBound,
+};
+use amrviz_core::experiment::CompressorKind;
+use amrviz_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_compression");
+    g.sample_size(10);
+    for app in Application::ALL {
+        let built = bench_scenario(app, Scale::Tiny);
+        let field = app.eval_field();
+        let bytes = built.hierarchy.total_cells() as u64 * 8;
+        g.throughput(Throughput::Bytes(bytes));
+        for kind in CompressorKind::PAPER {
+            let comp = kind.instance();
+            let cfg = AmrCodecConfig::default();
+            let tag = kind.label().replace('/', "");
+            g.bench_function(format!("compress_{}_{}", app.label(), tag), |b| {
+                b.iter(|| {
+                    black_box(
+                        compress_hierarchy_field(
+                            &built.hierarchy,
+                            field,
+                            comp.as_ref(),
+                            ErrorBound::Rel(1e-3),
+                            &cfg,
+                        )
+                        .unwrap(),
+                    )
+                })
+            });
+            let compressed = compress_hierarchy_field(
+                &built.hierarchy,
+                field,
+                comp.as_ref(),
+                ErrorBound::Rel(1e-3),
+                &cfg,
+            )
+            .unwrap();
+            g.bench_function(format!("decompress_{}_{}", app.label(), tag), |b| {
+                b.iter(|| {
+                    black_box(
+                        decompress_hierarchy_field(
+                            &built.hierarchy,
+                            &compressed,
+                            comp.as_ref(),
+                            &cfg,
+                        )
+                        .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,508 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--out DIR]
+//!
+//! experiments:
+//!   table1   dataset structure (grid sizes, per-level densities)
+//!   table2   CR / PSNR / SSIM / R-SSIM for SZ-L/R and SZ-Interp
+//!   fig1     cracks vs gaps vs redundant-fix on original data (+ renders)
+//!   fig2     AMR solver snapshots with adapting grids (+ slice renders)
+//!   fig9     WarpX × SZ-L/R × {re-sampling, dual-cell} × eb sweep
+//!   fig10    WarpX × SZ-Interp × methods × eb sweep
+//!   fig11    Nyx × both compressors × methods at eb 1e-2
+//!   fig12    rate-distortion on WarpX "Ez"
+//!   fig13    rate-distortion on Nyx "Density"
+//!   fig14    1D block-artifact smoothing demonstration
+//!   ablation redundant-coarse-data handling (skip/restore) vs ratio
+//!   all      everything above
+//! ```
+//!
+//! Results print as ASCII tables; renders and machine-readable JSON land in
+//! `--out` (default `repro_out/`).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use amrviz_bench::{fig14_series, step_roughness, RD_EBS};
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, ErrorBound,
+};
+use amrviz_core::experiment::{self, standard_camera, CompressorKind};
+use amrviz_core::prelude::*;
+use amrviz_core::report;
+use amrviz_render::{render_slice, Color, RenderOptions, SliceOptions};
+use amrviz_sim::solver::{AmrAdvection, FIELD};
+use amrviz_viz::extract_amr_isosurface;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut experiment = None;
+    let mut scale = Scale::Medium;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("repro_out");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale: {v}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(Args {
+        experiment: experiment.ok_or("missing experiment name (try `all`)")?,
+        scale,
+        seed,
+        out,
+    })
+}
+
+/// Cache of built scenarios (generation is the expensive part).
+struct Ctx {
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    built: BTreeMap<&'static str, BuiltScenario>,
+    json: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Ctx {
+    fn scenario(&mut self, app: Application) -> &BuiltScenario {
+        let key = app.label();
+        if !self.built.contains_key(key) {
+            eprintln!("[repro] generating {key} scenario at {:?} scale…", self.scale);
+            self.built
+                .insert(key, Scenario::new(app, self.scale, self.seed).build());
+        }
+        &self.built[key]
+    }
+
+    fn record(&mut self, key: &str, value: impl serde::Serialize) {
+        self.json.insert(
+            key.to_string(),
+            serde_json::to_value(value).expect("serializable result"),
+        );
+    }
+
+    fn save_mesh_render(
+        &self,
+        built: &BuiltScenario,
+        levels: &[amrviz_amr::MultiFab],
+        method: IsoMethod,
+        name: &str,
+    ) {
+        let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, method);
+        // Frame the surface itself (the paper's panels zoom to the refined
+        // region), falling back to the whole domain for empty meshes.
+        let cam = match res.combined.bbox() {
+            Some((lo, hi)) => {
+                let center = [
+                    0.5 * (lo[0] + hi[0]),
+                    0.5 * (lo[1] + hi[1]),
+                    0.5 * (lo[2] + hi[2]),
+                ];
+                let extent = (hi[0] - lo[0])
+                    .max(hi[1] - lo[1])
+                    .max(hi[2] - lo[2])
+                    .max(1e-6);
+                let eye = [
+                    center[0] - 2.0 * extent,
+                    center[1] - 1.2 * extent,
+                    center[2] + 1.0 * extent,
+                ];
+                amrviz_render::Camera::orthographic(eye, center, 0.65 * extent)
+            }
+            None => standard_camera(built),
+        };
+        let opts = RenderOptions { width: 960, height: 720, ..Default::default() };
+        // Color the levels differently so cracks/gaps/overlaps stand out,
+        // like the paper's red fine-level box.
+        let img = amrviz_render::raster::render_meshes(
+            &[
+                (&res.level_meshes[0], Color::new(205, 205, 210)),
+                (&res.level_meshes[1], Color::new(235, 120, 90)),
+            ],
+            &cam,
+            &opts,
+        );
+        let path = self.out.join(format!("{name}.png"));
+        if let Err(e) = img.save_png(&path) {
+            eprintln!("[repro] failed to write {}: {e}", path.display());
+        } else {
+            println!("  wrote {}", path.display());
+        }
+    }
+}
+
+fn table1(ctx: &mut Ctx) {
+    println!("\n=== Table 1: dataset structure ===");
+    ctx.scenario(Application::Warpx);
+    ctx.scenario(Application::Nyx);
+    let rows = experiment::run_table1(&[
+        &ctx.built[Application::Warpx.label()],
+        &ctx.built[Application::Nyx.label()],
+    ]);
+    println!("{}", report::format_table1(&rows));
+    println!(
+        "paper: WarpX 128x128x1024 + 256x256x2048 (91.4% / 8.6%), \
+         Nyx 256^3 + 512^3 (59.3% / 40.7%)"
+    );
+    ctx.record("table1", &rows);
+}
+
+fn table2(ctx: &mut Ctx) {
+    println!("\n=== Table 2: compression quality ===");
+    let mut all = Vec::new();
+    for app in Application::ALL {
+        let built = ctx.scenario(app);
+        let rows = experiment::run_table2(built);
+        all.extend(rows);
+    }
+    println!("{}", report::format_table2(&all));
+    ctx.record("table2", &all);
+}
+
+fn fig1(ctx: &mut Ctx) {
+    println!("\n=== Fig. 1: cracks (re-sampling) vs gaps (dual) vs redundant fix ===");
+    let built = ctx.scenario(Application::Warpx);
+    let rows = experiment::run_crack_analysis(built);
+    println!("{}", report::format_cracks(&rows));
+    let field = built.spec.app.eval_field();
+    let levels = built.hierarchy.field(field).expect("eval field").levels.clone();
+    let built = &ctx.built[Application::Warpx.label()];
+    for (method, name) in [
+        (IsoMethod::Resampling, "fig1a_resampling"),
+        (IsoMethod::DualCell, "fig1b_dualcell"),
+        (IsoMethod::DualCellRedundant, "fig1c_dualcell_redundant"),
+    ] {
+        ctx.save_mesh_render(built, &levels, method, name);
+    }
+    ctx.record("fig1", &rows);
+}
+
+fn fig2(ctx: &mut Ctx) {
+    println!("\n=== Fig. 2: AMR grid adapts across timesteps ===");
+    let n = match ctx.scale {
+        Scale::Tiny => 16,
+        Scale::Small => 32,
+        _ => 64,
+    };
+    let mut sim = AmrAdvection::new(n, [1.0, 0.35, 0.0], 0.02, |p| {
+        let r2 = (p[0] - 0.25).powi(2) + (p[1] - 0.35).powi(2) + (p[2] - 0.5).powi(2);
+        (-r2 / (2.0 * 0.07f64.powi(2))).exp()
+    });
+    let mut snapshots = Vec::new();
+    for snap in 0..3 {
+        if snap > 0 {
+            sim.run(8);
+        }
+        let h = sim.hierarchy();
+        let bb = h.box_array(1).bounding_box();
+        println!(
+            "  step {:>3}  t={:.4}  fine boxes: {:>2}  fine cells: {:>8}  bbox: {}",
+            h.step,
+            sim.time(),
+            h.box_array(1).len(),
+            h.box_array(1).num_cells(),
+            bb.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+        );
+        let img = render_slice(h, FIELD, &SliceOptions::default()).expect("field exists");
+        let path = ctx.out.join(format!("fig2_step{}.png", h.step));
+        img.save_png(&path).ok();
+        println!("  wrote {}", path.display());
+        snapshots.push((h.step, sim.time(), h.box_array(1).num_cells()));
+    }
+    ctx.record("fig2", &snapshots);
+}
+
+fn figs_9_10(ctx: &mut Ctx, kind: CompressorKind, figname: &str) {
+    println!(
+        "\n=== {}: WarpX × {} × methods × error bounds ===",
+        figname,
+        kind.label()
+    );
+    let built = ctx.scenario(Application::Warpx);
+    let rows = experiment::run_viz_quality(
+        built,
+        kind,
+        &[1e-4, 1e-3, 1e-2],
+        &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
+    );
+    println!("{}", report::format_viz_quality(&rows));
+
+    // Render the eb=1e-2 panels (the paper's most visible case).
+    let comp = kind.instance();
+    let field = built.spec.app.eval_field();
+    let cfg = AmrCodecConfig::default();
+    let compressed = compress_hierarchy_field(
+        &built.hierarchy,
+        field,
+        comp.as_ref(),
+        ErrorBound::Rel(1e-2),
+        &cfg,
+    )
+    .expect("field exists");
+    let levels = decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
+        .expect("own stream");
+    let built = &ctx.built[Application::Warpx.label()];
+    let tag = kind.label().replace(['/', '-'], "").to_lowercase();
+    ctx.save_mesh_render(
+        built,
+        &levels,
+        IsoMethod::Resampling,
+        &format!("{figname}_{tag}_eb1e-2_resampling"),
+    );
+    ctx.save_mesh_render(
+        built,
+        &levels,
+        IsoMethod::DualCellRedundant,
+        &format!("{figname}_{tag}_eb1e-2_dualcell"),
+    );
+    ctx.record(figname, &rows);
+}
+
+fn fig11(ctx: &mut Ctx) {
+    println!("\n=== Fig. 11: Nyx × both compressors × methods at eb 1e-2 ===");
+    let built = ctx.scenario(Application::Nyx);
+    let mut all = Vec::new();
+    for kind in CompressorKind::PAPER {
+        let rows = experiment::run_viz_quality(
+            built,
+            kind,
+            &[1e-2],
+            &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
+        );
+        all.extend(rows);
+    }
+    println!("{}", report::format_viz_quality(&all));
+    // Original-data render for reference.
+    let field = built.spec.app.eval_field();
+    let levels = built.hierarchy.field(field).expect("eval field").levels.clone();
+    let built = &ctx.built[Application::Nyx.label()];
+    ctx.save_mesh_render(built, &levels, IsoMethod::Resampling, "fig11_original_resampling");
+    ctx.record("fig11", &all);
+}
+
+fn rate_distortion(ctx: &mut Ctx, app: Application, figname: &str) {
+    println!(
+        "\n=== {}: rate-distortion on {} \"{}\" ===",
+        figname,
+        app.label(),
+        app.eval_field()
+    );
+    let built = ctx.scenario(app);
+    let pts = experiment::run_rate_distortion(built, &RD_EBS);
+    println!("{}", report::format_rate_distortion(&pts));
+    ctx.record(figname, &pts);
+}
+
+fn fig14(ctx: &mut Ctx) {
+    println!("\n=== Fig. 14: 1D block-artifact smoothing by re-sampling ===");
+    let (orig, blocky, resampled) = fig14_series(16, 1.4);
+    let fmt = |s: &[f64]| {
+        s.iter()
+            .map(|v| format!("{v:>5.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("  original (cell):   {}", fmt(&orig));
+    println!("  decompressed:      {}", fmt(&blocky));
+    println!("  re-sampled (node): {}", fmt(&resampled));
+    println!(
+        "  step roughness: original {:.2}, decompressed {:.2}, re-sampled {:.2}",
+        step_roughness(&orig),
+        step_roughness(&blocky),
+        step_roughness(&resampled)
+    );
+    ctx.record(
+        "fig14",
+        serde_json::json!({
+            "original": orig,
+            "decompressed": blocky,
+            "resampled": resampled,
+        }),
+    );
+}
+
+fn ablation(ctx: &mut Ctx) {
+    println!("\n=== Ablation: redundant coarse data during compression (§2.2) ===");
+    let mut rows = Vec::new();
+    for app in Application::ALL {
+        let built = ctx.scenario(app);
+        let field = built.spec.app.eval_field();
+        for kind in CompressorKind::PAPER {
+            let comp = kind.instance();
+            for (label, cfg) in [
+                ("keep", AmrCodecConfig::default()),
+                (
+                    "skip",
+                    AmrCodecConfig { skip_redundant: true, restore_redundant: false },
+                ),
+            ] {
+                let c = compress_hierarchy_field(
+                    &built.hierarchy,
+                    field,
+                    comp.as_ref(),
+                    ErrorBound::Rel(1e-3),
+                    &cfg,
+                )
+                .expect("field exists");
+                rows.push(vec![
+                    app.label().to_string(),
+                    kind.label().to_string(),
+                    label.to_string(),
+                    format!("{:.1}", (c.n_values * 8) as f64 / c.compressed_bytes() as f64),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        report::ascii_table(&["App", "Compressor", "Redundant data", "CR (f64)"], &rows)
+    );
+    ctx.record("ablation_redundant", &rows);
+
+    // zMesh-style cross-level 1D baseline (the related work the paper's
+    // intro discusses) and the SZ-L/R predictor ablation.
+    println!("--- related-work baseline + predictor ablation (rel eb 1e-3) ---");
+    let mut rows = Vec::new();
+    for app in Application::ALL {
+        let built = ctx.scenario(app);
+        let field = built.spec.app.eval_field();
+        let n = built.hierarchy.total_cells();
+        let z = amrviz_compress::compress_zmesh(
+            &built.hierarchy,
+            field,
+            ErrorBound::Rel(1e-3),
+        )
+        .expect("field exists");
+        rows.push(vec![
+            app.label().to_string(),
+            "zMesh-1D".to_string(),
+            format!("{:.1}", (n * 8) as f64 / z.len() as f64),
+        ]);
+        for (label, comp) in [
+            ("SZ-L/R hybrid", amrviz_compress::SzLr::default()),
+            ("SZ-L/R lorenzo-only", amrviz_compress::SzLr::lorenzo_only()),
+            ("SZ-L/R regression-only", amrviz_compress::SzLr::regression_only()),
+        ] {
+            let c = compress_hierarchy_field(
+                &built.hierarchy,
+                field,
+                &comp,
+                ErrorBound::Rel(1e-3),
+                &AmrCodecConfig::default(),
+            )
+            .expect("field exists");
+            rows.push(vec![
+                app.label().to_string(),
+                label.to_string(),
+                format!("{:.1}", (c.n_values * 8) as f64 / c.compressed_bytes() as f64),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::ascii_table(&["App", "Variant", "CR (f64)"], &rows)
+    );
+    ctx.record("ablation_predictors", &rows);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    std::fs::create_dir_all(&args.out).ok();
+    // Merge into any existing results.json so partial re-runs (e.g.
+    // `repro fig9` after `repro all`) keep the other experiments' records.
+    let existing = std::fs::read_to_string(args.out.join("results.json"))
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| v.as_object().cloned())
+        .unwrap_or_default();
+    let mut ctx = Ctx {
+        scale: args.scale,
+        seed: args.seed,
+        out: args.out.clone(),
+        built: BTreeMap::new(),
+        json: existing,
+    };
+    let exp = args.experiment.as_str();
+    let known = [
+        "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "ablation", "all",
+    ];
+    if !known.contains(&exp) {
+        eprintln!("unknown experiment `{exp}`; known: {known:?}");
+        return ExitCode::FAILURE;
+    }
+    let run = |name: &str| exp == name || exp == "all";
+    if run("table1") {
+        table1(&mut ctx);
+    }
+    if run("table2") {
+        table2(&mut ctx);
+    }
+    if run("fig1") {
+        fig1(&mut ctx);
+    }
+    if run("fig2") {
+        fig2(&mut ctx);
+    }
+    if run("fig9") {
+        figs_9_10(&mut ctx, CompressorKind::SzLr, "fig9");
+    }
+    if run("fig10") {
+        figs_9_10(&mut ctx, CompressorKind::SzInterp, "fig10");
+    }
+    if run("fig11") {
+        fig11(&mut ctx);
+    }
+    if run("fig12") {
+        rate_distortion(&mut ctx, Application::Warpx, "fig12");
+    }
+    if run("fig13") {
+        rate_distortion(&mut ctx, Application::Nyx, "fig13");
+    }
+    if run("fig14") {
+        fig14(&mut ctx);
+    }
+    if run("ablation") {
+        ablation(&mut ctx);
+    }
+
+    let json_path: &Path = &ctx.out.join("results.json");
+    match serde_json::to_string_pretty(&serde_json::Value::Object(ctx.json.clone())) {
+        Ok(s) => {
+            if std::fs::write(json_path, s).is_ok() {
+                println!("\nresults recorded in {}", json_path.display());
+            }
+        }
+        Err(e) => eprintln!("failed to serialize results: {e}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Tiny flag parser: positional arguments plus `--key value` / `--switch`
+//! options. Hand-rolled to keep the dependency budget at zero.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parses `argv` given the set of value-taking option names and boolean
+/// switch names (both without the `--` prefix).
+pub fn parse(
+    argv: &[String],
+    value_opts: &[&str],
+    switch_opts: &[&str],
+) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if switch_opts.contains(&name) {
+                out.switches.push(name.to_string());
+            } else if value_opts.contains(&name) {
+                let v = it.next().ok_or(format!("--{name} needs a value"))?;
+                out.options.insert(name.to_string(), v.clone());
+            } else {
+                return Err(format!("unknown option --{name}"));
+            }
+        } else {
+            out.positional.push(a.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.opt(name).ok_or(format!("missing required --{name}"))
+    }
+
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or(format!("missing {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixed_args() {
+        let p = parse(
+            &sv(&["plot", "--field", "rho", "--skip", "more"]),
+            &["field"],
+            &["skip"],
+        )
+        .unwrap();
+        assert_eq!(p.positional, vec!["plot", "more"]);
+        assert_eq!(p.opt("field"), Some("rho"));
+        assert!(p.switch("skip"));
+        assert!(!p.switch("other"));
+        assert_eq!(p.positional(0, "x").unwrap(), "plot");
+        assert!(p.positional(5, "missing thing").is_err());
+    }
+
+    #[test]
+    fn missing_value_and_unknown_option() {
+        assert!(parse(&sv(&["--field"]), &["field"], &[]).is_err());
+        assert!(parse(&sv(&["--nope", "v"]), &["field"], &[]).is_err());
+    }
+
+    #[test]
+    fn typed_parse() {
+        let p = parse(&sv(&["--n", "42"]), &["n"], &[]).unwrap();
+        assert_eq!(p.opt_parse::<u64>("n").unwrap(), Some(42));
+        assert_eq!(p.opt_parse::<u64>("missing").unwrap(), None);
+        let bad = parse(&sv(&["--n", "abc"]), &["n"], &[]).unwrap();
+        assert!(bad.opt_parse::<u64>("n").is_err());
+    }
+}

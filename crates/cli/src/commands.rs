@@ -1,0 +1,370 @@
+//! Implementations of the `amrviz` subcommands.
+
+use std::path::Path;
+
+use amrviz_amr::plotfile::{read_plotfile, write_plotfile};
+use amrviz_amr::resample::{flatten_to_finest, Upsample};
+use amrviz_amr::AmrHierarchy;
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig,
+    CompressedHierarchyField, CompressionStats, Compressor, ErrorBound, SzInterp, SzLr,
+    ZfpLike,
+};
+use amrviz_render::{
+    render_mesh, render_slice, render_volume, Camera, RenderOptions, SliceOptions,
+    VolumeOptions,
+};
+use amrviz_sim::solver::AmrAdvection;
+use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
+use amrviz_viz::{extract_amr_isosurface, obj, IsoMethod};
+
+use crate::args::parse;
+
+fn algo(name: Option<&str>) -> Result<Box<dyn Compressor>, String> {
+    match name.unwrap_or("szlr") {
+        "szlr" => Ok(Box::new(SzLr::default())),
+        "szinterp" => Ok(Box::new(SzInterp)),
+        "zfp" => Ok(Box::new(ZfpLike)),
+        other => Err(format!("unknown algorithm `{other}` (szlr|szinterp|zfp)")),
+    }
+}
+
+fn method(name: Option<&str>) -> Result<IsoMethod, String> {
+    match name.unwrap_or("resampling") {
+        "resampling" => Ok(IsoMethod::Resampling),
+        "dual" => Ok(IsoMethod::DualCell),
+        "dual-redundant" => Ok(IsoMethod::DualCellRedundant),
+        other => Err(format!(
+            "unknown method `{other}` (resampling|dual|dual-redundant)"
+        )),
+    }
+}
+
+fn bound(p: &crate::args::Parsed) -> Result<ErrorBound, String> {
+    match (p.opt_parse::<f64>("rel")?, p.opt_parse::<f64>("abs")?) {
+        (Some(_), Some(_)) => Err("--rel and --abs are mutually exclusive".into()),
+        (Some(r), None) => Ok(ErrorBound::Rel(r)),
+        (None, Some(a)) => Ok(ErrorBound::Abs(a)),
+        (None, None) => Ok(ErrorBound::Rel(1e-3)),
+    }
+}
+
+fn load(path: &str) -> Result<AmrHierarchy, String> {
+    read_plotfile(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Iso value from `--iso` or `--quantile` (default: 0.9 quantile).
+fn iso_value(
+    p: &crate::args::Parsed,
+    hier: &AmrHierarchy,
+    field: &str,
+) -> Result<f64, String> {
+    if let Some(v) = p.opt_parse::<f64>("iso")? {
+        return Ok(v);
+    }
+    let q = p.opt_parse::<f64>("quantile")?.unwrap_or(0.9);
+    if !(0.0..=1.0).contains(&q) {
+        return Err("--quantile must be in [0, 1]".into());
+    }
+    let uniform = flatten_to_finest(hier, field, Upsample::PiecewiseConstant)
+        .map_err(|e| e.to_string())?;
+    let mut v = uniform.data;
+    let k = ((v.len() - 1) as f64 * q).round() as usize;
+    let (_, val, _) =
+        v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
+    Ok(*val)
+}
+
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["out", "scale", "seed"], &["all-fields"])?;
+    let app = p.positional(0, "application (nyx|warpx)")?;
+    let out = p.required("out")?;
+    let scale = match p.opt("scale") {
+        None => Scale::Small,
+        Some(s) => Scale::parse(s).ok_or(format!("unknown scale `{s}`"))?,
+    };
+    let seed = p.opt_parse::<u64>("seed")?.unwrap_or(42);
+    let hier = match app {
+        "nyx" => {
+            let mut sc = NyxScenario::new(scale, seed);
+            if p.switch("all-fields") {
+                sc = sc.with_all_fields();
+            }
+            sc.generate()
+        }
+        "warpx" => WarpxScenario::new(scale, seed).generate(),
+        other => return Err(format!("unknown application `{other}` (nyx|warpx)")),
+    };
+    write_plotfile(Path::new(out), &hier).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} levels, {} cells, fields: {:?}",
+        hier.num_levels(),
+        hier.total_cells(),
+        hier.field_names()
+    );
+    Ok(())
+}
+
+pub fn simulate(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["out", "n", "steps", "snap-every"], &[])?;
+    let out = Path::new(p.required("out")?);
+    let n = p.opt_parse::<usize>("n")?.unwrap_or(32);
+    let steps = p.opt_parse::<u64>("steps")?.unwrap_or(24);
+    let every = p.opt_parse::<u64>("snap-every")?.unwrap_or(8).max(1);
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    let mut sim = AmrAdvection::new(n, [1.0, 0.4, 0.0], 0.02, |pt| {
+        let r2 = (pt[0] - 0.25).powi(2) + (pt[1] - 0.3).powi(2) + (pt[2] - 0.5).powi(2);
+        (-r2 / (2.0 * 0.07f64.powi(2))).exp()
+    });
+    let snap = |sim: &AmrAdvection| -> Result<(), String> {
+        let h = sim.hierarchy();
+        let dir = out.join(format!("plt{:05}", h.step));
+        write_plotfile(&dir, h).map_err(|e| e.to_string())?;
+        println!(
+            "step {:>4}  t={:.4}  fine cells {:>8}  -> {}",
+            h.step,
+            sim.time(),
+            h.box_array(1).num_cells(),
+            dir.display()
+        );
+        Ok(())
+    };
+    snap(&sim)?;
+    let mut done = 0;
+    while done < steps {
+        let burst = every.min(steps - done);
+        sim.run(burst);
+        done += burst;
+        snap(&sim)?;
+    }
+    Ok(())
+}
+
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &[], &[])?;
+    let hier = load(p.positional(0, "plotfile path")?)?;
+    println!("levels:      {}", hier.num_levels());
+    println!("ref ratios:  {:?}", hier.ref_ratios());
+    println!("time/step:   {} / {}", hier.time, hier.step);
+    let g = hier.geometry();
+    println!("phys box:    {:?} .. {:?}", g.prob_lo, g.prob_hi);
+    for lev in 0..hier.num_levels() {
+        println!(
+            "level {lev}: domain {:?}, {} boxes, {} cells, density {:.1}%",
+            hier.level_domain(lev).size(),
+            hier.box_array(lev).len(),
+            hier.box_array(lev).num_cells(),
+            hier.level_density(lev) * 100.0
+        );
+    }
+    for f in hier.fields() {
+        let (lo, hi) = f
+            .levels
+            .iter()
+            .map(|mf| mf.min_max())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(al, ah), (bl, bh)| {
+                (al.min(bl), ah.max(bh))
+            });
+        println!("field {:<20} range [{lo:.6e}, {hi:.6e}]", f.name);
+    }
+    Ok(())
+}
+
+pub fn compress(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &["field", "out", "algo", "rel", "abs"],
+        &["skip-redundant"],
+    )?;
+    let hier = load(p.positional(0, "plotfile path")?)?;
+    let field = p.required("field")?;
+    let out = p.required("out")?;
+    let comp = algo(p.opt("algo"))?;
+    let cfg = AmrCodecConfig {
+        skip_redundant: p.switch("skip-redundant"),
+        restore_redundant: false,
+    };
+    let t0 = std::time::Instant::now();
+    let c = compress_hierarchy_field(&hier, field, comp.as_ref(), bound(&p)?, &cfg)
+        .map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    std::fs::write(out, c.to_bytes()).map_err(|e| e.to_string())?;
+    let stats = CompressionStats::new(c.n_values, c.compressed_bytes());
+    println!(
+        "{} -> {out}: {} values, {} bytes, CR {:.1}x (f64) / {:.1}x (f32-equiv), \
+         {:.2} bits/value, abs eb {:.3e}, {:.2} s ({:.0} MB/s)",
+        comp.name(),
+        c.n_values,
+        c.compressed_bytes(),
+        stats.ratio(),
+        stats.ratio_vs_f32(),
+        stats.bits_per_value(),
+        c.abs_eb,
+        secs,
+        stats.original_bytes as f64 / secs / 1e6
+    );
+    Ok(())
+}
+
+pub fn decompress(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["out", "algo", "field"], &["skip-redundant"])?;
+    let hier = load(p.positional(0, "plotfile path (for structure)")?)?;
+    let stream_path = p.positional(1, "compressed stream path")?;
+    let out = p.required("out")?;
+    let comp = algo(p.opt("algo"))?;
+    let field_name = p.opt("field").unwrap_or("decompressed");
+    let bytes = std::fs::read(stream_path).map_err(|e| e.to_string())?;
+    let c = CompressedHierarchyField::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let cfg = AmrCodecConfig {
+        skip_redundant: p.switch("skip-redundant"),
+        restore_redundant: p.switch("skip-redundant"),
+    };
+    let levels =
+        decompress_hierarchy_field(&hier, &c, comp.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    // Write a fresh plotfile holding only the decompressed field on the
+    // same structure.
+    let mut out_hier = AmrHierarchy::new(
+        *hier.geometry(),
+        hier.ref_ratios().to_vec(),
+        hier.box_arrays().to_vec(),
+    )
+    .map_err(|e| e.to_string())?;
+    out_hier.time = hier.time;
+    out_hier.step = hier.step;
+    out_hier
+        .add_field(field_name, levels)
+        .map_err(|e| e.to_string())?;
+    write_plotfile(Path::new(out), &out_hier).map_err(|e| e.to_string())?;
+    println!("wrote {out} with field `{field_name}` (abs eb {:.3e})", c.abs_eb);
+    Ok(())
+}
+
+pub fn extract(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["field", "out", "iso", "quantile", "method"], &[])?;
+    let hier = load(p.positional(0, "plotfile path")?)?;
+    let field = p.required("field")?;
+    let out = p.required("out")?;
+    let m = method(p.opt("method"))?;
+    let iso = iso_value(&p, &hier, field)?;
+    let levels = &hier.field(field).map_err(|e| e.to_string())?.levels;
+    let res = extract_amr_isosurface(&hier, levels, iso, m);
+    obj::save_obj(Path::new(out), &res.combined).map_err(|e| e.to_string())?;
+    println!(
+        "{} @ iso {iso:.6e}: {} triangles ({} per-level) -> {out}",
+        m.label(),
+        res.combined.num_triangles(),
+        res.level_meshes
+            .iter()
+            .map(|m| m.num_triangles().to_string())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    );
+    Ok(())
+}
+
+pub fn render(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &["field", "out", "iso", "quantile", "method", "mode", "width", "height"],
+        &["log"],
+    )?;
+    let hier = load(p.positional(0, "plotfile path")?)?;
+    let field = p.required("field")?;
+    let out = p.required("out")?;
+    let width = p.opt_parse::<usize>("width")?.unwrap_or(960);
+    let height = p.opt_parse::<usize>("height")?.unwrap_or(720);
+
+    let g = hier.geometry();
+    let center = [
+        0.5 * (g.prob_lo[0] + g.prob_hi[0]),
+        0.5 * (g.prob_lo[1] + g.prob_hi[1]),
+        0.5 * (g.prob_lo[2] + g.prob_hi[2]),
+    ];
+    let diag = (0..3)
+        .map(|a| (g.prob_hi[a] - g.prob_lo[a]).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let eye = [center[0] - diag, center[1] - 0.6 * diag, center[2] + 0.5 * diag];
+    let cam = Camera::orthographic(eye, center, 0.55 * diag);
+
+    let img = match p.opt("mode").unwrap_or("surface") {
+        "surface" => {
+            let m = method(p.opt("method"))?;
+            let iso = iso_value(&p, &hier, field)?;
+            let levels = &hier.field(field).map_err(|e| e.to_string())?.levels;
+            let res = extract_amr_isosurface(&hier, levels, iso, m);
+            println!(
+                "surface @ iso {iso:.6e}: {} triangles",
+                res.combined.num_triangles()
+            );
+            render_mesh(
+                &res.combined,
+                &cam,
+                &RenderOptions { width, height, ..Default::default() },
+            )
+        }
+        "slice" => render_slice(
+            &hier,
+            field,
+            &SliceOptions { log_scale: p.switch("log"), ..Default::default() },
+        )
+        .map_err(|e| e.to_string())?,
+        "volume" => {
+            let uniform = flatten_to_finest(&hier, field, Upsample::PiecewiseConstant)
+                .map_err(|e| e.to_string())?;
+            render_volume(
+                &uniform,
+                g.prob_lo,
+                g.prob_hi,
+                &cam,
+                &VolumeOptions {
+                    width,
+                    height,
+                    log_scale: p.switch("log"),
+                    ..Default::default()
+                },
+            )
+        }
+        other => return Err(format!("unknown mode `{other}` (surface|slice|volume)")),
+    };
+    img.save_png(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({}x{})", img.width, img.height);
+    Ok(())
+}
+
+/// Compares a field across two plotfiles on the uniform-resolution merge:
+/// PSNR, SSIM, R-SSIM, max error — the quality check for a compression
+/// round-trip.
+pub fn diff(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["field", "field-b"], &[])?;
+    let ha = load(p.positional(0, "first plotfile")?)?;
+    let hb = load(p.positional(1, "second plotfile")?)?;
+    let fa = p.required("field")?;
+    let fb = p.opt("field-b").unwrap_or(fa);
+    let ua = flatten_to_finest(&ha, fa, Upsample::PiecewiseConstant)
+        .map_err(|e| e.to_string())?;
+    let ub = flatten_to_finest(&hb, fb, Upsample::PiecewiseConstant)
+        .map_err(|e| e.to_string())?;
+    if ua.dims() != ub.dims() {
+        return Err(format!(
+            "shape mismatch: {:?} vs {:?}",
+            ua.dims(),
+            ub.dims()
+        ));
+    }
+    let q = amrviz_metrics::quality(&ua.data, &ub.data);
+    let s = amrviz_metrics::ssim3(
+        &ua.data,
+        &ub.data,
+        ua.dims(),
+        &amrviz_metrics::SsimConfig::default(),
+    );
+    println!("samples:     {}", q.n);
+    println!("range (A):   {:.6e}", q.range);
+    println!("max |err|:   {:.6e}", q.max_abs_err);
+    println!("RMSE:        {:.6e}", q.rmse);
+    println!("PSNR:        {:.2} dB", q.psnr);
+    println!("SSIM:        {:.9}", s);
+    println!("R-SSIM:      {:.3e}", 1.0 - s);
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! `amrviz` — command-line front end to the workspace.
+//!
+//! ```text
+//! amrviz generate   <nyx|warpx> --out DIR [--scale S] [--seed N] [--all-fields]
+//! amrviz simulate   --out DIR [--n N] [--steps K] [--snap-every M]
+//! amrviz info       <plotfile>
+//! amrviz compress   <plotfile> --field F --out FILE [--algo A] [--rel EB | --abs EB] [--skip-redundant]
+//! amrviz decompress <plotfile> <stream> --out DIR [--algo A] [--skip-redundant]
+//! amrviz extract    <plotfile> --field F --out FILE.obj [--iso V | --quantile Q] [--method M]
+//! amrviz render     <plotfile> --field F --out FILE.png [--mode surface|slice|volume] [...]
+//! amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
+//! ```
+//!
+//! Algorithms: `szlr` (default), `szinterp`, `zfp`. Methods: `resampling`
+//! (default), `dual`, `dual-redundant`. Plotfiles are the directories
+//! written by `amrviz-amr::plotfile`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let cmd = argv[0].clone();
+    let rest = &argv[1..];
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "simulate" => commands::simulate(rest),
+        "info" => commands::info(rest),
+        "compress" => commands::compress(rest),
+        "decompress" => commands::decompress(rest),
+        "extract" => commands::extract(rest),
+        "render" => commands::render(rest),
+        "diff" => commands::diff(rest),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "amrviz — AMR data toolkit (compression × visualization)
+
+USAGE:
+  amrviz generate   <nyx|warpx> --out DIR [--scale tiny|small|medium|paper]
+                    [--seed N] [--all-fields]
+  amrviz simulate   --out DIR [--n N] [--steps K] [--snap-every M]
+  amrviz info       <plotfile>
+  amrviz compress   <plotfile> --field F --out FILE
+                    [--algo szlr|szinterp|zfp] [--rel EB | --abs EB]
+                    [--skip-redundant]
+  amrviz decompress <plotfile> <stream> --out DIR
+                    [--algo szlr|szinterp|zfp] [--skip-redundant]
+  amrviz extract    <plotfile> --field F --out FILE.obj
+                    [--iso V | --quantile Q]
+                    [--method resampling|dual|dual-redundant]
+  amrviz render     <plotfile> --field F --out FILE.png
+                    [--mode surface|slice|volume] [--iso V | --quantile Q]
+                    [--method M] [--width W] [--height H] [--log]
+  amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
+"
+}

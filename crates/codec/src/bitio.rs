@@ -1,0 +1,186 @@
+//! MSB-first bit-level I/O over byte buffers.
+
+use crate::CodecError;
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Current partial byte (bits packed from the MSB down).
+    cur: u8,
+    /// Number of bits used in `cur` (0..8).
+    used: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { bytes: Vec::with_capacity(bytes), cur: 0, used: 0 }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if bit {
+            self.cur |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+        if self.used == 8 {
+            self.bytes.push(self.cur);
+            self.cur = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    /// `n` may be 0..=64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.used as usize
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.bytes.push(self.cur);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position (absolute, from the start).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits (0..=64), MSB first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            let byte = self.pos / 8;
+            let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let bits = [true, false, true, true, false, false, false, true, true, false];
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 10);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 2);
+        let mut r = BitReader::new(&buf);
+        for &b in &bits {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let buf = w.finish();
+        assert_eq!(buf, vec![0b1011_0000]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let buf = [0xFFu8];
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(BitReader::new(&buf).read_bits(9), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        w.write_bits(1, 1);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn full_width_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0xDEAD_BEEF, 32);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_roundtrip(values in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                w.write_bits(masked, n);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for &(v, n) in &values {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+            }
+        }
+    }
+}

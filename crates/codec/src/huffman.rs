@@ -1,0 +1,295 @@
+//! Canonical Huffman coding over `u32` symbol alphabets.
+//!
+//! This mirrors the role of SZ's "customized Huffman" stage: quantization
+//! codes (bin indices) are entropy-coded with a code table stored in the
+//! stream header. Codes are canonical, so the header only carries
+//! `(symbol, code length)` pairs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::CodecError;
+
+/// Maximum code length we allow; keeps decode state in a `u64` with room to
+/// spare. Reached only by adversarially skewed alphabets, which we flatten.
+const MAX_CODE_LEN: u32 = 48;
+
+/// Computes Huffman code lengths for the given `(symbol, frequency)` pairs.
+/// Returns lengths aligned with the input order.
+fn code_lengths(freqs: &[(u32, u64)]) -> Vec<u32> {
+    assert!(!freqs.is_empty());
+    if freqs.len() == 1 {
+        // A single-symbol alphabet needs one bit so the bitstream has
+        // measurable length per symbol (and canonical decode stays simple).
+        return vec![1];
+    }
+    // Node arena: leaves first, then internal nodes.
+    let n = freqs.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, f))| Reverse((f.max(1), i)))
+        .collect();
+    let mut next = n;
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let Reverse((fb, b)) = heap.pop().expect("len > 1");
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(Reverse((fa + fb, next)));
+        next += 1;
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    (0..n)
+        .map(|leaf| {
+            let mut d = 0;
+            let mut cur = leaf;
+            while parent[cur] != usize::MAX {
+                cur = parent[cur];
+                d += 1;
+            }
+            d
+        })
+        .collect()
+}
+
+/// Assigns canonical codes given code lengths. Returns `(code, len)` per
+/// symbol, aligned with `entries` (which must be sorted by `(len, symbol)`).
+fn canonical_codes(sorted_lens: &[u32]) -> Vec<u64> {
+    let mut codes = Vec::with_capacity(sorted_lens.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &len in sorted_lens {
+        code <<= len - prev_len;
+        codes.push(code);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encodes a symbol stream. Output layout:
+/// `uvarint n_symbols_in_stream`, `uvarint n_distinct`,
+/// `(uvarint symbol, uvarint len)*`, padded bitstream.
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, symbols.len() as u64);
+    if symbols.is_empty() {
+        return out;
+    }
+
+    // Frequency table (deterministic order: by symbol).
+    let mut freq_map: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freq_map.entry(s).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<(u32, u64)> = freq_map.into_iter().collect();
+    freqs.sort_unstable_by_key(|&(s, _)| s);
+
+    // Code lengths; flatten frequencies if the tree got pathologically deep.
+    let mut lens = code_lengths(&freqs);
+    while lens.iter().copied().max().unwrap_or(0) > MAX_CODE_LEN {
+        for f in &mut freqs {
+            f.1 = 1 + f.1 / 2;
+        }
+        lens = code_lengths(&freqs);
+    }
+
+    // Canonical order: (len, symbol).
+    let mut entries: Vec<(u32, u32)> = freqs
+        .iter()
+        .zip(&lens)
+        .map(|(&(sym, _), &len)| (len, sym))
+        .collect();
+    entries.sort_unstable();
+    let sorted_lens: Vec<u32> = entries.iter().map(|&(l, _)| l).collect();
+    let codes = canonical_codes(&sorted_lens);
+
+    // Lookup: symbol -> (code, len).
+    let table: HashMap<u32, (u64, u32)> = entries
+        .iter()
+        .zip(&codes)
+        .map(|(&(len, sym), &code)| (sym, (code, len)))
+        .collect();
+
+    // Header.
+    write_uvarint(&mut out, entries.len() as u64);
+    for &(len, sym) in &entries {
+        write_uvarint(&mut out, sym as u64);
+        write_uvarint(&mut out, len as u64);
+    }
+
+    // Body.
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+    for &s in symbols {
+        let (code, len) = table[&s];
+        bits.write_bits(code, len);
+    }
+    out.extend_from_slice(&bits.finish());
+    out
+}
+
+/// Decodes a stream produced by [`huffman_encode`].
+pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut pos = 0usize;
+    let total = read_uvarint(bytes, &mut pos)? as usize;
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let distinct = read_uvarint(bytes, &mut pos)? as usize;
+    if distinct == 0 {
+        return Err(CodecError::Malformed("no code table for nonempty stream"));
+    }
+    let mut entries = Vec::with_capacity(distinct);
+    for _ in 0..distinct {
+        let sym = read_uvarint(bytes, &mut pos)? as u32;
+        let len = read_uvarint(bytes, &mut pos)? as u32;
+        if len == 0 || len > MAX_CODE_LEN {
+            return Err(CodecError::Malformed("bad code length"));
+        }
+        entries.push((len, sym));
+    }
+    // The header must already be in canonical (len, symbol) order.
+    if entries.windows(2).any(|w| w[0] > w[1]) {
+        return Err(CodecError::Malformed("code table not canonical"));
+    }
+
+    // Canonical decode tables indexed by length.
+    let max_len = entries.last().expect("distinct >= 1").0;
+    let mut count = vec![0u64; max_len as usize + 1];
+    for &(len, _) in &entries {
+        count[len as usize] += 1;
+    }
+    let mut first_code = vec![0u64; max_len as usize + 2];
+    let mut first_index = vec![0u64; max_len as usize + 2];
+    let mut code = 0u64;
+    let mut idx = 0u64;
+    for len in 1..=max_len as usize {
+        first_code[len] = code;
+        first_index[len] = idx;
+        code = (code + count[len]) << 1;
+        idx += count[len];
+    }
+    let syms: Vec<u32> = entries.iter().map(|&(_, s)| s).collect();
+
+    let mut reader = BitReader::new(&bytes[pos..]);
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut code = 0u64;
+        let mut len = 0u32;
+        loop {
+            code = (code << 1) | reader.read_bit()? as u64;
+            len += 1;
+            if len > max_len {
+                return Err(CodecError::Malformed("code exceeds max length"));
+            }
+            let l = len as usize;
+            if count[l] > 0 && code >= first_code[l] && code - first_code[l] < count[l] {
+                let i = first_index[l] + (code - first_code[l]);
+                out.push(syms[i as usize]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stream() {
+        let enc = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_symbol_repeated() {
+        let data = vec![42u32; 1000];
+        let enc = huffman_encode(&data);
+        // 1 bit/symbol + header ≈ 130 bytes.
+        assert!(enc.len() < 140, "got {} bytes", enc.len());
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros, a few others: entropy ≈ 0.6 bits/symbol.
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            data.push(if i % 10 == 0 { i % 7 + 1 } else { 0 });
+        }
+        let enc = huffman_encode(&data);
+        assert!(
+            enc.len() < data.len(), // « 4 bytes/symbol
+            "no compression: {} bytes for {} symbols",
+            enc.len(),
+            data.len()
+        );
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrips() {
+        let data: Vec<u32> = (0..4096).map(|i| i % 256).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+        // 256 equiprobable symbols: ~8 bits each.
+        assert!(enc.len() < 4096 * 2);
+    }
+
+    #[test]
+    fn large_symbol_values() {
+        let data = vec![u32::MAX, 0, u32::MAX, 12345678, u32::MAX];
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data: Vec<u32> = (0..100).collect();
+        let enc = huffman_encode(&data);
+        for cut in [1, enc.len() / 2, enc.len() - 1] {
+            assert!(huffman_decode(&enc[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn fibonacci_frequencies_stay_within_depth_cap() {
+        // Fibonacci frequencies maximize Huffman depth; with ~60 symbols the
+        // unconstrained depth would approach 60. The encoder must flatten.
+        let mut data = Vec::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for sym in 0..55u32 {
+            for _ in 0..a.min(100_000) {
+                data.push(sym);
+            }
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(0u32..5000, 0..3000)) {
+            let enc = huffman_encode(&data);
+            prop_assert_eq!(huffman_decode(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_small_alphabet(data in prop::collection::vec(0u32..4, 0..5000)) {
+            let enc = huffman_encode(&data);
+            prop_assert_eq!(huffman_decode(&enc).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Entropy-coding substrate for the SZ-style compressors.
+//!
+//! The real SZ framework encodes quantization codes with a customized
+//! Huffman coder and then runs a general-purpose lossless compressor (zstd)
+//! over the result. This crate provides from-scratch equivalents:
+//!
+//! * [`bitio`] — MSB-first bit-level reader/writer;
+//! * [`huffman`] — canonical Huffman coding over `u32` symbol alphabets;
+//! * [`rle`] — zero-run-length coding (quantization codes are dominated by
+//!   the zero-error bin on smooth data);
+//! * [`lzss`] — an LZ77/LZSS byte compressor with hash-chain matching,
+//!   standing in for zstd as the final lossless stage;
+//! * [`varint`] — LEB128 varints and zigzag mapping for signed values.
+//!
+//! Everything round-trips losslessly; property tests in each module assert
+//! that for arbitrary inputs.
+//!
+//! ```
+//! use amrviz_codec::{huffman_encode, huffman_decode, lzss_compress, lzss_decompress};
+//!
+//! let symbols: Vec<u32> = (0..1000).map(|i| i % 7).collect();
+//! let packed = lzss_compress(&huffman_encode(&symbols));
+//! assert!(packed.len() < symbols.len()); // ≪ 4 bytes/symbol
+//! let back = huffman_decode(&lzss_decompress(&packed).unwrap()).unwrap();
+//! assert_eq!(back, symbols);
+//! ```
+
+pub mod bitio;
+pub mod huffman;
+pub mod lzss;
+pub mod rle;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{huffman_decode, huffman_encode};
+pub use lzss::{lzss_compress, lzss_decompress};
+pub use rle::{rle_decode_zeros, rle_encode_zeros};
+pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+
+/// Errors returned by decoders when the input is malformed or truncated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of input bits/bytes.
+    UnexpectedEof,
+    /// Structurally invalid stream (bad header, impossible code, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            CodecError::Malformed(what) => write!(f, "malformed stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,228 @@
+//! Byte-oriented LZ77/LZSS compressor with hash-chain match finding.
+//!
+//! Serves as the final lossless stage of the compression pipelines (the
+//! role zstd plays in SZ). The format is LZ4-flavored:
+//!
+//! ```text
+//! uvarint decompressed_len
+//! repeat:
+//!   uvarint literal_len, literal bytes
+//!   (if output incomplete) uvarint match_len - MIN_MATCH, uvarint distance
+//! ```
+//!
+//! Matches may overlap their own output (run-length-like copies), distances
+//! are limited to a 64 KiB window, and the match finder walks bounded hash
+//! chains, trading a little ratio for predictable throughput.
+
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::CodecError;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 1 << 16;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    // Multiplicative hash of 4 bytes (Fibonacci constant).
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`.
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_uvarint(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(&input[i..]);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                // Candidate must at least beat the current best.
+                if best_len == 0
+                    || input.get(i + best_len) == input.get(cand + best_len)
+                {
+                    let limit = (input.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < limit && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= limit {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Emit pending literals, then the match.
+            write_uvarint(&mut out, (i - lit_start) as u64);
+            out.extend_from_slice(&input[lit_start..i]);
+            write_uvarint(&mut out, (best_len - MIN_MATCH) as u64);
+            write_uvarint(&mut out, best_dist as u64);
+            // Insert hash entries for every position the match covers.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let h = hash4(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            if i + MIN_MATCH <= input.len() {
+                let h = hash4(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    // Trailing literals.
+    write_uvarint(&mut out, (input.len() - lit_start) as u64);
+    out.extend_from_slice(&input[lit_start..]);
+    out
+}
+
+/// Decompresses a buffer produced by [`lzss_compress`].
+pub fn lzss_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let lit_len = read_uvarint(bytes, &mut pos)? as usize;
+        if pos + lit_len > bytes.len() || out.len() + lit_len > total {
+            return Err(CodecError::Malformed("literal run out of bounds"));
+        }
+        out.extend_from_slice(&bytes[pos..pos + lit_len]);
+        pos += lit_len;
+        if out.len() == total {
+            break;
+        }
+        let match_len = read_uvarint(bytes, &mut pos)? as usize + MIN_MATCH;
+        let dist = read_uvarint(bytes, &mut pos)? as usize;
+        if dist == 0 || dist > out.len() || out.len() + match_len > total {
+            return Err(CodecError::Malformed("bad match"));
+        }
+        // Overlap-safe byte-by-byte copy.
+        let start = out.len() - dist;
+        for j in 0..match_len {
+            let b = out[start + j];
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty() {
+        let enc = lzss_compress(&[]);
+        assert_eq!(lzss_decompress(&enc).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_inputs() {
+        for len in 1..=8 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let enc = lzss_compress(&data);
+            assert_eq!(lzss_decompress(&enc).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses_hard() {
+        let data = b"abcabcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let enc = lzss_compress(&data);
+        assert!(enc.len() < data.len() / 10, "{} vs {}", enc.len(), data.len());
+        assert_eq!(lzss_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn constant_input_uses_overlapping_match() {
+        let data = vec![7u8; 100_000];
+        let enc = lzss_compress(&data);
+        assert!(enc.len() < 64, "got {} bytes", enc.len());
+        assert_eq!(lzss_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn random_input_expands_only_slightly() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let enc = lzss_compress(&data);
+        assert!(enc.len() < data.len() + data.len() / 16 + 32);
+        assert_eq!(lzss_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn structured_float_bytes() {
+        // Byte patterns like Huffman output of smooth data: long zero-ish
+        // stretches with periodic structure.
+        let data: Vec<u8> = (0..80_000u32)
+            .map(|i| if i % 97 < 90 { 0 } else { (i % 251) as u8 })
+            .collect();
+        let enc = lzss_compress(&data);
+        assert!(enc.len() < data.len() / 4);
+        assert_eq!(lzss_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"hello hello hello hello".repeat(20);
+        let enc = lzss_compress(&data);
+        assert!(lzss_decompress(&enc[..enc.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        // Handcraft: total=10, literal run 1 byte, then match dist beyond output.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 10);
+        write_uvarint(&mut buf, 1);
+        buf.push(b'x');
+        write_uvarint(&mut buf, 0); // match_len = MIN_MATCH
+        write_uvarint(&mut buf, 5); // dist 5 > out.len()=1
+        assert!(lzss_decompress(&buf).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+            let enc = lzss_compress(&data);
+            prop_assert_eq!(lzss_decompress(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(data in prop::collection::vec(0u8..4, 0..5000)) {
+            let enc = lzss_compress(&data);
+            prop_assert_eq!(lzss_decompress(&enc).unwrap(), data);
+        }
+    }
+}

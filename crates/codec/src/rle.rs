@@ -1,0 +1,111 @@
+//! Zero-run-length coding for quantization code streams.
+//!
+//! SZ quantization codes are dominated by the "zero prediction error" bin on
+//! smooth data; collapsing zero runs before Huffman coding shortens the
+//! stream and sharpens the code distribution.
+//!
+//! Encoding: a stream of `u32` is mapped to a stream of `u64` tokens where
+//! value `v != 0` becomes `v` and a run of `n` zeros becomes the pair
+//! `0, n`. (Tokens are `u64` so run lengths are unbounded.)
+
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::CodecError;
+
+/// Encodes zero runs into a byte buffer of varint tokens.
+pub fn rle_encode_zeros(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    write_uvarint(&mut out, values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        if values[i] == 0 {
+            let start = i;
+            while i < values.len() && values[i] == 0 {
+                i += 1;
+            }
+            write_uvarint(&mut out, 0);
+            write_uvarint(&mut out, (i - start) as u64);
+        } else {
+            write_uvarint(&mut out, values[i] as u64);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`rle_encode_zeros`].
+pub fn rle_decode_zeros(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut pos = 0;
+    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let tok = read_uvarint(bytes, &mut pos)?;
+        if tok == 0 {
+            let run = read_uvarint(bytes, &mut pos)? as usize;
+            if run == 0 || out.len() + run > total {
+                return Err(CodecError::Malformed("bad zero run"));
+            }
+            out.resize(out.len() + run, 0);
+        } else {
+            if tok > u32::MAX as u64 {
+                return Err(CodecError::Malformed("token exceeds u32"));
+            }
+            out.push(tok as u32);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty() {
+        let enc = rle_encode_zeros(&[]);
+        assert_eq!(rle_decode_zeros(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn long_zero_run_is_tiny() {
+        let data = vec![0u32; 1_000_000];
+        let enc = rle_encode_zeros(&data);
+        assert!(enc.len() < 16, "got {} bytes", enc.len());
+        assert_eq!(rle_decode_zeros(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs() {
+        let data = vec![0, 0, 0, 5, 0, 7, 7, 0, 0, 1];
+        let enc = rle_encode_zeros(&data);
+        assert_eq!(rle_decode_zeros(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn no_zeros_at_all() {
+        let data: Vec<u32> = (1..100).collect();
+        let enc = rle_encode_zeros(&data);
+        assert_eq!(rle_decode_zeros(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = vec![0u32, 1, 0, 0, 2];
+        let enc = rle_encode_zeros(&data);
+        assert!(rle_decode_zeros(&enc[..enc.len() - 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in prop::collection::vec(0u32..10, 0..2000)) {
+            let enc = rle_encode_zeros(&data);
+            prop_assert_eq!(rle_decode_zeros(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_any_u32(data in prop::collection::vec(any::<u32>(), 0..500)) {
+            let enc = rle_encode_zeros(&data);
+            prop_assert_eq!(rle_decode_zeros(&enc).unwrap(), data);
+        }
+    }
+}

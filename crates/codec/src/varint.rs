@@ -1,0 +1,113 @@
+//! LEB128 unsigned varints and zigzag mapping for signed integers.
+
+use crate::CodecError;
+
+/// Appends `v` as a LEB128 varint.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint starting at `*pos`, advancing it.
+pub fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Malformed("varint overflow"));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Malformed("varint too long"));
+        }
+    }
+}
+
+/// Maps signed to unsigned so small magnitudes get small codes:
+/// 0→0, −1→1, 1→2, −2→3, …
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 0);
+        write_uvarint(&mut buf, 127);
+        write_uvarint(&mut buf, 128);
+        write_uvarint(&mut buf, 300);
+        assert_eq!(buf, vec![0x00, 0x7F, 0x80, 0x01, 0xAC, 0x02]);
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 127);
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 128);
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 300);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn zigzag_known_values() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn uvarint_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn zigzag_roundtrip(v in any::<i64>()) {
+            prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+}

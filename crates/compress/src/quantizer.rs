@@ -1,0 +1,135 @@
+//! Error-bounded linear quantization with outlier escape — the error-control
+//! stage shared by every SZ-style pipeline.
+//!
+//! Given a prediction `p` for a true value `x` and an absolute bound `eb`,
+//! the residual is quantized to `m = round((x − p) / (2·eb))`, reconstructed
+//! as `x̂ = p + 2·eb·m`, which guarantees `|x − x̂| ≤ eb`. The symbol stream
+//! uses `0` as an escape for *outliers* — residuals too large for the bin
+//! budget, or cases where floating-point cancellation would break the bound —
+//! whose values are stored verbatim.
+
+/// Quantization symbol radius: codes are `m + RADIUS`, so the symbol
+/// alphabet is `1 ..= 2·RADIUS` with `0` reserved for outliers.
+pub const RADIUS: i64 = 1 << 15;
+
+/// Outcome of quantizing one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized {
+    /// In-range residual: symbol code and the reconstructed value.
+    Code { code: u32, recon: f64 },
+    /// Out-of-range: the value must be stored verbatim.
+    Outlier,
+}
+
+/// Error-bounded linear quantizer.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    eb: f64,
+    inv_2eb: f64,
+}
+
+impl Quantizer {
+    /// # Panics
+    /// Panics if `eb` is not strictly positive and finite.
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        Quantizer { eb, inv_2eb: 0.5 / eb }
+    }
+
+    pub fn eb(&self) -> f64 {
+        self.eb
+    }
+
+    /// Quantizes `actual` against prediction `pred`.
+    #[inline]
+    pub fn quantize(&self, pred: f64, actual: f64) -> Quantized {
+        let diff = actual - pred;
+        let m = (diff * self.inv_2eb).round();
+        if m.abs() >= RADIUS as f64 || !m.is_finite() {
+            return Quantized::Outlier;
+        }
+        let recon = pred + 2.0 * self.eb * m;
+        // Floating-point safety net: if cancellation pushed the
+        // reconstruction outside the bound, escape to an outlier.
+        if (recon - actual).abs() > self.eb {
+            return Quantized::Outlier;
+        }
+        Quantized::Code { code: (m as i64 + RADIUS) as u32, recon }
+    }
+
+    /// Reconstructs from a symbol code (inverse of the `Code` arm).
+    #[inline]
+    pub fn reconstruct(&self, pred: f64, code: u32) -> f64 {
+        let m = code as i64 - RADIUS;
+        pred + 2.0 * self.eb * m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_residual_gets_center_code() {
+        let q = Quantizer::new(0.1);
+        match q.quantize(5.0, 5.0) {
+            Quantized::Code { code, recon } => {
+                assert_eq!(code, RADIUS as u32);
+                assert_eq!(recon, 5.0);
+            }
+            Quantized::Outlier => panic!("unexpected outlier"),
+        }
+    }
+
+    #[test]
+    fn bound_respected_for_in_range() {
+        let q = Quantizer::new(0.01);
+        for &(p, x) in &[(0.0, 0.004), (1.0, 1.5), (-3.0, -2.0), (10.0, 10.0099)] {
+            if let Quantized::Code { recon, code } = q.quantize(p, x) {
+                assert!((recon - x).abs() <= 0.01, "bound violated: {recon} vs {x}");
+                assert_eq!(q.reconstruct(p, code), recon);
+            }
+        }
+    }
+
+    #[test]
+    fn large_residual_is_outlier() {
+        let q = Quantizer::new(1e-6);
+        assert_eq!(q.quantize(0.0, 1.0), Quantized::Outlier);
+    }
+
+    #[test]
+    fn nan_and_inf_are_outliers() {
+        let q = Quantizer::new(0.1);
+        assert_eq!(q.quantize(0.0, f64::NAN), Quantized::Outlier);
+        assert_eq!(q.quantize(0.0, f64::INFINITY), Quantized::Outlier);
+        assert_eq!(q.quantize(f64::NAN, 0.0), Quantized::Outlier);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_eb() {
+        Quantizer::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_never_violates_bound(
+            pred in -1e12f64..1e12,
+            actual in -1e12f64..1e12,
+            eb_exp in -9i32..3,
+        ) {
+            let eb = 10f64.powi(eb_exp);
+            let q = Quantizer::new(eb);
+            match q.quantize(pred, actual) {
+                Quantized::Code { code, recon } => {
+                    prop_assert!((recon - actual).abs() <= eb);
+                    prop_assert!(code > 0 && code <= 2 * RADIUS as u32);
+                    prop_assert_eq!(q.reconstruct(pred, code), recon);
+                }
+                Quantized::Outlier => {} // stored verbatim → exact
+            }
+        }
+    }
+}

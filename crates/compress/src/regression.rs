@@ -1,0 +1,154 @@
+//! Per-block linear regression prediction (the "R" of SZ-L/R).
+//!
+//! Each block fits `f(di,dj,dk) = β₀ + β₁·di + β₂·dj + β₃·dk` to the block's
+//! original values by least squares. Because block offsets form a full
+//! rectangular lattice, the design matrix is orthogonal after centering and
+//! the fit has a cheap closed form — no linear solve needed.
+
+/// Regression plane coefficients for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionCoeffs {
+    /// Intercept at block offset (0,0,0).
+    pub b0: f64,
+    /// Slopes along the block-local i/j/k offsets.
+    pub b: [f64; 3],
+}
+
+impl RegressionCoeffs {
+    #[inline]
+    pub fn predict(&self, di: usize, dj: usize, dk: usize) -> f64 {
+        self.b0 + self.b[0] * di as f64 + self.b[1] * dj as f64 + self.b[2] * dk as f64
+    }
+}
+
+/// Fits the plane to `values`, the block contents in x-fastest order with
+/// extents `bs = [bi, bj, bk]` (partial edge blocks allowed).
+pub fn fit_block(values: &[f64], bs: [usize; 3]) -> RegressionCoeffs {
+    let [bi, bj, bk] = bs;
+    let n = bi * bj * bk;
+    assert_eq!(values.len(), n, "block buffer mismatch");
+
+    // Centered coordinates make the design orthogonal:
+    //   β_a = Σ (x_a − x̄_a)·v / Σ (x_a − x̄_a)²   per axis,
+    //   β₀' = v̄ (intercept at the centroid).
+    let mean = |m: usize| (m as f64 - 1.0) / 2.0;
+    let (ci, cj, ck) = (mean(bi), mean(bj), mean(bk));
+
+    let mut sv = 0.0;
+    let mut sxv = [0.0f64; 3];
+    let mut idx = 0;
+    for dk in 0..bk {
+        for dj in 0..bj {
+            for di in 0..bi {
+                let v = values[idx];
+                sv += v;
+                sxv[0] += (di as f64 - ci) * v;
+                sxv[1] += (dj as f64 - cj) * v;
+                sxv[2] += (dk as f64 - ck) * v;
+                idx += 1;
+            }
+        }
+    }
+    // Σ (x − x̄)² for 0..m-1 along one axis, times the count of the other
+    // two axes.
+    let sq = |m: usize| m as f64 * (m as f64 * m as f64 - 1.0) / 12.0;
+    let denom = [
+        sq(bi) * (bj * bk) as f64,
+        sq(bj) * (bi * bk) as f64,
+        sq(bk) * (bi * bj) as f64,
+    ];
+    let vbar = sv / n as f64;
+    let mut b = [0.0f64; 3];
+    for a in 0..3 {
+        b[a] = if denom[a] > 0.0 { sxv[a] / denom[a] } else { 0.0 };
+    }
+    // Shift intercept from centroid back to offset (0,0,0).
+    let b0 = vbar - b[0] * ci - b[1] * cj - b[2] * ck;
+    RegressionCoeffs { b0, b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(bs: [usize; 3], f: impl Fn(usize, usize, usize) -> f64) -> Vec<f64> {
+        let mut v = Vec::new();
+        for dk in 0..bs[2] {
+            for dj in 0..bs[1] {
+                for di in 0..bs[0] {
+                    v.push(f(di, dj, dk));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn exact_on_planes() {
+        let bs = [6, 6, 6];
+        let f = |i: usize, j: usize, k: usize| 1.5 + 2.0 * i as f64 - 0.5 * j as f64 + 3.0 * k as f64;
+        let c = fit_block(&block(bs, f), bs);
+        assert!((c.b0 - 1.5).abs() < 1e-10);
+        assert!((c.b[0] - 2.0).abs() < 1e-10);
+        assert!((c.b[1] + 0.5).abs() < 1e-10);
+        assert!((c.b[2] - 3.0).abs() < 1e-10);
+        for (idx, (dk, dj, di)) in iproduct(bs).enumerate() {
+            let want = block(bs, f)[idx];
+            assert!((c.predict(di, dj, dk) - want).abs() < 1e-9);
+        }
+    }
+
+    fn iproduct(bs: [usize; 3]) -> impl Iterator<Item = (usize, usize, usize)> {
+        (0..bs[2]).flat_map(move |k| {
+            (0..bs[1]).flat_map(move |j| (0..bs[0]).map(move |i| (k, j, i)))
+        })
+    }
+
+    #[test]
+    fn constant_block() {
+        let bs = [4, 4, 4];
+        let c = fit_block(&block(bs, |_, _, _| 9.0), bs);
+        assert!((c.b0 - 9.0).abs() < 1e-12);
+        assert!(c.b.iter().all(|&b| b.abs() < 1e-12));
+    }
+
+    #[test]
+    fn partial_edge_blocks() {
+        // 6×2×1 sliver like a domain edge.
+        let bs = [6, 2, 1];
+        let f = |i: usize, j: usize, _: usize| i as f64 - 4.0 * j as f64;
+        let c = fit_block(&block(bs, f), bs);
+        assert!((c.b[0] - 1.0).abs() < 1e-10);
+        assert!((c.b[1] + 4.0).abs() < 1e-10);
+        assert_eq!(c.b[2], 0.0); // single-layer axis has no slope
+    }
+
+    #[test]
+    fn single_cell_block() {
+        let c = fit_block(&[5.5], [1, 1, 1]);
+        assert_eq!(c.b0, 5.5);
+        assert_eq!(c.b, [0.0; 3]);
+        assert_eq!(c.predict(0, 0, 0), 5.5);
+    }
+
+    #[test]
+    fn least_squares_beats_naive_on_noisy_plane() {
+        // Plane + deterministic "noise"; the fit should be closer to the
+        // plane than a constant predictor.
+        let bs = [6, 6, 6];
+        let f = |i: usize, j: usize, k: usize| {
+            2.0 * i as f64 + j as f64 + 0.5 * k as f64
+                + 0.3 * (((i * 7 + j * 13 + k * 29) % 5) as f64 - 2.0)
+        };
+        let vals = block(bs, f);
+        let c = fit_block(&vals, bs);
+        let mut sse_fit = 0.0;
+        let mut sse_mean = 0.0;
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        for (idx, (dk, dj, di)) in iproduct(bs).enumerate() {
+            sse_fit += (vals[idx] - c.predict(di, dj, dk)).powi(2);
+            sse_mean += (vals[idx] - mean).powi(2);
+        }
+        assert!(sse_fit < 0.05 * sse_mean, "{sse_fit} vs {sse_mean}");
+    }
+}

@@ -1,0 +1,502 @@
+//! The SZ-L/R compressor: block-wise Lorenzo / linear-regression prediction
+//! with error-bounded quantization (Liang et al. 2018, as used by the
+//! paper's §3.3).
+//!
+//! The volume is partitioned into `block_size³` blocks (6³ by default,
+//! matching the paper). Each block independently selects the predictor with
+//! the smaller estimated total error:
+//!
+//! * **Lorenzo** — 3D first-order corner predictor on previously
+//!   reconstructed values; shares information across block boundaries.
+//! * **Regression** — a least-squares plane fitted to the block's original
+//!   values; fully local, which is what gives SZ-L/R random access and its
+//!   "block-wise" artifact structure at large error bounds.
+//!
+//! Stream layout (after the common header): predictor-selection bits,
+//! regression coefficients (`f32`×4 per regression block), Huffman+LZSS
+//! coded quantization symbols, raw outlier values.
+
+use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_codec::{BitReader, BitWriter};
+
+use crate::field::Field3;
+use crate::lorenzo::lorenzo3_predict;
+use crate::quantizer::{Quantized, Quantizer};
+use crate::regression::{fit_block, RegressionCoeffs};
+use crate::wire::{ByteReader, ByteWriter};
+use crate::{CompressError, Compressor, ErrorBound};
+
+/// Magic byte identifying an SZ-L/R stream.
+const MAGIC: u8 = 0xA1;
+
+/// Which predictors a block may choose — `Hybrid` is the real SZ-L/R;
+/// the single-predictor modes exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorMode {
+    /// Per-block choice between Lorenzo and regression (the paper's SZ-L/R).
+    #[default]
+    Hybrid,
+    /// Force the Lorenzo predictor everywhere.
+    LorenzoOnly,
+    /// Force the regression predictor everywhere.
+    RegressionOnly,
+}
+
+/// SZ-L/R compressor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SzLr {
+    /// Edge length of prediction blocks (paper: 6).
+    pub block_size: usize,
+    /// Predictor selection policy.
+    pub mode: PredictorMode,
+}
+
+impl Default for SzLr {
+    fn default() -> Self {
+        SzLr { block_size: 6, mode: PredictorMode::Hybrid }
+    }
+}
+
+impl SzLr {
+    /// Ablation constructor: Lorenzo predictor only.
+    pub fn lorenzo_only() -> Self {
+        SzLr { mode: PredictorMode::LorenzoOnly, ..Default::default() }
+    }
+
+    /// Ablation constructor: regression predictor only.
+    pub fn regression_only() -> Self {
+        SzLr { mode: PredictorMode::RegressionOnly, ..Default::default() }
+    }
+}
+
+/// Effective absolute bound; degenerate (zero) bounds get a tiny positive
+/// stand-in so the quantizer is well-defined (constant fields then encode
+/// as all-zero residuals).
+fn effective_eb(bound: ErrorBound, range: f64) -> f64 {
+    let eb = bound.to_abs(range);
+    if eb > 0.0 {
+        eb
+    } else {
+        1e-300
+    }
+}
+
+/// Per-block predictor choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pred {
+    Lorenzo,
+    Regression,
+}
+
+impl SzLr {
+    fn block_extents(&self, dims: [usize; 3]) -> [usize; 3] {
+        [
+            dims[0].div_ceil(self.block_size),
+            dims[1].div_ceil(self.block_size),
+            dims[2].div_ceil(self.block_size),
+        ]
+    }
+
+    /// Estimates which predictor fits a block better, comparing summed
+    /// absolute prediction errors. The Lorenzo estimate uses *original*
+    /// neighbors — the standard SZ approximation, cheap and adequate for
+    /// selection.
+    fn select_predictor(
+        &self,
+        data: &[f64],
+        dims: [usize; 3],
+        base: [usize; 3],
+        ext: [usize; 3],
+        coeffs: &RegressionCoeffs,
+    ) -> Pred {
+        match self.mode {
+            PredictorMode::LorenzoOnly => return Pred::Lorenzo,
+            PredictorMode::RegressionOnly => return Pred::Regression,
+            PredictorMode::Hybrid => {}
+        }
+        let mut err_lorenzo = 0.0;
+        let mut err_reg = 0.0;
+        let [nx, ny, _] = dims;
+        for dk in 0..ext[2] {
+            for dj in 0..ext[1] {
+                for di in 0..ext[0] {
+                    let (i, j, k) = (base[0] + di, base[1] + dj, base[2] + dk);
+                    let actual = data[i + nx * (j + ny * k)];
+                    err_lorenzo += (lorenzo3_predict(data, dims, i, j, k) - actual).abs();
+                    err_reg += (coeffs.predict(di, dj, dk) - actual).abs();
+                }
+            }
+        }
+        if err_reg < err_lorenzo {
+            Pred::Regression
+        } else {
+            Pred::Lorenzo
+        }
+    }
+}
+
+impl Compressor for SzLr {
+    fn name(&self) -> &'static str {
+        "SZ-L/R"
+    }
+
+    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+        let dims = field.dims;
+        let [nx, ny, nz] = dims;
+        let n = field.len();
+        let eb = effective_eb(bound, field.range());
+        let q = Quantizer::new(eb);
+        let bs = self.block_size;
+        let nblocks = self.block_extents(dims);
+
+        let mut recon = vec![0.0f64; n];
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut outliers: Vec<f64> = Vec::new();
+        let mut pred_bits = BitWriter::new();
+        let mut coeff_bytes = ByteWriter::new();
+
+        let mut block_vals: Vec<f64> = Vec::with_capacity(bs * bs * bs);
+        for bk in 0..nblocks[2] {
+            for bj in 0..nblocks[1] {
+                for bi in 0..nblocks[0] {
+                    let base = [bi * bs, bj * bs, bk * bs];
+                    let ext = [
+                        bs.min(nx - base[0]),
+                        bs.min(ny - base[1]),
+                        bs.min(nz - base[2]),
+                    ];
+                    // Gather block and fit the regression plane.
+                    block_vals.clear();
+                    for dk in 0..ext[2] {
+                        for dj in 0..ext[1] {
+                            for di in 0..ext[0] {
+                                let (i, j, k) = (base[0] + di, base[1] + dj, base[2] + dk);
+                                block_vals.push(field.data[i + nx * (j + ny * k)]);
+                            }
+                        }
+                    }
+                    let coeffs = fit_block(&block_vals, ext);
+                    let pred_kind =
+                        self.select_predictor(&field.data, dims, base, ext, &coeffs);
+                    pred_bits.write_bit(pred_kind == Pred::Regression);
+
+                    // Decompressor sees f32 coefficients; predict with the
+                    // same rounded values to stay in sync.
+                    let c32 = if pred_kind == Pred::Regression {
+                        let c = RegressionCoeffs {
+                            b0: coeffs.b0 as f32 as f64,
+                            b: [
+                                coeffs.b[0] as f32 as f64,
+                                coeffs.b[1] as f32 as f64,
+                                coeffs.b[2] as f32 as f64,
+                            ],
+                        };
+                        coeff_bytes.f32(coeffs.b0 as f32);
+                        coeff_bytes.f32(coeffs.b[0] as f32);
+                        coeff_bytes.f32(coeffs.b[1] as f32);
+                        coeff_bytes.f32(coeffs.b[2] as f32);
+                        Some(c)
+                    } else {
+                        None
+                    };
+
+                    for dk in 0..ext[2] {
+                        for dj in 0..ext[1] {
+                            for di in 0..ext[0] {
+                                let (i, j, k) = (base[0] + di, base[1] + dj, base[2] + dk);
+                                let idx = i + nx * (j + ny * k);
+                                let pred = match &c32 {
+                                    Some(c) => c.predict(di, dj, dk),
+                                    None => lorenzo3_predict(&recon, dims, i, j, k),
+                                };
+                                let actual = field.data[idx];
+                                match q.quantize(pred, actual) {
+                                    Quantized::Code { code, recon: r } => {
+                                        codes.push(code);
+                                        recon[idx] = r;
+                                    }
+                                    Quantized::Outlier => {
+                                        codes.push(0);
+                                        outliers.push(actual);
+                                        recon[idx] = actual;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assemble the stream.
+        let mut w = ByteWriter::new();
+        w.u8(MAGIC);
+        w.uvarint(nx as u64);
+        w.uvarint(ny as u64);
+        w.uvarint(nz as u64);
+        w.f64(eb);
+        w.uvarint(bs as u64);
+        w.section(&pred_bits.finish());
+        w.section(&coeff_bytes.finish());
+        w.section(&lzss_compress(&huffman_encode(&codes)));
+        let mut outlier_bytes = Vec::with_capacity(outliers.len() * 8);
+        for v in &outliers {
+            outlier_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        w.section(&outlier_bytes);
+        w.finish()
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u8()? != MAGIC {
+            return Err(CompressError::Malformed("bad SZ-L/R magic".into()));
+        }
+        let nx = r.uvarint()? as usize;
+        let ny = r.uvarint()? as usize;
+        let nz = r.uvarint()? as usize;
+        let eb = r.f64()?;
+        let bs = r.uvarint()? as usize;
+        if nx == 0 || ny == 0 || nz == 0 || bs == 0 || eb.is_nan() || eb <= 0.0 {
+            return Err(CompressError::Malformed("bad SZ-L/R header".into()));
+        }
+        let n = nx
+            .checked_mul(ny)
+            .and_then(|v| v.checked_mul(nz))
+            .ok_or_else(|| CompressError::Malformed("dims overflow".into()))?;
+        let dims = [nx, ny, nz];
+        let q = Quantizer::new(eb);
+
+        let pred_section = r.section()?.to_vec();
+        let coeff_section = r.section()?.to_vec();
+        let codes = huffman_decode(&lzss_decompress(r.section()?)?)?;
+        if codes.len() != n {
+            return Err(CompressError::Malformed(format!(
+                "expected {n} codes, found {}",
+                codes.len()
+            )));
+        }
+        let outlier_section = r.section()?;
+        if outlier_section.len() % 8 != 0 {
+            return Err(CompressError::Malformed("ragged outlier section".into()));
+        }
+        let outliers: Vec<f64> = outlier_section
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+
+        let mut pred_bits = BitReader::new(&pred_section);
+        let mut coeffs_r = ByteReader::new(&coeff_section);
+        let mut recon = vec![0.0f64; n];
+        let mut code_iter = codes.into_iter();
+        let mut outlier_iter = outliers.into_iter();
+        let nblocks = self.block_extents_for(dims, bs);
+
+        for bk in 0..nblocks[2] {
+            for bj in 0..nblocks[1] {
+                for bi in 0..nblocks[0] {
+                    let base = [bi * bs, bj * bs, bk * bs];
+                    let ext = [
+                        bs.min(nx - base[0]),
+                        bs.min(ny - base[1]),
+                        bs.min(nz - base[2]),
+                    ];
+                    let is_reg = pred_bits.read_bit()?;
+                    let c = if is_reg {
+                        Some(RegressionCoeffs {
+                            b0: coeffs_r.f32()? as f64,
+                            b: [
+                                coeffs_r.f32()? as f64,
+                                coeffs_r.f32()? as f64,
+                                coeffs_r.f32()? as f64,
+                            ],
+                        })
+                    } else {
+                        None
+                    };
+                    for dk in 0..ext[2] {
+                        for dj in 0..ext[1] {
+                            for di in 0..ext[0] {
+                                let (i, j, k) = (base[0] + di, base[1] + dj, base[2] + dk);
+                                let idx = i + nx * (j + ny * k);
+                                let pred = match &c {
+                                    Some(c) => c.predict(di, dj, dk),
+                                    None => lorenzo3_predict(&recon, dims, i, j, k),
+                                };
+                                let code = code_iter.next().expect("len checked");
+                                recon[idx] = if code == 0 {
+                                    outlier_iter.next().ok_or_else(|| {
+                                        CompressError::Malformed("missing outlier".into())
+                                    })?
+                                } else {
+                                    q.reconstruct(pred, code)
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Field3::new(dims, recon))
+    }
+}
+
+impl SzLr {
+    fn block_extents_for(&self, dims: [usize; 3], bs: usize) -> [usize; 3] {
+        [
+            dims[0].div_ceil(bs),
+            dims[1].div_ceil(bs),
+            dims[2].div_ceil(bs),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check_bound(orig: &Field3, recon: &Field3, eb: f64) {
+        assert_eq!(orig.dims, recon.dims);
+        for (a, b) in orig.data.iter().zip(&recon.data) {
+            assert!(
+                (a - b).abs() <= eb * (1.0 + 1e-12),
+                "bound violated: |{a} - {b}| > {eb}"
+            );
+        }
+    }
+
+    fn smooth_field(dims: [usize; 3]) -> Field3 {
+        Field3::from_fn(dims, |i, j, k| {
+            (i as f64 * 0.2).sin() * (j as f64 * 0.15).cos() + 0.05 * k as f64
+        })
+    }
+
+    #[test]
+    fn roundtrip_smooth_within_bound() {
+        let f = smooth_field([20, 18, 16]);
+        let sz = SzLr::default();
+        for rel in [1e-4, 1e-3, 1e-2] {
+            let buf = sz.compress(&f, ErrorBound::Rel(rel));
+            let back = sz.decompress(&buf).unwrap();
+            check_bound(&f, &back, rel * f.range());
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data_well() {
+        let f = smooth_field([32, 32, 32]);
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Rel(1e-3));
+        let ratio = f.nbytes() as f64 / buf.len() as f64;
+        assert!(ratio > 15.0, "ratio too low: {ratio:.1}");
+    }
+
+    #[test]
+    fn constant_field_is_tiny_and_exact() {
+        let f = Field3::new([16, 16, 16], vec![3.25; 4096]);
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Rel(1e-3));
+        assert!(buf.len() < 600, "constant field stream too big: {}", buf.len());
+        let back = sz.decompress(&buf).unwrap();
+        assert_eq!(back.data, f.data);
+    }
+
+    #[test]
+    fn random_field_respects_bound() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let f = Field3::from_fn([13, 9, 7], |_, _, _| rng.gen_range(-100.0..100.0));
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Abs(0.5));
+        let back = sz.decompress(&buf).unwrap();
+        check_bound(&f, &back, 0.5);
+    }
+
+    #[test]
+    fn outlier_heavy_data_roundtrips_exactly() {
+        // Alternating huge jumps — every residual escapes.
+        let f = Field3::from_fn([8, 8, 8], |i, j, k| {
+            if (i + j + k) % 2 == 0 { 1e9 } else { -1e9 }
+        });
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Abs(1e-9));
+        let back = sz.decompress(&buf).unwrap();
+        check_bound(&f, &back, 1e-9);
+    }
+
+    #[test]
+    fn non_multiple_dims_handled() {
+        let f = smooth_field([7, 11, 5]); // none a multiple of 6
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Rel(1e-3));
+        let back = sz.decompress(&buf).unwrap();
+        check_bound(&f, &back, 1e-3 * f.range());
+    }
+
+    #[test]
+    fn single_cell_field() {
+        let f = Field3::new([1, 1, 1], vec![42.0]);
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Abs(0.1));
+        let back = sz.decompress(&buf).unwrap();
+        assert!((back.data[0] - 42.0).abs() <= 0.1);
+    }
+
+    #[test]
+    fn regression_wins_on_planes() {
+        // A perfect plane: regression predicts exactly; the stream should be
+        // almost all zero-residual symbols → very small.
+        let f = Field3::from_fn([24, 24, 24], |i, j, k| {
+            2.0 * i as f64 - 3.0 * j as f64 + 0.5 * k as f64
+        });
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Rel(1e-4));
+        let ratio = f.nbytes() as f64 / buf.len() as f64;
+        assert!(ratio > 20.0, "plane should compress hard, got {ratio:.1}");
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let f = smooth_field([8, 8, 8]);
+        let sz = SzLr::default();
+        let buf = sz.compress(&f, ErrorBound::Rel(1e-3));
+        assert!(sz.decompress(&buf[..4]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = 0xFF;
+        assert!(sz.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn larger_bound_compresses_more() {
+        let f = smooth_field([24, 24, 24]);
+        let sz = SzLr::default();
+        let small = sz.compress(&f, ErrorBound::Rel(1e-4)).len();
+        let large = sz.compress(&f, ErrorBound::Rel(1e-2)).len();
+        assert!(large < small, "{large} !< {small}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn bound_never_violated(
+            seed in any::<u64>(),
+            nx in 1usize..14,
+            ny in 1usize..14,
+            nz in 1usize..14,
+            eb_exp in -6i32..0,
+        ) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let f = Field3::from_fn([nx, ny, nz], |i, j, _| {
+                (i as f64 * 0.3).sin() + rng.gen_range(-0.2..0.2) + j as f64 * 0.01
+            });
+            let eb = 10f64.powi(eb_exp) * f.range().max(1e-12);
+            let sz = SzLr::default();
+            let buf = sz.compress(&f, ErrorBound::Abs(eb));
+            let back = sz.decompress(&buf).unwrap();
+            for (a, b) in f.data.iter().zip(&back.data) {
+                prop_assert!((a - b).abs() <= eb * (1.0 + 1e-12));
+            }
+        }
+    }
+}

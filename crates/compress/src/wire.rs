@@ -1,0 +1,142 @@
+//! Little helpers for serializing compressor headers and sections.
+
+use amrviz_codec::{read_uvarint, write_uvarint, CodecError};
+
+/// Append-only byte buffer with typed writers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn uvarint(&mut self, v: u64) {
+        write_uvarint(&mut self.buf, v);
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed byte section.
+    pub fn section(&mut self, bytes: &[u8]) {
+        self.uvarint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based reader matching [`ByteWriter`].
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn uvarint(&mut self) -> Result<u64, CodecError> {
+        read_uvarint(self.buf, &mut self.pos)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Length-prefixed byte section.
+    pub fn section(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.uvarint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(CodecError::Malformed("section length overflow"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.uvarint(300);
+        w.f64(-1.5);
+        w.f32(2.25);
+        w.section(b"hello");
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.uvarint().unwrap(), 300);
+        assert_eq!(r.f64().unwrap(), -1.5);
+        assert_eq!(r.f32().unwrap(), 2.25);
+        assert_eq!(r.section().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn eof_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.f64().is_err());
+        let mut r = ByteReader::new(&[5]); // section claims 5 bytes, has 0
+        assert!(r.section().is_err());
+    }
+}

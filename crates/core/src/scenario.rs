@@ -1,0 +1,136 @@
+//! The two evaluation scenarios (paper §3.2, Table 1).
+
+use amrviz_amr::resample::{flatten_to_finest, Upsample};
+use amrviz_amr::{AmrHierarchy, UniformField};
+use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
+use serde::{Deserialize, Serialize};
+
+/// Which AMR application's data to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Application {
+    /// Nyx cosmology — irregular, spiky density field.
+    Nyx,
+    /// WarpX PIC — smooth electromagnetic field.
+    Warpx,
+}
+
+impl Application {
+    pub fn label(self) -> &'static str {
+        match self {
+            Application::Nyx => "Nyx",
+            Application::Warpx => "WarpX",
+        }
+    }
+
+    /// The field the paper evaluates (Table 2, Figs. 12–13).
+    pub fn eval_field(self) -> &'static str {
+        match self {
+            Application::Nyx => "baryon_density",
+            Application::Warpx => "Ez",
+        }
+    }
+
+    pub const ALL: [Application; 2] = [Application::Warpx, Application::Nyx];
+}
+
+/// A scenario specification.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scenario {
+    pub app: Application,
+    pub scale: Scale,
+    pub seed: u64,
+}
+
+/// A generated scenario: the hierarchy plus evaluation conveniences.
+pub struct BuiltScenario {
+    pub spec: Scenario,
+    pub hierarchy: AmrHierarchy,
+    /// The evaluation field, merged to finest uniform resolution (redundant
+    /// coarse data omitted — the standard post-analysis form, Fig. 3).
+    pub uniform: UniformField,
+    /// Iso-value for surface extraction, chosen as a fixed quantile of the
+    /// uniform data so it is meaningful at every scale and crosses the
+    /// coarse/fine interface.
+    pub iso: f64,
+}
+
+impl Scenario {
+    pub fn new(app: Application, scale: Scale, seed: u64) -> Self {
+        Scenario { app, scale, seed }
+    }
+
+    /// Generates the snapshot and evaluation context.
+    pub fn build(&self) -> BuiltScenario {
+        let hierarchy = match self.app {
+            Application::Nyx => NyxScenario::new(self.scale, self.seed).generate(),
+            Application::Warpx => WarpxScenario::new(self.scale, self.seed).generate(),
+        };
+        let field = self.app.eval_field();
+        let uniform = flatten_to_finest(&hierarchy, field, Upsample::PiecewiseConstant)
+            .expect("scenario always carries its evaluation field");
+        let iso = match self.app {
+            // Over-density surface spanning refined and unrefined regions.
+            Application::Nyx => quantile_of(&uniform.data, 0.75),
+            // Low positive Ez level: wraps the pulse (fine) and the decaying
+            // wake (coarse), so the surface crosses the interface.
+            Application::Warpx => quantile_of(&uniform.data, 0.97),
+        };
+        BuiltScenario { spec: *self, hierarchy, uniform, iso }
+    }
+}
+
+fn quantile_of(values: &[f64], p: f64) -> f64 {
+    let mut v = values.to_vec();
+    let k = ((v.len() - 1) as f64 * p).round() as usize;
+    let (_, val, _) =
+        v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
+    *val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrviz_viz::{extract_amr_isosurface, IsoMethod};
+
+    #[test]
+    fn both_apps_build_at_tiny_scale() {
+        for app in Application::ALL {
+            let built = Scenario::new(app, Scale::Tiny, 1).build();
+            assert_eq!(built.hierarchy.num_levels(), 2);
+            assert!(!built.uniform.data.is_empty());
+            let (lo, hi) = built.uniform.min_max();
+            assert!(lo < built.iso && built.iso < hi, "{app:?} iso outside range");
+        }
+    }
+
+    #[test]
+    fn iso_surface_crosses_the_level_interface() {
+        // The crack/gap analysis is only meaningful if both levels produce
+        // triangles at the chosen iso-value.
+        for app in Application::ALL {
+            let built = Scenario::new(app, Scale::Tiny, 1).build();
+            let field = built.spec.app.eval_field();
+            let levels = &built.hierarchy.field(field).unwrap().levels;
+            let res = extract_amr_isosurface(
+                &built.hierarchy,
+                levels,
+                built.iso,
+                IsoMethod::Resampling,
+            );
+            assert!(
+                res.level_meshes[0].num_triangles() > 0,
+                "{app:?}: no coarse surface"
+            );
+            assert!(
+                res.level_meshes[1].num_triangles() > 0,
+                "{app:?}: no fine surface"
+            );
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Application::Nyx.label(), "Nyx");
+        assert_eq!(Application::Warpx.eval_field(), "Ez");
+    }
+}

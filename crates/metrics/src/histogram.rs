@@ -1,0 +1,121 @@
+//! Fixed-bin histograms for sanity-checking value distributions.
+
+use serde::Serialize;
+
+/// A uniform-bin histogram over `[lo, hi]`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+    /// Samples outside `[lo, hi]`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` uniform bins over `[lo, hi]`.
+    pub fn build(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "bad histogram bounds");
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0;
+        let scale = bins as f64 / (hi - lo);
+        for &v in values {
+            if v < lo || v > hi || v.is_nan() {
+                outliers += 1;
+            } else {
+                let b = (((v - lo) * scale) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+        }
+        Histogram { lo, hi, counts, outliers }
+    }
+
+    /// Histogram spanning the data's own range.
+    pub fn auto(values: &[f64], bins: usize) -> Self {
+        let (lo, hi) = values.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(l, h), &v| (l.min(v), h.max(v)),
+        );
+        if lo == hi {
+            // Degenerate: one-bin histogram holding everything.
+            let mut h = Histogram { lo, hi: lo + 1.0, counts: vec![0; bins], outliers: 0 };
+            h.counts[0] = values.len() as u64;
+            return h;
+        }
+        Histogram::build(values, lo, hi, bins)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.outliers
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Shannon entropy of the bin distribution, in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+        let h = Histogram::build(&vals, 0.0, 100.0, 10);
+        assert!(h.counts.iter().all(|&c| c == 10));
+        assert_eq!(h.outliers, 0);
+        assert_eq!(h.total(), 100);
+        assert!((h.entropy_bits() - 10f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let vals = [-1.0, 0.5, 2.0, f64::NAN];
+        let h = Histogram::build(&vals, 0.0, 1.0, 4);
+        assert_eq!(h.outliers, 3);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn top_edge_lands_in_last_bin() {
+        let h = Histogram::build(&[1.0], 0.0, 1.0, 4);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn auto_range_and_mode() {
+        let vals = [1.0, 1.0, 1.0, 5.0];
+        let h = Histogram::auto(&vals, 4);
+        assert_eq!(h.outliers, 0);
+        assert_eq!(h.mode_bin(), 0);
+    }
+
+    #[test]
+    fn constant_data_degenerate() {
+        let h = Histogram::auto(&[3.0; 7], 5);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.entropy_bits(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Pointwise error statistics between an original and a reconstruction.
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Summary of pointwise reconstruction error.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QualityStats {
+    /// Number of samples compared.
+    pub n: usize,
+    /// Value range (max − min) of the *original* data.
+    pub range: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Normalized RMSE (RMSE / range; 0 when the original is constant).
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio, `20·log10(range/RMSE)` (dB).
+    /// `f64::INFINITY` for bit-exact reconstructions.
+    pub psnr: f64,
+    /// Largest absolute pointwise error.
+    pub max_abs_err: f64,
+    /// Mean absolute pointwise error.
+    pub mean_abs_err: f64,
+}
+
+/// Computes pointwise statistics. Panics if lengths differ or are zero.
+pub fn quality(original: &[f64], reconstructed: &[f64]) -> QualityStats {
+    assert_eq!(
+        original.len(),
+        reconstructed.len(),
+        "quality: length mismatch"
+    );
+    assert!(!original.is_empty(), "quality: empty input");
+
+    let (min, max) = original
+        .par_iter()
+        .fold(
+            || (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        )
+        .reduce(
+            || (f64::INFINITY, f64::NEG_INFINITY),
+            |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
+        );
+    let range = max - min;
+
+    let (se_sum, ae_sum, max_ae) = original
+        .par_iter()
+        .zip(reconstructed.par_iter())
+        .fold(
+            || (0.0f64, 0.0f64, 0.0f64),
+            |(se, ae, mx), (&o, &r)| {
+                let d = o - r;
+                (se + d * d, ae + d.abs(), mx.max(d.abs()))
+            },
+        )
+        .reduce(
+            || (0.0, 0.0, 0.0),
+            |(se1, ae1, m1), (se2, ae2, m2)| (se1 + se2, ae1 + ae2, m1.max(m2)),
+        );
+
+    let n = original.len();
+    let mse = se_sum / n as f64;
+    let rmse = mse.sqrt();
+    let psnr = if rmse == 0.0 {
+        f64::INFINITY
+    } else if range == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * (range / rmse).log10()
+    };
+    QualityStats {
+        n,
+        range,
+        mse,
+        rmse,
+        nrmse: if range == 0.0 { 0.0 } else { rmse / range },
+        psnr,
+        max_abs_err: max_ae,
+        mean_abs_err: ae_sum / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_data_is_lossless() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let s = quality(&a, &a);
+        assert_eq!(s.mse, 0.0);
+        assert_eq!(s.psnr, f64::INFINITY);
+        assert_eq!(s.max_abs_err, 0.0);
+        assert_eq!(s.range, 3.0);
+    }
+
+    #[test]
+    fn known_error_values() {
+        let orig = vec![0.0, 10.0]; // range 10
+        let recon = vec![1.0, 9.0]; // errors ±1
+        let s = quality(&orig, &recon);
+        assert!((s.mse - 1.0).abs() < 1e-15);
+        assert!((s.rmse - 1.0).abs() < 1e-15);
+        assert!((s.psnr - 20.0).abs() < 1e-12); // 20·log10(10/1)
+        assert_eq!(s.max_abs_err, 1.0);
+        assert!((s.nrmse - 0.1).abs() < 1e-15);
+        assert_eq!(s.mean_abs_err, 1.0);
+    }
+
+    #[test]
+    fn psnr_scales_with_error() {
+        let orig: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let small: Vec<f64> = orig.iter().map(|v| v + 0.001).collect();
+        let large: Vec<f64> = orig.iter().map(|v| v + 0.1).collect();
+        let s_small = quality(&orig, &small);
+        let s_large = quality(&orig, &large);
+        assert!(s_small.psnr > s_large.psnr);
+        // Error ratio 100 → 40 dB PSNR difference.
+        assert!((s_small.psnr - s_large.psnr - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_original_handled() {
+        let orig = vec![5.0; 10];
+        let recon = vec![5.5; 10];
+        let s = quality(&orig, &recon);
+        assert_eq!(s.range, 0.0);
+        assert_eq!(s.psnr, f64::NEG_INFINITY);
+        assert_eq!(s.nrmse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        quality(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Windowed structural similarity (SSIM) for 2D images and 3D volumes,
+//! plus the paper's reverse SSIM.
+//!
+//! SSIM over a window pair `(x, y)`:
+//!
+//! ```text
+//! SSIM = (2·μx·μy + C1)(2·σxy + C2) / ((μx² + μy² + C1)(σx² + σy² + C2))
+//! C1 = (K1·L)², C2 = (K2·L)², K1 = 0.01, K2 = 0.03
+//! ```
+//!
+//! where `L` is the dynamic range of the original data. The global score is
+//! the mean over all window positions. Windows are uniform (box) windows,
+//! the standard choice for volumetric scientific data; `stride` trades
+//! exactness for speed on large volumes (stride 1 = every position).
+
+use rayon::prelude::*;
+
+/// SSIM parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SsimConfig {
+    /// Cubic (or square) window edge length.
+    pub window: usize,
+    /// Step between window positions along each axis.
+    pub stride: usize,
+    pub k1: f64,
+    pub k2: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        SsimConfig { window: 7, stride: 2, k1: 0.01, k2: 0.03 }
+    }
+}
+
+impl SsimConfig {
+    /// Exhaustive evaluation (stride 1) — slower, reference-quality.
+    pub fn exhaustive() -> Self {
+        SsimConfig { stride: 1, ..Default::default() }
+    }
+}
+
+/// SSIM of a 3D volume pair with dims `[nx, ny, nz]` (x-fastest layout).
+pub fn ssim3(original: &[f64], reconstructed: &[f64], dims: [usize; 3], cfg: &SsimConfig) -> f64 {
+    assert_eq!(original.len(), dims[0] * dims[1] * dims[2], "dims mismatch");
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    assert!(cfg.window >= 2 && cfg.stride >= 1);
+    let [nx, ny, nz] = dims;
+    let w = cfg.window.min(nx).min(ny).min(nz);
+
+    // Dynamic range of the original defines C1/C2.
+    let (min, max) = original
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let range = max - min;
+    if range == 0.0 {
+        // Constant original: SSIM is 1 iff reconstruction matches exactly.
+        return if original == reconstructed { 1.0 } else { 0.0 };
+    }
+    let c1 = (cfg.k1 * range).powi(2);
+    let c2 = (cfg.k2 * range).powi(2);
+
+    let positions = |n: usize| -> Vec<usize> {
+        let last = n - w;
+        let mut v: Vec<usize> = (0..=last).step_by(cfg.stride).collect();
+        // Always include the final window so the volume edge is covered.
+        if *v.last().expect("window fits") != last {
+            v.push(last);
+        }
+        v
+    };
+    let (xs, ys, zs) = (positions(nx), positions(ny), positions(nz));
+
+    let inv_n = 1.0 / (w * w * w) as f64;
+    let sums: (f64, usize) = zs
+        .par_iter()
+        .map(|&z0| {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for &y0 in &ys {
+                for &x0 in &xs {
+                    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) =
+                        (0.0, 0.0, 0.0, 0.0, 0.0);
+                    for dz in 0..w {
+                        for dy in 0..w {
+                            let row = x0 + nx * ((y0 + dy) + ny * (z0 + dz));
+                            let xo = &original[row..row + w];
+                            let yo = &reconstructed[row..row + w];
+                            for i in 0..w {
+                                let a = xo[i];
+                                let b = yo[i];
+                                sx += a;
+                                sy += b;
+                                sxx += a * a;
+                                syy += b * b;
+                                sxy += a * b;
+                            }
+                        }
+                    }
+                    let mx = sx * inv_n;
+                    let my = sy * inv_n;
+                    let vx = (sxx * inv_n - mx * mx).max(0.0);
+                    let vy = (syy * inv_n - my * my).max(0.0);
+                    let cov = sxy * inv_n - mx * my;
+                    let s = ((2.0 * mx * my + c1) * (2.0 * cov + c2))
+                        / ((mx * mx + my * my + c1) * (vx + vy + c2));
+                    acc += s;
+                    count += 1;
+                }
+            }
+            (acc, count)
+        })
+        .reduce(|| (0.0, 0), |(a, ca), (b, cb)| (a + b, ca + cb));
+
+    sums.0 / sums.1 as f64
+}
+
+/// SSIM of a 2D image pair with dims `[nx, ny]` (x-fastest layout).
+pub fn ssim2(original: &[f64], reconstructed: &[f64], dims: [usize; 2], cfg: &SsimConfig) -> f64 {
+    // A 2D image is a volume of depth 1 with the window clamped by `ssim3`.
+    ssim3(original, reconstructed, [dims[0], dims[1], 1], cfg)
+}
+
+/// The paper's reverse SSIM (Eq. 1): `R-SSIM = 1 − SSIM`. Near-perfect
+/// reconstructions differ in the 6th-9th decimal of SSIM; R-SSIM makes those
+/// differences legible (e.g. 2.2e-7 vs 4.0e-4).
+#[inline]
+pub fn rssim(ssim_value: f64) -> f64 {
+    1.0 - ssim_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn ramp_volume(dims: [usize; 3]) -> Vec<f64> {
+        let [nx, ny, nz] = dims;
+        let mut v = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    v.push(i as f64 + 0.5 * j as f64 + 0.25 * (k as f64).sin());
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identical_volumes_score_one() {
+        let dims = [16, 16, 16];
+        let v = ramp_volume(dims);
+        let s = ssim3(&v, &v, dims, &SsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn noise_lowers_ssim_monotonically() {
+        let dims = [16, 16, 16];
+        let v = ramp_volume(dims);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let noisy = |amp: f64, rng: &mut rand::rngs::SmallRng| -> Vec<f64> {
+            v.iter().map(|x| x + rng.gen_range(-amp..amp)).collect()
+        };
+        let cfg = SsimConfig::default();
+        let s_small = ssim3(&v, &noisy(0.01, &mut rng), dims, &cfg);
+        let s_mid = ssim3(&v, &noisy(1.0, &mut rng), dims, &cfg);
+        let s_big = ssim3(&v, &noisy(5.0, &mut rng), dims, &cfg);
+        assert!(s_small > s_mid && s_mid > s_big, "{s_small} vs {s_mid} vs {s_big}");
+        assert!(s_small > 0.999);
+        assert!(s_big < 0.7);
+    }
+
+    #[test]
+    fn structure_inversion_penalized() {
+        // Reflect each value around the global mean: same means per window
+        // (approximately), anti-correlated structure → structure term flips
+        // sign and SSIM drops far below 1.
+        let dims = [8, 8, 8];
+        let v = ramp_volume(dims);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let reflected: Vec<f64> = v.iter().map(|x| 2.0 * mean - x).collect();
+        let s = ssim3(&v, &reflected, dims, &SsimConfig::exhaustive());
+        assert!(s < 0.5, "anti-correlated data scored high: {s}");
+    }
+
+    #[test]
+    fn stride_approximates_exhaustive() {
+        let dims = [20, 20, 20];
+        let v = ramp_volume(dims);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let noisy: Vec<f64> = v.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect();
+        let exact = ssim3(&v, &noisy, dims, &SsimConfig::exhaustive());
+        let approx = ssim3(&v, &noisy, dims, &SsimConfig { stride: 3, ..Default::default() });
+        assert!((exact - approx).abs() < 0.02, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn constant_volume_cases() {
+        let dims = [8, 8, 8];
+        let v = vec![2.0; 512];
+        assert_eq!(ssim3(&v, &v, dims, &SsimConfig::default()), 1.0);
+        let w = vec![3.0; 512];
+        assert_eq!(ssim3(&v, &w, dims, &SsimConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn window_larger_than_volume_is_clamped() {
+        let dims = [4, 4, 4];
+        let v = ramp_volume(dims);
+        let s = ssim3(&v, &v, dims, &SsimConfig { window: 11, ..Default::default() });
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_d_images() {
+        let dims = [32, 32];
+        let img: Vec<f64> = (0..1024).map(|i| ((i % 32) as f64 * 0.2).sin()).collect();
+        let s_same = ssim2(&img, &img, dims, &SsimConfig::default());
+        assert!((s_same - 1.0).abs() < 1e-12);
+        let shifted: Vec<f64> = (0..1024)
+            .map(|i| (((i + 5) % 32) as f64 * 0.2).sin())
+            .collect();
+        let s_shift = ssim2(&img, &shifted, dims, &SsimConfig::default());
+        assert!(s_shift < 0.9, "shifted image too similar: {s_shift}");
+    }
+
+    #[test]
+    fn rssim_inverts() {
+        assert_eq!(rssim(1.0), 0.0);
+        assert!((rssim(0.9999998) - 2e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocky_artifacts_hurt_rssim_more_than_psnr_suggests() {
+        // Same RMSE, different structure: blocky (correlated) error vs
+        // white noise. SSIM penalizes the structured one at least as much.
+        let dims = [16, 16, 16];
+        let v = ramp_volume(dims);
+        let [nx, ny, _] = dims;
+        let mut blocky = v.clone();
+        for (n, val) in blocky.iter_mut().enumerate() {
+            let i = n % nx;
+            let j = (n / nx) % ny;
+            let k = n / (nx * ny);
+            // ±0.5 per 4³ block
+            let sign = if ((i / 4) + (j / 4) + (k / 4)) % 2 == 0 { 1.0 } else { -1.0 };
+            *val += 0.5 * sign;
+        }
+        let cfg = SsimConfig::exhaustive();
+        let s = ssim3(&v, &blocky, dims, &cfg);
+        assert!(s < 0.999, "blocky artifact not penalized: {s}");
+    }
+}

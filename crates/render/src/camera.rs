@@ -1,0 +1,165 @@
+//! Look-at cameras (orthographic and perspective).
+
+/// A camera defined by eye position, look-at target, and up hint.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    pub eye: [f64; 3],
+    pub target: [f64; 3],
+    pub up: [f64; 3],
+    pub projection: Projection,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Projection {
+    /// `half_height` is the world-space half-extent visible vertically.
+    Orthographic { half_height: f64 },
+    /// `fov_y` in radians.
+    Perspective { fov_y: f64 },
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let l = dot(v, v).sqrt();
+    if l == 0.0 {
+        v
+    } else {
+        [v[0] / l, v[1] / l, v[2] / l]
+    }
+}
+
+impl Camera {
+    /// Orthographic camera looking at `target` from `eye`.
+    pub fn orthographic(eye: [f64; 3], target: [f64; 3], half_height: f64) -> Self {
+        Camera {
+            eye,
+            target,
+            up: [0.0, 0.0, 1.0],
+            projection: Projection::Orthographic { half_height },
+        }
+    }
+
+    /// Perspective camera with vertical field of view `fov_y` (radians).
+    pub fn perspective(eye: [f64; 3], target: [f64; 3], fov_y: f64) -> Self {
+        Camera {
+            eye,
+            target,
+            up: [0.0, 0.0, 1.0],
+            projection: Projection::Perspective { fov_y },
+        }
+    }
+
+    /// Orthonormal view basis `(right, up, forward)`.
+    pub fn basis(&self) -> ([f64; 3], [f64; 3], [f64; 3]) {
+        let forward = normalize(sub(self.target, self.eye));
+        let mut right = cross(forward, self.up);
+        if dot(right, right) < 1e-24 {
+            // Up was parallel to the view direction; pick another up.
+            right = cross(forward, [0.0, 1.0, 0.0]);
+        }
+        let right = normalize(right);
+        let up = cross(right, forward);
+        (right, up, forward)
+    }
+
+    /// Projects a world point to pixel coordinates and camera-space depth.
+    /// Returns `None` for points behind a perspective camera.
+    pub fn project(
+        &self,
+        p: [f64; 3],
+        width: usize,
+        height: usize,
+    ) -> Option<([f64; 2], f64)> {
+        let (right, up, forward) = self.basis();
+        let rel = sub(p, self.eye);
+        let x = dot(rel, right);
+        let y = dot(rel, up);
+        let z = dot(rel, forward);
+        let aspect = width as f64 / height as f64;
+        let (sx, sy) = match self.projection {
+            Projection::Orthographic { half_height } => {
+                (x / (half_height * aspect), y / half_height)
+            }
+            Projection::Perspective { fov_y } => {
+                if z <= 1e-9 {
+                    return None;
+                }
+                let t = (fov_y / 2.0).tan();
+                (x / (z * t * aspect), y / (z * t))
+            }
+        };
+        // NDC [−1,1] → pixels, y flipped (screen origin top-left).
+        let px = (sx + 1.0) * 0.5 * width as f64;
+        let py = (1.0 - (sy + 1.0) * 0.5) * height as f64;
+        Some(([px, py], z))
+    }
+
+    /// Unit vector from the eye toward the target — handy as a light
+    /// direction for headlight shading.
+    pub fn view_dir(&self) -> [f64; 3] {
+        normalize(sub(self.target, self.eye))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ortho_center_maps_to_image_center() {
+        let cam = Camera::orthographic([0.0, -5.0, 0.0], [0.0, 0.0, 0.0], 1.0);
+        let ([px, py], z) = cam.project([0.0, 0.0, 0.0], 200, 100).unwrap();
+        assert!((px - 100.0).abs() < 1e-9);
+        assert!((py - 50.0).abs() < 1e-9);
+        assert!((z - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ortho_up_is_screen_up() {
+        let cam = Camera::orthographic([0.0, -5.0, 0.0], [0.0, 0.0, 0.0], 1.0);
+        // +z world is "up" → smaller py.
+        let ([_, py_hi], _) = cam.project([0.0, 0.0, 0.5], 100, 100).unwrap();
+        let ([_, py_lo], _) = cam.project([0.0, 0.0, -0.5], 100, 100).unwrap();
+        assert!(py_hi < py_lo);
+    }
+
+    #[test]
+    fn perspective_shrinks_with_distance() {
+        let cam = Camera::perspective([0.0, -5.0, 0.0], [0.0, 0.0, 0.0], 1.0);
+        let ([px_near, _], _) = cam.project([0.5, 0.0, 0.0], 100, 100).unwrap();
+        let ([px_far, _], _) = cam.project([0.5, 5.0, 0.0], 100, 100).unwrap();
+        let center = 50.0;
+        assert!((px_far - center).abs() < (px_near - center).abs());
+    }
+
+    #[test]
+    fn behind_perspective_camera_is_culled() {
+        let cam = Camera::perspective([0.0, -5.0, 0.0], [0.0, 0.0, 0.0], 1.0);
+        assert!(cam.project([0.0, -10.0, 0.0], 100, 100).is_none());
+    }
+
+    #[test]
+    fn degenerate_up_is_fixed() {
+        // Looking straight down the up vector.
+        let cam = Camera::orthographic([0.0, 0.0, 5.0], [0.0, 0.0, 0.0], 1.0);
+        let (right, up, forward) = cam.basis();
+        for v in [right, up, forward] {
+            let len = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+            assert!((len - 1.0).abs() < 1e-12, "non-unit basis vector {v:?}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Software rendering for the paper's figure analogues.
+//!
+//! The paper's evidence is largely visual (Figs. 1, 2, 9–11). This crate
+//! renders the same artifacts without any GPU or windowing dependency:
+//!
+//! * [`image`] — RGB raster images with PPM and (uncompressed) PNG writers;
+//! * [`color`] — colormaps (viridis-like, coolwarm, grayscale);
+//! * [`camera`] — orthographic/perspective look-at cameras;
+//! * [`raster`] — a z-buffer triangle rasterizer with flat or smooth
+//!   Lambertian shading (flat shading makes compression bump/block
+//!   artifacts pop, which is the point);
+//! * [`slice`] — volume slice rendering with AMR box-outline overlays
+//!   (the Fig. 2 "grid adapts with the universe" analogue).
+
+pub mod camera;
+pub mod color;
+pub mod image;
+pub mod raster;
+pub mod slice;
+pub mod volume;
+
+pub use camera::Camera;
+pub use color::{colormap, Color, Colormap};
+pub use image::Image;
+pub use raster::{render_mesh, RenderOptions, Shading};
+pub use slice::{render_slice, SliceAxis, SliceOptions};
+pub use volume::{render_volume, VolumeOptions};

@@ -1,0 +1,255 @@
+//! Gaussian random fields with power-law spectra.
+//!
+//! Synthesized spectrally: fill Fourier space with white Gaussian
+//! coefficients, shape them by `sqrt(P(k))` with `P(k) ∝ k^α · exp(−(k/k_c)²)`,
+//! inverse-transform, and keep the real part (a standard trick; it merely
+//! rescales the variance, which we normalize away). Steep negative `α`
+//! gives smooth large-scale fields (WarpX-ish backgrounds); shallow `α`
+//! gives rough multi-scale fields whose log-normal transform mimics the
+//! filamentary spikiness of Nyx density.
+
+use amrviz_fft::{ifft3, Complex, Grid3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Spectrum parameters for [`gaussian_random_field`].
+#[derive(Debug, Clone, Copy)]
+pub struct Spectrum {
+    /// Power-law slope α in `P(k) ∝ k^α`.
+    pub alpha: f64,
+    /// Gaussian cutoff wavenumber (in grid units, Nyquist = n/2); caps the
+    /// smallest scales.
+    pub k_cutoff: f64,
+}
+
+impl Spectrum {
+    /// Smooth, large-scale-dominated field.
+    pub fn smooth() -> Self {
+        Spectrum { alpha: -4.0, k_cutoff: 8.0 }
+    }
+
+    /// Rough, multi-scale field (cosmology-ish).
+    pub fn rough() -> Self {
+        Spectrum { alpha: -1.5, k_cutoff: 1e9 }
+    }
+}
+
+/// Box–Muller standard normal from a uniform RNG.
+fn normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+/// Generates a zero-mean, unit-variance Gaussian random field on a
+/// power-of-two grid.
+///
+/// # Panics
+/// Panics if any dim is not a power of two.
+pub fn gaussian_random_field(
+    dims: [usize; 3],
+    spectrum: Spectrum,
+    seed: u64,
+) -> Vec<f64> {
+    let [nx, ny, nz] = dims;
+    assert!(
+        nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+        "GRF dims must be powers of two, got {dims:?}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut grid = Grid3::zeros(nx, ny, nz);
+
+    // Signed wavenumber of FFT bin `i` on an axis of length `n`.
+    let wave = |i: usize, n: usize| -> f64 {
+        if i <= n / 2 { i as f64 } else { i as f64 - n as f64 }
+    };
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let kx = wave(i, nx);
+                let ky = wave(j, ny);
+                let kz = wave(k, nz);
+                let kk = (kx * kx + ky * ky + kz * kz).sqrt();
+                if kk == 0.0 {
+                    continue; // zero mean
+                }
+                let amp = kk.powf(spectrum.alpha / 2.0)
+                    * (-(kk / spectrum.k_cutoff).powi(2)).exp();
+                let re = normal(&mut rng) * amp;
+                let im = normal(&mut rng) * amp;
+                grid.set(i, j, k, Complex::new(re, im));
+            }
+        }
+    }
+    ifft3(&mut grid);
+    let mut field = grid.real_part();
+
+    // Normalize to zero mean, unit variance.
+    let n = field.len() as f64;
+    let mean = field.iter().sum::<f64>() / n;
+    let var = field.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let inv_sd = if var > 0.0 { 1.0 / var.sqrt() } else { 1.0 };
+    for v in &mut field {
+        *v = (*v - mean) * inv_sd;
+    }
+    field
+}
+
+/// A smooth random field built from a small number of long-wavelength
+/// cosine modes (random direction, phase and amplitude), normalized to
+/// roughly unit variance.
+///
+/// Unlike [`gaussian_random_field`], smoothness is controlled *per axis in
+/// cells*: mode `a`-frequencies are capped at `dims[a] / min_cells_per_wave`
+/// cycles, so every wavelength spans at least `min_cells_per_wave` cells on
+/// every axis regardless of anisotropy. Used for the WarpX-like background,
+/// which must stay smooth relative to every tested error bound.
+pub fn random_smooth_modes(
+    dims: [usize; 3],
+    n_modes: usize,
+    min_cells_per_wave: f64,
+    seed: u64,
+) -> Vec<f64> {
+    use rayon::prelude::*;
+    assert!(n_modes > 0 && min_cells_per_wave > 0.0);
+    let [nx, ny, nz] = dims;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max_k = [
+        (nx as f64 / min_cells_per_wave).max(0.0),
+        (ny as f64 / min_cells_per_wave).max(0.0),
+        (nz as f64 / min_cells_per_wave).max(0.0),
+    ];
+    // (angular frequency per cell on each axis, phase, amplitude)
+    let modes: Vec<([f64; 3], f64, f64)> = (0..n_modes)
+        .map(|_| {
+            let k = [
+                rng.gen_range(-max_k[0]..=max_k[0]) * std::f64::consts::TAU / nx as f64,
+                rng.gen_range(-max_k[1]..=max_k[1]) * std::f64::consts::TAU / ny as f64,
+                rng.gen_range(-max_k[2]..=max_k[2]) * std::f64::consts::TAU / nz as f64,
+            ];
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            let amp = rng.gen_range(0.3..1.0);
+            (k, phase, amp)
+        })
+        .collect();
+    let norm = (2.0 / modes.iter().map(|&(_, _, a)| a * a).sum::<f64>()).sqrt();
+
+    let mut out = vec![0.0f64; nx * ny * nz];
+    out.par_chunks_mut(nx * ny)
+        .enumerate()
+        .for_each(|(z, slab)| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let mut acc = 0.0;
+                    for &(k, phase, amp) in &modes {
+                        acc += amp
+                            * (k[0] * i as f64 + k[1] * j as f64 + k[2] * z as f64 + phase)
+                                .cos();
+                    }
+                    slab[i + nx * j] = acc * norm;
+                }
+            }
+        });
+    out
+}
+
+/// Sample skewness of a data set — log-normal transforms of GRFs should be
+/// strongly right-skewed (Nyx-like density).
+pub fn skewness(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let m2 = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let m3 = data.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / n;
+    if m2 == 0.0 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Mean absolute difference between x-adjacent samples, normalized by the
+/// standard deviation — a cheap roughness measure used to verify the
+/// smooth/rough contrast between the two scenario families.
+pub fn roughness(data: &[f64], dims: [usize; 3]) -> f64 {
+    let [nx, ny, nz] = dims;
+    assert_eq!(data.len(), nx * ny * nz);
+    if nx < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut cnt = 0usize;
+    for k in 0..nz {
+        for j in 0..ny {
+            let row = nx * (j + ny * k);
+            for i in 1..nx {
+                acc += (data[row + i] - data[row + i - 1]).abs();
+                cnt += 1;
+            }
+        }
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    let sd = (data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / data.len() as f64)
+        .sqrt();
+    if sd == 0.0 {
+        0.0
+    } else {
+        acc / cnt as f64 / sd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_moments() {
+        let f = gaussian_random_field([32, 32, 32], Spectrum::rough(), 1);
+        let n = f.len() as f64;
+        let mean = f.iter().sum::<f64>() / n;
+        let var = f.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gaussian_random_field([16, 16, 16], Spectrum::smooth(), 7);
+        let b = gaussian_random_field([16, 16, 16], Spectrum::smooth(), 7);
+        assert_eq!(a, b);
+        let c = gaussian_random_field([16, 16, 16], Spectrum::smooth(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn smooth_spectrum_is_smoother_than_rough() {
+        let dims = [32, 32, 32];
+        let s = gaussian_random_field(dims, Spectrum::smooth(), 3);
+        let r = gaussian_random_field(dims, Spectrum::rough(), 3);
+        let rs = roughness(&s, dims);
+        let rr = roughness(&r, dims);
+        assert!(
+            rr > 2.0 * rs,
+            "rough field not rougher: {rr} vs {rs}"
+        );
+    }
+
+    #[test]
+    fn lognormal_transform_is_right_skewed() {
+        let g = gaussian_random_field([32, 32, 32], Spectrum::rough(), 5);
+        let logn: Vec<f64> = g.iter().map(|v| (1.2 * v).exp()).collect();
+        assert!(skewness(&g).abs() < 0.3, "GRF should be symmetric");
+        assert!(skewness(&logn) > 1.5, "log-normal should be spiky");
+    }
+
+    #[test]
+    fn anisotropic_dims() {
+        let f = gaussian_random_field([8, 16, 64], Spectrum::smooth(), 2);
+        assert_eq!(f.len(), 8 * 16 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn rejects_non_pow2() {
+        gaussian_random_field([12, 16, 16], Spectrum::smooth(), 0);
+    }
+}

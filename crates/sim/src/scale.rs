@@ -1,0 +1,96 @@
+//! Problem-size presets.
+//!
+//! The paper's runs (Table 1) use grids up to 512³ and 256×256×2048 on
+//! NERSC hardware. Every preset below exercises the same code paths;
+//! `Paper` reproduces the exact published shapes, the smaller presets make
+//! tests and laptop runs fast. All dimensions are powers of two (required
+//! by the spectral synthesizer).
+
+use serde::{Deserialize, Serialize};
+
+/// Problem-size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Unit-test scale.
+    Tiny,
+    /// Example/default scale.
+    Small,
+    /// Reproduction-run scale (default for `repro`).
+    Medium,
+    /// The exact shapes from the paper's Table 1. Needs several GB of RAM.
+    Paper,
+}
+
+impl Scale {
+    /// Coarse-level dims of the Nyx-like cube (fine level is 2× each axis;
+    /// paper: 256³ coarse, 512³ fine).
+    pub fn nyx_coarse_dims(self) -> [usize; 3] {
+        let n = match self {
+            Scale::Tiny => 32,
+            Scale::Small => 64,
+            Scale::Medium => 128,
+            Scale::Paper => 256,
+        };
+        [n, n, n]
+    }
+
+    /// Coarse-level dims of the WarpX-like box (fine level is 2× each axis;
+    /// paper: 128×128×1024 coarse, 256×256×2048 fine).
+    pub fn warpx_coarse_dims(self) -> [usize; 3] {
+        match self {
+            Scale::Tiny => [16, 16, 128],
+            Scale::Small => [32, 32, 256],
+            Scale::Medium => [64, 64, 512],
+            Scale::Paper => [128, 128, 1024],
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_are_pow2() {
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Paper] {
+            for d in s.nyx_coarse_dims().into_iter().chain(s.warpx_coarse_dims()) {
+                assert!(d.is_power_of_two(), "{s:?}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        assert_eq!(Scale::Paper.nyx_coarse_dims(), [256, 256, 256]);
+        assert_eq!(Scale::Paper.warpx_coarse_dims(), [128, 128, 1024]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Paper] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scale::parse("HUGE"), None);
+        assert_eq!(Scale::parse("Medium"), Some(Scale::Medium));
+    }
+}

@@ -1,0 +1,495 @@
+//! Isosurface extraction on a sampled grid.
+//!
+//! Each cube of the node grid is decomposed into six tetrahedra (the Kuhn
+//! triangulation around the main diagonal), and each tetrahedron is
+//! triangulated against the iso-value. The decomposition is
+//! translation-invariant, so shared cube faces are split along the same
+//! diagonal on both sides and the extracted surface is watertight within a
+//! level — exactly the property classic marching cubes provides, without a
+//! hand-transcribed 256-case table (see DESIGN.md substitution note).
+//!
+//! Cracks between AMR *levels* (the paper's Fig. 1a) are unaffected by the
+//! in-cell triangulator: they come from resolution mismatch at level
+//! interfaces and are reproduced faithfully by the level extractors.
+
+use std::collections::HashMap;
+
+use crate::mesh::TriMesh;
+
+/// A node-centered sampled scalar grid in physical space.
+///
+/// `dims` counts grid *nodes* per axis; cubes (cells) number `dims − 1` per
+/// axis. `cell_mask`, when present, selects which cubes are triangulated
+/// (used by the AMR extractors to restrict each level to its own region).
+#[derive(Debug, Clone)]
+pub struct SampledGrid {
+    pub dims: [usize; 3],
+    pub origin: [f64; 3],
+    pub spacing: [f64; 3],
+    pub values: Vec<f64>,
+    pub cell_mask: Option<Vec<bool>>,
+}
+
+impl SampledGrid {
+    /// Builds a full (unmasked) grid by evaluating `f` at every node.
+    pub fn from_fn(
+        dims: [usize; 3],
+        origin: [f64; 3],
+        spacing: [f64; 3],
+        mut f: impl FnMut(f64, f64, f64) -> f64,
+    ) -> Self {
+        let [nx, ny, nz] = dims;
+        let mut values = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    values.push(f(
+                        origin[0] + i as f64 * spacing[0],
+                        origin[1] + j as f64 * spacing[1],
+                        origin[2] + k as f64 * spacing[2],
+                    ));
+                }
+            }
+        }
+        SampledGrid { dims, origin, spacing, values, cell_mask: None }
+    }
+
+    /// Number of cubes along each axis.
+    pub fn cell_dims(&self) -> [usize; 3] {
+        [
+            self.dims[0].saturating_sub(1),
+            self.dims[1].saturating_sub(1),
+            self.dims[2].saturating_sub(1),
+        ]
+    }
+
+    #[inline]
+    fn node_id(&self, i: usize, j: usize, k: usize) -> u64 {
+        (i + self.dims[0] * (j + self.dims[1] * k)) as u64
+    }
+
+    #[inline]
+    fn node_pos(&self, i: usize, j: usize, k: usize) -> [f64; 3] {
+        [
+            self.origin[0] + i as f64 * self.spacing[0],
+            self.origin[1] + j as f64 * self.spacing[1],
+            self.origin[2] + k as f64 * self.spacing[2],
+        ]
+    }
+}
+
+/// The six Kuhn tetrahedra of a cube, as corner indices (`dx + 2dy + 4dz`).
+/// All share the main diagonal 0–7; every cube face is split along the same
+/// diagonal as its neighbor's matching face.
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 1, 5, 7],
+    [0, 2, 3, 7],
+    [0, 2, 6, 7],
+    [0, 4, 5, 7],
+    [0, 4, 6, 7],
+];
+
+/// Interpolation parameter clamp: keeps crossing vertices strictly off grid
+/// nodes so no triangle degenerates when a sample equals the iso-value.
+const T_EPS: f64 = 1e-6;
+
+struct Extractor {
+    iso: f64,
+    mesh: TriMesh,
+    /// Welding map: edge (lo node id, hi node id) → mesh vertex index.
+    edge_vertices: HashMap<(u64, u64), u32>,
+}
+
+impl Extractor {
+    /// Mesh vertex on the crossing of edge (a, b); created on first use.
+    fn edge_vertex(
+        &mut self,
+        a: (u64, [f64; 3], f64),
+        b: (u64, [f64; 3], f64),
+    ) -> u32 {
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&v) = self.edge_vertices.get(&key) {
+            return v;
+        }
+        // Deterministic orientation of the interpolation (lo id → hi id) so
+        // both incident cubes compute bit-identical positions.
+        let (p, q) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        let (va, vb) = (p.2, q.2);
+        let t = ((self.iso - va) / (vb - va)).clamp(T_EPS, 1.0 - T_EPS);
+        let pos = [
+            p.1[0] + t * (q.1[0] - p.1[0]),
+            p.1[1] + t * (q.1[1] - p.1[1]),
+            p.1[2] + t * (q.1[2] - p.1[2]),
+        ];
+        let idx = self.mesh.vertices.len() as u32;
+        self.mesh.vertices.push(pos);
+        self.edge_vertices.insert(key, idx);
+        idx
+    }
+
+    /// Emits a triangle oriented so its normal points toward *lower* field
+    /// values (outward from the `v ≥ iso` region), using the exact gradient
+    /// of the linear interpolant over the tetrahedron.
+    fn emit(&mut self, tri: [u32; 3], grad: [f64; 3]) {
+        let p = self.mesh.vertices[tri[0] as usize];
+        let q = self.mesh.vertices[tri[1] as usize];
+        let r = self.mesh.vertices[tri[2] as usize];
+        let u = [q[0] - p[0], q[1] - p[1], q[2] - p[2]];
+        let v = [r[0] - p[0], r[1] - p[1], r[2] - p[2]];
+        let n = [
+            u[1] * v[2] - u[2] * v[1],
+            u[2] * v[0] - u[0] * v[2],
+            u[0] * v[1] - u[1] * v[0],
+        ];
+        let dot = n[0] * grad[0] + n[1] * grad[1] + n[2] * grad[2];
+        if dot > 0.0 {
+            self.mesh.triangles.push([tri[0], tri[2], tri[1]]);
+        } else {
+            self.mesh.triangles.push(tri);
+        }
+    }
+
+    fn march_tet(&mut self, corners: &[(u64, [f64; 3], f64); 4]) {
+        let inside: Vec<usize> = (0..4).filter(|&c| corners[c].2 >= self.iso).collect();
+        if inside.is_empty() || inside.len() == 4 {
+            return;
+        }
+        // Gradient of the linear interpolant: solve Mᵀ·g = dv with rows
+        // (corner_i − corner_0).
+        let grad = tet_gradient(corners);
+
+        let outside: Vec<usize> = (0..4).filter(|c| !inside.contains(c)).collect();
+        match inside.len() {
+            1 => {
+                let a = corners[inside[0]];
+                let tri = [
+                    self.edge_vertex(a, corners[outside[0]]),
+                    self.edge_vertex(a, corners[outside[1]]),
+                    self.edge_vertex(a, corners[outside[2]]),
+                ];
+                self.emit(tri, grad);
+            }
+            3 => {
+                let d = corners[outside[0]];
+                let tri = [
+                    self.edge_vertex(d, corners[inside[0]]),
+                    self.edge_vertex(d, corners[inside[1]]),
+                    self.edge_vertex(d, corners[inside[2]]),
+                ];
+                self.emit(tri, grad);
+            }
+            2 => {
+                let (a, b) = (corners[inside[0]], corners[inside[1]]);
+                let (c, d) = (corners[outside[0]], corners[outside[1]]);
+                // Quad cycle AC → AD → BD → BC (consecutive pairs share a
+                // tet face), split into two triangles.
+                let ac = self.edge_vertex(a, c);
+                let ad = self.edge_vertex(a, d);
+                let bd = self.edge_vertex(b, d);
+                let bc = self.edge_vertex(b, c);
+                self.emit([ac, ad, bd], grad);
+                self.emit([ac, bd, bc], grad);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Gradient of the linear field over a tetrahedron (Cramer's rule on the
+/// 3×3 edge-matrix system).
+fn tet_gradient(corners: &[(u64, [f64; 3], f64); 4]) -> [f64; 3] {
+    let p0 = corners[0].1;
+    let v0 = corners[0].2;
+    let mut m = [[0.0f64; 3]; 3];
+    let mut dv = [0.0f64; 3];
+    for r in 0..3 {
+        let c = &corners[r + 1];
+        for a in 0..3 {
+            m[r][a] = c.1[a] - p0[a];
+        }
+        dv[r] = c.2 - v0;
+    }
+    let det = |m: &[[f64; 3]; 3]| -> f64 {
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    };
+    let d = det(&m);
+    if d == 0.0 {
+        return [0.0; 3];
+    }
+    let mut g = [0.0f64; 3];
+    for a in 0..3 {
+        let mut ma = m;
+        for r in 0..3 {
+            ma[r][a] = dv[r];
+        }
+        g[a] = det(&ma) / d;
+    }
+    g
+}
+
+/// Extracts the isosurface `value == iso` from a sampled grid.
+///
+/// Large grids are processed as parallel z-slabs; duplicated crossing
+/// vertices on slab-boundary planes (whose positions are bit-identical by
+/// construction — both slabs interpolate the same edge the same way) are
+/// merged afterwards, so the result is independent of the slab split.
+pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
+    let [cx, cy, cz] = grid.cell_dims();
+    if cx == 0 || cy == 0 || cz == 0 {
+        return TriMesh::new();
+    }
+    if let Some(mask) = &grid.cell_mask {
+        assert_eq!(mask.len(), cx * cy * cz, "cell mask size mismatch");
+    }
+    // Fixed slab height keeps the decomposition (and thus the output)
+    // independent of thread count.
+    const SLAB: usize = 32;
+    if cz <= SLAB {
+        return extract_range(grid, iso, 0, cz);
+    }
+    use rayon::prelude::*;
+    let n_slabs = cz.div_ceil(SLAB);
+    let slabs: Vec<TriMesh> = (0..n_slabs)
+        .into_par_iter()
+        .map(|s| extract_range(grid, iso, s * SLAB, ((s + 1) * SLAB).min(cz)))
+        .collect();
+
+    // Merge, de-duplicating vertices that lie exactly on interior boundary
+    // planes (z = origin + k·spacing for slab boundaries k).
+    let boundary_zs: std::collections::HashSet<u64> = (1..n_slabs)
+        .map(|s| (grid.origin[2] + (s * SLAB) as f64 * grid.spacing[2]).to_bits())
+        .collect();
+    let mut out = TriMesh::new();
+    let mut shared: HashMap<[u64; 3], u32> = HashMap::new();
+    for slab in &slabs {
+        let mut remap = Vec::with_capacity(slab.vertices.len());
+        for &p in &slab.vertices {
+            let key = [p[0].to_bits(), p[1].to_bits(), p[2].to_bits()];
+            let id = if boundary_zs.contains(&key[2]) {
+                *shared.entry(key).or_insert_with(|| {
+                    let id = out.vertices.len() as u32;
+                    out.vertices.push(p);
+                    id
+                })
+            } else {
+                let id = out.vertices.len() as u32;
+                out.vertices.push(p);
+                id
+            };
+            remap.push(id);
+        }
+        out.triangles.extend(
+            slab.triangles
+                .iter()
+                .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]]),
+        );
+    }
+    out
+}
+
+/// Sequential extraction of the cube slab `k_begin..k_end`.
+fn extract_range(grid: &SampledGrid, iso: f64, k_begin: usize, k_end: usize) -> TriMesh {
+    let [cx, cy, _cz] = grid.cell_dims();
+    let mut ex = Extractor {
+        iso,
+        mesh: TriMesh::new(),
+        edge_vertices: HashMap::new(),
+    };
+    let [nx, ny, _] = grid.dims;
+    for k in k_begin..k_end {
+        for j in 0..cy {
+            for i in 0..cx {
+                if let Some(mask) = &grid.cell_mask {
+                    if !mask[i + cx * (j + cy * k)] {
+                        continue;
+                    }
+                }
+                // Quick reject: all 8 corners same side.
+                let mut any_in = false;
+                let mut any_out = false;
+                let mut corners = [(0u64, [0.0f64; 3], 0.0f64); 8];
+                for dz in 0..2usize {
+                    for dy in 0..2usize {
+                        for dx in 0..2usize {
+                            let (gi, gj, gk) = (i + dx, j + dy, k + dz);
+                            let v =
+                                grid.values[gi + nx * (gj + ny * gk)];
+                            let c = dx + 2 * dy + 4 * dz;
+                            corners[c] =
+                                (grid.node_id(gi, gj, gk), grid.node_pos(gi, gj, gk), v);
+                            if v >= iso {
+                                any_in = true;
+                            } else {
+                                any_out = true;
+                            }
+                        }
+                    }
+                }
+                if !(any_in && any_out) {
+                    continue;
+                }
+                for tet in &TETS {
+                    let tc = [
+                        corners[tet[0]],
+                        corners[tet[1]],
+                        corners[tet[2]],
+                        corners[tet[3]],
+                    ];
+                    ex.march_tet(&tc);
+                }
+            }
+        }
+    }
+    ex.mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_grid(n: usize, r: f64) -> SampledGrid {
+        // Field = r − |x − c|: positive inside the ball.
+        let c = [0.5, 0.5, 0.5];
+        SampledGrid::from_fn(
+            [n, n, n],
+            [0.0; 3],
+            [1.0 / (n - 1) as f64; 3],
+            |x, y, z| {
+                r - ((x - c[0]).powi(2) + (y - c[1]).powi(2) + (z - c[2]).powi(2)).sqrt()
+            },
+        )
+    }
+
+    #[test]
+    fn sphere_is_watertight_with_correct_area() {
+        let grid = sphere_grid(33, 0.3);
+        let mesh = marching_tetrahedra(&grid, 0.0);
+        assert!(mesh.num_triangles() > 500);
+        assert!(mesh.is_watertight(), "open edges: {}", mesh.boundary_edges().len());
+        let area = mesh.total_area();
+        let exact = 4.0 * std::f64::consts::PI * 0.3 * 0.3;
+        assert!(
+            (area - exact).abs() / exact < 0.05,
+            "area {area:.4} vs exact {exact:.4}"
+        );
+    }
+
+    #[test]
+    fn sphere_normals_point_outward() {
+        let grid = sphere_grid(17, 0.3);
+        let mesh = marching_tetrahedra(&grid, 0.0);
+        for t in 0..mesh.num_triangles() {
+            let n = mesh.face_normal(t);
+            let c = mesh.face_centroid(t);
+            let radial = [c[0] - 0.5, c[1] - 0.5, c[2] - 0.5];
+            let dot = n[0] * radial[0] + n[1] * radial[1] + n[2] * radial[2];
+            assert!(dot > 0.0, "inward normal at triangle {t}");
+        }
+    }
+
+    #[test]
+    fn sphere_vertices_lie_near_radius() {
+        let grid = sphere_grid(33, 0.3);
+        let mesh = marching_tetrahedra(&grid, 0.0);
+        let h = 1.0 / 32.0;
+        for v in &mesh.vertices {
+            let r = ((v[0] - 0.5).powi(2) + (v[1] - 0.5).powi(2) + (v[2] - 0.5).powi(2))
+                .sqrt();
+            assert!((r - 0.3).abs() < h, "vertex off surface: r = {r}");
+        }
+    }
+
+    #[test]
+    fn plane_isosurface_is_flat() {
+        let grid = SampledGrid::from_fn([9, 9, 9], [0.0; 3], [0.125; 3], |x, _, _| x);
+        let mesh = marching_tetrahedra(&grid, 0.5);
+        assert!(!mesh.is_empty());
+        for v in &mesh.vertices {
+            assert!((v[0] - 0.5).abs() < 1e-5, "vertex off plane: {v:?}");
+        }
+        // The plane cuts the whole unit cross-section.
+        assert!((mesh.total_area() - 1.0).abs() < 1e-4);
+        // Boundary = the square outline (length 4).
+        assert!((mesh.boundary_length() - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_when_no_crossing() {
+        let grid = SampledGrid::from_fn([5, 5, 5], [0.0; 3], [0.25; 3], |_, _, _| 1.0);
+        assert!(marching_tetrahedra(&grid, 2.0).is_empty());
+        assert!(marching_tetrahedra(&grid, 0.0).is_empty());
+    }
+
+    #[test]
+    fn cell_mask_restricts_output() {
+        let mut grid = SampledGrid::from_fn([9, 9, 9], [0.0; 3], [0.125; 3], |x, _, _| x);
+        let cd = grid.cell_dims();
+        // Only march the k < 4 half.
+        let mask: Vec<bool> = (0..cd[0] * cd[1] * cd[2])
+            .map(|n| (n / (cd[0] * cd[1])) < 4)
+            .collect();
+        grid.cell_mask = Some(mask);
+        let mesh = marching_tetrahedra(&grid, 0.5);
+        assert!(!mesh.is_empty());
+        for v in &mesh.vertices {
+            assert!(v[2] <= 0.5 + 1e-9, "vertex escaped mask: {v:?}");
+        }
+        // Half the plane → half the area.
+        assert!((mesh.total_area() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn values_equal_to_iso_do_not_degenerate() {
+        // Many nodes exactly on the iso-value.
+        let grid = SampledGrid::from_fn([7, 7, 7], [0.0; 3], [1.0; 3], |x, y, z| {
+            ((x + y + z) as i64 % 2) as f64
+        });
+        let mesh = marching_tetrahedra(&grid, 0.5);
+        for t in 0..mesh.num_triangles() {
+            assert!(mesh.face_area(t) > 0.0, "degenerate triangle {t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_grid_dims() {
+        let grid = SampledGrid::from_fn([1, 5, 5], [0.0; 3], [1.0; 3], |_, _, _| 1.0);
+        assert!(marching_tetrahedra(&grid, 0.5).is_empty());
+    }
+
+    #[test]
+    fn parallel_slab_path_is_watertight_and_seamless() {
+        // 80 nodes → 79 cubes > SLAB: exercises the parallel merge. Any
+        // missed vertex dedup on slab planes would show up as open edges.
+        let grid = sphere_grid(80, 0.35);
+        let mesh = marching_tetrahedra(&grid, 0.0);
+        assert!(mesh.num_triangles() > 10_000);
+        assert!(
+            mesh.is_watertight(),
+            "open edges across slab boundaries: {}",
+            mesh.boundary_edges().len()
+        );
+        let exact = 4.0 * std::f64::consts::PI * 0.35 * 0.35;
+        assert!((mesh.total_area() - exact).abs() / exact < 0.02);
+        // No duplicated vertices anywhere (welding with a tiny tolerance
+        // must be a no-op).
+        let mut welded = mesh.clone();
+        assert_eq!(welded.weld(1e-12), 0, "duplicate vertices survived merge");
+    }
+
+    #[test]
+    fn translation_invariance_of_topology() {
+        // The same sphere sampled at an offset grid: equal triangle counts
+        // aren't guaranteed, but watertightness and area must persist.
+        let c = [0.53, 0.47, 0.51];
+        let grid = SampledGrid::from_fn([33, 33, 33], [0.0; 3], [1.0 / 32.0; 3], |x, y, z| {
+            0.3 - ((x - c[0]).powi(2) + (y - c[1]).powi(2) + (z - c[2]).powi(2)).sqrt()
+        });
+        let mesh = marching_tetrahedra(&grid, 0.0);
+        assert!(mesh.is_watertight());
+        let exact = 4.0 * std::f64::consts::PI * 0.09;
+        assert!((mesh.total_area() - exact).abs() / exact < 0.05);
+    }
+}

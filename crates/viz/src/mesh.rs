@@ -1,0 +1,355 @@
+//! Indexed triangle meshes.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+/// An indexed triangle mesh in physical coordinates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    pub vertices: Vec<[f64; 3]>,
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn new() -> Self {
+        TriMesh::default()
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn num_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Appends another mesh (no welding across the seam).
+    pub fn append(&mut self, other: &TriMesh) {
+        let off = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.triangles
+            .extend(other.triangles.iter().map(|t| [t[0] + off, t[1] + off, t[2] + off]));
+    }
+
+    /// Axis-aligned bounding box, or `None` when empty.
+    pub fn bbox(&self) -> Option<([f64; 3], [f64; 3])> {
+        let mut it = self.vertices.iter();
+        let first = *it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            for a in 0..3 {
+                lo[a] = lo[a].min(v[a]);
+                hi[a] = hi[a].max(v[a]);
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Face normal of triangle `t` (not normalized; magnitude = 2·area).
+    pub fn face_normal_raw(&self, t: usize) -> [f64; 3] {
+        let [a, b, c] = self.triangles[t];
+        let p = self.vertices[a as usize];
+        let q = self.vertices[b as usize];
+        let r = self.vertices[c as usize];
+        let u = [q[0] - p[0], q[1] - p[1], q[2] - p[2]];
+        let v = [r[0] - p[0], r[1] - p[1], r[2] - p[2]];
+        [
+            u[1] * v[2] - u[2] * v[1],
+            u[2] * v[0] - u[0] * v[2],
+            u[0] * v[1] - u[1] * v[0],
+        ]
+    }
+
+    /// Unit face normal (zero vector for degenerate triangles).
+    pub fn face_normal(&self, t: usize) -> [f64; 3] {
+        let n = self.face_normal_raw(t);
+        let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+        if len == 0.0 {
+            [0.0; 3]
+        } else {
+            [n[0] / len, n[1] / len, n[2] / len]
+        }
+    }
+
+    /// Area of triangle `t`.
+    pub fn face_area(&self, t: usize) -> f64 {
+        let n = self.face_normal_raw(t);
+        0.5 * (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt()
+    }
+
+    /// Total surface area.
+    pub fn total_area(&self) -> f64 {
+        (0..self.triangles.len()).map(|t| self.face_area(t)).sum()
+    }
+
+    /// Centroid of triangle `t`.
+    pub fn face_centroid(&self, t: usize) -> [f64; 3] {
+        let [a, b, c] = self.triangles[t];
+        let p = self.vertices[a as usize];
+        let q = self.vertices[b as usize];
+        let r = self.vertices[c as usize];
+        [
+            (p[0] + q[0] + r[0]) / 3.0,
+            (p[1] + q[1] + r[1]) / 3.0,
+            (p[2] + q[2] + r[2]) / 3.0,
+        ]
+    }
+
+    /// Area-weighted per-vertex normals (normalized; zero for isolated
+    /// vertices).
+    pub fn vertex_normals(&self) -> Vec<[f64; 3]> {
+        let mut normals = vec![[0.0f64; 3]; self.vertices.len()];
+        for t in 0..self.triangles.len() {
+            let n = self.face_normal_raw(t);
+            for &vi in &self.triangles[t] {
+                let acc = &mut normals[vi as usize];
+                acc[0] += n[0];
+                acc[1] += n[1];
+                acc[2] += n[2];
+            }
+        }
+        for n in &mut normals {
+            let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+            if len > 0.0 {
+                n[0] /= len;
+                n[1] /= len;
+                n[2] /= len;
+            }
+        }
+        normals
+    }
+
+    /// All edges as packed `(min << 32) | max` keys, one entry per incident
+    /// triangle, sorted. Shared by the boundary/adjacency queries; the sort
+    /// is parallel, which matters on multi-million-triangle surfaces.
+    fn sorted_edge_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .triangles
+            .par_iter()
+            .flat_map_iter(|t| {
+                [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])]
+                    .into_iter()
+                    .map(|(a, b)| ((a.min(b) as u64) << 32) | a.max(b) as u64)
+            })
+            .collect();
+        keys.par_sort_unstable();
+        keys
+    }
+
+    /// Edges incident to exactly one triangle — the open boundary. Each edge
+    /// is returned as an ordered vertex-index pair.
+    pub fn boundary_edges(&self) -> Vec<(u32, u32)> {
+        let keys = self.sorted_edge_keys();
+        let mut edges = Vec::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == keys[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                edges.push(((keys[i] >> 32) as u32, keys[i] as u32));
+            }
+            i = j;
+        }
+        edges
+    }
+
+    /// Total length of the open boundary.
+    pub fn boundary_length(&self) -> f64 {
+        self.boundary_edges()
+            .iter()
+            .map(|&(a, b)| {
+                let p = self.vertices[a as usize];
+                let q = self.vertices[b as usize];
+                ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)).sqrt()
+            })
+            .sum()
+    }
+
+    /// True when the mesh has no open boundary (every edge shared by exactly
+    /// two triangles).
+    pub fn is_watertight(&self) -> bool {
+        !self.is_empty() && self.boundary_edges().is_empty()
+    }
+
+    /// Merges vertices closer than `tol` (hash on a `tol`-grid, then checks
+    /// the 27 neighbor cells). Returns the number of vertices removed.
+    pub fn weld(&mut self, tol: f64) -> usize {
+        assert!(tol > 0.0);
+        let inv = 1.0 / tol;
+        let key = |p: [f64; 3]| -> (i64, i64, i64) {
+            (
+                (p[0] * inv).floor() as i64,
+                (p[1] * inv).floor() as i64,
+                (p[2] * inv).floor() as i64,
+            )
+        };
+        let mut grid: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+        let mut remap = vec![u32::MAX; self.vertices.len()];
+        let mut new_vertices: Vec<[f64; 3]> = Vec::with_capacity(self.vertices.len());
+        let tol2 = tol * tol;
+        for (vi, &p) in self.vertices.iter().enumerate() {
+            let (kx, ky, kz) = key(p);
+            let mut found = None;
+            'search: for dz in -1..=1 {
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        if let Some(cands) = grid.get(&(kx + dx, ky + dy, kz + dz)) {
+                            for &c in cands {
+                                let q = new_vertices[c as usize];
+                                let d2 = (p[0] - q[0]).powi(2)
+                                    + (p[1] - q[1]).powi(2)
+                                    + (p[2] - q[2]).powi(2);
+                                if d2 <= tol2 {
+                                    found = Some(c);
+                                    break 'search;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            remap[vi] = match found {
+                Some(c) => c,
+                None => {
+                    let id = new_vertices.len() as u32;
+                    new_vertices.push(p);
+                    grid.entry((kx, ky, kz)).or_default().push(id);
+                    id
+                }
+            };
+        }
+        let removed = self.vertices.len() - new_vertices.len();
+        self.vertices = new_vertices;
+        for t in &mut self.triangles {
+            for v in t.iter_mut() {
+                *v = remap[*v as usize];
+            }
+        }
+        // Drop triangles that collapsed.
+        self.triangles
+            .retain(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2]);
+        removed
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn unit_quad() -> TriMesh {
+    TriMesh {
+        vertices: vec![
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ],
+        triangles: vec![[0, 1, 2], [0, 2, 3]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A closed tetrahedron with outward-facing normals.
+    fn tetra() -> TriMesh {
+        TriMesh {
+            vertices: vec![
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ],
+            triangles: vec![[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]],
+        }
+    }
+
+    #[test]
+    fn areas_and_normals() {
+        let quad = unit_quad();
+        assert!((quad.total_area() - 1.0).abs() < 1e-12);
+        assert_eq!(quad.face_normal(0), [0.0, 0.0, 1.0]);
+        let c = quad.face_centroid(0);
+        assert!((c[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_of_quad_is_perimeter() {
+        let quad = unit_quad();
+        let edges = quad.boundary_edges();
+        assert_eq!(edges.len(), 4);
+        assert!((quad.boundary_length() - 4.0).abs() < 1e-12);
+        assert!(!quad.is_watertight());
+    }
+
+    #[test]
+    fn closed_tetra_is_watertight() {
+        let t = tetra();
+        assert!(t.is_watertight());
+        assert_eq!(t.boundary_length(), 0.0);
+    }
+
+    #[test]
+    fn append_offsets_indices() {
+        let mut m = unit_quad();
+        let before = m.num_vertices();
+        m.append(&tetra());
+        assert_eq!(m.num_vertices(), before + 4);
+        assert_eq!(m.num_triangles(), 6);
+        assert_eq!(m.triangles[2], [4, 6, 5]);
+    }
+
+    #[test]
+    fn weld_merges_duplicates() {
+        // Two triangles sharing an edge but with duplicated vertices.
+        let mut m = TriMesh {
+            vertices: vec![
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 1e-12], // dup of 1
+                [0.0, 1.0, -1e-12], // dup of 2
+                [1.0, 1.0, 0.0],
+            ],
+            triangles: vec![[0, 1, 2], [3, 5, 4]],
+        };
+        let removed = m.weld(1e-9);
+        assert_eq!(removed, 2);
+        assert_eq!(m.num_vertices(), 4);
+        // Shared edge (1,2) now interior → boundary has 4 edges.
+        assert_eq!(m.boundary_edges().len(), 4);
+    }
+
+    #[test]
+    fn weld_drops_degenerate_triangles() {
+        let mut m = TriMesh {
+            vertices: vec![[0.0; 3], [1e-12, 0.0, 0.0], [1.0, 1.0, 1.0]],
+            triangles: vec![[0, 1, 2]],
+        };
+        m.weld(1e-9);
+        assert_eq!(m.num_triangles(), 0);
+    }
+
+    #[test]
+    fn vertex_normals_point_outward_for_flat_patch() {
+        let quad = unit_quad();
+        for n in quad.vertex_normals() {
+            assert!((n[2] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bbox() {
+        let t = tetra();
+        let (lo, hi) = t.bbox().unwrap();
+        assert_eq!(lo, [0.0, 0.0, 0.0]);
+        assert_eq!(hi, [1.0, 1.0, 1.0]);
+        assert!(TriMesh::new().bbox().is_none());
+    }
+}

