@@ -84,6 +84,11 @@ struct Ctx {
     out: PathBuf,
     built: BTreeMap<&'static str, BuiltScenario>,
     json: serde_json::Map<String, serde_json::Value>,
+    /// Compression runs observed during this invocation (Table 2 rows),
+    /// reported in the final `SUMMARY` line.
+    runs: Vec<experiment::CompressionRun>,
+    /// Wall seconds per top-level obs stage, accumulated across experiments.
+    stage_seconds: BTreeMap<String, f64>,
 }
 
 impl Ctx {
@@ -102,6 +107,43 @@ impl Ctx {
             key.to_string(),
             serde_json::to_value(value).expect("serializable result"),
         );
+    }
+
+    /// Drains the obs recorder into `manifest_<name>.json` and folds the
+    /// top-level stage times into the invocation-wide totals.
+    fn finish_experiment(&mut self, name: &str) {
+        let summary = amrviz_obs::summary::collect();
+        for r in &summary.roots {
+            *self.stage_seconds.entry(r.key.clone()).or_insert(0.0) += r.seconds;
+        }
+        let mut m = serde_json::Map::new();
+        m.insert("experiment".into(), serde_json::json!(name));
+        m.insert(
+            "scale".into(),
+            serde_json::json!(format!("{:?}", self.scale).to_lowercase()),
+        );
+        m.insert("seed".into(), serde_json::json!(self.seed));
+        m.insert(
+            "counters".into(),
+            serde_json::json!(amrviz_obs::counters_snapshot()),
+        );
+        m.insert(
+            "gauges".into(),
+            serde_json::json!(amrviz_obs::gauges_snapshot()),
+        );
+        m.insert(
+            "span_summary".into(),
+            serde_json::from_str(&summary.to_json()).unwrap_or(serde_json::Value::Null),
+        );
+        let path = self.out.join(format!("manifest_{name}.json"));
+        match serde_json::to_string_pretty(&serde_json::Value::Object(m)) {
+            Ok(s) => {
+                if std::fs::write(&path, s).is_ok() {
+                    println!("  manifest: {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[repro] failed to serialize manifest for {name}: {e}"),
+        }
     }
 
     fn save_mesh_render(
@@ -179,6 +221,7 @@ fn table2(ctx: &mut Ctx) {
         all.extend(rows);
     }
     println!("{}", report::format_table2(&all));
+    ctx.runs.extend(all.iter().cloned());
     ctx.record("table2", &all);
 }
 
@@ -450,7 +493,10 @@ fn main() -> ExitCode {
         out: args.out.clone(),
         built: BTreeMap::new(),
         json: existing,
+        runs: Vec::new(),
+        stage_seconds: BTreeMap::new(),
     };
+    amrviz_obs::enable();
     let exp = args.experiment.as_str();
     let known = [
         "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
@@ -461,38 +507,51 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let run = |name: &str| exp == name || exp == "all";
+    // Each experiment records into a fresh obs recorder so its manifest only
+    // covers its own spans and counters.
+    let instrumented = |ctx: &mut Ctx, name: &str, f: &dyn Fn(&mut Ctx)| {
+        amrviz_obs::reset();
+        f(ctx);
+        ctx.finish_experiment(name);
+    };
     if run("table1") {
-        table1(&mut ctx);
+        instrumented(&mut ctx, "table1", &table1);
     }
     if run("table2") {
-        table2(&mut ctx);
+        instrumented(&mut ctx, "table2", &table2);
     }
     if run("fig1") {
-        fig1(&mut ctx);
+        instrumented(&mut ctx, "fig1", &fig1);
     }
     if run("fig2") {
-        fig2(&mut ctx);
+        instrumented(&mut ctx, "fig2", &fig2);
     }
     if run("fig9") {
-        figs_9_10(&mut ctx, CompressorKind::SzLr, "fig9");
+        instrumented(&mut ctx, "fig9", &|c| figs_9_10(c, CompressorKind::SzLr, "fig9"));
     }
     if run("fig10") {
-        figs_9_10(&mut ctx, CompressorKind::SzInterp, "fig10");
+        instrumented(&mut ctx, "fig10", &|c| {
+            figs_9_10(c, CompressorKind::SzInterp, "fig10")
+        });
     }
     if run("fig11") {
-        fig11(&mut ctx);
+        instrumented(&mut ctx, "fig11", &fig11);
     }
     if run("fig12") {
-        rate_distortion(&mut ctx, Application::Warpx, "fig12");
+        instrumented(&mut ctx, "fig12", &|c| {
+            rate_distortion(c, Application::Warpx, "fig12")
+        });
     }
     if run("fig13") {
-        rate_distortion(&mut ctx, Application::Nyx, "fig13");
+        instrumented(&mut ctx, "fig13", &|c| {
+            rate_distortion(c, Application::Nyx, "fig13")
+        });
     }
     if run("fig14") {
-        fig14(&mut ctx);
+        instrumented(&mut ctx, "fig14", &fig14);
     }
     if run("ablation") {
-        ablation(&mut ctx);
+        instrumented(&mut ctx, "ablation", &ablation);
     }
 
     let json_path: &Path = &ctx.out.join("results.json");
@@ -503,6 +562,43 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => eprintln!("failed to serialize results: {e}"),
+    }
+
+    // Final machine-readable one-liner: what ran, how well it compressed,
+    // and where the wall time went. Also appended to summary.jsonl so
+    // successive invocations accumulate a log.
+    let runs: Vec<serde_json::Value> = ctx
+        .runs
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "scenario": r.app.label(),
+                "compressor": r.compressor,
+                "rel_eb": r.rel_error_bound,
+                "compression_ratio": r.compression_ratio,
+                "psnr_db": r.psnr_db,
+                "ssim": r.ssim,
+                "compress_seconds": r.compress_seconds,
+                "decompress_seconds": r.decompress_seconds,
+            })
+        })
+        .collect();
+    let summary = serde_json::json!({
+        "experiment": exp,
+        "scale": format!("{:?}", ctx.scale).to_lowercase(),
+        "seed": ctx.seed,
+        "runs": runs,
+        "stage_seconds": ctx.stage_seconds,
+    });
+    let line = serde_json::to_string(&summary).unwrap_or_else(|_| "{}".into());
+    println!("SUMMARY {line}");
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(ctx.out.join("summary.jsonl"))
+    {
+        let _ = writeln!(f, "{line}");
     }
     ExitCode::SUCCESS
 }

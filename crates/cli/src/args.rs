@@ -21,8 +21,15 @@ pub fn parse(
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if let Some((key, _)) = name.split_once('=') {
+                return Err(format!(
+                    "`--{key}=VALUE` style is not supported; use `--{key} VALUE`"
+                ));
+            }
             if switch_opts.contains(&name) {
-                out.switches.push(name.to_string());
+                if !out.switches.iter().any(|s| s == name) {
+                    out.switches.push(name.to_string());
+                }
             } else if value_opts.contains(&name) {
                 let v = it.next().ok_or(format!("--{name} needs a value"))?;
                 out.options.insert(name.to_string(), v.clone());
@@ -98,6 +105,32 @@ mod tests {
     fn missing_value_and_unknown_option() {
         assert!(parse(&sv(&["--field"]), &["field"], &[]).is_err());
         assert!(parse(&sv(&["--nope", "v"]), &["field"], &[]).is_err());
+    }
+
+    #[test]
+    fn repeated_switches_are_deduped() {
+        let p = parse(&sv(&["--skip", "--skip", "--skip"]), &[], &["skip"]).unwrap();
+        assert!(p.switch("skip"));
+        assert_eq!(p.switches, vec!["skip"]);
+    }
+
+    #[test]
+    fn repeated_value_option_keeps_last() {
+        let p = parse(&sv(&["--n", "1", "--n", "2"]), &["n"], &[]).unwrap();
+        assert_eq!(p.opt("n"), Some("2"));
+    }
+
+    #[test]
+    fn equals_style_is_rejected_with_guidance() {
+        let err = parse(&sv(&["--field=rho"]), &["field"], &[]).unwrap_err();
+        assert!(
+            err.contains("`--field=VALUE` style is not supported"),
+            "unexpected message: {err}"
+        );
+        assert!(err.contains("use `--field VALUE`"), "unexpected message: {err}");
+        // Even an unknown key gets the syntax hint, not "unknown option".
+        let err = parse(&sv(&["--nope=1"]), &["field"], &[]).unwrap_err();
+        assert!(err.contains("`--nope=VALUE`"), "unexpected message: {err}");
     }
 
     #[test]

@@ -184,10 +184,10 @@ pub fn compress(argv: &[String]) -> Result<(), String> {
         skip_redundant: p.switch("skip-redundant"),
         restore_redundant: false,
     };
-    let t0 = std::time::Instant::now();
+    let sp = amrviz_obs::span!("compress", algo = comp.name());
     let c = compress_hierarchy_field(&hier, field, comp.as_ref(), bound(&p)?, &cfg)
         .map_err(|e| e.to_string())?;
-    let secs = t0.elapsed().as_secs_f64();
+    let secs = sp.finish();
     std::fs::write(out, c.to_bytes()).map_err(|e| e.to_string())?;
     let stats = CompressionStats::new(c.n_values, c.compressed_bytes());
     println!(

@@ -22,9 +22,19 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (argv, obs_opts) = match extract_obs_options(argv) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
         print!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+    if obs_opts.active() {
+        amrviz_obs::enable();
     }
     let cmd = argv[0].clone();
     let rest = &argv[1..];
@@ -39,6 +49,7 @@ fn main() -> ExitCode {
         "diff" => commands::diff(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
+    let result = result.and_then(|()| obs_opts.export());
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -46,6 +57,52 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Observability flags, valid on every subcommand.
+#[derive(Debug, Default)]
+struct ObsOptions {
+    trace_path: Option<String>,
+    timing: bool,
+}
+
+impl ObsOptions {
+    fn active(&self) -> bool {
+        self.trace_path.is_some() || self.timing
+    }
+
+    /// Writes the chrome trace and/or prints the timing summary.
+    fn export(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace_path {
+            amrviz_obs::chrome::write_chrome_trace(std::path::Path::new(path))
+                .map_err(|e| format!("writing trace to {path}: {e}"))?;
+            eprintln!("trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+        if self.timing {
+            let summary = amrviz_obs::summary::collect();
+            eprint!("{}", summary.to_text());
+        }
+        Ok(())
+    }
+}
+
+/// Strips `--trace PATH` and `--timing` (valid anywhere on the command
+/// line) from `argv` before subcommand dispatch.
+fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
+    let mut opts = ObsOptions::default();
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                let path = it.next().ok_or("--trace needs a value".to_string())?;
+                opts.trace_path = Some(path);
+            }
+            "--timing" => opts.timing = true,
+            _ => rest.push(a),
+        }
+    }
+    Ok((rest, opts))
 }
 
 fn usage() -> &'static str {
@@ -68,5 +125,9 @@ USAGE:
                     [--mode surface|slice|volume] [--iso V | --quantile Q]
                     [--method M] [--width W] [--height H] [--log]
   amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
+
+GLOBAL OPTIONS (valid on every command):
+  --trace FILE   write a chrome://tracing / Perfetto trace of the run
+  --timing       print a hierarchical per-stage timing summary to stderr
 "
 }

@@ -116,19 +116,23 @@ pub fn compress_hierarchy_field(
         let e = bound.to_abs(hi - lo);
         if e > 0.0 { e } else { 1e-300 }
     };
+    amrviz_obs::gauge_set("compress.abs_eb", abs_eb);
 
     let mut blobs = Vec::with_capacity(hier.num_levels());
     let mut n_values = 0usize;
     for (lev, mf) in amr_field.levels.iter().enumerate() {
+        let mut sp = amrviz_obs::span!("compress.level", level = lev);
         // Enumerate (fab, piece) tasks, then compress them in parallel.
         let mut tasks: Vec<(usize, amrviz_amr::Box3)> = Vec::new();
+        let mut level_values = 0usize;
         for (fi, fab) in mf.fabs().iter().enumerate() {
             let bx = fab.box3();
-            n_values += bx.num_cells();
+            level_values += bx.num_cells();
             for piece in encode_pieces(hier, lev, bx, cfg) {
                 tasks.push((fi, piece));
             }
         }
+        n_values += level_values;
         let level_blobs: Vec<Vec<u8>> = tasks
             .par_iter()
             .map(|&(fi, piece)| {
@@ -137,6 +141,12 @@ pub fn compress_hierarchy_field(
                 compressor.compress(&field3, ErrorBound::Abs(abs_eb))
             })
             .collect();
+        let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
+        amrviz_obs::counter!("compress.bytes_in", level_values * 8);
+        amrviz_obs::counter!("compress.bytes_out", level_bytes);
+        sp.add_field("pieces", tasks.len());
+        sp.add_field("bytes_in", level_values * 8);
+        sp.add_field("bytes_out", level_bytes);
         blobs.push(level_blobs);
     }
     Ok(CompressedHierarchyField { blobs, abs_eb, n_values })
@@ -175,6 +185,7 @@ pub fn decompress_hierarchy_field(
     }
     let mut levels: Vec<MultiFab> = Vec::with_capacity(hier.num_levels());
     for (lev, level_blobs) in compressed.blobs.iter().enumerate() {
+        let mut sp = amrviz_obs::span!("decompress.level", level = lev);
         let ba = hier.box_array(lev);
         // Reconstruct the deterministic (fab, piece) schedule, then decode
         // all pieces in parallel.
@@ -210,10 +221,16 @@ pub fn decompress_hierarchy_field(
         for (&(fi, _), piece_fab) in tasks.iter().zip(decoded) {
             fabs[fi].copy_from(&piece_fab?);
         }
+        let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
+        amrviz_obs::counter!("decompress.bytes_in", level_bytes);
+        amrviz_obs::counter!("decompress.bytes_out", ba.num_cells() * 8);
+        sp.add_field("pieces", tasks.len());
+        sp.add_field("bytes_in", level_bytes);
         levels.push(MultiFab::from_fabs(fabs));
     }
 
     if cfg.restore_redundant {
+        let _sp = amrviz_obs::span!("decompress.restore_redundant");
         // Rebuild coarse data under fine patches from the decompressed fine
         // level (finest first so restrictions cascade downward).
         for lev in (0..hier.num_levels().saturating_sub(1)).rev() {

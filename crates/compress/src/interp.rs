@@ -16,7 +16,7 @@
 use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
 
 use crate::field::Field3;
-use crate::quantizer::{Quantized, Quantizer};
+use crate::quantizer::{QuantStats, Quantized, Quantizer};
 use crate::wire::{ByteReader, ByteWriter};
 use crate::{CompressError, Compressor, ErrorBound};
 
@@ -119,6 +119,7 @@ impl Compressor for SzInterp {
     }
 
     fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+        let mut sp = amrviz_obs::span!("szitp.compress", values = field.len());
         let dims = field.dims;
         let n = field.len();
         let eb = {
@@ -126,6 +127,7 @@ impl Compressor for SzInterp {
             if e > 0.0 { e } else { 1e-300 }
         };
         let q = Quantizer::new(eb);
+        let mut qstats = QuantStats::default();
 
         let mut recon = vec![0.0f64; n];
         recon[0] = field.data[0]; // corner anchor, stored raw
@@ -134,7 +136,9 @@ impl Compressor for SzInterp {
 
         sweep(&mut recon, dims, |site| {
             let actual = field.data[site.idx];
-            match q.quantize(site.pred, actual) {
+            let quantized = q.quantize(site.pred, actual);
+            qstats.tally(&quantized);
+            match quantized {
                 Quantized::Code { code, recon } => {
                     codes.push(code);
                     recon
@@ -160,10 +164,14 @@ impl Compressor for SzInterp {
             outlier_bytes.extend_from_slice(&v.to_le_bytes());
         }
         w.section(&outlier_bytes);
-        w.finish()
+        let out = w.finish();
+        qstats.report();
+        sp.add_field("bytes_out", out.len());
+        out
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+        let _sp = amrviz_obs::span!("szitp.decompress", bytes_in = bytes.len());
         let mut r = ByteReader::new(bytes);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad SZ-Interp magic".into()));

@@ -21,6 +21,38 @@ pub enum Quantized {
     Outlier,
 }
 
+/// Tally of quantization outcomes over one encode pass.
+///
+/// Encoders accumulate locally (no recorder traffic on the per-value fast
+/// path) and publish once per stream via [`QuantStats::report`], which is
+/// how the `quantizer.codes` / `quantizer.outliers` counters in
+/// `amrviz-obs` are fed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QuantStats {
+    /// Values that quantized to an in-range symbol.
+    pub codes: u64,
+    /// Values that escaped as verbatim outliers.
+    pub outliers: u64,
+}
+
+impl QuantStats {
+    /// Records one quantization outcome.
+    #[inline]
+    pub fn tally(&mut self, q: &Quantized) {
+        match q {
+            Quantized::Code { .. } => self.codes += 1,
+            Quantized::Outlier => self.outliers += 1,
+        }
+    }
+
+    /// Publishes the tally to the global observability counters (batched:
+    /// two counter adds per stream, regardless of value count).
+    pub fn report(&self) {
+        amrviz_obs::counter!("quantizer.codes", self.codes);
+        amrviz_obs::counter!("quantizer.outliers", self.outliers);
+    }
+}
+
 /// Error-bounded linear quantizer.
 #[derive(Debug, Clone, Copy)]
 pub struct Quantizer {
@@ -69,6 +101,17 @@ impl Quantizer {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn stats_tally_outcomes() {
+        let q = Quantizer::new(0.1);
+        let mut stats = QuantStats::default();
+        stats.tally(&q.quantize(0.0, 0.05));
+        stats.tally(&q.quantize(0.0, 1e9));
+        stats.tally(&q.quantize(0.0, f64::NAN));
+        assert_eq!(stats, QuantStats { codes: 1, outliers: 2 });
+        stats.report(); // recorder disabled: must be a free no-op
+    }
 
     #[test]
     fn zero_residual_gets_center_code() {

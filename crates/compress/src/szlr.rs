@@ -21,7 +21,7 @@ use amrviz_codec::{BitReader, BitWriter};
 
 use crate::field::Field3;
 use crate::lorenzo::lorenzo3_predict;
-use crate::quantizer::{Quantized, Quantizer};
+use crate::quantizer::{QuantStats, Quantized, Quantizer};
 use crate::regression::{fit_block, RegressionCoeffs};
 use crate::wire::{ByteReader, ByteWriter};
 use crate::{CompressError, Compressor, ErrorBound};
@@ -141,11 +141,13 @@ impl Compressor for SzLr {
     }
 
     fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+        let mut sp = amrviz_obs::span!("szlr.compress", values = field.len());
         let dims = field.dims;
         let [nx, ny, nz] = dims;
         let n = field.len();
         let eb = effective_eb(bound, field.range());
         let q = Quantizer::new(eb);
+        let mut qstats = QuantStats::default();
         let bs = self.block_size;
         let nblocks = self.block_extents(dims);
 
@@ -210,7 +212,9 @@ impl Compressor for SzLr {
                                     None => lorenzo3_predict(&recon, dims, i, j, k),
                                 };
                                 let actual = field.data[idx];
-                                match q.quantize(pred, actual) {
+                                let quantized = q.quantize(pred, actual);
+                                qstats.tally(&quantized);
+                                match quantized {
                                     Quantized::Code { code, recon: r } => {
                                         codes.push(code);
                                         recon[idx] = r;
@@ -244,10 +248,14 @@ impl Compressor for SzLr {
             outlier_bytes.extend_from_slice(&v.to_le_bytes());
         }
         w.section(&outlier_bytes);
-        w.finish()
+        let out = w.finish();
+        qstats.report();
+        sp.add_field("bytes_out", out.len());
+        out
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+        let _sp = amrviz_obs::span!("szlr.decompress", bytes_in = bytes.len());
         let mut r = ByteReader::new(bytes);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad SZ-L/R magic".into()));

@@ -1,6 +1,9 @@
 //! Experiment runners — one per table/figure of the paper.
-
-use std::time::Instant;
+//!
+//! All timing is measured through `amrviz-obs` spans: the seconds recorded
+//! in result rows (e.g. [`CompressionRun::compress_seconds`]) are the same
+//! wall-clock durations the trace exporters see, so a `--trace` file and
+//! the tabulated timings can never disagree.
 
 use amrviz_compress::{
     compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig,
@@ -80,7 +83,7 @@ pub fn run_compression(
     let field = built.spec.app.eval_field();
     let cfg = AmrCodecConfig::default();
 
-    let t0 = Instant::now();
+    let sp = amrviz_obs::span!("compress", compressor = kind.label(), rel_eb = rel_eb);
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
         field,
@@ -89,13 +92,14 @@ pub fn run_compression(
         &cfg,
     )
     .expect("scenario field exists");
-    let compress_seconds = t0.elapsed().as_secs_f64();
+    let compress_seconds = sp.finish();
 
-    let t1 = Instant::now();
+    let sp = amrviz_obs::span!("decompress", compressor = kind.label());
     let levels = decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
         .expect("own stream decodes");
-    let decompress_seconds = t1.elapsed().as_secs_f64();
+    let decompress_seconds = sp.finish();
 
+    let sp_score = amrviz_obs::span!("score", compressor = kind.label());
     let recon_uniform = flatten_levels(built, &levels);
     let stats = CompressionStats::new(compressed.n_values, compressed.compressed_bytes());
     let q = quality(&built.uniform.data, &recon_uniform);
@@ -106,6 +110,7 @@ pub fn run_compression(
         dims,
         &SsimConfig::default(),
     );
+    sp_score.finish();
     CompressionRun {
         app: built.spec.app,
         compressor: kind.label(),
@@ -126,6 +131,7 @@ pub fn run_compression(
 /// Merges decompressed level data to the finest uniform resolution by
 /// temporarily attaching it to a structural clone of the hierarchy.
 fn flatten_levels(built: &BuiltScenario, levels: &[MultiFab]) -> Vec<f64> {
+    let _sp = amrviz_obs::span!("flatten_levels");
     let mut hier = built.hierarchy.clone();
     hier.add_field("__recon", levels.to_vec())
         .expect("levels match hierarchy");
@@ -147,6 +153,7 @@ pub struct Table1Row {
 
 /// Regenerates Table 1 from built scenarios.
 pub fn run_table1(built: &[&BuiltScenario]) -> Vec<Table1Row> {
+    let _sp = amrviz_obs::span!("run.table1", scenarios = built.len());
     built
         .iter()
         .map(|b| {
@@ -166,6 +173,7 @@ pub fn run_table1(built: &[&BuiltScenario]) -> Vec<Table1Row> {
 
 /// Regenerates Table 2: both compressors × three error bounds per app.
 pub fn run_table2(built: &BuiltScenario) -> Vec<CompressionRun> {
+    let _sp = amrviz_obs::span!("run.table2");
     let mut rows = Vec::new();
     for kind in CompressorKind::PAPER {
         for eb in [1e-4, 1e-3, 1e-2] {
@@ -188,6 +196,7 @@ pub struct RateDistortionPoint {
 /// Sweeps error bounds for both compressors (Fig. 12 for WarpX "Ez",
 /// Fig. 13 for Nyx "Density").
 pub fn run_rate_distortion(built: &BuiltScenario, ebs: &[f64]) -> Vec<RateDistortionPoint> {
+    let _sp = amrviz_obs::span!("run.rate_distortion", bounds = ebs.len());
     let mut pts = Vec::new();
     for kind in CompressorKind::PAPER {
         for &eb in ebs {
@@ -220,6 +229,7 @@ pub struct CrackRun {
 /// Extracts the original-data surface with every method and measures the
 /// level-interface defects.
 pub fn run_crack_analysis(built: &BuiltScenario) -> Vec<CrackRun> {
+    let _sp = amrviz_obs::span!("run.crack_analysis");
     let field = built.spec.app.eval_field();
     let levels = &built.hierarchy.field(field).expect("eval field").levels;
     let geom = built.hierarchy.geometry();
@@ -307,6 +317,7 @@ pub fn run_viz_quality(
     ebs: &[f64],
     methods: &[IsoMethod],
 ) -> Vec<VizQualityRun> {
+    let _sp = amrviz_obs::span!("run.viz_quality", compressor = kind.label());
     let comp = kind.instance();
     let field = built.spec.app.eval_field();
     let orig_levels = &built.hierarchy.field(field).expect("eval field").levels;

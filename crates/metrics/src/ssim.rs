@@ -44,6 +44,14 @@ pub fn ssim3(original: &[f64], reconstructed: &[f64], dims: [usize; 3], cfg: &Ss
     assert_eq!(original.len(), dims[0] * dims[1] * dims[2], "dims mismatch");
     assert_eq!(original.len(), reconstructed.len(), "length mismatch");
     assert!(cfg.window >= 2 && cfg.stride >= 1);
+    let _sp = amrviz_obs::span!(
+        "metrics.ssim3",
+        nx = dims[0],
+        ny = dims[1],
+        nz = dims[2],
+        window = cfg.window,
+        stride = cfg.stride,
+    );
     let [nx, ny, nz] = dims;
     let w = cfg.window.min(nx).min(ny).min(nz);
 

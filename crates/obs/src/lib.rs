@@ -1,0 +1,505 @@
+//! `amrviz-obs` — lightweight observability for the compression→viz pipeline.
+//!
+//! The paper's analysis hinges on *where* time and error appear in the
+//! pipeline (compress level-by-level → decompress → extract → score), so
+//! every stage of the workspace reports into a single global recorder:
+//!
+//! * **Spans** — [`span!`] returns a guard that measures wall time and, when
+//!   recording is enabled, captures name, key/value fields, thread id, and
+//!   parent span (nesting is tracked per thread, safe under rayon fan-out).
+//! * **Counters / gauges** — [`counter!`] accumulates monotonic totals
+//!   (bytes in/out, quantizer outliers, triangles emitted, crack rim edges);
+//!   [`gauge_set`] records last-written values (resolved error bounds, iso
+//!   values).
+//! * **Exporters** — [`chrome::chrome_trace_json`] emits a
+//!   `chrome://tracing` / Perfetto `traceEvents` file;
+//!   [`summary::collect`] aggregates spans into a hierarchical
+//!   stage/level summary with percentages.
+//!
+//! # Overhead
+//!
+//! Recording is **off by default**. A disabled [`SpanGuard`] is a pair of
+//! `Instant` reads with no allocation and no locking, so instrumented code
+//! can use `span!(..).finish()` as its only timing source (the reported
+//! seconds and the trace can never disagree). Counters are meant to be
+//! batched — callers tally per block/fab/mesh and report once — so the
+//! per-value fast paths never touch the recorder. When enabled, completed
+//! spans are pushed to sharded, per-thread-indexed buffers; the single
+//! uncontended lock per *span* (not per value) is negligible next to the
+//! work a span wraps.
+//!
+//! ```
+//! amrviz_obs::reset();
+//! amrviz_obs::enable();
+//! {
+//!     let _outer = amrviz_obs::span!("compress", level = 1usize);
+//!     amrviz_obs::counter!("bytes_in", 4096usize);
+//! }
+//! let events = amrviz_obs::events_snapshot();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "compress");
+//! assert_eq!(amrviz_obs::counters_snapshot()["bytes_in"], 4096);
+//! amrviz_obs::disable();
+//! ```
+
+pub mod chrome;
+pub mod summary;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of event/counter shards; indexed by thread id so rayon workers
+/// almost never contend on the same lock.
+const SHARDS: usize = 16;
+
+/// A span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON literal (floats use exponent notation;
+    /// non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::Int(v) => v.to_string(),
+            FieldValue::Float(v) => {
+                if v.is_finite() {
+                    format!("{v:e}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+
+    /// Integer view, when the value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            FieldValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! field_from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::Int(v as i64)
+            }
+        })*
+    };
+}
+
+field_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::Float(v as f64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Unique id (creation order; parents always have smaller ids).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for roots.
+    pub parent: u64,
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Small sequential thread id (not the OS id).
+    pub thread: u64,
+    /// Start time in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanEvent {
+    /// The `level = N` field, if the span carries one.
+    pub fn level(&self) -> Option<i64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == "level")
+            .and_then(|(_, v)| v.as_int())
+    }
+}
+
+struct Recorder {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    next_thread: AtomicU64,
+    epoch: Instant,
+    events: [Mutex<Vec<SpanEvent>>; SHARDS],
+    counters: [Mutex<BTreeMap<&'static str, u64>>; SHARDS],
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            // 0 means "no parent", so real ids start at 1.
+            next_id: AtomicU64::new(1),
+            next_thread: AtomicU64::new(0),
+            epoch: Instant::now(),
+            events: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            gauges: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+fn recorder() -> &'static Recorder {
+    RECORDER.get_or_init(Recorder::new)
+}
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Small sequential id of the calling thread (assigned on first use).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|c| {
+        let v = c.get();
+        if v != u64::MAX {
+            v
+        } else {
+            let id = recorder().next_thread.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+            id
+        }
+    })
+}
+
+/// Turns recording on. Span/counter calls before this are free no-ops.
+pub fn enable() {
+    recorder().enabled.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off (already-recorded data is kept until [`reset`]).
+pub fn disable() {
+    recorder().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans and counters are currently being recorded.
+#[inline]
+pub fn is_enabled() -> bool {
+    // Cold until `enable()` is called; a relaxed load is the entire cost of
+    // a disabled probe.
+    RECORDER
+        .get()
+        .is_some_and(|r| r.enabled.load(Ordering::Relaxed))
+}
+
+/// Clears all recorded events, counters and gauges (enabled state and
+/// thread ids are kept).
+pub fn reset() {
+    let r = recorder();
+    for shard in &r.events {
+        lock_clean(shard).clear();
+    }
+    for shard in &r.counters {
+        lock_clean(shard).clear();
+    }
+    lock_clean(&r.gauges).clear();
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking instrumented
+/// thread must not take the whole recorder down).
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while disabled.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let r = recorder();
+    let shard = (thread_id() as usize) % SHARDS;
+    *lock_clean(&r.counters[shard]).entry(name).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op while disabled.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    lock_clean(&recorder().gauges).insert(name, value);
+}
+
+/// Merged snapshot of all counters.
+pub fn counters_snapshot() -> BTreeMap<&'static str, u64> {
+    let r = recorder();
+    let mut out = BTreeMap::new();
+    for shard in &r.counters {
+        for (k, v) in lock_clean(shard).iter() {
+            *out.entry(*k).or_insert(0) += *v;
+        }
+    }
+    out
+}
+
+/// Snapshot of all gauges.
+pub fn gauges_snapshot() -> BTreeMap<&'static str, f64> {
+    lock_clean(&recorder().gauges).clone()
+}
+
+/// Snapshot of all completed spans, ordered by start time.
+pub fn events_snapshot() -> Vec<SpanEvent> {
+    let r = recorder();
+    let mut out = Vec::new();
+    for shard in &r.events {
+        out.extend(lock_clean(shard).iter().cloned());
+    }
+    out.sort_by_key(|e| (e.start_ns, e.id));
+    out
+}
+
+/// The recorded state of an enabled span (absent when recording is off).
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    thread: u64,
+    start_ns: u64,
+}
+
+/// RAII timer for one pipeline stage. Always measures wall time (so
+/// [`SpanGuard::finish`] can replace ad-hoc `Instant` pairs); records an
+/// event only while the recorder is enabled.
+pub struct SpanGuard {
+    start: Instant,
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Starts a span. Prefer the [`span!`] macro, which skips building the
+    /// field vector while recording is disabled.
+    pub fn with_fields(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        let active = if is_enabled() {
+            let r = recorder();
+            let id = r.next_id.fetch_add(1, Ordering::Relaxed);
+            let parent = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied().unwrap_or(0);
+                s.push(id);
+                parent
+            });
+            Some(ActiveSpan {
+                id,
+                parent,
+                name,
+                fields,
+                thread: thread_id(),
+                start_ns: r.epoch.elapsed().as_nanos() as u64,
+            })
+        } else {
+            None
+        };
+        SpanGuard { start: Instant::now(), active }
+    }
+
+    /// Attaches a field after creation (e.g. an output size known only at
+    /// the end of the stage). No-op while disabled.
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(a) = self.active.as_mut() {
+            a.fields.push((key, value.into()));
+        }
+    }
+
+    /// Ends the span, returning its wall time in seconds — valid whether or
+    /// not recording is enabled, so callers can use it as their only timer.
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        let dur = self.start.elapsed();
+        if let Some(a) = self.active.take() {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                // Guards are scoped, so the top of the stack is this span;
+                // be defensive anyway in case of leaked guards.
+                if s.last() == Some(&a.id) {
+                    s.pop();
+                } else {
+                    s.retain(|&id| id != a.id);
+                }
+            });
+            let r = recorder();
+            let shard = (a.thread as usize) % SHARDS;
+            lock_clean(&r.events[shard]).push(SpanEvent {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                fields: a.fields,
+                thread: a.thread,
+                start_ns: a.start_ns,
+                dur_ns: dur.as_nanos() as u64,
+            });
+        }
+        dur.as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Starts a [`SpanGuard`]: `span!("compress", level = 2, bytes = n)`.
+///
+/// Field *values* are evaluated only when recording is enabled; keep them
+/// side-effect free.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::with_fields($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let fields = if $crate::is_enabled() {
+            ::std::vec![$((::core::stringify!($key), $crate::FieldValue::from($value))),+]
+        } else {
+            ::std::vec::Vec::new()
+        };
+        $crate::SpanGuard::with_fields($name, fields)
+    }};
+}
+
+/// Adds to a monotonic counter: `counter!("bytes_out", blob.len())`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        $crate::counter_add($name, $delta as u64)
+    };
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global recorder.
+    pub(crate) fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_but_still_time() {
+        let _g = guard();
+        disable();
+        reset();
+        let sp = span!("quiet", level = 3usize);
+        let secs = sp.finish();
+        assert!(secs >= 0.0);
+        counter!("quiet_counter", 7u64);
+        assert!(events_snapshot().is_empty());
+        assert!(counters_snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_records_fields_and_duration() {
+        let _g = guard();
+        reset();
+        enable();
+        {
+            let mut sp = span!("stage", level = 2usize, eb = 1e-3f64);
+            sp.add_field("bytes", 123usize);
+            let secs = sp.finish();
+            assert!(secs >= 0.0);
+        }
+        disable();
+        let ev = events_snapshot();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "stage");
+        assert_eq!(ev[0].level(), Some(2));
+        assert_eq!(ev[0].parent, 0);
+        assert!(ev[0]
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "bytes" && v.as_int() == Some(123)));
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = guard();
+        reset();
+        enable();
+        counter!("bytes", 10u64);
+        counter!("bytes", 32usize);
+        gauge_set("eb", 0.5);
+        gauge_set("eb", 0.25);
+        disable();
+        assert_eq!(counters_snapshot()["bytes"], 42);
+        assert_eq!(gauges_snapshot()["eb"], 0.25);
+    }
+
+    #[test]
+    fn field_value_json_forms() {
+        assert_eq!(FieldValue::from(3usize).to_json(), "3");
+        assert_eq!(FieldValue::from(-2i64).to_json(), "-2");
+        assert_eq!(FieldValue::from("a\"b").to_json(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::from(f64::NAN).to_json(), "null");
+        let j = FieldValue::from(1e-3f64).to_json();
+        assert!(j.contains('e'), "float json should be exponent form: {j}");
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+}

@@ -1,0 +1,210 @@
+//! Integration tests for `amrviz-obs`: concurrent recording under rayon,
+//! nested-span parenting, and chrome-trace export validity.
+//!
+//! All tests share the process-global recorder, so each takes `lock()`.
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn concurrent_spans_under_rayon_lose_nothing() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+
+    const N: usize = 512;
+    let sum: u64 = (0..N)
+        .into_par_iter()
+        .map(|i| {
+            let mut sp = amrviz_obs::span!("work", level = i % 3);
+            sp.add_field("item", i);
+            amrviz_obs::counter!("items", 1u64);
+            amrviz_obs::counter!("weight", i as u64);
+            sp.finish();
+            i as u64
+        })
+        .sum();
+    amrviz_obs::disable();
+
+    assert_eq!(sum, (N as u64 - 1) * N as u64 / 2);
+    let events = amrviz_obs::events_snapshot();
+    assert_eq!(events.len(), N, "lost or duplicated span events");
+
+    // No torn events: every event is fully formed and ids are unique.
+    let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), N, "duplicate span ids");
+    let mut items: Vec<i64> = events
+        .iter()
+        .map(|e| {
+            assert_eq!(e.name, "work");
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == "item")
+                .and_then(|(_, v)| v.as_int())
+                .expect("item field present")
+        })
+        .collect();
+    items.sort_unstable();
+    let want: Vec<i64> = (0..N as i64).collect();
+    assert_eq!(items, want, "some items were lost or torn");
+
+    let counters = amrviz_obs::counters_snapshot();
+    assert_eq!(counters["items"], N as u64);
+    assert_eq!(counters["weight"], sum);
+}
+
+#[test]
+fn nested_spans_are_parented() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    {
+        let _outer = amrviz_obs::span!("outer");
+        {
+            let _mid = amrviz_obs::span!("mid", level = 0usize);
+            let _inner = amrviz_obs::span!("inner");
+        }
+        let _sibling = amrviz_obs::span!("sibling");
+    }
+    amrviz_obs::disable();
+
+    let events = amrviz_obs::events_snapshot();
+    assert_eq!(events.len(), 4);
+    let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+    let outer = by_name("outer");
+    let mid = by_name("mid");
+    let inner = by_name("inner");
+    let sibling = by_name("sibling");
+    assert_eq!(outer.parent, 0);
+    assert_eq!(mid.parent, outer.id);
+    assert_eq!(inner.parent, mid.id);
+    assert_eq!(sibling.parent, outer.id);
+
+    // The summary tree mirrors the nesting.
+    let summary = amrviz_obs::summary::build(&events);
+    assert_eq!(summary.roots.len(), 1);
+    assert_eq!(summary.roots[0].key, "outer");
+    let keys: Vec<&str> = summary.roots[0]
+        .children
+        .iter()
+        .map(|c| c.key.as_str())
+        .collect();
+    assert!(keys.contains(&"mid [L0]"), "children: {keys:?}");
+    assert!(keys.contains(&"sibling"), "children: {keys:?}");
+}
+
+#[test]
+fn parenting_survives_rayon_fan_out() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    {
+        let _outer = amrviz_obs::span!("fan");
+        (0..64).into_par_iter().for_each(|i| {
+            let _sp = amrviz_obs::span!("leaf", level = i % 2);
+        });
+    }
+    amrviz_obs::disable();
+    let events = amrviz_obs::events_snapshot();
+    assert_eq!(events.len(), 65);
+    // Leaves that happened to run on the spawning thread are parented under
+    // `fan`; leaves on worker threads are roots. Either way nothing is lost
+    // and the summary accounts for all of them.
+    let summary = amrviz_obs::summary::build(&events);
+    let leaf_count: usize = count_key(&summary.roots, "leaf");
+    assert_eq!(leaf_count, 64);
+}
+
+fn count_key(nodes: &[amrviz_obs::summary::SummaryNode], name: &str) -> usize {
+    nodes
+        .iter()
+        .map(|n| {
+            let own = if n.key.starts_with(name) { n.count } else { 0 };
+            own + count_key(&n.children, name)
+        })
+        .sum()
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_with_matched_events() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    {
+        let _outer = amrviz_obs::span!("compress", level = 0usize, eb = 1e-3f64);
+        let _inner = amrviz_obs::span!("quantize", codes = 100usize);
+        amrviz_obs::counter!("bytes_out", 1234u64);
+    }
+    {
+        let _sp = amrviz_obs::span!("extract", method = "dual-cell");
+    }
+    amrviz_obs::disable();
+
+    let text = amrviz_obs::chrome::chrome_trace_json();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace must be valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut n_complete = 0;
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("ph present");
+        match ph {
+            // Complete events carry their own duration — nothing to match,
+            // which is exactly why we emit X instead of B/E pairs.
+            "X" => {
+                n_complete += 1;
+                assert!(ev["ts"].as_f64().is_some(), "X event without ts: {ev}");
+                assert!(ev["dur"].as_f64().is_some(), "X event without dur: {ev}");
+                assert!(ev["name"].as_str().is_some());
+                assert!(ev["tid"].is_number());
+            }
+            "M" | "C" => {}
+            other => panic!("unexpected phase {other} in {ev}"),
+        }
+    }
+    assert_eq!(n_complete, 3, "one X event per span");
+
+    // Span fields surface as args...
+    let compress = events
+        .iter()
+        .find(|e| e["name"] == "compress")
+        .expect("compress span exported");
+    assert_eq!(compress["args"]["level"], 0);
+    let extract = events
+        .iter()
+        .find(|e| e["name"] == "extract")
+        .expect("extract span exported");
+    assert_eq!(extract["args"]["method"], "dual-cell");
+    // ...and counters as C events.
+    let counter = events
+        .iter()
+        .find(|e| e["ph"] == "C" && e["name"] == "bytes_out")
+        .expect("counter exported");
+    assert_eq!(counter["args"]["value"], 1234);
+}
+
+#[test]
+fn reset_clears_everything() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    {
+        let _sp = amrviz_obs::span!("temp");
+        amrviz_obs::counter!("temp_counter", 1u64);
+        amrviz_obs::gauge_set("temp_gauge", 1.0);
+    }
+    amrviz_obs::reset();
+    amrviz_obs::disable();
+    assert!(amrviz_obs::events_snapshot().is_empty());
+    assert!(amrviz_obs::counters_snapshot().is_empty());
+    assert!(amrviz_obs::gauges_snapshot().is_empty());
+}

@@ -77,6 +77,7 @@ pub fn interface_gap(
             max_gap: 0.0,
         });
     }
+    amrviz_obs::counter!("viz.crack_rim_edges", n_rim);
     gaps.sort_by(|x, y| x.partial_cmp(y).expect("finite distances"));
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let p95 = gaps[((gaps.len() as f64 * 0.95) as usize).min(gaps.len() - 1)];

@@ -60,6 +60,7 @@ pub fn extract_dual_level(
     // over dual-cell slabs.
     let (dx, dy, dz) = (cx - 1, cy - 1, cz - 1);
     let mut mask = vec![false; dx * dy * dz];
+    let sp_mask = amrviz_obs::span!("dual.mask", level = lev);
     mask.par_chunks_mut(dx * dy)
         .enumerate()
         .for_each(|(k, slab)| {
@@ -93,6 +94,7 @@ pub fn extract_dual_level(
                 }
             }
         });
+    sp_mask.finish();
 
     // Node grid sits at cell centers: origin shifted by h/2.
     let origin = [
@@ -110,6 +112,7 @@ pub fn extract_dual_level(
         values: cells,
         cell_mask: Some(mask),
     };
+    let _sp = amrviz_obs::span!("dual.march", level = lev);
     marching_tetrahedra(&grid, iso)
 }
 

@@ -248,7 +248,9 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
     // independent of thread count.
     const SLAB: usize = 32;
     if cz <= SLAB {
-        return extract_range(grid, iso, 0, cz);
+        let mesh = extract_range(grid, iso, 0, cz);
+        amrviz_obs::counter!("viz.triangles", mesh.num_triangles());
+        return mesh;
     }
     use rayon::prelude::*;
     let n_slabs = cz.div_ceil(SLAB);
@@ -287,6 +289,7 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
                 .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]]),
         );
     }
+    amrviz_obs::counter!("viz.triangles", out.num_triangles());
     out
 }
 

@@ -68,21 +68,30 @@ pub fn extract_amr_isosurface(
         hier.num_levels(),
         "level data does not match hierarchy"
     );
+    let mut sp = amrviz_obs::span!("extract", method = method.label());
     let level_meshes: Vec<TriMesh> = levels
         .iter()
         .enumerate()
-        .map(|(lev, mf)| match method {
-            IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
-            IsoMethod::DualCell => extract_dual_level(hier, mf, lev, iso, DualMode::Plain),
-            IsoMethod::DualCellRedundant => {
-                extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
-            }
+        .map(|(lev, mf)| {
+            let mut lsp = amrviz_obs::span!("extract.level", level = lev);
+            let mesh = match method {
+                IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
+                IsoMethod::DualCell => {
+                    extract_dual_level(hier, mf, lev, iso, DualMode::Plain)
+                }
+                IsoMethod::DualCellRedundant => {
+                    extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
+                }
+            };
+            lsp.add_field("triangles", mesh.num_triangles());
+            mesh
         })
         .collect();
     let mut combined = TriMesh::new();
     for m in &level_meshes {
         combined.append(m);
     }
+    sp.add_field("triangles", combined.num_triangles());
     AmrIsoResult { method, iso, level_meshes, combined }
 }
 

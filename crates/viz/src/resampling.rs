@@ -44,6 +44,7 @@ pub fn extract_resampled_level(
     let (nnx, nny, nnz) = (cx + 1, cy + 1, cz + 1);
     let mut nodes = vec![0.0f64; nnx * nny * nnz];
     let cell_at = |i: usize, j: usize, k: usize| cells[i + cx * (j + cy * k)];
+    let sp_nodes = amrviz_obs::span!("resample.nodes", level = lev);
     nodes
         .par_chunks_mut(nnx * nny)
         .enumerate()
@@ -79,6 +80,7 @@ pub fn extract_resampled_level(
                 }
             }
         });
+    sp_nodes.finish();
 
     // March the level's unique cells only (parallel over cell slabs).
     let mut mask = vec![false; cx * cy * cz];
@@ -102,6 +104,7 @@ pub fn extract_resampled_level(
         values: nodes,
         cell_mask: Some(mask),
     };
+    let _sp = amrviz_obs::span!("resample.march", level = lev);
     marching_tetrahedra(&grid, iso)
 }
 
