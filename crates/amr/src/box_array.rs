@@ -1,14 +1,12 @@
 //! Collections of boxes describing the footprint of one AMR level.
 
-use serde::{Deserialize, Serialize};
-
 use crate::boxes::Box3;
 use crate::ivec::IntVect;
 
 /// The set of boxes making up one level's grid. In patch-based AMR the
 /// boxes of a level are pairwise disjoint; [`BoxArray::validate_disjoint`]
 /// checks that.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BoxArray {
     boxes: Vec<Box3>,
 }

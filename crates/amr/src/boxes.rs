@@ -1,13 +1,11 @@
 //! Cell-centered index boxes — the basic rectangular building block of
 //! block-structured AMR.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ivec::IntVect;
 
 /// A non-empty, cell-centered rectangular region of index space; both
 /// corners are inclusive, matching AMReX's `Box` convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Box3 {
     lo: IntVect,
     hi: IntVect,

@@ -1,13 +1,11 @@
 //! Mapping between the integer index space and physical coordinates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::boxes::Box3;
 use crate::ivec::IntVect;
 
 /// Physical geometry of the level-0 index domain. Finer levels divide the
 /// cell size by the accumulated refinement ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Geometry {
     /// Level-0 index domain.
     pub domain: Box3,

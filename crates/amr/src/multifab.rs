@@ -1,7 +1,5 @@
 //! `MultiFab` — one scalar field over the box array of an AMR level.
 
-use rayon::prelude::*;
-
 use crate::box_array::BoxArray;
 use crate::boxes::Box3;
 use crate::fab::Fab;
@@ -23,11 +21,8 @@ impl MultiFab {
     /// Builds a field by evaluating `f` at every cell of every box.
     /// Evaluation is parallel over boxes.
     pub fn from_fn(ba: &BoxArray, f: impl Fn(IntVect) -> f64 + Sync) -> Self {
-        let fabs = ba
-            .boxes()
-            .par_iter()
-            .map(|&bx| Fab::from_fn(bx, &f))
-            .collect();
+        let boxes = ba.boxes();
+        let fabs = amrviz_par::run(boxes.len(), |i| Fab::from_fn(boxes[i], &f));
         MultiFab { fabs }
     }
 
@@ -69,43 +64,44 @@ impl MultiFab {
 
     /// Global minimum across all fabs.
     pub fn min(&self) -> f64 {
-        self.fabs
-            .par_iter()
-            .map(Fab::min)
-            .reduce(|| f64::INFINITY, f64::min)
+        amrviz_par::run(self.fabs.len(), |i| self.fabs[i].min())
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Global maximum across all fabs.
     pub fn max(&self) -> f64 {
-        self.fabs
-            .par_iter()
-            .map(Fab::max)
-            .reduce(|| f64::NEG_INFINITY, f64::max)
+        amrviz_par::run(self.fabs.len(), |i| self.fabs[i].max())
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// `(min, max)` in a single pass.
+    /// `(min, max)` in a single pass. Per-fab extrema are computed in
+    /// parallel and folded in box order, so the result is thread-count
+    /// independent.
     pub fn min_max(&self) -> (f64, f64) {
-        self.fabs
-            .par_iter()
-            .map(|f| {
-                f.data().iter().fold(
-                    (f64::INFINITY, f64::NEG_INFINITY),
-                    |(lo, hi), &v| (lo.min(v), hi.max(v)),
-                )
-            })
-            .reduce(
-                || (f64::INFINITY, f64::NEG_INFINITY),
-                |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
+        amrviz_par::run(self.fabs.len(), |i| {
+            self.fabs[i].data().iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &v| (lo.min(v), hi.max(v)),
             )
+        })
+        .into_iter()
+        .fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
+        )
     }
 
-    /// L2 norm of all values.
+    /// L2 norm of all values. Partial sums are per fab and combined in box
+    /// order — bit-identical at any thread count.
     pub fn norm_l2(&self) -> f64 {
-        self.fabs
-            .par_iter()
-            .map(|f| f.data().iter().map(|v| v * v).sum::<f64>())
-            .sum::<f64>()
-            .sqrt()
+        amrviz_par::run(self.fabs.len(), |i| {
+            self.fabs[i].data().iter().map(|v| v * v).sum::<f64>()
+        })
+        .into_iter()
+        .sum::<f64>()
+        .sqrt()
     }
 
     /// Copies overlapping regions from `src` into `self` (fab-by-fab
@@ -122,7 +118,9 @@ impl MultiFab {
 
     /// Applies `f` to every value, in parallel over fabs.
     pub fn apply(&mut self, f: impl Fn(f64) -> f64 + Sync) {
-        self.fabs.par_iter_mut().for_each(|fab| fab.apply(&f));
+        amrviz_par::for_each_chunk_mut(&mut self.fabs, 1, |_, chunk| {
+            chunk[0].apply(&f);
+        });
     }
 
     /// Concatenates all fab buffers into one `Vec` in box order. The inverse

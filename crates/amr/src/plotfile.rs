@@ -16,16 +16,17 @@ use std::fs;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use amrviz_json::Json;
 
 use crate::box_array::BoxArray;
+use crate::boxes::Box3;
 use crate::error::AmrError;
 use crate::geometry::Geometry;
 use crate::hierarchy::AmrHierarchy;
 use crate::multifab::MultiFab;
 
 /// Serialized header describing a hierarchy.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct Header {
     /// Format magic/version — bump on incompatible changes.
     version: u32,
@@ -39,6 +40,129 @@ struct Header {
 
 const VERSION: u32 = 1;
 
+fn ivec_json(iv: crate::ivec::IntVect) -> Json {
+    Json::Arr(iv.0.iter().map(|&c| Json::Num(c as f64)).collect())
+}
+
+fn ivec_from(v: &Json) -> Option<crate::ivec::IntVect> {
+    let a = v.as_arr()?;
+    if a.len() != 3 {
+        return None;
+    }
+    Some(crate::ivec::IntVect([
+        a[0].as_i64()?,
+        a[1].as_i64()?,
+        a[2].as_i64()?,
+    ]))
+}
+
+fn box_json(bx: Box3) -> Json {
+    let mut o = Json::obj();
+    o.set("lo", ivec_json(bx.lo())).set("hi", ivec_json(bx.hi()));
+    o
+}
+
+fn box_from(v: &Json) -> Option<Box3> {
+    let lo = ivec_from(v.get("lo")?)?;
+    let hi = ivec_from(v.get("hi")?)?;
+    if !lo.all_le(hi) {
+        return None;
+    }
+    Some(Box3::new(lo, hi))
+}
+
+fn f3_json(v: [f64; 3]) -> Json {
+    Json::Arr(v.iter().map(|&c| Json::Num(c)).collect())
+}
+
+fn f3_from(v: &Json) -> Option<[f64; 3]> {
+    let a = v.as_arr()?;
+    if a.len() != 3 {
+        return None;
+    }
+    Some([a[0].as_f64()?, a[1].as_f64()?, a[2].as_f64()?])
+}
+
+impl Header {
+    fn to_json(&self) -> Json {
+        let mut geom = Json::obj();
+        geom.set("domain", box_json(self.geometry.domain))
+            .set("prob_lo", f3_json(self.geometry.prob_lo))
+            .set("prob_hi", f3_json(self.geometry.prob_hi));
+        let mut o = Json::obj();
+        o.set("version", self.version)
+            .set("geometry", geom)
+            .set(
+                "ref_ratios",
+                Json::Arr(self.ref_ratios.iter().map(|&r| Json::Num(r as f64)).collect()),
+            )
+            .set(
+                "box_arrays",
+                Json::Arr(
+                    self.box_arrays
+                        .iter()
+                        .map(|ba| {
+                            let mut o = Json::obj();
+                            o.set(
+                                "boxes",
+                                Json::Arr(ba.boxes().iter().map(|&b| box_json(b)).collect()),
+                            );
+                            o
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "fields",
+                Json::Arr(self.fields.iter().map(|f| Json::Str(f.clone())).collect()),
+            )
+            .set("time", self.time)
+            .set("step", self.step);
+        o
+    }
+
+    fn from_json(v: &Json) -> Option<Header> {
+        let g = v.get("geometry")?;
+        let geometry = Geometry::new(
+            box_from(g.get("domain")?)?,
+            f3_from(g.get("prob_lo")?)?,
+            f3_from(g.get("prob_hi")?)?,
+        );
+        Some(Header {
+            version: v.get("version")?.as_u64()? as u32,
+            geometry,
+            ref_ratios: v
+                .get("ref_ratios")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_i64)
+                .collect::<Option<_>>()?,
+            box_arrays: v
+                .get("box_arrays")?
+                .as_arr()?
+                .iter()
+                .map(|ba| {
+                    Some(BoxArray::new(
+                        ba.get("boxes")?
+                            .as_arr()?
+                            .iter()
+                            .map(box_from)
+                            .collect::<Option<_>>()?,
+                    ))
+                })
+                .collect::<Option<_>>()?,
+            fields: v
+                .get("fields")?
+                .as_arr()?
+                .iter()
+                .map(|f| f.as_str().map(str::to_string))
+                .collect::<Option<_>>()?,
+            time: v.get("time")?.as_f64()?,
+            step: v.get("step")?.as_u64()?,
+        })
+    }
+}
+
 /// Writes a hierarchy (all fields) to `dir`, creating it if needed.
 pub fn write_plotfile(dir: &Path, hier: &AmrHierarchy) -> Result<(), AmrError> {
     fs::create_dir_all(dir)?;
@@ -51,9 +175,7 @@ pub fn write_plotfile(dir: &Path, hier: &AmrHierarchy) -> Result<(), AmrError> {
         time: hier.time,
         step: hier.step,
     };
-    let header_json = serde_json::to_string_pretty(&header)
-        .map_err(|e| AmrError::Corrupt(format!("header serialization: {e}")))?;
-    fs::write(dir.join("Header.json"), header_json)?;
+    fs::write(dir.join("Header.json"), header.to_json().to_string_pretty())?;
 
     for field in hier.fields() {
         for (lev, mf) in field.levels.iter().enumerate() {
@@ -73,8 +195,10 @@ pub fn write_plotfile(dir: &Path, hier: &AmrHierarchy) -> Result<(), AmrError> {
 /// Reads a hierarchy (all fields) from `dir`.
 pub fn read_plotfile(dir: &Path) -> Result<AmrHierarchy, AmrError> {
     let header_text = fs::read_to_string(dir.join("Header.json"))?;
-    let header: Header = serde_json::from_str(&header_text)
+    let header_value = Json::parse(&header_text)
         .map_err(|e| AmrError::Corrupt(format!("header parse: {e}")))?;
+    let header = Header::from_json(&header_value)
+        .ok_or_else(|| AmrError::Corrupt("header: missing or mistyped field".into()))?;
     if header.version != VERSION {
         return Err(AmrError::Corrupt(format!(
             "unsupported plotfile version {}",

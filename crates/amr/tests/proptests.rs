@@ -1,80 +1,95 @@
-//! Property-based tests of the AMR substrate's algebraic invariants.
+//! Property-based tests of the AMR substrate's algebraic invariants,
+//! driven by the seeded `amrviz_rng::check` harness (deterministic across
+//! platforms; failures report a reproduction seed).
 
 use amrviz_amr::regrid::tag_where;
 use amrviz_amr::{
     berger_rigoutsos, Box3, BoxArray, Fab, IntVect, Raster, RegridConfig,
 };
-use proptest::prelude::*;
+use amrviz_rng::{check, Rng};
 
-/// Strategy: a random non-empty box with coordinates in ±32 and extents
-/// up to 16.
-fn arb_box() -> impl Strategy<Value = Box3> {
-    (
-        -32i64..32,
-        -32i64..32,
-        -32i64..32,
-        1i64..16,
-        1i64..16,
-        1i64..16,
+/// A random non-empty box with coordinates in ±32 and extents up to 16.
+fn arb_box(rng: &mut Rng) -> Box3 {
+    let x = rng.range_i64(-32, 31);
+    let y = rng.range_i64(-32, 31);
+    let z = rng.range_i64(-32, 31);
+    let dx = rng.range_i64(1, 15);
+    let dy = rng.range_i64(1, 15);
+    let dz = rng.range_i64(1, 15);
+    Box3::new(
+        IntVect::new(x, y, z),
+        IntVect::new(x + dx - 1, y + dy - 1, z + dz - 1),
     )
-        .prop_map(|(x, y, z, dx, dy, dz)| {
-            Box3::new(
-                IntVect::new(x, y, z),
-                IntVect::new(x + dx - 1, y + dy - 1, z + dz - 1),
-            )
-        })
 }
 
-proptest! {
-    #[test]
-    fn intersection_is_commutative_and_contained(a in arb_box(), b in arb_box()) {
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+#[test]
+fn intersection_is_commutative_and_contained() {
+    check(0xA1, 256, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
+        assert_eq!(a.intersect(&b), b.intersect(&a));
         if let Some(i) = a.intersect(&b) {
-            prop_assert!(a.contains_box(&i));
-            prop_assert!(b.contains_box(&i));
+            assert!(a.contains_box(&i));
+            assert!(b.contains_box(&i));
             // Every cell of the intersection is in both boxes.
             for c in i.cells().take(64) {
-                prop_assert!(a.contains(c) && b.contains(c));
+                assert!(a.contains(c) && b.contains(c));
             }
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn union_hull_contains_both(a in arb_box(), b in arb_box()) {
+#[test]
+fn union_hull_contains_both() {
+    check(0xA2, 256, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
         let h = a.union_hull(&b);
-        prop_assert!(h.contains_box(&a));
-        prop_assert!(h.contains_box(&b));
-    }
+        assert!(h.contains_box(&a));
+        assert!(h.contains_box(&b));
+    });
+}
 
-    #[test]
-    fn subtract_partitions_exactly(a in arb_box(), b in arb_box()) {
+#[test]
+fn subtract_partitions_exactly() {
+    check(0xA3, 128, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
         let parts = a.subtract(&b);
         // Disjointness.
         for (i, p) in parts.iter().enumerate() {
-            prop_assert!(!p.intersects(&b));
-            prop_assert!(a.contains_box(p));
+            assert!(!p.intersects(&b));
+            assert!(a.contains_box(p));
             for q in &parts[i + 1..] {
-                prop_assert!(!p.intersects(q));
+                assert!(!p.intersects(q));
             }
         }
         // Cell count conservation.
         let cut = a.intersect(&b).map_or(0, |i| i.num_cells());
         let total: usize = parts.iter().map(Box3::num_cells).sum();
-        prop_assert_eq!(total + cut, a.num_cells());
-    }
+        assert_eq!(total + cut, a.num_cells());
+    });
+}
 
-    #[test]
-    fn refine_coarsen_roundtrip(a in arb_box(), r in 2i64..5) {
-        prop_assert_eq!(a.refine(r).coarsen(r), a);
+#[test]
+fn refine_coarsen_roundtrip() {
+    check(0xA4, 256, |rng| {
+        let a = arb_box(rng);
+        let r = rng.range_i64(2, 4);
+        assert_eq!(a.refine(r).coarsen(r), a);
         // Coarsening any box then refining covers the original.
-        prop_assert!(a.coarsen(r).refine(r).contains_box(&a));
-        prop_assert_eq!(a.refine(r).num_cells(), a.num_cells() * (r * r * r) as usize);
-    }
+        assert!(a.coarsen(r).refine(r).contains_box(&a));
+        assert_eq!(a.refine(r).num_cells(), a.num_cells() * (r * r * r) as usize);
+    });
+}
 
-    #[test]
-    fn coarsen_is_minimal_cover(a in arb_box(), r in 2i64..5) {
+#[test]
+fn coarsen_is_minimal_cover() {
+    check(0xA5, 256, |rng| {
+        let a = arb_box(rng);
+        let r = rng.range_i64(2, 4);
         // No strictly smaller aligned coarse box covers `a`.
         let c = a.coarsen(r);
         if c.num_cells() > 1 {
@@ -84,34 +99,41 @@ proptest! {
                     let mut hi = c.hi();
                     hi[axis] -= 1;
                     let smaller = Box3::new(c.lo(), hi);
-                    prop_assert!(!smaller.refine(r).contains_box(&a)
-                        || !smaller.refine(r).contains_box(&a));
+                    assert!(!smaller.refine(r).contains_box(&a));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn chop_to_max_cells_is_a_partition(a in arb_box(), max_cells in 1usize..64) {
+#[test]
+fn chop_to_max_cells_is_a_partition() {
+    check(0xA6, 128, |rng| {
+        let a = arb_box(rng);
+        let max_cells = rng.range_usize(1, 63);
         let ba = BoxArray::single(a).chop_to_max_cells(max_cells);
-        prop_assert!(ba.validate_disjoint().is_ok());
-        prop_assert_eq!(ba.num_cells(), a.num_cells());
+        assert!(ba.validate_disjoint().is_ok());
+        assert_eq!(ba.num_cells(), a.num_cells());
         for b in ba.iter() {
-            prop_assert!(a.contains_box(b));
-            prop_assert!(b.num_cells() <= max_cells.max(1));
+            assert!(a.contains_box(b));
+            assert!(b.num_cells() <= max_cells.max(1));
         }
-    }
+    });
+}
 
-    #[test]
-    fn complement_in_partitions(a in arb_box(), cuts in prop::collection::vec(arb_box(), 0..4)) {
+#[test]
+fn complement_in_partitions() {
+    check(0xA7, 96, |rng| {
+        let a = arb_box(rng);
+        let cuts: Vec<Box3> = (0..rng.range_usize(0, 3)).map(|_| arb_box(rng)).collect();
         let ba = BoxArray::new(cuts.clone());
         let rest = ba.complement_in(&a);
         // Disjoint, inside `a`, not intersecting any cut.
         for (i, p) in rest.iter().enumerate() {
-            prop_assert!(a.contains_box(p));
-            prop_assert!(!ba.intersects(p));
+            assert!(a.contains_box(p));
+            assert!(!ba.intersects(p));
             for q in &rest[i + 1..] {
-                prop_assert!(!p.intersects(q));
+                assert!(!p.intersects(q));
             }
         }
         // Conservation: |rest| + |a ∩ union(cuts)| == |a| — verify by
@@ -122,22 +144,26 @@ proptest! {
         }
         let covered_in_a = mask.count();
         let total: usize = rest.iter().map(Box3::num_cells).sum();
-        prop_assert_eq!(total + covered_in_a, a.num_cells());
-    }
+        assert_eq!(total + covered_in_a, a.num_cells());
+    });
+}
 
-    #[test]
-    fn raster_coarsen_any_matches_definition(
-        seeds in prop::collection::vec((0usize..16, 0usize..16, 0usize..16), 1..20),
-        r in 2i64..4,
-    ) {
+#[test]
+fn raster_coarsen_any_matches_definition() {
+    check(0xA8, 64, |rng| {
+        let n_seeds = rng.range_usize(1, 19);
+        let r = rng.range_i64(2, 3);
         let region = Box3::from_dims(16, 16, 16);
         let mut tags = Raster::falses(region);
-        for (i, j, k) in seeds {
-            tags.set(IntVect::new(i as i64, j as i64, k as i64), true);
+        for _ in 0..n_seeds {
+            let i = rng.range_i64(0, 15);
+            let j = rng.range_i64(0, 15);
+            let k = rng.range_i64(0, 15);
+            tags.set(IntVect::new(i, j, k), true);
         }
         let coarse = tags.coarsen_any(r);
         for cell in tags.true_cells() {
-            prop_assert!(coarse.get(cell.coarsen(r)));
+            assert!(coarse.get(cell.coarsen(r)));
         }
         // Count consistency: every true coarse cell has ≥1 true child.
         for cc in coarse.true_cells() {
@@ -150,21 +176,23 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(any);
+            assert!(any);
         }
-    }
+    });
+}
 
-    #[test]
-    fn berger_rigoutsos_covers_all_tags(
-        boxes in prop::collection::vec(
-            (0i64..24, 0i64..24, 0i64..24, 1i64..8, 1i64..8, 1i64..8),
-            1..4,
-        ),
-        eff in 0.3f64..0.95,
-    ) {
+#[test]
+fn berger_rigoutsos_covers_all_tags() {
+    check(0xA9, 48, |rng| {
         let region = Box3::from_dims(32, 32, 32);
         let mut tags = Raster::falses(region);
-        for (x, y, z, dx, dy, dz) in boxes {
+        for _ in 0..rng.range_usize(1, 3) {
+            let x = rng.range_i64(0, 23);
+            let y = rng.range_i64(0, 23);
+            let z = rng.range_i64(0, 23);
+            let dx = rng.range_i64(1, 7);
+            let dy = rng.range_i64(1, 7);
+            let dz = rng.range_i64(1, 7);
             let lo = IntVect::new(x, y, z);
             let hi = IntVect::new(
                 (x + dx - 1).min(31),
@@ -173,37 +201,45 @@ proptest! {
             );
             tags.set_box(&Box3::new(lo, hi), true);
         }
+        let eff = rng.range_f64(0.3, 0.95);
         let cfg = RegridConfig { efficiency: eff, blocking_factor: 4, max_box_cells: None };
         let ba = berger_rigoutsos(&tags, &cfg);
-        prop_assert!(ba.validate_disjoint().is_ok());
+        assert!(ba.validate_disjoint().is_ok());
         for cell in tags.true_cells() {
-            prop_assert!(ba.contains(cell), "tag {cell:?} uncovered");
+            assert!(ba.contains(cell), "tag {cell:?} uncovered");
         }
         for b in ba.iter() {
-            prop_assert!(region.contains_box(b));
+            assert!(region.contains_box(b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn fab_copy_roundtrip(a in arb_box(), b in arb_box()) {
+#[test]
+fn fab_copy_roundtrip() {
+    check(0xAA, 128, |rng| {
+        let a = arb_box(rng);
+        let b = arb_box(rng);
         let src = Fab::from_fn(b, |iv| (iv[0] * 31 + iv[1] * 7 + iv[2]) as f64);
         let mut dst = Fab::constant(a, f64::NAN);
         let copied = dst.copy_from(&src);
         let overlap = a.intersect(&b).map_or(0, |o| o.num_cells());
-        prop_assert_eq!(copied, overlap);
+        assert_eq!(copied, overlap);
         for (cell, v) in dst.iter() {
             if b.contains(cell) {
-                prop_assert_eq!(v, src.get(cell));
+                assert_eq!(v, src.get(cell));
             } else {
-                prop_assert!(v.is_nan());
+                assert!(v.is_nan());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tag_where_count_matches_predicate(vals in prop::collection::vec(-10.0f64..10.0, 27)) {
+#[test]
+fn tag_where_count_matches_predicate() {
+    check(0xAB, 128, |rng| {
+        let vals: Vec<f64> = (0..27).map(|_| rng.range_f64(-10.0, 10.0)).collect();
         let region = Box3::from_dims(3, 3, 3);
         let tags = tag_where(region, &vals, |v| v > 0.0);
-        prop_assert_eq!(tags.count(), vals.iter().filter(|&&v| v > 0.0).count());
-    }
+        assert_eq!(tags.count(), vals.iter().filter(|&&v| v > 0.0).count());
+    });
 }

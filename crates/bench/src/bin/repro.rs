@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--out DIR]
+//!                    [--threads N]
 //!
 //! experiments:
 //!   table1   dataset structure (grid sizes, per-level densities)
@@ -31,6 +32,7 @@ use amrviz_compress::{
 };
 use amrviz_core::experiment::{self, standard_camera, CompressorKind};
 use amrviz_core::prelude::*;
+use amrviz_json::{Json, ToJson};
 use amrviz_core::report;
 use amrviz_render::{render_slice, Color, RenderOptions, SliceOptions};
 use amrviz_sim::solver::{AmrAdvection, FIELD};
@@ -63,6 +65,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                amrviz_par::set_threads(n);
+            }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
             }
@@ -83,7 +96,7 @@ struct Ctx {
     seed: u64,
     out: PathBuf,
     built: BTreeMap<&'static str, BuiltScenario>,
-    json: serde_json::Map<String, serde_json::Value>,
+    json: Json,
     /// Compression runs observed during this invocation (Table 2 rows),
     /// reported in the final `SUMMARY` line.
     runs: Vec<experiment::CompressionRun>,
@@ -102,11 +115,8 @@ impl Ctx {
         &self.built[key]
     }
 
-    fn record(&mut self, key: &str, value: impl serde::Serialize) {
-        self.json.insert(
-            key.to_string(),
-            serde_json::to_value(value).expect("serializable result"),
-        );
+    fn record(&mut self, key: &str, value: impl ToJson) {
+        self.json.set(key, value.to_json());
     }
 
     /// Drains the obs recorder into `manifest_<name>.json` and folds the
@@ -116,33 +126,27 @@ impl Ctx {
         for r in &summary.roots {
             *self.stage_seconds.entry(r.key.clone()).or_insert(0.0) += r.seconds;
         }
-        let mut m = serde_json::Map::new();
-        m.insert("experiment".into(), serde_json::json!(name));
-        m.insert(
-            "scale".into(),
-            serde_json::json!(format!("{:?}", self.scale).to_lowercase()),
-        );
-        m.insert("seed".into(), serde_json::json!(self.seed));
-        m.insert(
-            "counters".into(),
-            serde_json::json!(amrviz_obs::counters_snapshot()),
-        );
-        m.insert(
-            "gauges".into(),
-            serde_json::json!(amrviz_obs::gauges_snapshot()),
-        );
-        m.insert(
-            "span_summary".into(),
-            serde_json::from_str(&summary.to_json()).unwrap_or(serde_json::Value::Null),
-        );
+        let mut counters = Json::obj();
+        for (k, v) in amrviz_obs::counters_snapshot() {
+            counters.set(k, v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in amrviz_obs::gauges_snapshot() {
+            gauges.set(k, v);
+        }
+        let mut m = Json::obj();
+        m.set("experiment", name)
+            .set("scale", format!("{:?}", self.scale).to_lowercase())
+            .set("seed", self.seed)
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set(
+                "span_summary",
+                Json::parse(&summary.to_json()).unwrap_or(Json::Null),
+            );
         let path = self.out.join(format!("manifest_{name}.json"));
-        match serde_json::to_string_pretty(&serde_json::Value::Object(m)) {
-            Ok(s) => {
-                if std::fs::write(&path, s).is_ok() {
-                    println!("  manifest: {}", path.display());
-                }
-            }
-            Err(e) => eprintln!("[repro] failed to serialize manifest for {name}: {e}"),
+        if std::fs::write(&path, m.to_string_pretty()).is_ok() {
+            println!("  manifest: {}", path.display());
         }
     }
 
@@ -254,7 +258,7 @@ fn fig2(ctx: &mut Ctx) {
         let r2 = (p[0] - 0.25).powi(2) + (p[1] - 0.35).powi(2) + (p[2] - 0.5).powi(2);
         (-r2 / (2.0 * 0.07f64.powi(2))).exp()
     });
-    let mut snapshots = Vec::new();
+    let mut snapshots: Vec<Json> = Vec::new();
     for snap in 0..3 {
         if snap > 0 {
             sim.run(8);
@@ -273,7 +277,12 @@ fn fig2(ctx: &mut Ctx) {
         let path = ctx.out.join(format!("fig2_step{}.png", h.step));
         img.save_png(&path).ok();
         println!("  wrote {}", path.display());
-        snapshots.push((h.step, sim.time(), h.box_array(1).num_cells()));
+        let mut snap_json = Json::obj();
+        snap_json
+            .set("step", h.step)
+            .set("time", sim.time())
+            .set("fine_cells", h.box_array(1).num_cells());
+        snapshots.push(snap_json);
     }
     ctx.record("fig2", &snapshots);
 }
@@ -377,14 +386,12 @@ fn fig14(ctx: &mut Ctx) {
         step_roughness(&blocky),
         step_roughness(&resampled)
     );
-    ctx.record(
-        "fig14",
-        serde_json::json!({
-            "original": orig,
-            "decompressed": blocky,
-            "resampled": resampled,
-        }),
-    );
+    let mut series = Json::obj();
+    series
+        .set("original", orig.to_json())
+        .set("decompressed", blocky.to_json())
+        .set("resampled", resampled.to_json());
+    ctx.record("fig14", series);
 }
 
 fn ablation(ctx: &mut Ctx) {
@@ -475,7 +482,9 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR]");
+            eprintln!(
+                "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] [--threads N]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -484,9 +493,9 @@ fn main() -> ExitCode {
     // `repro fig9` after `repro all`) keep the other experiments' records.
     let existing = std::fs::read_to_string(args.out.join("results.json"))
         .ok()
-        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
-        .and_then(|v| v.as_object().cloned())
-        .unwrap_or_default();
+        .and_then(|s| Json::parse(&s).ok())
+        .filter(|v| matches!(v, Json::Obj(_)))
+        .unwrap_or_else(Json::obj);
     let mut ctx = Ctx {
         scale: args.scale,
         seed: args.seed,
@@ -555,42 +564,37 @@ fn main() -> ExitCode {
     }
 
     let json_path: &Path = &ctx.out.join("results.json");
-    match serde_json::to_string_pretty(&serde_json::Value::Object(ctx.json.clone())) {
-        Ok(s) => {
-            if std::fs::write(json_path, s).is_ok() {
-                println!("\nresults recorded in {}", json_path.display());
-            }
-        }
-        Err(e) => eprintln!("failed to serialize results: {e}"),
+    if std::fs::write(json_path, ctx.json.to_string_pretty()).is_ok() {
+        println!("\nresults recorded in {}", json_path.display());
     }
 
     // Final machine-readable one-liner: what ran, how well it compressed,
     // and where the wall time went. Also appended to summary.jsonl so
     // successive invocations accumulate a log.
-    let runs: Vec<serde_json::Value> = ctx
+    let runs: Vec<Json> = ctx
         .runs
         .iter()
         .map(|r| {
-            serde_json::json!({
-                "scenario": r.app.label(),
-                "compressor": r.compressor,
-                "rel_eb": r.rel_error_bound,
-                "compression_ratio": r.compression_ratio,
-                "psnr_db": r.psnr_db,
-                "ssim": r.ssim,
-                "compress_seconds": r.compress_seconds,
-                "decompress_seconds": r.decompress_seconds,
-            })
+            let mut o = Json::obj();
+            o.set("scenario", r.app.label())
+                .set("compressor", r.compressor)
+                .set("rel_eb", r.rel_error_bound)
+                .set("compression_ratio", r.compression_ratio)
+                .set("psnr_db", r.psnr_db)
+                .set("ssim", r.ssim)
+                .set("compress_seconds", r.compress_seconds)
+                .set("decompress_seconds", r.decompress_seconds);
+            o
         })
         .collect();
-    let summary = serde_json::json!({
-        "experiment": exp,
-        "scale": format!("{:?}", ctx.scale).to_lowercase(),
-        "seed": ctx.seed,
-        "runs": runs,
-        "stage_seconds": ctx.stage_seconds,
-    });
-    let line = serde_json::to_string(&summary).unwrap_or_else(|_| "{}".into());
+    let mut summary = Json::obj();
+    summary
+        .set("experiment", exp)
+        .set("scale", format!("{:?}", ctx.scale).to_lowercase())
+        .set("seed", ctx.seed)
+        .set("runs", Json::Arr(runs))
+        .set("stage_seconds", ctx.stage_seconds.to_json());
+    let line = summary.to_string_compact();
     println!("SUMMARY {line}");
     use std::io::Write;
     if let Ok(mut f) = std::fs::OpenOptions::new()

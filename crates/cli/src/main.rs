@@ -33,6 +33,9 @@ fn main() -> ExitCode {
         print!("{}", usage());
         return ExitCode::SUCCESS;
     }
+    if let Some(n) = obs_opts.threads {
+        amrviz_par::set_threads(n);
+    }
     if obs_opts.active() {
         amrviz_obs::enable();
     }
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
 struct ObsOptions {
     trace_path: Option<String>,
     timing: bool,
+    threads: Option<usize>,
 }
 
 impl ObsOptions {
@@ -81,13 +85,14 @@ impl ObsOptions {
         if self.timing {
             let summary = amrviz_obs::summary::collect();
             eprint!("{}", summary.to_text());
+            eprint!("{}", amrviz_par::utilization().to_text());
         }
         Ok(())
     }
 }
 
-/// Strips `--trace PATH` and `--timing` (valid anywhere on the command
-/// line) from `argv` before subcommand dispatch.
+/// Strips `--trace PATH`, `--timing`, and `--threads N` (valid anywhere on
+/// the command line) from `argv` before subcommand dispatch.
 fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
     let mut opts = ObsOptions::default();
     let mut rest = Vec::with_capacity(argv.len());
@@ -99,6 +104,16 @@ fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), S
                 opts.trace_path = Some(path);
             }
             "--timing" => opts.timing = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = Some(n);
+            }
             _ => rest.push(a),
         }
     }
@@ -128,6 +143,10 @@ USAGE:
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run
-  --timing       print a hierarchical per-stage timing summary to stderr
+  --timing       print a hierarchical per-stage timing summary plus
+                 worker-pool utilization to stderr
+  --threads N    size of the worker pool (default: available parallelism;
+                 the AMRVIZ_THREADS env var sets the same default).
+                 Results are bit-identical at any thread count.
 "
 }

@@ -110,7 +110,7 @@ impl<'a> BitReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amrviz_rng::check;
 
     #[test]
     fn single_bits_roundtrip() {
@@ -167,9 +167,12 @@ mod tests {
         assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
     }
 
-    proptest! {
-        #[test]
-        fn bits_roundtrip(values in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200)) {
+    #[test]
+    fn bits_roundtrip() {
+        check(0xB17, 256, |rng| {
+            let values: Vec<(u64, u32)> = (0..rng.range_usize(0, 199))
+                .map(|_| (rng.next_u64(), rng.range_i64(0, 64) as u32))
+                .collect();
             let mut w = BitWriter::new();
             for &(v, n) in &values {
                 let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
@@ -179,8 +182,8 @@ mod tests {
             let mut r = BitReader::new(&buf);
             for &(v, n) in &values {
                 let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
-                prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+                assert_eq!(r.read_bits(n).unwrap(), masked);
             }
-        }
+        });
     }
 }

@@ -201,7 +201,7 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amrviz_rng::check;
 
     #[test]
     fn empty_stream() {
@@ -278,18 +278,25 @@ mod tests {
         assert_eq!(huffman_decode(&enc).unwrap(), data);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn roundtrip_arbitrary(data in prop::collection::vec(0u32..5000, 0..3000)) {
+    #[test]
+    fn roundtrip_arbitrary() {
+        check(0x4F1, 64, |rng| {
+            let data: Vec<u32> = (0..rng.range_usize(0, 2999))
+                .map(|_| rng.below(5000) as u32)
+                .collect();
             let enc = huffman_encode(&data);
-            prop_assert_eq!(huffman_decode(&enc).unwrap(), data);
-        }
+            assert_eq!(huffman_decode(&enc).unwrap(), data);
+        });
+    }
 
-        #[test]
-        fn roundtrip_small_alphabet(data in prop::collection::vec(0u32..4, 0..5000)) {
+    #[test]
+    fn roundtrip_small_alphabet() {
+        check(0x4F2, 64, |rng| {
+            let data: Vec<u32> = (0..rng.range_usize(0, 4999))
+                .map(|_| rng.below(4) as u32)
+                .collect();
             let enc = huffman_encode(&data);
-            prop_assert_eq!(huffman_decode(&enc).unwrap(), data);
-        }
+            assert_eq!(huffman_decode(&enc).unwrap(), data);
+        });
     }
 }

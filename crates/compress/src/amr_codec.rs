@@ -20,7 +20,6 @@
 //! the redundant data) functional.
 
 use amrviz_amr::{restrict_average, AmrHierarchy, Fab, MultiFab};
-use rayon::prelude::*;
 
 use crate::field::Field3;
 use crate::wire::{ByteReader, ByteWriter};
@@ -133,14 +132,14 @@ pub fn compress_hierarchy_field(
             }
         }
         n_values += level_values;
-        let level_blobs: Vec<Vec<u8>> = tasks
-            .par_iter()
-            .map(|&(fi, piece)| {
-                let sub = mf.fabs()[fi].subfab(piece);
-                let field3 = Field3::new(piece.size(), sub.into_vec());
-                compressor.compress(&field3, ErrorBound::Abs(abs_eb))
-            })
-            .collect();
+        // Fan the pieces across the pool; results come back in task order,
+        // so the per-level blob sequence is identical at any thread count.
+        let level_blobs: Vec<Vec<u8>> = amrviz_par::run(tasks.len(), |ti| {
+            let (fi, piece) = tasks[ti];
+            let sub = mf.fabs()[fi].subfab(piece);
+            let field3 = Field3::new(piece.size(), sub.into_vec());
+            compressor.compress(&field3, ErrorBound::Abs(abs_eb))
+        });
         let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
         amrviz_obs::counter!("compress.bytes_in", level_values * 8);
         amrviz_obs::counter!("compress.bytes_out", level_bytes);
@@ -202,10 +201,10 @@ pub fn decompress_hierarchy_field(
                 tasks.len()
             )));
         }
-        let decoded: Vec<Result<Fab, CompressError>> = tasks
-            .par_iter()
-            .zip(level_blobs.par_iter())
-            .map(|(&(_, piece), blob)| {
+        let decoded: Vec<Result<Fab, CompressError>> =
+            amrviz_par::run(tasks.len(), |ti| {
+                let (_, piece) = tasks[ti];
+                let blob = &level_blobs[ti];
                 let field3 = compressor.decompress(blob)?;
                 if field3.dims != piece.size() {
                     return Err(CompressError::Malformed(format!(
@@ -215,8 +214,7 @@ pub fn decompress_hierarchy_field(
                     )));
                 }
                 Ok(Fab::from_vec(piece, field3.data))
-            })
-            .collect();
+            });
         let mut fabs: Vec<Fab> = ba.iter().map(|&bx| Fab::zeros(bx)).collect();
         for (&(fi, _), piece_fab) in tasks.iter().zip(decoded) {
             fabs[fi].copy_from(&piece_fab?);

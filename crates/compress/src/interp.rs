@@ -236,8 +236,7 @@ impl Compressor for SzInterp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use amrviz_rng::check;
 
     fn check_bound(orig: &Field3, recon: &Field3, eb: f64) {
         assert_eq!(orig.dims, recon.dims);
@@ -296,8 +295,8 @@ mod tests {
 
     #[test]
     fn random_field_respects_bound() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-        let f = Field3::from_fn([11, 13, 6], |_, _, _| rng.gen_range(-50.0..50.0));
+        let mut rng = amrviz_rng::Rng::seed(5);
+        let f = Field3::from_fn([11, 13, 6], |_, _, _| rng.range_f64(-50.0, 50.0));
         let buf = SzInterp.compress(&f, ErrorBound::Abs(0.25));
         let back = SzInterp.decompress(&buf).unwrap();
         check_bound(&f, &back, 0.25);
@@ -340,26 +339,23 @@ mod tests {
         assert!(SzInterp.decompress(&bad).is_err());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn bound_never_violated(
-            seed in any::<u64>(),
-            nx in 1usize..14,
-            ny in 1usize..14,
-            nz in 1usize..14,
-            eb_exp in -6i32..0,
-        ) {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    #[test]
+    fn bound_never_violated() {
+        check(0x1CE, 16, |rng| {
+            let nx = rng.range_usize(1, 13);
+            let ny = rng.range_usize(1, 13);
+            let nz = rng.range_usize(1, 13);
+            let eb_exp = rng.range_i64(-6, -1) as i32;
+            let mut field_rng = rng.fork(1);
             let f = Field3::from_fn([nx, ny, nz], |i, _, k| {
-                (k as f64 * 0.2).cos() + rng.gen_range(-0.3..0.3) + i as f64 * 0.05
+                (k as f64 * 0.2).cos() + field_rng.range_f64(-0.3, 0.3) + i as f64 * 0.05
             });
             let eb = 10f64.powi(eb_exp) * f.range().max(1e-12);
             let buf = SzInterp.compress(&f, ErrorBound::Abs(eb));
             let back = SzInterp.decompress(&buf).unwrap();
             for (a, b) in f.data.iter().zip(&back.data) {
-                prop_assert!((a - b).abs() <= eb * (1.0 + 1e-12));
+                assert!((a - b).abs() <= eb * (1.0 + 1e-12));
             }
-        }
+        });
     }
 }

@@ -100,7 +100,7 @@ impl Quantizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amrviz_rng::check;
 
     #[test]
     fn stats_tally_outcomes() {
@@ -156,23 +156,22 @@ mod tests {
         Quantizer::new(0.0);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_never_violates_bound(
-            pred in -1e12f64..1e12,
-            actual in -1e12f64..1e12,
-            eb_exp in -9i32..3,
-        ) {
+    #[test]
+    fn roundtrip_never_violates_bound() {
+        check(0x9AA, 512, |rng| {
+            let pred = rng.range_f64(-1e12, 1e12);
+            let actual = rng.range_f64(-1e12, 1e12);
+            let eb_exp = rng.range_i64(-9, 2) as i32;
             let eb = 10f64.powi(eb_exp);
             let q = Quantizer::new(eb);
             match q.quantize(pred, actual) {
                 Quantized::Code { code, recon } => {
-                    prop_assert!((recon - actual).abs() <= eb);
-                    prop_assert!(code > 0 && code <= 2 * RADIUS as u32);
-                    prop_assert_eq!(q.reconstruct(pred, code), recon);
+                    assert!((recon - actual).abs() <= eb);
+                    assert!(code > 0 && code <= 2 * RADIUS as u32);
+                    assert_eq!(q.reconstruct(pred, code), recon);
                 }
                 Quantized::Outlier => {} // stored verbatim → exact
             }
-        }
+        });
     }
 }

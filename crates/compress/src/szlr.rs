@@ -362,8 +362,7 @@ impl SzLr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use amrviz_rng::check;
 
     fn check_bound(orig: &Field3, recon: &Field3, eb: f64) {
         assert_eq!(orig.dims, recon.dims);
@@ -413,8 +412,8 @@ mod tests {
 
     #[test]
     fn random_field_respects_bound() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
-        let f = Field3::from_fn([13, 9, 7], |_, _, _| rng.gen_range(-100.0..100.0));
+        let mut rng = amrviz_rng::Rng::seed(11);
+        let f = Field3::from_fn([13, 9, 7], |_, _, _| rng.range_f64(-100.0, 100.0));
         let sz = SzLr::default();
         let buf = sz.compress(&f, ErrorBound::Abs(0.5));
         let back = sz.decompress(&buf).unwrap();
@@ -484,27 +483,24 @@ mod tests {
         assert!(large < small, "{large} !< {small}");
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn bound_never_violated(
-            seed in any::<u64>(),
-            nx in 1usize..14,
-            ny in 1usize..14,
-            nz in 1usize..14,
-            eb_exp in -6i32..0,
-        ) {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    #[test]
+    fn bound_never_violated() {
+        check(0x52A, 16, |rng| {
+            let nx = rng.range_usize(1, 13);
+            let ny = rng.range_usize(1, 13);
+            let nz = rng.range_usize(1, 13);
+            let eb_exp = rng.range_i64(-6, -1) as i32;
+            let mut field_rng = rng.fork(1);
             let f = Field3::from_fn([nx, ny, nz], |i, j, _| {
-                (i as f64 * 0.3).sin() + rng.gen_range(-0.2..0.2) + j as f64 * 0.01
+                (i as f64 * 0.3).sin() + field_rng.range_f64(-0.2, 0.2) + j as f64 * 0.01
             });
             let eb = 10f64.powi(eb_exp) * f.range().max(1e-12);
             let sz = SzLr::default();
             let buf = sz.compress(&f, ErrorBound::Abs(eb));
             let back = sz.decompress(&buf).unwrap();
             for (a, b) in f.data.iter().zip(&back.data) {
-                prop_assert!((a - b).abs() <= eb * (1.0 + 1e-12));
+                assert!((a - b).abs() <= eb * (1.0 + 1e-12));
             }
-        }
+        });
     }
 }

@@ -17,13 +17,13 @@ use amrviz_viz::{
     extract_amr_isosurface, interface_gap, normal_roughness, surface_distance_to,
     IsoMethod, TriLocator,
 };
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 use crate::scenario::{Application, BuiltScenario};
 
 /// The compressors under evaluation (paper §3.3 plus the ZFP-like
 /// extension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompressorKind {
     SzLr,
     SzInterp,
@@ -52,7 +52,7 @@ impl CompressorKind {
 }
 
 /// One compression run: Table 2's columns (plus timings and bitrate).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CompressionRun {
     pub app: Application,
     pub compressor: &'static str,
@@ -141,7 +141,7 @@ fn flatten_levels(built: &BuiltScenario, levels: &[MultiFab]) -> Vec<f64> {
 }
 
 /// Table 1 row: dataset structure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub app: Application,
     pub levels: usize,
@@ -184,7 +184,7 @@ pub fn run_table2(built: &BuiltScenario) -> Vec<CompressionRun> {
 }
 
 /// One point of a rate-distortion curve (Figs. 12–13).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RateDistortionPoint {
     pub compressor: &'static str,
     pub rel_error_bound: f64,
@@ -214,7 +214,7 @@ pub fn run_rate_distortion(built: &BuiltScenario, ebs: &[f64]) -> Vec<RateDistor
 }
 
 /// Crack/gap structure of the *original* data under each method (Fig. 1).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CrackRun {
     pub app: Application,
     pub method: &'static str,
@@ -268,7 +268,7 @@ pub fn run_crack_analysis(built: &BuiltScenario) -> Vec<CrackRun> {
 /// quantified): how far the decompressed-data surface deviates from the
 /// original-data surface under the same method, and how much rougher it
 /// got.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VizQualityRun {
     pub app: Application,
     pub compressor: &'static str,
@@ -397,6 +397,88 @@ pub fn run_viz_quality(
         }
     }
     rows
+}
+
+
+impl ToJson for CompressorKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl ToJson for CompressionRun {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("app", self.app.to_json())
+            .set("compressor", self.compressor)
+            .set("rel_error_bound", self.rel_error_bound)
+            .set("abs_error_bound", self.abs_error_bound)
+            .set("compression_ratio", self.compression_ratio)
+            .set("compression_ratio_f32", self.compression_ratio_f32)
+            .set("bits_per_value", self.bits_per_value)
+            .set("psnr_db", self.psnr_db)
+            .set("ssim", self.ssim)
+            .set("rssim", self.rssim)
+            .set("max_abs_error", self.max_abs_error)
+            .set("compress_seconds", self.compress_seconds)
+            .set("decompress_seconds", self.decompress_seconds);
+        o
+    }
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("app", self.app.to_json())
+            .set("levels", self.levels)
+            .set("grid_sizes", self.grid_sizes.to_json())
+            .set("densities", self.densities.to_json())
+            .set("total_cells", self.total_cells);
+        o
+    }
+}
+
+impl ToJson for RateDistortionPoint {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("compressor", self.compressor)
+            .set("rel_error_bound", self.rel_error_bound)
+            .set("bits_per_value", self.bits_per_value)
+            .set("psnr_db", self.psnr_db)
+            .set("rssim", self.rssim);
+        o
+    }
+}
+
+impl ToJson for CrackRun {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("app", self.app.to_json())
+            .set("method", self.method)
+            .set("coarse_triangles", self.coarse_triangles)
+            .set("fine_triangles", self.fine_triangles)
+            .set("rim_edges", self.rim_edges)
+            .set("rim_length", self.rim_length)
+            .set("mean_gap", self.mean_gap)
+            .set("max_gap", self.max_gap);
+        o
+    }
+}
+
+impl ToJson for VizQualityRun {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("app", self.app.to_json())
+            .set("compressor", self.compressor)
+            .set("rel_error_bound", self.rel_error_bound)
+            .set("method", self.method)
+            .set("surface_error_cells", self.surface_error_cells)
+            .set("surface_error_max_cells", self.surface_error_max_cells)
+            .set("roughness_increase", self.roughness_increase)
+            .set("image_rssim", self.image_rssim)
+            .set("triangles", self.triangles);
+        o
+    }
 }
 
 #[cfg(test)]

@@ -2,11 +2,11 @@
 
 use amrviz_amr::resample::{flatten_to_finest, Upsample};
 use amrviz_amr::{AmrHierarchy, UniformField};
+use amrviz_json::{Json, ToJson};
 use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
-use serde::{Deserialize, Serialize};
 
 /// Which AMR application's data to emulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Application {
     /// Nyx cosmology — irregular, spiky density field.
     Nyx,
@@ -33,8 +33,14 @@ impl Application {
     pub const ALL: [Application; 2] = [Application::Warpx, Application::Nyx];
 }
 
+impl ToJson for Application {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
 /// A scenario specification.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     pub app: Application,
     pub scale: Scale,

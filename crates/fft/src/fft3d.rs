@@ -2,9 +2,7 @@
 //!
 //! Layout is x-fastest (`idx = i + nx*(j + ny*k)`), matching the rest of the
 //! workspace. Each axis is transformed with a shared [`Fft1dPlan`]; lines
-//! are processed in parallel with Rayon.
-
-use rayon::prelude::*;
+//! are processed in parallel on the deterministic `amrviz-par` pool.
 
 use crate::complex::Complex;
 use crate::fft1d::Fft1dPlan;
@@ -79,37 +77,35 @@ fn transform_axis(grid: &mut Grid3, axis: usize, dir: &Direction) {
     match axis {
         0 => {
             // x lines are contiguous: transform each row in place.
-            grid.data.par_chunks_mut(nx).for_each(|row| match dir {
+            amrviz_par::for_each_chunk_mut(&mut grid.data, nx, |_, row| match dir {
                 Direction::Forward => plan.forward(row),
                 Direction::Inverse => plan.inverse(row),
             });
         }
         1 => {
             // y lines live within one z-slab; parallelize over slabs.
-            grid.data
-                .par_chunks_mut(nx * ny)
-                .for_each(|slab| {
-                    let mut line = vec![Complex::ZERO; ny];
-                    for i in 0..nx {
-                        for j in 0..ny {
-                            line[j] = slab[i + nx * j];
-                        }
-                        match dir {
-                            Direction::Forward => plan.forward(&mut line),
-                            Direction::Inverse => plan.inverse(&mut line),
-                        }
-                        for j in 0..ny {
-                            slab[i + nx * j] = line[j];
-                        }
+            amrviz_par::for_each_chunk_mut(&mut grid.data, nx * ny, |_, slab| {
+                let mut line = vec![Complex::ZERO; ny];
+                for i in 0..nx {
+                    for j in 0..ny {
+                        line[j] = slab[i + nx * j];
                     }
-                });
+                    match dir {
+                        Direction::Forward => plan.forward(&mut line),
+                        Direction::Inverse => plan.inverse(&mut line),
+                    }
+                    for j in 0..ny {
+                        slab[i + nx * j] = line[j];
+                    }
+                }
+            });
         }
         2 => {
             // z lines stride across slabs; parallelize over (i, j) pencils by
             // chunking flattened pencil indices.
             let stride = nx * ny;
             let data_ptr = SyncPtr(grid.data.as_mut_ptr());
-            (0..stride).into_par_iter().for_each(|p| {
+            amrviz_par::run(stride, |p| {
                 let ptr = data_ptr; // copy the Sync wrapper into the closure
                 let mut line = vec![Complex::ZERO; nz];
                 // SAFETY: each pencil index `p` touches the disjoint index

@@ -1,9 +1,9 @@
 //! Fixed-bin histograms for sanity-checking value distributions.
 
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 /// A uniform-bin histogram over `[lo, hi]`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     pub lo: f64,
     pub hi: f64,
@@ -73,6 +73,17 @@ impl Histogram {
                 -p * p.log2()
             })
             .sum()
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("lo", self.lo)
+            .set("hi", self.hi)
+            .set("counts", Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()))
+            .set("outliers", self.outliers);
+        o
     }
 }
 

@@ -1,10 +1,9 @@
 //! Pointwise error statistics between an original and a reconstruction.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 /// Summary of pointwise reconstruction error.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QualityStats {
     /// Number of samples compared.
     pub n: usize,
@@ -34,32 +33,40 @@ pub fn quality(original: &[f64], reconstructed: &[f64]) -> QualityStats {
     );
     assert!(!original.is_empty(), "quality: empty input");
 
-    let (min, max) = original
-        .par_iter()
-        .fold(
-            || (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
-        .reduce(
-            || (f64::INFINITY, f64::NEG_INFINITY),
-            |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
-        );
+    // Fixed-size chunks reduced in chunk order: the float accumulation
+    // grouping depends only on CHUNK, never on the thread count, so the
+    // stats are bit-identical at any `--threads` setting.
+    const CHUNK: usize = 1 << 16;
+    let n_total = original.len();
+    let (min, max) = amrviz_par::reduce_chunked(
+        n_total,
+        CHUNK,
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |r| {
+            original[r].iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &v| (lo.min(v), hi.max(v)),
+            )
+        },
+        |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
+    );
     let range = max - min;
 
-    let (se_sum, ae_sum, max_ae) = original
-        .par_iter()
-        .zip(reconstructed.par_iter())
-        .fold(
-            || (0.0f64, 0.0f64, 0.0f64),
-            |(se, ae, mx), (&o, &r)| {
-                let d = o - r;
-                (se + d * d, ae + d.abs(), mx.max(d.abs()))
-            },
-        )
-        .reduce(
-            || (0.0, 0.0, 0.0),
-            |(se1, ae1, m1), (se2, ae2, m2)| (se1 + se2, ae1 + ae2, m1.max(m2)),
-        );
+    let (se_sum, ae_sum, max_ae) = amrviz_par::reduce_chunked(
+        n_total,
+        CHUNK,
+        (0.0f64, 0.0f64, 0.0f64),
+        |r| {
+            original[r.clone()].iter().zip(&reconstructed[r]).fold(
+                (0.0f64, 0.0f64, 0.0f64),
+                |(se, ae, mx), (&o, &rv)| {
+                    let d = o - rv;
+                    (se + d * d, ae + d.abs(), mx.max(d.abs()))
+                },
+            )
+        },
+        |(se1, ae1, m1), (se2, ae2, m2)| (se1 + se2, ae1 + ae2, m1.max(m2)),
+    );
 
     let n = original.len();
     let mse = se_sum / n as f64;
@@ -80,6 +87,21 @@ pub fn quality(original: &[f64], reconstructed: &[f64]) -> QualityStats {
         psnr,
         max_abs_err: max_ae,
         mean_abs_err: ae_sum / n as f64,
+    }
+}
+
+impl ToJson for QualityStats {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("n", self.n)
+            .set("range", self.range)
+            .set("mse", self.mse)
+            .set("rmse", self.rmse)
+            .set("nrmse", self.nrmse)
+            .set("psnr", self.psnr)
+            .set("max_abs_err", self.max_abs_err)
+            .set("mean_abs_err", self.mean_abs_err);
+        o
     }
 }
 

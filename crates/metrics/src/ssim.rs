@@ -13,8 +13,6 @@
 //! the standard choice for volumetric scientific data; `stride` trades
 //! exactness for speed on large volumes (stride 1 = every position).
 
-use rayon::prelude::*;
-
 /// SSIM parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SsimConfig {
@@ -81,9 +79,11 @@ pub fn ssim3(original: &[f64], reconstructed: &[f64], dims: [usize; 3], cfg: &Ss
     let (xs, ys, zs) = (positions(nx), positions(ny), positions(nz));
 
     let inv_n = 1.0 / (w * w * w) as f64;
-    let sums: (f64, usize) = zs
-        .par_iter()
-        .map(|&z0| {
+    // One task per z-plane of window origins; partial sums are combined in
+    // z order below, so the score is bit-identical at any thread count.
+    let partials: Vec<(f64, usize)> = amrviz_par::run(zs.len(), |zi| {
+        let z0 = zs[zi];
+        {
             let mut acc = 0.0;
             let mut count = 0usize;
             for &y0 in &ys {
@@ -118,8 +118,11 @@ pub fn ssim3(original: &[f64], reconstructed: &[f64], dims: [usize; 3], cfg: &Ss
                 }
             }
             (acc, count)
-        })
-        .reduce(|| (0.0, 0), |(a, ca), (b, cb)| (a + b, ca + cb));
+        }
+    });
+    let sums = partials
+        .into_iter()
+        .fold((0.0, 0usize), |(a, ca), (b, cb)| (a + b, ca + cb));
 
     sums.0 / sums.1 as f64
 }
@@ -141,7 +144,7 @@ pub fn rssim(ssim_value: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use amrviz_rng::Rng;
 
     fn ramp_volume(dims: [usize; 3]) -> Vec<f64> {
         let [nx, ny, nz] = dims;
@@ -168,9 +171,9 @@ mod tests {
     fn noise_lowers_ssim_monotonically() {
         let dims = [16, 16, 16];
         let v = ramp_volume(dims);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-        let noisy = |amp: f64, rng: &mut rand::rngs::SmallRng| -> Vec<f64> {
-            v.iter().map(|x| x + rng.gen_range(-amp..amp)).collect()
+        let mut rng = Rng::seed(7);
+        let noisy = |amp: f64, rng: &mut Rng| -> Vec<f64> {
+            v.iter().map(|x| x + rng.range_f64(-amp, amp)).collect()
         };
         let cfg = SsimConfig::default();
         let s_small = ssim3(&v, &noisy(0.01, &mut rng), dims, &cfg);
@@ -198,8 +201,8 @@ mod tests {
     fn stride_approximates_exhaustive() {
         let dims = [20, 20, 20];
         let v = ramp_volume(dims);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
-        let noisy: Vec<f64> = v.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect();
+        let mut rng = Rng::seed(3);
+        let noisy: Vec<f64> = v.iter().map(|x| x + rng.range_f64(-0.3, 0.3)).collect();
         let exact = ssim3(&v, &noisy, dims, &SsimConfig::exhaustive());
         let approx = ssim3(&v, &noisy, dims, &SsimConfig { stride: 3, ..Default::default() });
         assert!((exact - approx).abs() < 0.02, "{exact} vs {approx}");

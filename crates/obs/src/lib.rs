@@ -6,7 +6,7 @@
 //!
 //! * **Spans** — [`span!`] returns a guard that measures wall time and, when
 //!   recording is enabled, captures name, key/value fields, thread id, and
-//!   parent span (nesting is tracked per thread, safe under rayon fan-out).
+//!   parent span (nesting is tracked per thread, safe under worker-pool fan-out).
 //! * **Counters / gauges** — [`counter!`] accumulates monotonic totals
 //!   (bytes in/out, quantizer outliers, triangles emitted, crack rim edges);
 //!   [`gauge_set`] records last-written values (resolved error bounds, iso
@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Number of event/counter shards; indexed by thread id so rayon workers
+/// Number of event/counter shards; indexed by thread id so pool workers
 /// almost never contend on the same lock.
 const SHARDS: usize = 16;
 
@@ -200,6 +200,41 @@ pub fn thread_id() -> u64 {
             id
         }
     })
+}
+
+/// Id of the innermost span active on this thread (0 when none). Capture
+/// this before fanning work out to a pool and re-establish it on the worker
+/// with [`parent_scope`], so spans created inside worker tasks nest under
+/// the submitting span instead of becoming detached roots.
+pub fn current_span_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// RAII guard that makes `parent` the ambient parent span for the current
+/// thread (see [`current_span_id`]). Used by `amrviz-par` to thread span
+/// lanes through its workers; a `parent` of 0 is a no-op.
+pub struct ParentScope {
+    pushed: bool,
+}
+
+/// Enters `parent` as this thread's ambient span.
+pub fn parent_scope(parent: u64) -> ParentScope {
+    if parent != 0 && is_enabled() {
+        SPAN_STACK.with(|s| s.borrow_mut().push(parent));
+        ParentScope { pushed: true }
+    } else {
+        ParentScope { pushed: false }
+    }
+}
+
+impl Drop for ParentScope {
+    fn drop(&mut self) {
+        if self.pushed {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
 }
 
 /// Turns recording on. Span/counter calls before this are free no-ops.

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Percentages are of the total *root* span time. Spans running
-//! concurrently on rayon workers accumulate cumulative CPU-side wall time,
+//! concurrently on pool workers accumulate cumulative CPU-side wall time,
 //! so sibling percentages can exceed their parent's on parallel stages —
 //! that is the per-core cost, which is what a perf PR needs to see.
 

@@ -1,11 +1,14 @@
-//! Integration tests for `amrviz-obs`: concurrent recording under rayon,
+//! Integration tests for `amrviz-obs`: concurrent recording across threads,
 //! nested-span parenting, and chrome-trace export validity.
+//!
+//! Uses raw `std::thread` fan-out (not `amrviz-par`, which depends on this
+//! crate) so the concurrency under test is independent of the worker pool.
 //!
 //! All tests share the process-global recorder, so each takes `lock()`.
 
 use std::sync::Mutex;
 
-use rayon::prelude::*;
+use amrviz_json::Json;
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -13,24 +16,45 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Runs `f(i)` for every `i in 0..n` across `workers` OS threads (strided
+/// assignment) and returns the per-call results in index order.
+fn fan_out<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots: Vec<Mutex<&mut [Option<T>]>> =
+        out.chunks_mut(1).map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut i = w;
+                while i < n {
+                    slots[i].lock().unwrap()[0] = Some(f(i));
+                    i += workers;
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("every index ran")).collect()
+}
+
 #[test]
-fn concurrent_spans_under_rayon_lose_nothing() {
+fn concurrent_spans_lose_nothing() {
     let _g = lock();
     amrviz_obs::reset();
     amrviz_obs::enable();
 
     const N: usize = 512;
-    let sum: u64 = (0..N)
-        .into_par_iter()
-        .map(|i| {
-            let mut sp = amrviz_obs::span!("work", level = i % 3);
-            sp.add_field("item", i);
-            amrviz_obs::counter!("items", 1u64);
-            amrviz_obs::counter!("weight", i as u64);
-            sp.finish();
-            i as u64
-        })
-        .sum();
+    let sum: u64 = fan_out(N, 8, |i| {
+        let mut sp = amrviz_obs::span!("work", level = i % 3);
+        sp.add_field("item", i);
+        amrviz_obs::counter!("items", 1u64);
+        amrviz_obs::counter!("weight", i as u64);
+        sp.finish();
+        i as u64
+    })
+    .into_iter()
+    .sum();
     amrviz_obs::disable();
 
     assert_eq!(sum, (N as u64 - 1) * N as u64 / 2);
@@ -103,13 +127,13 @@ fn nested_spans_are_parented() {
 }
 
 #[test]
-fn parenting_survives_rayon_fan_out() {
+fn parenting_survives_thread_fan_out() {
     let _g = lock();
     amrviz_obs::reset();
     amrviz_obs::enable();
     {
         let _outer = amrviz_obs::span!("fan");
-        (0..64).into_par_iter().for_each(|i| {
+        fan_out(64, 4, |i| {
             let _sp = amrviz_obs::span!("leaf", level = i % 2);
         });
     }
@@ -122,6 +146,29 @@ fn parenting_survives_rayon_fan_out() {
     let summary = amrviz_obs::summary::build(&events);
     let leaf_count: usize = count_key(&summary.roots, "leaf");
     assert_eq!(leaf_count, 64);
+}
+
+#[test]
+fn parent_scope_adopts_workers_into_the_submitting_span() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    let fan_id;
+    {
+        let _outer = amrviz_obs::span!("fan");
+        let parent = amrviz_obs::current_span_id();
+        fan_id = parent;
+        fan_out(16, 4, |i| {
+            let _scope = amrviz_obs::parent_scope(parent);
+            let _sp = amrviz_obs::span!("leaf", level = i % 2);
+        });
+    }
+    amrviz_obs::disable();
+    let events = amrviz_obs::events_snapshot();
+    assert_eq!(events.len(), 17);
+    for e in events.iter().filter(|e| e.name == "leaf") {
+        assert_eq!(e.parent, fan_id, "leaf not adopted under fan");
+    }
 }
 
 fn count_key(nodes: &[amrviz_obs::summary::SummaryNode], name: &str) -> usize {
@@ -150,46 +197,65 @@ fn chrome_trace_export_is_valid_json_with_matched_events() {
     amrviz_obs::disable();
 
     let text = amrviz_obs::chrome::chrome_trace_json();
-    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace must be valid JSON");
-    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let doc = Json::parse(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
     assert!(!events.is_empty());
 
     let mut n_complete = 0;
     for ev in events {
-        let ph = ev["ph"].as_str().expect("ph present");
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph present");
         match ph {
             // Complete events carry their own duration — nothing to match,
             // which is exactly why we emit X instead of B/E pairs.
             "X" => {
                 n_complete += 1;
-                assert!(ev["ts"].as_f64().is_some(), "X event without ts: {ev}");
-                assert!(ev["dur"].as_f64().is_some(), "X event without dur: {ev}");
-                assert!(ev["name"].as_str().is_some());
-                assert!(ev["tid"].is_number());
+                let get = |k: &str| ev.get(k).cloned().unwrap_or(Json::Null);
+                assert!(get("ts").as_f64().is_some(), "X event without ts");
+                assert!(get("dur").as_f64().is_some(), "X event without dur");
+                assert!(get("name").as_str().is_some());
+                assert!(get("tid").as_f64().is_some());
             }
             "M" | "C" => {}
-            other => panic!("unexpected phase {other} in {ev}"),
+            other => panic!("unexpected phase {other}"),
         }
     }
     assert_eq!(n_complete, 3, "one X event per span");
 
     // Span fields surface as args...
-    let compress = events
-        .iter()
-        .find(|e| e["name"] == "compress")
-        .expect("compress span exported");
-    assert_eq!(compress["args"]["level"], 0);
-    let extract = events
-        .iter()
-        .find(|e| e["name"] == "extract")
-        .expect("extract span exported");
-    assert_eq!(extract["args"]["method"], "dual-cell");
+    let find = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+    };
+    let compress = find("compress").expect("compress span exported");
+    let args = compress.get("args").expect("args present");
+    assert_eq!(args.get("level").and_then(Json::as_i64), Some(0));
+    let extract = find("extract").expect("extract span exported");
+    assert_eq!(
+        extract
+            .get("args")
+            .and_then(|a| a.get("method"))
+            .and_then(Json::as_str),
+        Some("dual-cell")
+    );
     // ...and counters as C events.
     let counter = events
         .iter()
-        .find(|e| e["ph"] == "C" && e["name"] == "bytes_out")
+        .find(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("bytes_out")
+        })
         .expect("counter exported");
-    assert_eq!(counter["args"]["value"], 1234);
+    assert_eq!(
+        counter
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Json::as_i64),
+        Some(1234)
+    );
 }
 
 #[test]

@@ -9,8 +9,7 @@
 //! filamentary spikiness of Nyx density.
 
 use amrviz_fft::{ifft3, Complex, Grid3};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use amrviz_rng::Rng;
 
 /// Spectrum parameters for [`gaussian_random_field`].
 #[derive(Debug, Clone, Copy)]
@@ -34,12 +33,6 @@ impl Spectrum {
     }
 }
 
-/// Box–Muller standard normal from a uniform RNG.
-fn normal(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-    (-2.0 * u1.ln()).sqrt() * u2.cos()
-}
 
 /// Generates a zero-mean, unit-variance Gaussian random field on a
 /// power-of-two grid.
@@ -56,7 +49,7 @@ pub fn gaussian_random_field(
         nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
         "GRF dims must be powers of two, got {dims:?}"
     );
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut grid = Grid3::zeros(nx, ny, nz);
 
     // Signed wavenumber of FFT bin `i` on an axis of length `n`.
@@ -75,8 +68,8 @@ pub fn gaussian_random_field(
                 }
                 let amp = kk.powf(spectrum.alpha / 2.0)
                     * (-(kk / spectrum.k_cutoff).powi(2)).exp();
-                let re = normal(&mut rng) * amp;
-                let im = normal(&mut rng) * amp;
+                let re = rng.normal() * amp;
+                let im = rng.normal() * amp;
                 grid.set(i, j, k, Complex::new(re, im));
             }
         }
@@ -110,10 +103,9 @@ pub fn random_smooth_modes(
     min_cells_per_wave: f64,
     seed: u64,
 ) -> Vec<f64> {
-    use rayon::prelude::*;
     assert!(n_modes > 0 && min_cells_per_wave > 0.0);
     let [nx, ny, nz] = dims;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let max_k = [
         (nx as f64 / min_cells_per_wave).max(0.0),
         (ny as f64 / min_cells_per_wave).max(0.0),
@@ -123,33 +115,31 @@ pub fn random_smooth_modes(
     let modes: Vec<([f64; 3], f64, f64)> = (0..n_modes)
         .map(|_| {
             let k = [
-                rng.gen_range(-max_k[0]..=max_k[0]) * std::f64::consts::TAU / nx as f64,
-                rng.gen_range(-max_k[1]..=max_k[1]) * std::f64::consts::TAU / ny as f64,
-                rng.gen_range(-max_k[2]..=max_k[2]) * std::f64::consts::TAU / nz as f64,
+                rng.range_f64(-max_k[0], max_k[0]) * std::f64::consts::TAU / nx as f64,
+                rng.range_f64(-max_k[1], max_k[1]) * std::f64::consts::TAU / ny as f64,
+                rng.range_f64(-max_k[2], max_k[2]) * std::f64::consts::TAU / nz as f64,
             ];
-            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
-            let amp = rng.gen_range(0.3..1.0);
+            let phase = rng.range_f64(0.0, std::f64::consts::TAU);
+            let amp = rng.range_f64(0.3, 1.0);
             (k, phase, amp)
         })
         .collect();
     let norm = (2.0 / modes.iter().map(|&(_, _, a)| a * a).sum::<f64>()).sqrt();
 
     let mut out = vec![0.0f64; nx * ny * nz];
-    out.par_chunks_mut(nx * ny)
-        .enumerate()
-        .for_each(|(z, slab)| {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let mut acc = 0.0;
-                    for &(k, phase, amp) in &modes {
-                        acc += amp
-                            * (k[0] * i as f64 + k[1] * j as f64 + k[2] * z as f64 + phase)
-                                .cos();
-                    }
-                    slab[i + nx * j] = acc * norm;
+    amrviz_par::for_each_chunk_mut(&mut out, nx * ny, |z, slab| {
+        for j in 0..ny {
+            for i in 0..nx {
+                let mut acc = 0.0;
+                for &(k, phase, amp) in &modes {
+                    acc += amp
+                        * (k[0] * i as f64 + k[1] * j as f64 + k[2] * z as f64 + phase)
+                            .cos();
                 }
+                slab[i + nx * j] = acc * norm;
             }
-        });
+        }
+    });
     out
 }
 

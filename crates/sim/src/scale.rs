@@ -6,10 +6,8 @@
 //! tests and laptop runs fast. All dimensions are powers of two (required
 //! by the spectral synthesizer).
 
-use serde::{Deserialize, Serialize};
-
 /// Problem-size preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Unit-test scale.
     Tiny,

@@ -7,14 +7,14 @@
 //! domain boundary and (b) how far that rim sits from the coarse surface —
 //! the visible crack/gap width.
 
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 use crate::mesh::TriMesh;
 use crate::surface_compare::TriLocator;
 
 /// Crack/gap measurements between one fine-level mesh and the next-coarser
 /// mesh.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CrackMetrics {
     /// Number of interface rim edges on the fine mesh (excluding rim on the
     /// physical domain boundary).
@@ -27,6 +27,18 @@ pub struct CrackMetrics {
     pub p95_gap: f64,
     /// Maximum gap.
     pub max_gap: f64,
+}
+
+impl ToJson for CrackMetrics {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("n_rim_edges", self.n_rim_edges)
+            .set("rim_length", self.rim_length)
+            .set("mean_gap", self.mean_gap)
+            .set("p95_gap", self.p95_gap)
+            .set("max_gap", self.max_gap);
+        o
+    }
 }
 
 /// Measures the interface gap between `fine` and `coarse`.

@@ -17,7 +17,6 @@
 //! compression artifacts, which is why this method *amplifies* them (§4.3).
 
 use amrviz_amr::multifab::rasterize_into;
-use rayon::prelude::*;
 use amrviz_amr::{AmrHierarchy, IntVect, MultiFab};
 
 use crate::marching::{marching_tetrahedra, SampledGrid};
@@ -61,9 +60,7 @@ pub fn extract_dual_level(
     let (dx, dy, dz) = (cx - 1, cy - 1, cz - 1);
     let mut mask = vec![false; dx * dy * dz];
     let sp_mask = amrviz_obs::span!("dual.mask", level = lev);
-    mask.par_chunks_mut(dx * dy)
-        .enumerate()
-        .for_each(|(k, slab)| {
+    amrviz_par::for_each_chunk_mut(&mut mask, dx * dy, |k, slab| {
             for j in 0..dy {
                 for i in 0..dx {
                     let mut all_valid = true;

@@ -252,12 +252,10 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
         amrviz_obs::counter!("viz.triangles", mesh.num_triangles());
         return mesh;
     }
-    use rayon::prelude::*;
     let n_slabs = cz.div_ceil(SLAB);
-    let slabs: Vec<TriMesh> = (0..n_slabs)
-        .into_par_iter()
-        .map(|s| extract_range(grid, iso, s * SLAB, ((s + 1) * SLAB).min(cz)))
-        .collect();
+    let slabs: Vec<TriMesh> = amrviz_par::run(n_slabs, |s| {
+        extract_range(grid, iso, s * SLAB, ((s + 1) * SLAB).min(cz))
+    });
 
     // Merge, de-duplicating vertices that lie exactly on interior boundary
     // planes (z = origin + k·spacing for slab boundaries k).

@@ -2,7 +2,6 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
 
 /// An indexed triangle mesh in physical coordinates.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -129,16 +128,26 @@ impl TriMesh {
     /// triangle, sorted. Shared by the boundary/adjacency queries; the sort
     /// is parallel, which matters on multi-million-triangle surfaces.
     fn sorted_edge_keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self
-            .triangles
-            .par_iter()
-            .flat_map_iter(|t| {
-                [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])]
-                    .into_iter()
-                    .map(|(a, b)| ((a.min(b) as u64) << 32) | a.max(b) as u64)
-            })
-            .collect();
-        keys.par_sort_unstable();
+        const CHUNK: usize = 1 << 15;
+        let mut keys: Vec<u64> = amrviz_par::reduce_chunked(
+            self.triangles.len(),
+            CHUNK,
+            Vec::new(),
+            |r| {
+                let mut part = Vec::with_capacity(3 * r.len());
+                for t in &self.triangles[r] {
+                    for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                        part.push(((a.min(b) as u64) << 32) | a.max(b) as u64);
+                    }
+                }
+                part
+            },
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
+        keys.sort_unstable();
         keys
     }
 

@@ -1,14 +1,14 @@
 //! Whole-hierarchy isosurface extraction with method selection.
 
 use amrviz_amr::{AmrHierarchy, MultiFab};
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 use crate::dual::{extract_dual_level, DualMode};
 use crate::mesh::TriMesh;
 use crate::resampling::extract_resampled_level;
 
 /// The three extraction pipelines the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsoMethod {
     /// Basic: cell→vertex re-sampling + marching. Cracks between levels.
     Resampling,
@@ -33,6 +33,12 @@ impl IsoMethod {
         IsoMethod::DualCell,
         IsoMethod::DualCellRedundant,
     ];
+}
+
+impl ToJson for IsoMethod {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
 }
 
 /// Extraction output: per-level surfaces plus their concatenation.
@@ -69,24 +75,23 @@ pub fn extract_amr_isosurface(
         "level data does not match hierarchy"
     );
     let mut sp = amrviz_obs::span!("extract", method = method.label());
-    let level_meshes: Vec<TriMesh> = levels
-        .iter()
-        .enumerate()
-        .map(|(lev, mf)| {
-            let mut lsp = amrviz_obs::span!("extract.level", level = lev);
-            let mesh = match method {
-                IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
-                IsoMethod::DualCell => {
-                    extract_dual_level(hier, mf, lev, iso, DualMode::Plain)
-                }
-                IsoMethod::DualCellRedundant => {
-                    extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
-                }
-            };
-            lsp.add_field("triangles", mesh.num_triangles());
-            mesh
-        })
-        .collect();
+    // Levels fan out across the worker pool; results come back in level
+    // order, so the combined mesh is identical at any thread count.
+    let level_meshes: Vec<TriMesh> = amrviz_par::run(levels.len(), |lev| {
+        let mf = &levels[lev];
+        let mut lsp = amrviz_obs::span!("extract.level", level = lev);
+        let mesh = match method {
+            IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
+            IsoMethod::DualCell => {
+                extract_dual_level(hier, mf, lev, iso, DualMode::Plain)
+            }
+            IsoMethod::DualCellRedundant => {
+                extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
+            }
+        };
+        lsp.add_field("triangles", mesh.num_triangles());
+        mesh
+    });
     let mut combined = TriMesh::new();
     for m in &level_meshes {
         combined.append(m);

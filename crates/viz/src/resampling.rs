@@ -10,7 +10,6 @@
 //! characteristic **cracks** of Fig. 1a — reproduced here by construction.
 
 use amrviz_amr::multifab::rasterize_into;
-use rayon::prelude::*;
 use amrviz_amr::{AmrHierarchy, IntVect, MultiFab};
 
 use crate::marching::{marching_tetrahedra, SampledGrid};
@@ -45,10 +44,7 @@ pub fn extract_resampled_level(
     let mut nodes = vec![0.0f64; nnx * nny * nnz];
     let cell_at = |i: usize, j: usize, k: usize| cells[i + cx * (j + cy * k)];
     let sp_nodes = amrviz_obs::span!("resample.nodes", level = lev);
-    nodes
-        .par_chunks_mut(nnx * nny)
-        .enumerate()
-        .for_each(|(nk, slab)| {
+    amrviz_par::for_each_chunk_mut(&mut nodes, nnx * nny, |nk, slab| {
             for nj in 0..nny {
                 for ni in 0..nnx {
                     let mut sum = 0.0;
@@ -84,9 +80,7 @@ pub fn extract_resampled_level(
 
     // March the level's unique cells only (parallel over cell slabs).
     let mut mask = vec![false; cx * cy * cz];
-    mask.par_chunks_mut(cx * cy)
-        .enumerate()
-        .for_each(|(k, slab)| {
+    amrviz_par::for_each_chunk_mut(&mut mask, cx * cy, |k, slab| {
             for j in 0..cy {
                 for i in 0..cx {
                     let iv = dom.lo() + IntVect::new(i as i64, j as i64, k as i64);

@@ -8,8 +8,7 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
-use serde::Serialize;
+use amrviz_json::{Json, ToJson};
 
 use crate::mesh::TriMesh;
 
@@ -104,11 +103,9 @@ impl TriLocator {
         // (cell, triangle) pairs in parallel, then sort and group — far
         // faster than per-insert hashing for millions of triangles.
         let clampi = |v: f64, n: usize| (v.floor().max(0.0) as usize).min(n - 1);
-        let mut pairs: Vec<(usize, u32)> = mesh
-            .triangles
-            .par_iter()
-            .enumerate()
-            .flat_map_iter(|(t, tri)| {
+        let mut pairs: Vec<(usize, u32)> = {
+            const CHUNK: usize = 1 << 14;
+            let emit = |(t, tri): (usize, &[u32; 3])| {
                 let mut tlo = [f64::INFINITY; 3];
                 let mut thi = [f64::NEG_INFINITY; 3];
                 for &vi in tri {
@@ -135,9 +132,25 @@ impl TriLocator {
                         })
                     })
                 })
-            })
-            .collect();
-        pairs.par_sort_unstable();
+            };
+            amrviz_par::reduce_chunked(
+                mesh.triangles.len(),
+                CHUNK,
+                Vec::new(),
+                |r| {
+                    let mut part = Vec::new();
+                    for t in r {
+                        part.extend(emit((t, &mesh.triangles[t])));
+                    }
+                    part
+                },
+                |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                },
+            )
+        };
+        pairs.sort_unstable();
         let mut buckets: HashMap<usize, Vec<u32>> =
             HashMap::with_capacity(pairs.len() / 2 + 1);
         let mut i = 0;
@@ -239,7 +252,7 @@ impl TriLocator {
 }
 
 /// Summary of one-directional surface deviation (`from` → `to`).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SurfaceDistance {
     /// Area-weighted mean distance of `from` samples to `to`.
     pub mean: f64,
@@ -249,6 +262,17 @@ pub struct SurfaceDistance {
     pub max: f64,
     /// Number of sample points used.
     pub n_samples: usize,
+}
+
+impl ToJson for SurfaceDistance {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("mean", self.mean)
+            .set("rms", self.rms)
+            .set("max", self.max)
+            .set("n_samples", self.n_samples);
+        o
+    }
 }
 
 /// Measures how far `from`'s surface lies from `to`'s. Samples every vertex
@@ -268,15 +292,22 @@ pub fn surface_distance_to(
     if from.triangles.is_empty() {
         return None;
     }
-    let per_tri: Vec<(f64, f64)> = (0..from.num_triangles())
-        .into_par_iter()
-        .map(|t| (from.face_area(t), locator.distance(from.face_centroid(t))))
-        .collect();
-    let vert_max = from
-        .vertices
-        .par_iter()
-        .map(|&v| locator.distance(v))
-        .reduce(|| 0.0, f64::max);
+    let per_tri: Vec<(f64, f64)> = amrviz_par::run(from.num_triangles(), |t| {
+        (from.face_area(t), locator.distance(from.face_centroid(t)))
+    });
+    const CHUNK: usize = 1 << 13;
+    let vert_max = amrviz_par::reduce_chunked(
+        from.vertices.len(),
+        CHUNK,
+        0.0f64,
+        |r| {
+            from.vertices[r]
+                .iter()
+                .map(|&v| locator.distance(v))
+                .fold(0.0, f64::max)
+        },
+        f64::max,
+    );
 
     let total_area: f64 = per_tri.iter().map(|&(a, _)| a).sum();
     if total_area == 0.0 {
@@ -304,19 +335,26 @@ pub fn normal_roughness(mesh: &TriMesh) -> f64 {
     // (packed edge key, triangle) pairs, sorted by key: manifold edges form
     // runs of exactly two entries. Parallel sort + scan beats a HashMap by
     // a wide margin on multi-million-triangle surfaces.
-    let mut pairs: Vec<(u64, u32)> = mesh
-        .triangles
-        .par_iter()
-        .enumerate()
-        .flat_map_iter(|(t, tri)| {
-            [(tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])]
-                .into_iter()
-                .map(move |(a, b)| {
-                    (((a.min(b) as u64) << 32) | a.max(b) as u64, t as u32)
-                })
-        })
-        .collect();
-    pairs.par_sort_unstable();
+    let mut pairs: Vec<(u64, u32)> = amrviz_par::reduce_chunked(
+        mesh.triangles.len(),
+        1 << 15,
+        Vec::new(),
+        |r| {
+            let mut part = Vec::with_capacity(3 * r.len());
+            for t in r {
+                let tri = &mesh.triangles[t];
+                for (a, b) in [(tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])] {
+                    part.push((((a.min(b) as u64) << 32) | a.max(b) as u64, t as u32));
+                }
+            }
+            part
+        },
+        |mut acc, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    );
+    pairs.sort_unstable();
 
     let mut sum = 0.0;
     let mut count = 0usize;

@@ -1,1 +1,142 @@
-//! Integration-test host crate (tests live in `tests/tests/`).
+//! Integration-test host crate (tests live in `tests/tests/`) plus shared
+//! helpers: an FNV-1a hasher, mesh canonicalization/fingerprinting, the
+//! golden-snapshot harness (`BLESS=1` regenerates), and scenario builders.
+
+use std::path::PathBuf;
+
+use amrviz_core::prelude::*;
+use amrviz_viz::TriMesh;
+
+/// 64-bit FNV-1a over a byte stream. Dependency-free, stable across
+/// platforms — the fingerprint that golden snapshots store.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Quantizes one coordinate to a lattice fine enough that any real change
+/// moves it, while `-0.0`/`+0.0` and representation noise collapse.
+fn quantize(v: f64) -> i64 {
+    let q = (v * 1e9).round();
+    if q == 0.0 {
+        0
+    } else {
+        q as i64
+    }
+}
+
+/// Canonical form of a mesh: each triangle as its three *positions*
+/// (quantized), the triangle list sorted. Invariant to vertex indexing and
+/// triangle emission order, so fingerprints survive harmless refactors of
+/// the extraction code while pinning the actual geometry.
+pub fn canonical_triangles(mesh: &TriMesh) -> Vec<[[i64; 3]; 3]> {
+    let mut tris: Vec<[[i64; 3]; 3]> = mesh
+        .triangles
+        .iter()
+        .map(|t| {
+            let mut corners = [[0i64; 3]; 3];
+            for (c, &vi) in t.iter().enumerate() {
+                let v = mesh.vertices[vi as usize];
+                corners[c] = [quantize(v[0]), quantize(v[1]), quantize(v[2])];
+            }
+            // Rotate so the lexicographically smallest corner leads (winding
+            // preserved).
+            let lead = (0..3).min_by_key(|&i| corners[i]).unwrap();
+            [corners[lead], corners[(lead + 1) % 3], corners[(lead + 2) % 3]]
+        })
+        .collect();
+    tris.sort_unstable();
+    tris
+}
+
+/// FNV-1a fingerprint of the canonicalized mesh.
+pub fn mesh_fingerprint(mesh: &TriMesh) -> u64 {
+    let mut bytes = Vec::with_capacity(mesh.triangles.len() * 72);
+    for tri in canonical_triangles(mesh) {
+        for corner in tri {
+            for c in corner {
+                bytes.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    fnv1a(&bytes)
+}
+
+/// Where golden snapshots live (`tests/golden/`), anchored to the crate so
+/// the tests work from any working directory.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Compares `actual` against `golden/<name>`; with `BLESS=1` in the
+/// environment it (re)writes the snapshot instead and passes.
+pub fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "snapshot {} drifted; if the change is intended, re-bless with BLESS=1",
+        name
+    );
+}
+
+/// The Nyx-like evaluation scenario at test scale (irregular, spiky
+/// density field).
+pub fn nyx_like(seed: u64) -> BuiltScenario {
+    Scenario::new(Application::Nyx, Scale::Tiny, seed).build()
+}
+
+/// The WarpX-like evaluation scenario at test scale (smooth EM field).
+pub fn warpx_like(seed: u64) -> BuiltScenario {
+    Scenario::new(Application::Warpx, Scale::Tiny, seed).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_to_triangle_and_vertex_order() {
+        let mesh = TriMesh {
+            vertices: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            triangles: vec![[0, 1, 2], [1, 3, 2]],
+        };
+        // Same geometry: triangles reordered, vertex list permuted, each
+        // triangle rotated (winding preserved).
+        let shuffled = TriMesh {
+            vertices: vec![[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
+            triangles: vec![[1, 2, 0], [2, 1, 3]],
+        };
+        assert_eq!(mesh_fingerprint(&mesh), mesh_fingerprint(&shuffled));
+        // Flipping a winding changes the surface and must change the hash.
+        let flipped = TriMesh {
+            triangles: vec![[0, 2, 1], [1, 3, 2]],
+            ..mesh.clone()
+        };
+        assert_ne!(mesh_fingerprint(&mesh), mesh_fingerprint(&flipped));
+    }
+}

@@ -1,0 +1,160 @@
+//! The tentpole guarantee: the full compress → decompress → extract →
+//! score pipeline produces **bit-identical** results at any thread count.
+//!
+//! Each scenario runs the whole pipeline at 1, 2, and 8 threads and
+//! compares every artifact — compressed byte streams, decompressed field
+//! bits, mesh buffers, PSNR/SSIM bits — against the single-threaded
+//! baseline.
+
+#![allow(clippy::needless_range_loop)] // level-indexed loops mirror the math
+
+use std::sync::Mutex;
+
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, ErrorBound,
+};
+use amrviz_core::experiment::CompressorKind;
+use amrviz_core::prelude::*;
+use amrviz_integration_tests::{nyx_like, warpx_like};
+use amrviz_metrics::{quality, ssim3, SsimConfig};
+use amrviz_viz::extract_amr_isosurface;
+
+/// `amrviz_par::set_threads` is process-global, so tests that sweep it must
+/// not interleave.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Every pipeline artifact, reduced to exactly comparable (bit-level) form.
+#[derive(Debug, PartialEq, Eq)]
+struct PipelineArtifacts {
+    /// Scenario field data (generation itself runs on the pool).
+    field_bits: Vec<u64>,
+    /// Serialized compressed stream per compressor.
+    compressed: Vec<(&'static str, Vec<u8>)>,
+    /// Decompressed per-level data bits per compressor.
+    decompressed_bits: Vec<(&'static str, Vec<u64>)>,
+    /// Canonical mesh buffers per method: vertex coordinate bits + indices.
+    meshes: Vec<(&'static str, Vec<u64>, Vec<u32>)>,
+    /// PSNR and SSIM of the first compressor's reconstruction, as bits.
+    psnr_bits: u64,
+    ssim_bits: u64,
+}
+
+fn run_pipeline(built: &BuiltScenario) -> PipelineArtifacts {
+    let field = built.spec.app.eval_field();
+    let cfg = AmrCodecConfig::default();
+
+    let mut field_bits = Vec::new();
+    for lev in 0..built.hierarchy.num_levels() {
+        for fab in built.hierarchy.field_level(field, lev).unwrap().fabs() {
+            field_bits.extend(fab.data().iter().map(|v| v.to_bits()));
+        }
+    }
+
+    let mut compressed = Vec::new();
+    let mut decompressed_bits = Vec::new();
+    let mut first_recon: Option<Vec<amrviz_amr::MultiFab>> = None;
+    for kind in CompressorKind::PAPER {
+        let comp = kind.instance();
+        let c = compress_hierarchy_field(
+            &built.hierarchy,
+            field,
+            comp.as_ref(),
+            ErrorBound::Rel(1e-3),
+            &cfg,
+        )
+        .unwrap();
+        let levels =
+            decompress_hierarchy_field(&built.hierarchy, &c, comp.as_ref(), &cfg).unwrap();
+        let mut bits = Vec::new();
+        for mf in &levels {
+            for fab in mf.fabs() {
+                bits.extend(fab.data().iter().map(|v| v.to_bits()));
+            }
+        }
+        compressed.push((kind.label(), c.to_bytes()));
+        decompressed_bits.push((kind.label(), bits));
+        first_recon.get_or_insert(levels);
+    }
+
+    let orig_levels = &built.hierarchy.field(field).unwrap().levels;
+    let mut meshes = Vec::new();
+    for method in IsoMethod::ALL {
+        let res = extract_amr_isosurface(&built.hierarchy, orig_levels, built.iso, method);
+        let vbits: Vec<u64> = res
+            .combined
+            .vertices
+            .iter()
+            .flat_map(|v| v.iter().map(|c| c.to_bits()))
+            .collect();
+        let idx: Vec<u32> = res.combined.triangles.iter().flatten().copied().collect();
+        meshes.push((method.label(), vbits, idx));
+    }
+
+    // Score the first compressor's reconstruction on the uniform merge.
+    let recon = first_recon.unwrap();
+    let mut hier = built.hierarchy.clone();
+    hier.add_field("__recon", recon).unwrap();
+    let recon_uniform = amrviz_amr::resample::flatten_to_finest(
+        &hier,
+        "__recon",
+        amrviz_amr::resample::Upsample::PiecewiseConstant,
+    )
+    .unwrap()
+    .data;
+    let q = quality(&built.uniform.data, &recon_uniform);
+    let s = ssim3(
+        &built.uniform.data,
+        &recon_uniform,
+        built.uniform.dims(),
+        &SsimConfig::default(),
+    );
+
+    PipelineArtifacts {
+        field_bits,
+        compressed,
+        decompressed_bits,
+        meshes,
+        psnr_bits: q.psnr.to_bits(),
+        ssim_bits: s.to_bits(),
+    }
+}
+
+fn assert_thread_invariant(build: impl Fn() -> BuiltScenario, label: &str) {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = amrviz_par::threads();
+
+    amrviz_par::set_threads(1);
+    let baseline = run_pipeline(&build());
+    assert!(!baseline.field_bits.is_empty());
+    assert!(baseline.meshes.iter().all(|(_, v, _)| !v.is_empty()));
+
+    for n in [2, 8] {
+        amrviz_par::set_threads(n);
+        let got = run_pipeline(&build());
+        assert_eq!(
+            got, baseline,
+            "{label}: pipeline artifacts diverged at {n} threads"
+        );
+    }
+    amrviz_par::set_threads(prev);
+}
+
+#[test]
+fn nyx_pipeline_is_bit_identical_at_1_2_8_threads() {
+    assert_thread_invariant(|| nyx_like(42), "Nyx");
+}
+
+#[test]
+fn warpx_pipeline_is_bit_identical_at_1_2_8_threads() {
+    assert_thread_invariant(|| warpx_like(42), "WarpX");
+}
+
+#[test]
+fn thread_count_resolution_order() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = amrviz_par::threads();
+    // An explicit override wins over everything and is clamped to >= 1.
+    amrviz_par::set_threads(3);
+    assert_eq!(amrviz_par::threads(), 3);
+    amrviz_par::set_threads(prev);
+}
