@@ -46,6 +46,6 @@ pub use hierarchy::{AmrField, AmrHierarchy};
 pub use interp::{prolong_piecewise_constant, prolong_trilinear, restrict_average};
 pub use ivec::IntVect;
 pub use mask::Raster;
-pub use multifab::MultiFab;
+pub use multifab::{rasterize_into, MultiFab};
 pub use regrid::{berger_rigoutsos, RegridConfig};
 pub use resample::{flatten_to_finest, rasterize_level, upsample_dense, UniformField, Upsample};

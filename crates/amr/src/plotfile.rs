@@ -192,8 +192,20 @@ pub fn write_plotfile(dir: &Path, hier: &AmrHierarchy) -> Result<(), AmrError> {
     Ok(())
 }
 
-/// Reads a hierarchy (all fields) from `dir`.
+/// Reads a hierarchy (all fields) from `dir`, with the default
+/// (permissive) [`amrviz_codec::DecodeBudget`].
 pub fn read_plotfile(dir: &Path) -> Result<AmrHierarchy, AmrError> {
+    read_plotfile_budgeted(dir, &amrviz_codec::DecodeBudget::default())
+}
+
+/// Reads a hierarchy from `dir`, validating every size the header declares
+/// — box dimensions, per-level cell counts — against `budget` and against
+/// the actual on-disk file sizes *before* any data buffer is allocated. A
+/// corrupted header cannot make this function reserve absurd memory.
+pub fn read_plotfile_budgeted(
+    dir: &Path,
+    budget: &amrviz_codec::DecodeBudget,
+) -> Result<AmrHierarchy, AmrError> {
     let header_text = fs::read_to_string(dir.join("Header.json"))?;
     let header_value = Json::parse(&header_text)
         .map_err(|e| AmrError::Corrupt(format!("header parse: {e}")))?;
@@ -205,6 +217,21 @@ pub fn read_plotfile(dir: &Path) -> Result<AmrHierarchy, AmrError> {
             header.version
         )));
     }
+    // Validate every declared box against the budget before the hierarchy
+    // (covered masks, etc.) computes anything from them.
+    for ba in &header.box_arrays {
+        for bx in ba.boxes() {
+            let [sx, sy, sz] = bx.size();
+            for d in [sx, sy, sz] {
+                budget
+                    .check_dim(d)
+                    .map_err(|e| AmrError::Corrupt(format!("header box: {e}")))?;
+            }
+            sx.checked_mul(sy)
+                .and_then(|v| v.checked_mul(sz))
+                .ok_or_else(|| AmrError::Corrupt("header box cell count overflow".into()))?;
+        }
+    }
     let mut hier = AmrHierarchy::new(header.geometry, header.ref_ratios, header.box_arrays)?;
     hier.time = header.time;
     hier.step = header.step;
@@ -214,15 +241,36 @@ pub fn read_plotfile(dir: &Path) -> Result<AmrHierarchy, AmrError> {
         for lev in 0..hier.num_levels() {
             let ba = hier.box_array(lev).clone();
             let path = dir.join(format!("{name}_L{lev}.bin"));
-            let expected = ba.num_cells();
-            let mut r = BufReader::new(fs::File::open(&path)?);
-            let mut bytes = Vec::with_capacity(expected * 8);
-            r.read_to_end(&mut bytes)?;
-            if bytes.len() != expected * 8 {
+            let expected = ba
+                .boxes()
+                .iter()
+                .try_fold(0usize, |acc, bx| acc.checked_add(bx.num_cells()))
+                .ok_or_else(|| AmrError::Corrupt("level cell count overflow".into()))?;
+            budget
+                .check_values(expected)
+                .map_err(|e| AmrError::Corrupt(format!("level {lev}: {e}")))?;
+            let nbytes = expected
+                .checked_mul(8)
+                .ok_or_else(|| AmrError::Corrupt("level byte count overflow".into()))?;
+            // Compare the declared size against the file on disk before
+            // reserving a buffer for it.
+            let file_len = fs::metadata(&path)?.len();
+            if file_len != nbytes as u64 {
                 return Err(AmrError::Corrupt(format!(
                     "{}: expected {} bytes, found {}",
                     path.display(),
-                    expected * 8,
+                    nbytes,
+                    file_len
+                )));
+            }
+            let mut r = BufReader::new(fs::File::open(&path)?);
+            let mut bytes = Vec::with_capacity(nbytes);
+            r.read_to_end(&mut bytes)?;
+            if bytes.len() != nbytes {
+                return Err(AmrError::Corrupt(format!(
+                    "{}: expected {} bytes, read {}",
+                    path.display(),
+                    nbytes,
                     bytes.len()
                 )));
             }
@@ -314,5 +362,53 @@ mod tests {
     fn missing_dir_is_io_error() {
         let res = read_plotfile(Path::new("/nonexistent/amrviz_nope"));
         assert!(matches!(res, Err(AmrError::Io(_))));
+    }
+
+    #[test]
+    fn absurd_header_box_rejected_before_allocation() {
+        let dir = std::env::temp_dir().join(format!("amrviz_pf_huge_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        // A header declaring a ~2^40-cell-per-axis box. The reader must
+        // reject it from the header alone — no data file is even opened
+        // (none exists), and nothing is allocated for it.
+        let header = r#"{
+            "version": 1,
+            "geometry": {
+                "domain": {"lo": [0, 0, 0], "hi": [1099511627775, 7, 7]},
+                "prob_lo": [0.0, 0.0, 0.0],
+                "prob_hi": [1.0, 1.0, 1.0]
+            },
+            "ref_ratios": [],
+            "box_arrays": [{"boxes": [{"lo": [0, 0, 0], "hi": [1099511627775, 7, 7]}]}],
+            "fields": ["density"],
+            "time": 0.0,
+            "step": 0
+        }"#;
+        fs::write(dir.join("Header.json"), header).unwrap();
+        match read_plotfile(&dir) {
+            Err(AmrError::Corrupt(msg)) => {
+                assert!(msg.contains("header box"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_caps_level_cell_count() {
+        let dir = std::env::temp_dir().join(format!("amrviz_pf_budget_{}", std::process::id()));
+        let h = sample_hierarchy();
+        write_plotfile(&dir, &h).unwrap();
+        let tight = amrviz_codec::DecodeBudget {
+            max_values: 100, // level 0 alone has 512 cells
+            ..amrviz_codec::DecodeBudget::default()
+        };
+        match read_plotfile_budgeted(&dir, &tight) {
+            Err(AmrError::Corrupt(msg)) => assert!(msg.contains("level")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The same plotfile reads fine under the default budget.
+        assert!(read_plotfile(&dir).is_ok());
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -102,6 +102,11 @@ struct Ctx {
     runs: Vec<experiment::CompressionRun>,
     /// Wall seconds per top-level obs stage, accumulated across experiments.
     stage_seconds: BTreeMap<String, f64>,
+    /// Per-experiment status records (`{name, status, error?}`) for the
+    /// `SUMMARY` line; failed experiments don't abort the batch.
+    experiments: Vec<Json>,
+    /// (ok, degraded, failed) fab decode totals across all experiments.
+    decode_fabs: (u64, u64, u64),
 }
 
 impl Ctx {
@@ -128,6 +133,12 @@ impl Ctx {
         }
         let mut counters = Json::obj();
         for (k, v) in amrviz_obs::counters_snapshot() {
+            match k {
+                "decode.fabs_ok" => self.decode_fabs.0 += v,
+                "decode.fabs_degraded" => self.decode_fabs.1 += v,
+                "decode.fabs_failed" => self.decode_fabs.2 += v,
+                _ => {}
+            }
             counters.set(k, v);
         }
         let mut gauges = Json::obj();
@@ -504,6 +515,8 @@ fn main() -> ExitCode {
         json: existing,
         runs: Vec::new(),
         stage_seconds: BTreeMap::new(),
+        experiments: Vec::new(),
+        decode_fabs: (0, 0, 0),
     };
     amrviz_obs::enable();
     let exp = args.experiment.as_str();
@@ -517,11 +530,30 @@ fn main() -> ExitCode {
     }
     let run = |name: &str| exp == name || exp == "all";
     // Each experiment records into a fresh obs recorder so its manifest only
-    // covers its own spans and counters.
+    // covers its own spans and counters. A panicking experiment is recorded
+    // as `"status":"failed"` and the batch continues — one broken figure
+    // must not cost the rest of an `all` run.
     let instrumented = |ctx: &mut Ctx, name: &str, f: &dyn Fn(&mut Ctx)| {
         amrviz_obs::reset();
-        f(ctx);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
         ctx.finish_experiment(name);
+        let mut rec = Json::obj();
+        rec.set("name", name);
+        match outcome {
+            Ok(()) => {
+                rec.set("status", "ok");
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                eprintln!("[repro] experiment {name} FAILED: {msg} — continuing batch");
+                rec.set("status", "failed").set("error", msg);
+            }
+        }
+        ctx.experiments.push(rec);
     };
     if run("table1") {
         instrumented(&mut ctx, "table1", &table1);
@@ -587,11 +619,22 @@ fn main() -> ExitCode {
             o
         })
         .collect();
+    let any_failed = ctx
+        .experiments
+        .iter()
+        .any(|e| e.get("status").and_then(Json::as_str) == Some("failed"));
+    let mut decode_fabs = Json::obj();
+    decode_fabs
+        .set("ok", ctx.decode_fabs.0)
+        .set("degraded", ctx.decode_fabs.1)
+        .set("failed", ctx.decode_fabs.2);
     let mut summary = Json::obj();
     summary
         .set("experiment", exp)
         .set("scale", format!("{:?}", ctx.scale).to_lowercase())
         .set("seed", ctx.seed)
+        .set("experiments", Json::Arr(ctx.experiments.clone()))
+        .set("decode_fabs", decode_fabs)
         .set("runs", Json::Arr(runs))
         .set("stage_seconds", ctx.stage_seconds.to_json());
     let line = summary.to_string_compact();
@@ -604,5 +647,9 @@ fn main() -> ExitCode {
     {
         let _ = writeln!(f, "{line}");
     }
-    ExitCode::SUCCESS
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

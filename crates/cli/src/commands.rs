@@ -6,9 +6,9 @@ use amrviz_amr::plotfile::{read_plotfile, write_plotfile};
 use amrviz_amr::resample::{flatten_to_finest, Upsample};
 use amrviz_amr::AmrHierarchy;
 use amrviz_compress::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig,
-    CompressedHierarchyField, CompressionStats, Compressor, ErrorBound, SzInterp, SzLr,
-    ZfpLike,
+    compress_hierarchy_field, decompress_hierarchy_field_policy, AmrCodecConfig,
+    CompressedHierarchyField, CompressionStats, Compressor, DecodeBudget, DecodePolicy,
+    ErrorBound, FabStatus, SzInterp, SzLr, ZfpLike,
 };
 use amrviz_render::{
     render_mesh, render_slice, render_volume, Camera, RenderOptions, SliceOptions,
@@ -207,7 +207,7 @@ pub fn compress(argv: &[String]) -> Result<(), String> {
 }
 
 pub fn decompress(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv, &["out", "algo", "field"], &["skip-redundant"])?;
+    let p = parse(argv, &["out", "algo", "field"], &["skip-redundant", "degrade"])?;
     let hier = load(p.positional(0, "plotfile path (for structure)")?)?;
     let stream_path = p.positional(1, "compressed stream path")?;
     let out = p.required("out")?;
@@ -219,8 +219,31 @@ pub fn decompress(argv: &[String]) -> Result<(), String> {
         skip_redundant: p.switch("skip-redundant"),
         restore_redundant: p.switch("skip-redundant"),
     };
-    let levels =
-        decompress_hierarchy_field(&hier, &c, comp.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    let policy = if p.switch("degrade") { DecodePolicy::Degrade } else { DecodePolicy::Strict };
+    let (levels, report) = decompress_hierarchy_field_policy(
+        &hier,
+        &c,
+        comp.as_ref(),
+        &cfg,
+        policy,
+        &DecodeBudget::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let (n_ok, n_degraded, n_failed) = report.counts();
+    if n_degraded + n_failed > 0 {
+        eprintln!("decode report: {n_ok} fabs ok, {n_degraded} degraded, {n_failed} failed");
+        for (lev, fab, status) in report.problems() {
+            match status {
+                FabStatus::Degraded { repair, cause } => {
+                    eprintln!("  level {lev} fab {fab}: degraded ({repair:?}): {cause}")
+                }
+                FabStatus::Failed { cause } => {
+                    eprintln!("  level {lev} fab {fab}: FAILED (zero-filled): {cause}")
+                }
+                FabStatus::Ok => {}
+            }
+        }
+    }
     // Write a fresh plotfile holding only the decompressed field on the
     // same structure.
     let mut out_hier = AmrHierarchy::new(
@@ -367,4 +390,39 @@ pub fn diff(argv: &[String]) -> Result<(), String> {
     println!("SSIM:        {:.9}", s);
     println!("R-SSIM:      {:.3e}", 1.0 - s);
     Ok(())
+}
+
+/// Fault-injection sweep: corrupt known-good streams and assert every
+/// decoder errors gracefully within its memory budget.
+pub fn torture(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &["iters", "seed", "max-peak-mb"], &[])?;
+    let cfg = amrviz_fault::TortureConfig {
+        seed: p.opt_parse::<u64>("seed")?.unwrap_or(7),
+        iters: p.opt_parse::<u32>("iters")?.unwrap_or(500),
+        max_peak_bytes: p
+            .opt_parse::<usize>("max-peak-mb")?
+            .unwrap_or(128)
+            .saturating_mul(1 << 20),
+    };
+    if cfg.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    let report = amrviz_fault::run_torture(&cfg);
+    println!("TORTURE {}", report.to_json());
+    if report.passed() {
+        Ok(())
+    } else {
+        let mut msg = format!(
+            "torture run failed: {} panic(s), {} over-budget decode(s)",
+            report.panics, report.over_budget
+        );
+        for v in &report.violations {
+            msg.push('\n');
+            msg.push_str("  ");
+            msg.push_str(v);
+        }
+        msg.push_str(&format!("\nreproduce with: amrviz torture --seed {} --iters {}",
+            report.seed, report.iters));
+        Err(msg)
+    }
 }

@@ -5,7 +5,7 @@
 //! amrviz simulate   --out DIR [--n N] [--steps K] [--snap-every M]
 //! amrviz info       <plotfile>
 //! amrviz compress   <plotfile> --field F --out FILE [--algo A] [--rel EB | --abs EB] [--skip-redundant]
-//! amrviz decompress <plotfile> <stream> --out DIR [--algo A] [--skip-redundant]
+//! amrviz decompress <plotfile> <stream> --out DIR [--algo A] [--skip-redundant] [--degrade]
 //! amrviz extract    <plotfile> --field F --out FILE.obj [--iso V | --quantile Q] [--method M]
 //! amrviz render     <plotfile> --field F --out FILE.png [--mode surface|slice|volume] [...]
 //! amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
@@ -19,6 +19,12 @@ mod args;
 mod commands;
 
 use std::process::ExitCode;
+
+// Counting allocator so `amrviz torture` can assert bounded memory on
+// corrupted-stream decodes; negligible overhead on the other commands
+// (two relaxed atomic ops per allocation).
+#[global_allocator]
+static ALLOC: amrviz_fault::CountingAlloc = amrviz_fault::CountingAlloc;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         "extract" => commands::extract(rest),
         "render" => commands::render(rest),
         "diff" => commands::diff(rest),
+        "torture" => commands::torture(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     let result = result.and_then(|()| obs_opts.export());
@@ -133,6 +140,8 @@ USAGE:
                     [--skip-redundant]
   amrviz decompress <plotfile> <stream> --out DIR
                     [--algo szlr|szinterp|zfp] [--skip-redundant]
+                    [--degrade]  repair corrupt fabs from neighbor levels
+                    instead of failing; prints a per-fab decode report
   amrviz extract    <plotfile> --field F --out FILE.obj
                     [--iso V | --quantile Q]
                     [--method resampling|dual|dual-redundant]
@@ -140,6 +149,12 @@ USAGE:
                     [--mode surface|slice|volume] [--iso V | --quantile Q]
                     [--method M] [--width W] [--height H] [--log]
   amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
+  amrviz torture    [--iters N] [--seed S] [--max-peak-mb M]
+                    fault-injection sweep over every decoder: mutated
+                    streams must error gracefully, never panic, and stay
+                    under the peak-allocation cap (default 128 MiB).
+                    Prints one machine-readable `TORTURE {...}` line;
+                    exits nonzero on any contract violation.
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run

@@ -1,0 +1,127 @@
+//! Decode budgets: caps on what a stream may *declare* before we allocate.
+//!
+//! Every decoder in this workspace reads length prefixes (symbol counts,
+//! section lengths, box dims) from untrusted bytes. A flipped bit can turn a
+//! small count into 2^60, and `Vec::with_capacity(2^60)` aborts the whole
+//! process — no `Result`, no `catch_unwind`. The [`DecodeBudget`] is the
+//! contract that stops that: decoders validate every declared quantity
+//! against the budget (and, where the format allows, against the remaining
+//! input) *before* reserving memory.
+//!
+//! The default budget is deliberately generous — it never binds data this
+//! workspace can actually produce — while [`DecodeBudget::strict`] is sized
+//! for fuzzing/torture runs where streams are small and an over-allocation
+//! should trip immediately.
+
+use crate::CodecError;
+
+/// Caps on declared sizes, enforced before allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeBudget {
+    /// Maximum number of decoded values/symbols one stream may declare
+    /// (huffman/RLE symbol counts, per-fab cell counts).
+    pub max_values: usize,
+    /// Maximum byte length of any one section, blob, or decompressed byte
+    /// payload.
+    pub max_section_bytes: usize,
+    /// Maximum extent along a single declared box/domain dimension.
+    pub max_dim: usize,
+}
+
+impl DecodeBudget {
+    /// The default budget: roomy enough for any legitimate stream (up to
+    /// ~10^9 values per blob), tight enough that a corrupted length prefix
+    /// cannot request an absurd allocation.
+    pub const fn permissive() -> Self {
+        DecodeBudget {
+            max_values: 1 << 30,
+            max_section_bytes: 1 << 31,
+            max_dim: 1 << 20,
+        }
+    }
+
+    /// A tight budget for fuzz/torture runs over small corpora: any declared
+    /// size beyond a few MiB is already evidence of corruption.
+    pub const fn strict() -> Self {
+        DecodeBudget {
+            max_values: 1 << 22,
+            max_section_bytes: 1 << 24,
+            max_dim: 1 << 12,
+        }
+    }
+
+    /// Validates a declared value/symbol count.
+    pub fn check_values(&self, declared: usize) -> Result<usize, CodecError> {
+        if declared > self.max_values {
+            return Err(CodecError::Malformed("declared value count exceeds budget"));
+        }
+        Ok(declared)
+    }
+
+    /// Validates a declared section byte length, also requiring it to fit in
+    /// the `remaining` input bytes.
+    pub fn check_section(&self, declared: usize, remaining: usize) -> Result<usize, CodecError> {
+        if declared > remaining {
+            return Err(CodecError::UnexpectedEof);
+        }
+        if declared > self.max_section_bytes {
+            return Err(CodecError::Malformed("declared section length exceeds budget"));
+        }
+        Ok(declared)
+    }
+
+    /// Validates a declared payload byte length that may legitimately exceed
+    /// the remaining *compressed* input (decompressed sizes), capping it at
+    /// the budget only.
+    pub fn check_payload(&self, declared: usize) -> Result<usize, CodecError> {
+        if declared > self.max_section_bytes {
+            return Err(CodecError::Malformed("declared payload length exceeds budget"));
+        }
+        Ok(declared)
+    }
+
+    /// Validates one declared box/domain dimension (must be nonzero).
+    pub fn check_dim(&self, declared: usize) -> Result<usize, CodecError> {
+        if declared == 0 {
+            return Err(CodecError::Malformed("zero dimension"));
+        }
+        if declared > self.max_dim {
+            return Err(CodecError::Malformed("declared dimension exceeds budget"));
+        }
+        Ok(declared)
+    }
+}
+
+impl Default for DecodeBudget {
+    fn default() -> Self {
+        DecodeBudget::permissive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissive_accepts_normal_sizes() {
+        let b = DecodeBudget::default();
+        assert_eq!(b.check_values(1_000_000).unwrap(), 1_000_000);
+        assert_eq!(b.check_section(4096, 8192).unwrap(), 4096);
+        assert_eq!(b.check_dim(512).unwrap(), 512);
+    }
+
+    #[test]
+    fn oversized_declarations_rejected() {
+        let b = DecodeBudget::strict();
+        assert!(b.check_values(usize::MAX).is_err());
+        assert!(b.check_payload(usize::MAX).is_err());
+        assert!(b.check_dim(usize::MAX).is_err());
+        assert!(b.check_dim(0).is_err());
+    }
+
+    #[test]
+    fn section_longer_than_remaining_is_eof() {
+        let b = DecodeBudget::default();
+        assert_eq!(b.check_section(100, 50), Err(CodecError::UnexpectedEof));
+    }
+}

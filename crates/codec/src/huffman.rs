@@ -10,6 +10,7 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::budget::DecodeBudget;
 use crate::varint::{read_uvarint, write_uvarint};
 use crate::CodecError;
 
@@ -133,16 +134,35 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Decodes a stream produced by [`huffman_encode`].
+/// Decodes a stream produced by [`huffman_encode`] under the default
+/// (permissive) [`DecodeBudget`].
 pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    huffman_decode_budgeted(bytes, &DecodeBudget::default())
+}
+
+/// Decodes a stream produced by [`huffman_encode`], validating every
+/// declared count against `budget` and the remaining input before any
+/// allocation. Malformed tables (non-canonical order, over-full Kraft sums,
+/// out-of-range indices) return [`CodecError::Malformed`]; they never panic
+/// or mis-index.
+pub fn huffman_decode_budgeted(
+    bytes: &[u8],
+    budget: &DecodeBudget,
+) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0usize;
-    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let total = budget.check_values(read_uvarint(bytes, &mut pos)? as usize)?;
     if total == 0 {
         return Ok(Vec::new());
     }
     let distinct = read_uvarint(bytes, &mut pos)? as usize;
     if distinct == 0 {
         return Err(CodecError::Malformed("no code table for nonempty stream"));
+    }
+    // A table can't have more distinct symbols than the stream has symbols,
+    // and each header entry costs at least two bytes — both bounds hold
+    // before we reserve a single entry.
+    if distinct > total || distinct > (bytes.len() - pos) / 2 {
+        return Err(CodecError::Malformed("code table larger than stream"));
     }
     let mut entries = Vec::with_capacity(distinct);
     for _ in 0..distinct {
@@ -158,6 +178,12 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
         return Err(CodecError::Malformed("code table not canonical"));
     }
 
+    // Every symbol takes at least one bit, so `total` must fit in the
+    // remaining bitstream — checked before the output buffer is reserved.
+    if total > (bytes.len() - pos).saturating_mul(8) {
+        return Err(CodecError::UnexpectedEof);
+    }
+
     // Canonical decode tables indexed by length.
     let max_len = entries.last().expect("distinct >= 1").0;
     let mut count = vec![0u64; max_len as usize + 1];
@@ -171,7 +197,16 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
     for len in 1..=max_len as usize {
         first_code[len] = code;
         first_index[len] = idx;
-        code = (code + count[len]) << 1;
+        let next = code
+            .checked_add(count[len])
+            .ok_or(CodecError::Malformed("code table overflow"))?;
+        // Kraft validity: codes of length `len` must fit in `len` bits,
+        // which also guarantees every decode-loop table index stays in
+        // range.
+        if next > 1u64 << len {
+            return Err(CodecError::Malformed("code table over-full"));
+        }
+        code = next << 1;
         idx += count[len];
     }
     let syms: Vec<u32> = entries.iter().map(|&(_, s)| s).collect();
@@ -190,7 +225,10 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
             let l = len as usize;
             if count[l] > 0 && code >= first_code[l] && code - first_code[l] < count[l] {
                 let i = first_index[l] + (code - first_code[l]);
-                out.push(syms[i as usize]);
+                let sym = *syms
+                    .get(i as usize)
+                    .ok_or(CodecError::Malformed("code index outside table"))?;
+                out.push(sym);
                 break;
             }
         }
@@ -276,6 +314,63 @@ mod tests {
         }
         let enc = huffman_encode(&data);
         assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn overfull_code_table_rejected() {
+        // Three codes of length 1 violate Kraft (only two 1-bit codes
+        // exist); must be Malformed, not a mis-indexed decode.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 5); // total symbols
+        write_uvarint(&mut buf, 3); // distinct
+        for sym in 0..3u64 {
+            write_uvarint(&mut buf, sym);
+            write_uvarint(&mut buf, 1); // len 1
+        }
+        buf.push(0x00); // bitstream
+        assert_eq!(
+            huffman_decode(&buf),
+            Err(CodecError::Malformed("code table over-full"))
+        );
+    }
+
+    #[test]
+    fn table_larger_than_stream_rejected() {
+        // distinct > total is structurally impossible for a real encode.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1); // total
+        write_uvarint(&mut buf, 9); // distinct
+        for sym in 0..9u64 {
+            write_uvarint(&mut buf, sym);
+            write_uvarint(&mut buf, 4);
+        }
+        buf.push(0x00);
+        assert!(matches!(huffman_decode(&buf), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn declared_total_beyond_bitstream_is_eof_before_allocation() {
+        // Claims 2^40 symbols with a near-empty body: must fail before
+        // reserving the output buffer.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1u64 << 40);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, 7); // sym
+        write_uvarint(&mut buf, 1); // len
+        buf.push(0x00);
+        assert!(huffman_decode(&buf).is_err());
+    }
+
+    #[test]
+    fn budget_caps_declared_total() {
+        let data: Vec<u32> = (0..100).collect();
+        let enc = huffman_encode(&data);
+        let tiny = DecodeBudget { max_values: 10, ..DecodeBudget::strict() };
+        assert!(matches!(
+            huffman_decode_budgeted(&enc, &tiny),
+            Err(CodecError::Malformed(_))
+        ));
+        assert_eq!(huffman_decode_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
     }
 
     #[test]

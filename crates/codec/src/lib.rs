@@ -15,6 +15,13 @@
 //! Everything round-trips losslessly; property tests in each module assert
 //! that for arbitrary inputs.
 //!
+//! Decoders are hardened against untrusted input: every declared length is
+//! validated against a [`DecodeBudget`] (and the remaining input, where the
+//! format allows) *before* any allocation, so a corrupted length prefix
+//! yields a [`CodecError`] instead of a panic or an abort-on-alloc. The
+//! [`checksum`] module provides the FNV-1a hash the v2 wire format uses for
+//! per-blob integrity.
+//!
 //! ```
 //! use amrviz_codec::{huffman_encode, huffman_decode, lzss_compress, lzss_decompress};
 //!
@@ -26,15 +33,19 @@
 //! ```
 
 pub mod bitio;
+pub mod budget;
+pub mod checksum;
 pub mod huffman;
 pub mod lzss;
 pub mod rle;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
-pub use huffman::{huffman_decode, huffman_encode};
-pub use lzss::{lzss_compress, lzss_decompress};
-pub use rle::{rle_decode_zeros, rle_encode_zeros};
+pub use budget::DecodeBudget;
+pub use checksum::fnv1a_64;
+pub use huffman::{huffman_decode, huffman_decode_budgeted, huffman_encode};
+pub use lzss::{lzss_compress, lzss_decompress, lzss_decompress_budgeted};
+pub use rle::{rle_decode_zeros, rle_decode_zeros_budgeted, rle_encode_zeros};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
 
 /// Errors returned by decoders when the input is malformed or truncated.

@@ -14,6 +14,7 @@
 //! are limited to a 64 KiB window, and the match finder walks bounded hash
 //! chains, trading a little ratio for predictable throughput.
 
+use crate::budget::DecodeBudget;
 use crate::varint::{read_uvarint, write_uvarint};
 use crate::CodecError;
 
@@ -104,14 +105,33 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses a buffer produced by [`lzss_compress`].
+/// Decompresses a buffer produced by [`lzss_compress`] under the default
+/// (permissive) [`DecodeBudget`].
 pub fn lzss_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    lzss_decompress_budgeted(bytes, &DecodeBudget::default())
+}
+
+/// Decompresses a buffer produced by [`lzss_compress`], validating the
+/// declared output length against `budget` and against the maximum
+/// expansion the remaining input could possibly produce — before the output
+/// buffer is allocated.
+pub fn lzss_decompress_budgeted(
+    bytes: &[u8],
+    budget: &DecodeBudget,
+) -> Result<Vec<u8>, CodecError> {
     let mut pos = 0usize;
-    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let total = budget.check_payload(read_uvarint(bytes, &mut pos)? as usize)?;
+    // Each token (literal byte, or match pair) consumes at least one input
+    // byte and emits at most MAX_MATCH output bytes, so a stream of
+    // `remaining` bytes can never legitimately decode to more than
+    // `remaining * MAX_MATCH`.
+    if total > (bytes.len() - pos).saturating_mul(MAX_MATCH) {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let lit_len = read_uvarint(bytes, &mut pos)? as usize;
-        if pos + lit_len > bytes.len() || out.len() + lit_len > total {
+        if lit_len > bytes.len() - pos || out.len() + lit_len > total {
             return Err(CodecError::Malformed("literal run out of bounds"));
         }
         out.extend_from_slice(&bytes[pos..pos + lit_len]);
@@ -119,7 +139,9 @@ pub fn lzss_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
         if out.len() == total {
             break;
         }
-        let match_len = read_uvarint(bytes, &mut pos)? as usize + MIN_MATCH;
+        let match_len = (read_uvarint(bytes, &mut pos)? as usize)
+            .checked_add(MIN_MATCH)
+            .ok_or(CodecError::Malformed("match length overflow"))?;
         let dist = read_uvarint(bytes, &mut pos)? as usize;
         if dist == 0 || dist > out.len() || out.len() + match_len > total {
             return Err(CodecError::Malformed("bad match"));
@@ -208,6 +230,24 @@ mod tests {
         write_uvarint(&mut buf, 0); // match_len = MIN_MATCH
         write_uvarint(&mut buf, 5); // dist 5 > out.len()=1
         assert!(lzss_decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_length_fails_before_allocation() {
+        // Claims ~2^60 output bytes from a 10-byte stream: both the budget
+        // and the expansion bound must reject it up front.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1u64 << 60);
+        assert!(lzss_decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn budget_caps_declared_length() {
+        let data = vec![9u8; 4096];
+        let enc = lzss_compress(&data);
+        let tiny = DecodeBudget { max_section_bytes: 64, ..DecodeBudget::strict() };
+        assert!(lzss_decompress_budgeted(&enc, &tiny).is_err());
+        assert_eq!(lzss_decompress_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
     }
 
     #[test]

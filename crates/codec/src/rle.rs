@@ -8,6 +8,7 @@
 //! value `v != 0` becomes `v` and a run of `n` zeros becomes the pair
 //! `0, n`. (Tokens are `u64` so run lengths are unbounded.)
 
+use crate::budget::DecodeBudget;
 use crate::varint::{read_uvarint, write_uvarint};
 use crate::CodecError;
 
@@ -32,10 +33,23 @@ pub fn rle_encode_zeros(values: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Decodes a buffer produced by [`rle_encode_zeros`].
+/// Decodes a buffer produced by [`rle_encode_zeros`] under the default
+/// (permissive) [`DecodeBudget`].
 pub fn rle_decode_zeros(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    rle_decode_zeros_budgeted(bytes, &DecodeBudget::default())
+}
+
+/// Decodes a buffer produced by [`rle_encode_zeros`], validating the
+/// declared value count against `budget` before allocating the output.
+/// (A zero-run pair can legitimately expand a handful of bytes into
+/// billions of values, so the budget — not the input length — is the
+/// binding cap here.)
+pub fn rle_decode_zeros_budgeted(
+    bytes: &[u8],
+    budget: &DecodeBudget,
+) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0;
-    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let total = budget.check_values(read_uvarint(bytes, &mut pos)? as usize)?;
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let tok = read_uvarint(bytes, &mut pos)?;
@@ -93,6 +107,15 @@ mod tests {
         let data = vec![0u32, 1, 0, 0, 2];
         let enc = rle_encode_zeros(&data);
         assert!(rle_decode_zeros(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn budget_caps_declared_count() {
+        let data = vec![0u32; 100_000];
+        let enc = rle_encode_zeros(&data);
+        let tiny = DecodeBudget { max_values: 1000, ..DecodeBudget::strict() };
+        assert!(rle_decode_zeros_budgeted(&enc, &tiny).is_err());
+        assert_eq!(rle_decode_zeros_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! (WarpX) and why its artifacts are smooth "bumps"/faulted geometry rather
 //! than blocks (paper §4).
 
-use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_codec::{
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    DecodeBudget,
+};
 
 use crate::field::Field3;
 use crate::quantizer::{QuantStats, Quantized, Quantizer};
@@ -170,27 +173,25 @@ impl Compressor for SzInterp {
         out
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+    fn decompress_budgeted(
+        &self,
+        bytes: &[u8],
+        budget: &DecodeBudget,
+    ) -> Result<Field3, CompressError> {
         let _sp = amrviz_obs::span!("szitp.decompress", bytes_in = bytes.len());
-        let mut r = ByteReader::new(bytes);
+        let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad SZ-Interp magic".into()));
         }
-        let nx = r.uvarint()? as usize;
-        let ny = r.uvarint()? as usize;
-        let nz = r.uvarint()? as usize;
+        let ([nx, ny, nz], n) = r.dims3()?;
         let eb = r.f64()?;
         let anchor = r.f64()?;
-        if nx == 0 || ny == 0 || nz == 0 || eb.is_nan() || eb <= 0.0 {
+        if eb.is_nan() || eb <= 0.0 {
             return Err(CompressError::Malformed("bad SZ-Interp header".into()));
         }
-        let n = nx
-            .checked_mul(ny)
-            .and_then(|v| v.checked_mul(nz))
-            .ok_or_else(|| CompressError::Malformed("dims overflow".into()))?;
         let q = Quantizer::new(eb);
 
-        let codes = huffman_decode(&lzss_decompress(r.section()?)?)?;
+        let codes = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
         if codes.len() != n - 1 {
             return Err(CompressError::Malformed(format!(
                 "expected {} codes, found {}",

@@ -51,9 +51,11 @@ pub mod zfp_like;
 pub mod zmesh;
 
 pub use amr_codec::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig,
-    CompressedHierarchyField,
+    compress_hierarchy_field, decompress_hierarchy_field,
+    decompress_hierarchy_field_policy, AmrCodecConfig, CompressedHierarchyField,
+    DecodePolicy, DecodeReport, FabStatus, RepairKind,
 };
+pub use amrviz_codec::DecodeBudget;
 pub use field::Field3;
 pub use interp::SzInterp;
 pub use stats::CompressionStats;
@@ -88,6 +90,16 @@ pub enum CompressError {
     Malformed(String),
     /// Underlying entropy-codec failure.
     Codec(amrviz_codec::CodecError),
+    /// A specific fab blob failed checksum or decode under
+    /// [`amr_codec::DecodePolicy::Strict`]; names the offending position.
+    FabDecode {
+        /// Hierarchy level of the failing fab.
+        level: usize,
+        /// Fab index within the level.
+        fab: usize,
+        /// What went wrong with that blob.
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for CompressError {
@@ -95,6 +107,9 @@ impl std::fmt::Display for CompressError {
         match self {
             CompressError::Malformed(m) => write!(f, "malformed compressed stream: {m}"),
             CompressError::Codec(e) => write!(f, "codec error: {e}"),
+            CompressError::FabDecode { level, fab, cause } => {
+                write!(f, "fab decode failed at level {level}, fab {fab}: {cause}")
+            }
         }
     }
 }
@@ -118,7 +133,19 @@ pub trait Compressor: Sync {
 
     fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8>;
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError>;
+    /// Decompresses under the default (permissive) [`DecodeBudget`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+        self.decompress_budgeted(bytes, &amrviz_codec::DecodeBudget::default())
+    }
+
+    /// Decompresses with every declared dimension, count, and section
+    /// length validated against `budget` before allocation. This is the
+    /// method implementors provide; [`Compressor::decompress`] delegates.
+    fn decompress_budgeted(
+        &self,
+        bytes: &[u8],
+        budget: &amrviz_codec::DecodeBudget,
+    ) -> Result<Field3, CompressError>;
 }
 
 #[cfg(test)]

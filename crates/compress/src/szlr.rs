@@ -16,7 +16,10 @@
 //! regression coefficients (`f32`×4 per regression block), Huffman+LZSS
 //! coded quantization symbols, raw outlier values.
 
-use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_codec::{
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    DecodeBudget,
+};
 use amrviz_codec::{BitReader, BitWriter};
 
 use crate::field::Field3;
@@ -254,30 +257,28 @@ impl Compressor for SzLr {
         out
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
+    fn decompress_budgeted(
+        &self,
+        bytes: &[u8],
+        budget: &DecodeBudget,
+    ) -> Result<Field3, CompressError> {
         let _sp = amrviz_obs::span!("szlr.decompress", bytes_in = bytes.len());
-        let mut r = ByteReader::new(bytes);
+        let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad SZ-L/R magic".into()));
         }
-        let nx = r.uvarint()? as usize;
-        let ny = r.uvarint()? as usize;
-        let nz = r.uvarint()? as usize;
+        let ([nx, ny, nz], n) = r.dims3()?;
         let eb = r.f64()?;
         let bs = r.uvarint()? as usize;
-        if nx == 0 || ny == 0 || nz == 0 || bs == 0 || eb.is_nan() || eb <= 0.0 {
+        if bs == 0 || eb.is_nan() || eb <= 0.0 {
             return Err(CompressError::Malformed("bad SZ-L/R header".into()));
         }
-        let n = nx
-            .checked_mul(ny)
-            .and_then(|v| v.checked_mul(nz))
-            .ok_or_else(|| CompressError::Malformed("dims overflow".into()))?;
         let dims = [nx, ny, nz];
         let q = Quantizer::new(eb);
 
         let pred_section = r.section()?.to_vec();
         let coeff_section = r.section()?.to_vec();
-        let codes = huffman_decode(&lzss_decompress(r.section()?)?)?;
+        let codes = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
         if codes.len() != n {
             return Err(CompressError::Malformed(format!(
                 "expected {n} codes, found {}",

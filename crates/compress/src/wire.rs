@@ -1,6 +1,11 @@
 //! Little helpers for serializing compressor headers and sections.
+//!
+//! [`ByteReader`] carries a [`DecodeBudget`]: declared section lengths and
+//! box dimensions are validated against it (and the remaining buffer)
+//! before anything is sliced or allocated, so corrupted length prefixes
+//! surface as [`CodecError`]s instead of panics or absurd allocations.
 
-use amrviz_codec::{read_uvarint, write_uvarint, CodecError};
+use amrviz_codec::{read_uvarint, write_uvarint, CodecError, DecodeBudget};
 
 /// Append-only byte buffer with typed writers.
 #[derive(Debug, Default)]
@@ -29,6 +34,11 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// 8-byte little-endian `u64` (checksums).
+    pub fn u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Length-prefixed byte section.
     pub fn section(&mut self, bytes: &[u8]) {
         self.uvarint(bytes.len() as u64);
@@ -53,11 +63,23 @@ impl ByteWriter {
 pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    budget: DecodeBudget,
 }
 
 impl<'a> ByteReader<'a> {
+    /// Reader with the default (permissive) budget.
     pub fn new(buf: &'a [u8]) -> Self {
-        ByteReader { buf, pos: 0 }
+        ByteReader::with_budget(buf, DecodeBudget::default())
+    }
+
+    /// Reader enforcing `budget` on sections and dimensions.
+    pub fn with_budget(buf: &'a [u8], budget: DecodeBudget) -> Self {
+        ByteReader { buf, pos: 0, budget }
+    }
+
+    /// The budget this reader enforces.
+    pub fn budget(&self) -> &DecodeBudget {
+        &self.budget
     }
 
     pub fn u8(&mut self) -> Result<u8, CodecError> {
@@ -70,39 +92,61 @@ impl<'a> ByteReader<'a> {
         read_uvarint(self.buf, &mut self.pos)
     }
 
-    pub fn f64(&mut self) -> Result<f64, CodecError> {
-        let end = self.pos + 8;
-        let bytes = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(CodecError::UnexpectedEof)?;
-        self.pos = end;
-        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
-    }
-
-    pub fn f32(&mut self) -> Result<f32, CodecError> {
-        let end = self.pos + 4;
-        let bytes = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(CodecError::UnexpectedEof)?;
-        self.pos = end;
-        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
-    }
-
-    /// Length-prefixed byte section.
-    pub fn section(&mut self) -> Result<&'a [u8], CodecError> {
-        let len = self.uvarint()? as usize;
-        let end = self
-            .pos
-            .checked_add(len)
-            .ok_or(CodecError::Malformed("section length overflow"))?;
+    /// Reads exactly `n` bytes, with checked cursor arithmetic.
+    fn exact(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
         let bytes = self
             .buf
             .get(self.pos..end)
             .ok_or(CodecError::UnexpectedEof)?;
         self.pos = end;
         Ok(bytes)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        let bytes = self.exact(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        let bytes = self.exact(4)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(bytes);
+        Ok(f32::from_le_bytes(arr))
+    }
+
+    /// 8-byte little-endian `u64` (checksums).
+    pub fn u64_le(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.exact(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Length-prefixed byte section. The declared length is validated
+    /// against the remaining buffer *and* the budget before slicing.
+    pub fn section(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.uvarint()? as usize;
+        self.budget.check_section(len, self.remaining())?;
+        self.exact(len)
+    }
+
+    /// Three box dimensions, each budget-checked (nonzero, bounded) and the
+    /// product validated against both `usize` overflow and the budget's
+    /// value cap. Returns `([nx, ny, nz], n_cells)`.
+    pub fn dims3(&mut self) -> Result<([usize; 3], usize), CodecError> {
+        let (dx, dy, dz) = (self.uvarint()?, self.uvarint()?, self.uvarint()?);
+        let nx = self.budget.check_dim(dx as usize)?;
+        let ny = self.budget.check_dim(dy as usize)?;
+        let nz = self.budget.check_dim(dz as usize)?;
+        let n = nx
+            .checked_mul(ny)
+            .and_then(|v| v.checked_mul(nz))
+            .ok_or(CodecError::Malformed("dims overflow"))?;
+        self.budget.check_values(n)?;
+        Ok(([nx, ny, nz], n))
     }
 
     pub fn remaining(&self) -> usize {
@@ -138,5 +182,60 @@ mod tests {
         assert!(r.f64().is_err());
         let mut r = ByteReader::new(&[5]); // section claims 5 bytes, has 0
         assert!(r.section().is_err());
+    }
+
+    #[test]
+    fn u64_le_roundtrips() {
+        let mut w = ByteWriter::new();
+        w.u64_le(0xdead_beef_cafe_f00d);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u64_le().unwrap(), 0xdead_beef_cafe_f00d);
+        assert!(r.u64_le().is_err());
+    }
+
+    #[test]
+    fn dims3_validates_against_budget() {
+        let mut w = ByteWriter::new();
+        w.uvarint(8);
+        w.uvarint(8);
+        w.uvarint(8);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.dims3().unwrap(), ([8, 8, 8], 512));
+
+        // One huge axis: rejected by the dim cap, not allocated.
+        let mut w = ByteWriter::new();
+        w.uvarint(8);
+        w.uvarint(1 << 50);
+        w.uvarint(8);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(r.dims3().is_err());
+
+        // Axes individually fine but the product busts the value cap.
+        let budget = amrviz_codec::DecodeBudget::strict();
+        let mut w = ByteWriter::new();
+        w.uvarint(4000);
+        w.uvarint(4000);
+        w.uvarint(4000);
+        let buf = w.finish();
+        let mut r = ByteReader::with_budget(&buf, budget);
+        assert!(r.dims3().is_err());
+    }
+
+    #[test]
+    fn budget_caps_section_length() {
+        let mut w = ByteWriter::new();
+        w.section(&vec![7u8; 512]);
+        let buf = w.finish();
+        let tight = amrviz_codec::DecodeBudget {
+            max_section_bytes: 16,
+            ..amrviz_codec::DecodeBudget::strict()
+        };
+        let mut r = ByteReader::with_budget(&buf, tight);
+        assert!(r.section().is_err());
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.section().unwrap().len(), 512);
     }
 }

@@ -11,7 +11,10 @@
 //! pre-quantizing values with step `2·eb` (the transform itself is
 //! lossless on integers).
 
-use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_codec::{
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    DecodeBudget,
+};
 use amrviz_codec::{zigzag_decode, zigzag_encode};
 
 use crate::field::Field3;
@@ -185,21 +188,23 @@ impl Compressor for ZfpLike {
         w.finish()
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
-        let mut r = ByteReader::new(bytes);
+    fn decompress_budgeted(
+        &self,
+        bytes: &[u8],
+        budget: &DecodeBudget,
+    ) -> Result<Field3, CompressError> {
+        let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad ZFP-like magic".into()));
         }
-        let nx = r.uvarint()? as usize;
-        let ny = r.uvarint()? as usize;
-        let nz = r.uvarint()? as usize;
+        let ([nx, ny, nz], n) = r.dims3()?;
         let eb = r.f64()?;
-        if nx == 0 || ny == 0 || nz == 0 || eb.is_nan() || eb <= 0.0 {
+        if eb.is_nan() || eb <= 0.0 {
             return Err(CompressError::Malformed("bad ZFP-like header".into()));
         }
         let step = 2.0 * eb;
-        let symbols = huffman_decode(&lzss_decompress(r.section()?)?)?;
-        let esc_bytes = lzss_decompress(r.section()?)?;
+        let symbols = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
+        let esc_bytes = lzss_decompress_budgeted(r.section()?, budget)?;
         let mut escapes = esc_bytes
             .chunks_exact(8)
             .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")));
@@ -209,7 +214,7 @@ impl Compressor for ZfpLike {
             .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")));
 
         let nb = [nx.div_ceil(BS), ny.div_ceil(BS), nz.div_ceil(BS)];
-        let mut out = vec![0.0f64; nx * ny * nz];
+        let mut out = vec![0.0f64; n];
         let mut sym = symbols.into_iter();
         let mut next_sym =
             || sym.next().ok_or(CompressError::Malformed("symbol underrun".into()));

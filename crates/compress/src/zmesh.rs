@@ -19,7 +19,10 @@
 
 use amrviz_amr::multifab::rasterize_into;
 use amrviz_amr::{AmrHierarchy, Fab, IntVect, MultiFab};
-use amrviz_codec::{huffman_decode, huffman_encode, lzss_compress, lzss_decompress};
+use amrviz_codec::{
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    DecodeBudget,
+};
 
 use crate::quantizer::{Quantized, Quantizer};
 use crate::wire::{ByteReader, ByteWriter};
@@ -124,8 +127,19 @@ pub fn decompress_zmesh(
     hier: &AmrHierarchy,
     bytes: &[u8],
 ) -> Result<Vec<MultiFab>, CompressError> {
+    decompress_zmesh_budgeted(hier, bytes, &DecodeBudget::default())
+}
+
+/// [`decompress_zmesh`] with declared counts and section lengths validated
+/// against `budget` before allocation. (Dense level buffers are sized by
+/// the trusted hierarchy structure, not by the stream.)
+pub fn decompress_zmesh_budgeted(
+    hier: &AmrHierarchy,
+    bytes: &[u8],
+    budget: &DecodeBudget,
+) -> Result<Vec<MultiFab>, CompressError> {
     assert_eq!(hier.num_levels(), 2, "zMesh baseline handles two levels");
-    let mut r = ByteReader::new(bytes);
+    let mut r = ByteReader::with_budget(bytes, *budget);
     if r.u8()? != MAGIC {
         return Err(CompressError::Malformed("bad zMesh magic".into()));
     }
@@ -134,7 +148,7 @@ pub fn decompress_zmesh(
         return Err(CompressError::Malformed("bad zMesh bound".into()));
     }
     let q = Quantizer::new(eb);
-    let codes = huffman_decode(&lzss_decompress(r.section()?)?)?;
+    let codes = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
     let outlier_bytes = r.section()?;
     let mut outliers = outlier_bytes
         .chunks_exact(8)

@@ -1,0 +1,29 @@
+//! Deterministic fault injection for the compression → visualization
+//! pipeline.
+//!
+//! Decoders in this workspace promise: **any** byte stream either decodes
+//! or returns an `Err` — no panics, no unbounded allocation, under a
+//! [`amrviz_codec::DecodeBudget`]. This crate is the enforcement arm of
+//! that promise:
+//!
+//! * [`Mutation`] / [`mutate_stream`] — seeded corruption of byte streams
+//!   (bit flips, truncation, byte swaps, section duplication, varint
+//!   length inflation), reproducible from a single `u64` seed;
+//! * [`CountingAlloc`] — a system-allocator wrapper counting live/peak
+//!   bytes so a run can assert bounded memory;
+//! * [`run_torture`] — feeds mutated streams to every public decoder
+//!   (varint, bitio, huffman, RLE, LZSS, the three field compressors,
+//!   zMesh, the hierarchy container, and degraded-mode hierarchy decode)
+//!   and tallies outcomes. Exposed to users as `amrviz torture`.
+//!
+//! Everything here is `std`-only and deterministic: the same
+//! (seed, iters) pair replays the exact same corruption sequence, so a
+//! violation found in CI reproduces locally byte-for-byte.
+
+pub mod alloc;
+pub mod mutate;
+pub mod torture;
+
+pub use alloc::{alloc_baseline, counting_alloc_installed, current_bytes, peak_since, CountingAlloc};
+pub use mutate::{mutate_stream, Mutation};
+pub use torture::{run_torture, TargetTally, TortureConfig, TortureReport};

@@ -1,0 +1,424 @@
+//! The torture runner: feed deterministically corrupted streams to every
+//! public decoder and assert the robustness contract — `Err`, never a
+//! panic, never an allocation blow-up.
+//!
+//! Each iteration forks a child RNG from `(seed, iteration)`, picks a
+//! decode target, corrupts that target's known-good corpus stream with
+//! 1–3 [`Mutation`]s, and decodes under [`DecodeBudget::strict`] inside
+//! `catch_unwind`. Peak allocation above the pre-decode baseline is
+//! checked against a cap when [`CountingAlloc`](crate::CountingAlloc) is
+//! installed as the global allocator (the `amrviz torture` subcommand
+//! installs it; plain `cargo test` does not, and the memory assertion is
+//! skipped there rather than reporting fake peaks).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
+use amrviz_codec::{
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    read_uvarint, rle_decode_zeros_budgeted, rle_encode_zeros, write_uvarint, BitReader,
+    BitWriter, DecodeBudget,
+};
+use amrviz_compress::{
+    compress_hierarchy_field, compress_zmesh, decompress_hierarchy_field_policy,
+    zmesh::decompress_zmesh_budgeted, AmrCodecConfig, CompressedHierarchyField, Compressor,
+    DecodePolicy, ErrorBound, Field3, SzInterp, SzLr, ZfpLike,
+};
+use amrviz_rng::Rng;
+
+use crate::alloc::{alloc_baseline, counting_alloc_installed, peak_since};
+use crate::mutate::{mutate_stream, Mutation};
+
+/// Torture-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// Master seed; every iteration's RNG is forked from it.
+    pub seed: u64,
+    /// Number of (target, mutation) iterations.
+    pub iters: u32,
+    /// Peak-allocation cap per decode, in bytes (checked only when the
+    /// counting allocator is installed).
+    pub max_peak_bytes: usize,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig { seed: 7, iters: 500, max_peak_bytes: 128 << 20 }
+    }
+}
+
+type DecodeFn = Box<dyn Fn(&[u8], &DecodeBudget) -> Result<(), String> + Sync>;
+
+/// A named decoder plus a known-good stream to corrupt.
+struct Target {
+    name: &'static str,
+    stream: Vec<u8>,
+    decode: DecodeFn,
+}
+
+/// Per-target tallies.
+#[derive(Debug, Clone, Default)]
+pub struct TargetTally {
+    /// Target name.
+    pub name: String,
+    /// Iterations that hit this target.
+    pub runs: u64,
+    /// Decodes that returned `Err` (the expected outcome).
+    pub errors: u64,
+    /// Decodes that returned `Ok` (mutation landed somewhere harmless).
+    pub oks: u64,
+    /// Decodes that panicked — contract violations.
+    pub panics: u64,
+    /// Decodes whose peak allocation broke the cap — contract violations.
+    pub over_budget: u64,
+}
+
+/// Aggregate result of a torture run.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    /// Config echo.
+    pub seed: u64,
+    /// Config echo.
+    pub iters: u32,
+    /// Total graceful `Err` outcomes.
+    pub graceful_errors: u64,
+    /// Total harmless `Ok` outcomes.
+    pub harmless_ok: u64,
+    /// Total panics (must be 0).
+    pub panics: u64,
+    /// Total peak-allocation violations (must be 0).
+    pub over_budget: u64,
+    /// Whether peak allocation was actually measured.
+    pub mem_checked: bool,
+    /// Per-target breakdown.
+    pub per_target: Vec<TargetTally>,
+    /// Up to 8 descriptions of contract violations, for triage.
+    pub violations: Vec<String>,
+}
+
+impl TortureReport {
+    /// The robustness contract: no panics, no allocation blow-ups.
+    pub fn passed(&self) -> bool {
+        self.panics == 0 && self.over_budget == 0
+    }
+
+    /// Single-line machine-readable JSON summary.
+    pub fn to_json(&self) -> String {
+        let mut targets = String::new();
+        for (i, t) in self.per_target.iter().enumerate() {
+            if i > 0 {
+                targets.push(',');
+            }
+            targets.push_str(&format!(
+                "{{\"name\":\"{}\",\"runs\":{},\"errors\":{},\"oks\":{},\"panics\":{},\"over_budget\":{}}}",
+                t.name, t.runs, t.errors, t.oks, t.panics, t.over_budget
+            ));
+        }
+        format!(
+            "{{\"seed\":{},\"iters\":{},\"graceful_errors\":{},\"harmless_ok\":{},\"panics\":{},\"over_budget\":{},\"mem_checked\":{},\"passed\":{},\"targets\":[{}]}}",
+            self.seed,
+            self.iters,
+            self.graceful_errors,
+            self.harmless_ok,
+            self.panics,
+            self.over_budget,
+            self.mem_checked,
+            self.passed(),
+            targets
+        )
+    }
+}
+
+/// Small two-level hierarchy used to build compressed corpus streams.
+fn corpus_hierarchy() -> AmrHierarchy {
+    let geom = Geometry::new(Box3::from_dims(8, 8, 8), [0.0; 3], [1.0; 3]);
+    let mut h = AmrHierarchy::new(
+        geom,
+        vec![2],
+        vec![
+            BoxArray::single(geom.domain),
+            BoxArray::new(vec![
+                Box3::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+                Box3::new(IntVect::new(8, 8, 8), IntVect::new(15, 15, 15)),
+            ]),
+        ],
+    )
+    .expect("corpus hierarchy is valid");
+    h.add_field_from_fn("density", |lev, iv| {
+        (iv[0] as f64 * 0.3).sin() + (iv[1] as f64 * 0.2).cos() + 0.1 * lev as f64
+            + 0.01 * iv[2] as f64
+    })
+    .expect("field fits hierarchy");
+    h
+}
+
+fn corpus_field() -> Field3 {
+    Field3::from_fn([12, 10, 8], |i, j, k| {
+        (i as f64 * 0.4).sin() * (j as f64 * 0.3).cos() + 0.05 * k as f64
+    })
+}
+
+fn compressor_target<C: Compressor + 'static>(name: &'static str, c: C) -> Target {
+    let stream = c.compress(&corpus_field(), ErrorBound::Rel(1e-3));
+    Target {
+        name,
+        stream,
+        decode: Box::new(move |bytes, budget| {
+            c.decompress_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+        }),
+    }
+}
+
+/// Builds the full decoder corpus: every public decode entry point, each
+/// with a valid stream produced by its own encoder.
+fn build_targets() -> Vec<Target> {
+    let mut targets = Vec::new();
+
+    // --- codec layer ---
+    let mut varint_stream = Vec::new();
+    for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+        write_uvarint(&mut varint_stream, v);
+    }
+    targets.push(Target {
+        name: "varint",
+        stream: varint_stream,
+        decode: Box::new(|bytes, _| {
+            let mut pos = 0;
+            while pos < bytes.len() {
+                read_uvarint(bytes, &mut pos).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }),
+    });
+
+    let mut bw = BitWriter::new();
+    for i in 0..200u64 {
+        bw.write_bits(i, 1 + (i % 13) as u32);
+    }
+    targets.push(Target {
+        name: "bitio",
+        stream: bw.finish(),
+        decode: Box::new(|bytes, _| {
+            let mut r = BitReader::new(bytes);
+            loop {
+                if r.read_bits(7).is_err() {
+                    return Ok(()); // clean EOF is the only exit
+                }
+            }
+        }),
+    });
+
+    let symbols: Vec<u32> = (0..2000u32).map(|i| (i * i) % 37).collect();
+    targets.push(Target {
+        name: "huffman",
+        stream: huffman_encode(&symbols),
+        decode: Box::new(|bytes, budget| {
+            huffman_decode_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+        }),
+    });
+
+    let mut rle_input = vec![0u32; 500];
+    for i in (0..500).step_by(17) {
+        rle_input[i] = i as u32;
+    }
+    targets.push(Target {
+        name: "rle",
+        stream: rle_encode_zeros(&rle_input),
+        decode: Box::new(|bytes, budget| {
+            rle_decode_zeros_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+        }),
+    });
+
+    let text: Vec<u8> = (0..3000).map(|i| ((i * 7) % 251) as u8).collect();
+    targets.push(Target {
+        name: "lzss",
+        stream: lzss_compress(&text),
+        decode: Box::new(|bytes, budget| {
+            lzss_decompress_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+        }),
+    });
+
+    // --- compressor layer ---
+    targets.push(compressor_target("szlr", SzLr::default()));
+    targets.push(compressor_target("szinterp", SzInterp));
+    targets.push(compressor_target("zfp_like", ZfpLike));
+
+    // --- hierarchy layer ---
+    let hier = corpus_hierarchy();
+    let zmesh_stream = compress_zmesh(&hier, "density", ErrorBound::Rel(1e-3))
+        .expect("zmesh corpus compresses");
+    {
+        let hier = corpus_hierarchy();
+        targets.push(Target {
+            name: "zmesh",
+            stream: zmesh_stream,
+            decode: Box::new(move |bytes, budget| {
+                decompress_zmesh_budgeted(&hier, bytes, budget)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }),
+        });
+    }
+
+    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
+    let compressed =
+        compress_hierarchy_field(&hier, "density", &SzLr::default(), ErrorBound::Rel(1e-3), &cfg)
+            .expect("corpus hierarchy compresses");
+    let container = compressed.to_bytes();
+
+    targets.push(Target {
+        name: "container_from_bytes",
+        stream: container.clone(),
+        decode: Box::new(|bytes, budget| {
+            CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }),
+    });
+
+    targets.push(Target {
+        name: "hierarchy_degrade",
+        stream: container,
+        decode: Box::new(move |bytes, budget| {
+            let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
+                .map_err(|e| e.to_string())?;
+            decompress_hierarchy_field_policy(
+                &hier,
+                &parsed,
+                &SzLr::default(),
+                &cfg,
+                DecodePolicy::Degrade,
+                budget,
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+        }),
+    });
+
+    targets
+}
+
+/// Runs the torture loop and returns the tally.
+pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
+    let targets = build_targets();
+    let budget = DecodeBudget::strict();
+    let mem_checked = counting_alloc_installed();
+
+    let mut tallies: Vec<TargetTally> = targets
+        .iter()
+        .map(|t| TargetTally { name: t.name.to_string(), ..TargetTally::default() })
+        .collect();
+    let (mut graceful, mut harmless, mut panics, mut over) = (0u64, 0u64, 0u64, 0u64);
+    let mut violations = Vec::new();
+
+    // Expected-failure decodes would spam stderr with panic backtraces if
+    // one slipped through; silence the hook for the duration of the run.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let master = Rng::seed(cfg.seed);
+    for iter in 0..cfg.iters {
+        let mut rng = master.fork(iter as u64 + 1);
+        let ti = rng.below(targets.len() as u64) as usize;
+        let target = &targets[ti];
+        let (mutated, muts) = mutate_stream(&mut rng, &target.stream);
+        let kinds: Vec<&str> = muts.iter().map(Mutation::kind).collect();
+
+        let base = alloc_baseline();
+        let outcome = catch_unwind(AssertUnwindSafe(|| (target.decode)(&mutated, &budget)));
+        let peak = peak_since(base);
+
+        tallies[ti].runs += 1;
+        match outcome {
+            Ok(Ok(())) => {
+                harmless += 1;
+                tallies[ti].oks += 1;
+            }
+            Ok(Err(_)) => {
+                graceful += 1;
+                tallies[ti].errors += 1;
+            }
+            Err(payload) => {
+                panics += 1;
+                tallies[ti].panics += 1;
+                if violations.len() < 8 {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    violations.push(format!(
+                        "panic: target={} iter={iter} mutations={kinds:?}: {msg}",
+                        target.name
+                    ));
+                }
+            }
+        }
+        if mem_checked && peak > cfg.max_peak_bytes {
+            over += 1;
+            tallies[ti].over_budget += 1;
+            if violations.len() < 8 {
+                violations.push(format!(
+                    "over_budget: target={} iter={iter} mutations={kinds:?} peak={peak}",
+                    target.name
+                ));
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+
+    TortureReport {
+        seed: cfg.seed,
+        iters: cfg.iters,
+        graceful_errors: graceful,
+        harmless_ok: harmless,
+        panics,
+        over_budget: over,
+        mem_checked,
+        per_target: tallies,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_streams_decode_cleanly_unmutated() {
+        let budget = DecodeBudget::strict();
+        for t in build_targets() {
+            assert!(
+                (t.decode)(&t.stream, &budget).is_ok(),
+                "valid {} corpus stream must decode under the strict budget",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn torture_run_is_deterministic_and_panic_free() {
+        let cfg = TortureConfig { seed: 11, iters: 120, ..Default::default() };
+        let a = run_torture(&cfg);
+        let b = run_torture(&cfg);
+        assert_eq!(a.panics, 0, "violations: {:?}", a.violations);
+        assert_eq!(a.over_budget, 0, "violations: {:?}", a.violations);
+        assert_eq!(a.graceful_errors, b.graceful_errors);
+        assert_eq!(a.harmless_ok, b.harmless_ok);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.graceful_errors > 0, "mutations should usually break decodes");
+        assert!(a.passed());
+    }
+
+    #[test]
+    fn different_seeds_explore_different_corruptions() {
+        let a = run_torture(&TortureConfig { seed: 1, iters: 60, ..Default::default() });
+        let b = run_torture(&TortureConfig { seed: 2, iters: 60, ..Default::default() });
+        // Same decoders, different corruption paths: tallies rarely align.
+        assert!(
+            a.graceful_errors != b.graceful_errors || a.harmless_ok != b.harmless_ok,
+            "seeds 1 and 2 produced identical tallies — RNG not threaded through?"
+        );
+    }
+}
