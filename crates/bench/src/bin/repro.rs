@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--out DIR]
-//!                    [--threads N]
+//!                    [--threads N] [--flame FILE]
 //!
 //! experiments:
 //!   table1   dataset structure (grid sizes, per-level densities)
@@ -43,6 +43,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    flame: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
     let mut out = PathBuf::from("repro_out");
+    let mut flame = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -65,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--flame" => {
+                flame = Some(PathBuf::from(args.next().ok_or("--flame needs a value")?));
+            }
             "--threads" => {
                 let n: usize = args
                     .next()
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         out,
+        flame,
     })
 }
 
@@ -107,6 +113,10 @@ struct Ctx {
     experiments: Vec<Json>,
     /// (ok, degraded, failed) fab decode totals across all experiments.
     decode_fabs: (u64, u64, u64),
+    /// When `--flame` is given, span events accumulated across experiments
+    /// (each experiment resets the recorder, so they're drained here).
+    flame: Option<PathBuf>,
+    flame_events: Vec<amrviz_obs::SpanEvent>,
 }
 
 impl Ctx {
@@ -127,6 +137,9 @@ impl Ctx {
     /// Drains the obs recorder into `manifest_<name>.json` and folds the
     /// top-level stage times into the invocation-wide totals.
     fn finish_experiment(&mut self, name: &str) {
+        if self.flame.is_some() {
+            self.flame_events.extend(amrviz_obs::events_snapshot());
+        }
         let summary = amrviz_obs::summary::collect();
         for r in &summary.roots {
             *self.stage_seconds.entry(r.key.clone()).or_insert(0.0) += r.seconds;
@@ -494,7 +507,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!(
-                "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] [--threads N]"
+                "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] [--threads N] [--flame FILE]"
             );
             return ExitCode::FAILURE;
         }
@@ -517,6 +530,8 @@ fn main() -> ExitCode {
         stage_seconds: BTreeMap::new(),
         experiments: Vec::new(),
         decode_fabs: (0, 0, 0),
+        flame: args.flame.clone(),
+        flame_events: Vec::new(),
     };
     amrviz_obs::enable();
     let exp = args.experiment.as_str();
@@ -600,6 +615,13 @@ fn main() -> ExitCode {
         println!("\nresults recorded in {}", json_path.display());
     }
 
+    if let Some(flame_path) = &ctx.flame {
+        match amrviz_obs::flame::write_flamegraph_events(flame_path, &ctx.flame_events) {
+            Ok(()) => println!("flamegraph written to {}", flame_path.display()),
+            Err(e) => eprintln!("[repro] writing flamegraph to {}: {e}", flame_path.display()),
+        }
+    }
+
     // Final machine-readable one-liner: what ran, how well it compressed,
     // and where the wall time went. Also appended to summary.jsonl so
     // successive invocations accumulate a log.
@@ -633,6 +655,8 @@ fn main() -> ExitCode {
         .set("experiment", exp)
         .set("scale", format!("{:?}", ctx.scale).to_lowercase())
         .set("seed", ctx.seed)
+        .set("git", amrviz_bench::harness::git_describe())
+        .set("threads", amrviz_par::threads() as u64)
         .set("experiments", Json::Arr(ctx.experiments.clone()))
         .set("decode_fabs", decode_fabs)
         .set("runs", Json::Arr(runs))

@@ -1,0 +1,546 @@
+//! The `amrviz bench` harness: a pinned benchmark matrix with
+//! machine-readable output and baseline regression gating.
+//!
+//! A run executes synthetic Nyx/WarpX scenarios × {szlr, interp, zfp-like}
+//! × thread counts (at a fixed seed and error bound), measuring for every
+//! cell: compress/decompress/extract wall times, compression ratio,
+//! PSNR/SSIM/R-SSIM, peak allocation above the cell baseline, and the
+//! p50/p90/p99 of the per-piece latency histograms. Results are written as
+//! `BENCH_<gitsha-or-name>.json` (schema `amrviz-bench-v1`, documented in
+//! `DESIGN.md`).
+//!
+//! # Gating
+//!
+//! [`compare`] matches cells between a new run and a `--baseline` file by
+//! `(app, compressor, threads, rel_eb)` and applies, per metric:
+//!
+//! * **wall times** — a *symmetric* band `[old/(1+f), old·(1+f)]` where
+//!   `f = threshold_pct / 100`. Slower is a regression; *much faster* also
+//!   fails, because a time outside the band in either direction means the
+//!   baseline is not comparable to this machine/build (stale, doctored, or
+//!   cross-hardware) and certifying against it would be meaningless.
+//!   Cells where both sides are under [`TIME_FLOOR_SECONDS`] are skipped —
+//!   micro-times are all scheduler noise.
+//! * **quality** (`compression_ratio`, `psnr_db`, `ssim`) — one-sided:
+//!   only a *drop* past the band fails. These are bit-deterministic for a
+//!   fixed seed, so any change at all is a real code change.
+//! * **peak_alloc_bytes** — one-sided: only growth past the band fails;
+//!   skipped when either side is 0 (counting allocator not installed).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use amrviz_amr::resample::{flatten_to_finest, Upsample};
+use amrviz_compress::{
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, CompressionStats,
+    ErrorBound,
+};
+use amrviz_core::prelude::*;
+use amrviz_json::{Json, ToJson};
+use amrviz_metrics::{quality, rssim, ssim3, SsimConfig};
+
+/// Schema tag written into every BENCH file.
+pub const SCHEMA: &str = "amrviz-bench-v1";
+
+/// Wall times where both runs are under this floor are not gated — they
+/// are dominated by scheduler noise, not by the code under test.
+pub const TIME_FLOOR_SECONDS: f64 = 0.05;
+
+/// Default regression threshold (percent): the allowed band is ±200 %,
+/// i.e. a 3× change, so only gross regressions fail locally.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 200.0;
+
+/// Short cell keys for the compressor matrix (stable across renames of the
+/// display labels).
+pub fn compressor_key(kind: CompressorKind) -> &'static str {
+    match kind {
+        CompressorKind::SzLr => "szlr",
+        CompressorKind::SzInterp => "interp",
+        CompressorKind::ZfpLike => "zfp-like",
+    }
+}
+
+const MATRIX_COMPRESSORS: [CompressorKind; 3] = [
+    CompressorKind::SzLr,
+    CompressorKind::SzInterp,
+    CompressorKind::ZfpLike,
+];
+
+/// Configuration of one bench run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Scenario scale for every cell.
+    pub scale: Scale,
+    /// Worker-pool sizes to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Relative error bounds to sweep.
+    pub rel_ebs: Vec<f64>,
+    /// Run label: `BENCH_<name>.json`. Defaults to `git describe`.
+    pub name: String,
+    /// Directory the BENCH file is written into.
+    pub out_dir: PathBuf,
+    /// Marks the run as the reduced `--quick` matrix in the output.
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// The `--quick` matrix: Tiny scale, 1 thread plus the ambient pool
+    /// size (so `AMRVIZ_THREADS` steers the second column), one bound.
+    pub fn quick(name: String, out_dir: PathBuf) -> Self {
+        let ambient = amrviz_par::threads().clamp(1, 4);
+        let mut thread_counts = vec![1];
+        if ambient > 1 {
+            thread_counts.push(ambient);
+        }
+        BenchConfig {
+            scale: Scale::Tiny,
+            thread_counts,
+            rel_ebs: vec![1e-3],
+            name,
+            out_dir,
+            quick: true,
+        }
+    }
+
+    /// The full matrix: Small scale, {1, ambient} threads, one bound.
+    pub fn full(name: String, out_dir: PathBuf) -> Self {
+        let mut cfg = Self::quick(name, out_dir);
+        cfg.scale = Scale::Small;
+        cfg.quick = false;
+        cfg
+    }
+}
+
+/// Runs the whole matrix and returns the BENCH document.
+///
+/// Enables the global recorder for the duration (each cell is measured
+/// from a clean `reset`), and restores the worker-pool size afterwards.
+pub fn run_bench(cfg: &BenchConfig) -> Json {
+    let was_enabled = amrviz_obs::is_enabled();
+    let prior_threads = amrviz_par::threads();
+    let mut cells = Vec::new();
+    for &threads in &cfg.thread_counts {
+        amrviz_par::set_threads(threads);
+        for app in Application::ALL {
+            // One scenario build per (app, threads); generation is outside
+            // the measured region.
+            let built = crate::bench_scenario(app, cfg.scale);
+            for kind in MATRIX_COMPRESSORS {
+                for &rel_eb in &cfg.rel_ebs {
+                    cells.push(run_cell(&built, kind, threads, rel_eb));
+                }
+            }
+        }
+    }
+    amrviz_par::set_threads(prior_threads);
+    if !was_enabled {
+        amrviz_obs::disable();
+    }
+    amrviz_obs::reset();
+
+    let mut doc = Json::obj();
+    doc.set("schema", SCHEMA)
+        .set("name", cfg.name.as_str())
+        .set("git", git_describe().as_str())
+        .set("quick", cfg.quick)
+        .set("scale", format!("{:?}", cfg.scale))
+        .set("threads_swept", cfg.thread_counts.to_json())
+        .set(
+            "mem_profile",
+            amrviz_obs::mem::span_profiling_active(),
+        )
+        .set(
+            "peak_rss_bytes",
+            match peak_rss_bytes() {
+                Some(b) => Json::from(b),
+                None => Json::Null,
+            },
+        )
+        .set("cells", Json::Arr(cells));
+    doc
+}
+
+/// Measures one matrix cell. The recorder is reset + enabled around the
+/// measured region so the histograms belong to this cell alone.
+fn run_cell(built: &BuiltScenario, kind: CompressorKind, threads: usize, rel_eb: f64) -> Json {
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    let mem_base = amrviz_obs::mem::alloc_baseline();
+
+    let comp = kind.instance();
+    let field = built.spec.app.eval_field();
+    let codec_cfg = AmrCodecConfig::default();
+
+    let sp = amrviz_obs::span!("bench.compress", compressor = kind.label());
+    let compressed = compress_hierarchy_field(
+        &built.hierarchy,
+        field,
+        comp.as_ref(),
+        ErrorBound::Rel(rel_eb),
+        &codec_cfg,
+    )
+    .expect("scenario field exists");
+    let compress_seconds = sp.finish();
+
+    let sp = amrviz_obs::span!("bench.decompress", compressor = kind.label());
+    let levels =
+        decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &codec_cfg)
+            .expect("own stream decodes");
+    let decompress_seconds = sp.finish();
+
+    let sp = amrviz_obs::span!("bench.extract", compressor = kind.label());
+    let iso_res =
+        amrviz_viz::extract_amr_isosurface(&built.hierarchy, &levels, built.iso, IsoMethod::Resampling);
+    let extract_seconds = sp.finish();
+
+    // Quality against the uniform reference (bit-deterministic per seed).
+    let recon = {
+        let mut hier = built.hierarchy.clone();
+        hier.add_field("__bench_recon", levels).expect("levels match hierarchy");
+        flatten_to_finest(&hier, "__bench_recon", Upsample::PiecewiseConstant)
+            .expect("field just added")
+            .data
+    };
+    let stats = CompressionStats::new(compressed.n_values, compressed.compressed_bytes());
+    let q = quality(&built.uniform.data, &recon);
+    let s = ssim3(&built.uniform.data, &recon, built.uniform.dims(), &SsimConfig::default());
+
+    let peak_alloc = amrviz_obs::mem::peak_since(mem_base);
+    let hists = amrviz_obs::histograms_snapshot();
+
+    let mut cell = Json::obj();
+    cell.set("app", built.spec.app.label())
+        .set("compressor", compressor_key(kind))
+        .set("threads", threads)
+        .set("rel_eb", rel_eb)
+        .set("compress_seconds", compress_seconds)
+        .set("decompress_seconds", decompress_seconds)
+        .set("extract_seconds", extract_seconds)
+        .set("compression_ratio", stats.ratio())
+        .set("bits_per_value", stats.bits_per_value())
+        .set("psnr_db", q.psnr)
+        .set("ssim", s)
+        .set("rssim", rssim(s))
+        .set("max_abs_error", q.max_abs_err)
+        .set("triangles", iso_res.total_triangles())
+        .set("peak_alloc_bytes", peak_alloc);
+    let mut hj = Json::obj();
+    for (name, h) in &hists {
+        let mut o = Json::obj();
+        o.set("count", h.count())
+            .set("sum", h.sum())
+            .set("min", h.min())
+            .set("max", h.max())
+            .set("mean", h.mean())
+            .set("p50", h.percentile(50.0))
+            .set("p90", h.percentile(90.0))
+            .set("p99", h.percentile(99.0));
+        hj.set(name, o);
+    }
+    cell.set("histograms", hj);
+    cell
+}
+
+/// Writes `doc` as `BENCH_<name>.json` under `out_dir`, returning the path.
+pub fn write_bench(doc: &Json, out_dir: &Path) -> std::io::Result<PathBuf> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("local")
+        .replace(['/', ' '], "-");
+    let path = out_dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))?;
+    Ok(path)
+}
+
+/// One gated discrepancy found by [`compare`].
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub cell: String,
+    pub metric: &'static str,
+    pub old: f64,
+    pub new: f64,
+    /// Human-readable direction (`"slower"`, `"faster than baseline"`,
+    /// `"quality drop"`, `"memory growth"`).
+    pub kind: &'static str,
+}
+
+/// Comparison output: every per-metric delta line plus the subset that
+/// breached the threshold.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    pub lines: Vec<String>,
+    pub regressions: Vec<Regression>,
+    /// Cells present on one side only (warned, never gated).
+    pub unmatched: Vec<String>,
+}
+
+fn cell_key(cell: &Json) -> String {
+    format!(
+        "{}/{}/t{}/eb{}",
+        cell.get("app").and_then(Json::as_str).unwrap_or("?"),
+        cell.get("compressor").and_then(Json::as_str).unwrap_or("?"),
+        cell.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+        cell.get("rel_eb").and_then(Json::as_f64).unwrap_or(0.0),
+    )
+}
+
+fn metric(cell: &Json, name: &str) -> Option<f64> {
+    cell.get(name).and_then(Json::as_f64)
+}
+
+/// Compares a new BENCH document against a baseline (see module docs for
+/// the gating rules). `threshold_pct` is the allowed relative band in
+/// percent.
+pub fn compare(new_doc: &Json, baseline: &Json, threshold_pct: f64) -> Comparison {
+    let f = threshold_pct.max(0.0) / 100.0;
+    let mut out = Comparison::default();
+
+    let new_cells = new_doc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let old_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let old_by_key: BTreeMap<String, &Json> =
+        old_cells.iter().map(|c| (cell_key(c), c)).collect();
+    let new_keys: std::collections::BTreeSet<String> =
+        new_cells.iter().map(cell_key).collect();
+    for c in old_cells {
+        let k = cell_key(c);
+        if !new_keys.contains(&k) {
+            out.unmatched.push(format!("{k} (baseline only)"));
+        }
+    }
+
+    const TIME_METRICS: [&str; 3] =
+        ["compress_seconds", "decompress_seconds", "extract_seconds"];
+    const QUALITY_METRICS: [&str; 3] = ["compression_ratio", "psnr_db", "ssim"];
+
+    for cell in new_cells {
+        let key = cell_key(cell);
+        let Some(old) = old_by_key.get(&key) else {
+            out.unmatched.push(format!("{key} (new only)"));
+            continue;
+        };
+        for m in TIME_METRICS {
+            let (Some(n), Some(o)) = (metric(cell, m), metric(old, m)) else {
+                continue;
+            };
+            let delta_pct = if o > 0.0 { 100.0 * (n - o) / o } else { 0.0 };
+            out.lines.push(format!(
+                "{key:<36} {m:<20} {o:>12.4} -> {n:>12.4}  ({delta_pct:+8.1}%)"
+            ));
+            if n.max(o) < TIME_FLOOR_SECONDS {
+                continue; // micro-times: noise, not signal
+            }
+            if n > o * (1.0 + f) {
+                out.regressions.push(Regression { cell: key.clone(), metric: m, old: o, new: n, kind: "slower" });
+            } else if o > n * (1.0 + f) {
+                out.regressions.push(Regression {
+                    cell: key.clone(),
+                    metric: m,
+                    old: o,
+                    new: n,
+                    kind: "faster than baseline (stale or doctored baseline?)",
+                });
+            }
+        }
+        for m in QUALITY_METRICS {
+            let (Some(n), Some(o)) = (metric(cell, m), metric(old, m)) else {
+                continue;
+            };
+            let delta_pct = if o != 0.0 { 100.0 * (n - o) / o } else { 0.0 };
+            out.lines.push(format!(
+                "{key:<36} {m:<20} {o:>12.4} -> {n:>12.4}  ({delta_pct:+8.1}%)"
+            ));
+            if o > n * (1.0 + f) {
+                out.regressions.push(Regression { cell: key.clone(), metric: m, old: o, new: n, kind: "quality drop" });
+            }
+        }
+        if let (Some(n), Some(o)) =
+            (metric(cell, "peak_alloc_bytes"), metric(old, "peak_alloc_bytes"))
+        {
+            if n > 0.0 && o > 0.0 {
+                let delta_pct = 100.0 * (n - o) / o;
+                out.lines.push(format!(
+                    "{key:<36} {:<20} {o:>12.0} -> {n:>12.0}  ({delta_pct:+8.1}%)",
+                    "peak_alloc_bytes"
+                ));
+                if n > o * (1.0 + f) {
+                    out.regressions.push(Regression {
+                        cell: key.clone(),
+                        metric: "peak_alloc_bytes",
+                        old: o,
+                        new: n,
+                        kind: "memory growth",
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Comparison {
+    /// Renders the full delta table plus a verdict block.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<36} {:<20} {:>12}    {:>12}  {:>10}\n",
+            "cell", "metric", "baseline", "current", "delta"
+        ));
+        for l in &self.lines {
+            s.push_str(l);
+            s.push('\n');
+        }
+        for u in &self.unmatched {
+            s.push_str(&format!("WARN unmatched cell: {u}\n"));
+        }
+        if self.regressions.is_empty() {
+            s.push_str(&format!(
+                "OK: no metric outside the ±{threshold_pct}% band\n"
+            ));
+        } else {
+            for r in &self.regressions {
+                s.push_str(&format!(
+                    "FAIL {} {}: {} -> {} [{}]\n",
+                    r.cell, r.metric, r.old, r.new, r.kind
+                ));
+            }
+            s.push_str(&format!(
+                "{} metric(s) outside the ±{threshold_pct}% band\n",
+                self.regressions.len()
+            ));
+        }
+        s
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, falling back to
+/// `GITHUB_SHA` (CI) and then `"unknown"`. Never fails.
+pub fn git_describe() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output();
+    if let Ok(o) = out {
+        if o.status.success() {
+            let s = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if !s.is_empty() {
+                return s;
+            }
+        }
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if sha.len() >= 7 {
+            return sha[..7].to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Process peak resident set (`VmHWM`) in bytes, when the platform exposes
+/// it (`/proc/self/status`; `None` elsewhere).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_doc(compress_s: f64, cr: f64) -> Json {
+        mini_doc_threads(compress_s, cr, 1)
+    }
+
+    fn mini_doc_threads(compress_s: f64, cr: f64, threads: usize) -> Json {
+        let mut cell = Json::obj();
+        cell.set("app", "WarpX")
+            .set("compressor", "szlr")
+            .set("threads", threads)
+            .set("rel_eb", 1e-3)
+            .set("compress_seconds", compress_s)
+            .set("decompress_seconds", 0.2)
+            .set("extract_seconds", 0.1)
+            .set("compression_ratio", cr)
+            .set("psnr_db", 80.0)
+            .set("ssim", 0.999)
+            .set("peak_alloc_bytes", 1_000_000usize);
+        let mut doc = Json::obj();
+        doc.set("schema", SCHEMA).set("name", "t").set("cells", Json::Arr(vec![cell]));
+        doc
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let d = mini_doc(0.5, 10.0);
+        let c = compare(&d, &d, DEFAULT_THRESHOLD_PCT);
+        assert!(c.regressions.is_empty(), "{:?}", c.regressions);
+        assert!(c.unmatched.is_empty());
+        assert!(!c.lines.is_empty());
+    }
+
+    #[test]
+    fn slower_run_fails() {
+        let old = mini_doc(0.1, 10.0);
+        let new = mini_doc(0.9, 10.0);
+        let c = compare(&new, &old, 200.0);
+        assert!(c.regressions.iter().any(|r| r.kind == "slower"));
+    }
+
+    #[test]
+    fn inflated_baseline_fails_symmetric_gate() {
+        // A doctored baseline with 100× timings must NOT make the current
+        // run look like a pass — the symmetric band catches it.
+        let old = mini_doc(50.0, 10.0);
+        let new = mini_doc(0.5, 10.0);
+        let c = compare(&new, &old, 200.0);
+        assert!(
+            c.regressions.iter().any(|r| r.kind.starts_with("faster than baseline")),
+            "{:?}",
+            c.regressions
+        );
+    }
+
+    #[test]
+    fn quality_drop_fails_one_sided() {
+        let old = mini_doc(0.5, 30.0);
+        let new = mini_doc(0.5, 5.0);
+        let c = compare(&new, &old, 200.0);
+        assert!(c.regressions.iter().any(|r| r.metric == "compression_ratio"));
+        // Quality *gain* is never a failure.
+        let c2 = compare(&old, &new, 200.0);
+        assert!(c2.regressions.iter().all(|r| r.metric != "compression_ratio"));
+    }
+
+    #[test]
+    fn micro_times_are_not_gated() {
+        let old = mini_doc(0.001, 10.0);
+        let new = mini_doc(0.02, 10.0); // 20× but both under the floor
+        let c = compare(&new, &old, 200.0);
+        assert!(
+            c.regressions.iter().all(|r| r.metric != "compress_seconds"),
+            "{:?}",
+            c.regressions
+        );
+    }
+
+    #[test]
+    fn unmatched_cells_warn_not_fail() {
+        let old = mini_doc(0.5, 10.0);
+        // Different thread count → the cell key no longer matches.
+        let new = mini_doc_threads(0.5, 10.0, 4);
+        let c = compare(&new, &old, 200.0);
+        assert!(c.regressions.is_empty());
+        assert_eq!(c.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn describe_and_rss_never_panic() {
+        let _ = git_describe();
+        let _ = peak_rss_bytes();
+    }
+}

@@ -8,6 +8,8 @@
 
 use amrviz_core::prelude::*;
 
+pub mod harness;
+
 /// The error bounds Table 2 sweeps.
 pub const TABLE2_EBS: [f64; 3] = [1e-4, 1e-3, 1e-2];
 

@@ -426,3 +426,91 @@ pub fn torture(argv: &[String]) -> Result<(), String> {
         Err(msg)
     }
 }
+
+/// Pinned benchmark matrix with BENCH_*.json output and baseline gating.
+pub fn bench(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &["name", "out", "baseline", "threshold", "scale", "thread-counts", "ebs"],
+        &["quick"],
+    )?;
+    let out_dir = std::path::PathBuf::from(p.opt("out").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let name = match p.opt("name") {
+        Some(n) => n.to_string(),
+        None => amrviz_bench::harness::git_describe(),
+    };
+    let mut cfg = if p.switch("quick") {
+        amrviz_bench::harness::BenchConfig::quick(name, out_dir.clone())
+    } else {
+        amrviz_bench::harness::BenchConfig::full(name, out_dir.clone())
+    };
+    if let Some(s) = p.opt("scale") {
+        cfg.scale = Scale::parse(s).ok_or(format!("unknown scale `{s}`"))?;
+    }
+    if let Some(list) = p.opt("thread-counts") {
+        cfg.thread_counts = list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--thread-counts: bad entry `{t}`"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = p.opt("ebs") {
+        cfg.rel_ebs = list
+            .split(',')
+            .map(|e| {
+                e.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| *v > 0.0)
+                    .ok_or(format!("--ebs: bad entry `{e}`"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    let threshold = p
+        .opt_parse::<f64>("threshold")?
+        .unwrap_or(amrviz_bench::harness::DEFAULT_THRESHOLD_PCT);
+
+    // Read the baseline *before* running (and before writing, in case the
+    // baseline is the file this run is about to overwrite).
+    let baseline = match p.opt("baseline") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {path}: {e}"))?;
+            let doc = amrviz_json::Json::parse(&text)
+                .map_err(|e| format!("parsing baseline {path}: {e}"))?;
+            Some((path.to_string(), doc))
+        }
+    };
+
+    eprintln!(
+        "bench: scale {:?}, threads {:?}, ebs {:?} ({} matrix)",
+        cfg.scale,
+        cfg.thread_counts,
+        cfg.rel_ebs,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let doc = amrviz_bench::harness::run_bench(&cfg);
+    let path = amrviz_bench::harness::write_bench(&doc, &out_dir)
+        .map_err(|e| format!("writing BENCH file: {e}"))?;
+    println!("BENCH written to {}", path.display());
+
+    if let Some((bpath, base)) = baseline {
+        let cmp = amrviz_bench::harness::compare(&doc, &base, threshold);
+        print!("{}", cmp.render(threshold));
+        if !cmp.regressions.is_empty() {
+            return Err(format!(
+                "{} metric(s) regressed against baseline {bpath} (threshold ±{threshold}%)",
+                cmp.regressions.len()
+            ));
+        }
+    }
+    Ok(())
+}

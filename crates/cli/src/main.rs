@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         "render" => commands::render(rest),
         "diff" => commands::diff(rest),
         "torture" => commands::torture(rest),
+        "bench" => commands::bench(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     let result = result.and_then(|()| obs_opts.export());
@@ -73,33 +74,52 @@ fn main() -> ExitCode {
 #[derive(Debug, Default)]
 struct ObsOptions {
     trace_path: Option<String>,
+    flame_path: Option<String>,
     timing: bool,
     threads: Option<usize>,
 }
 
 impl ObsOptions {
     fn active(&self) -> bool {
-        self.trace_path.is_some() || self.timing
+        self.trace_path.is_some() || self.flame_path.is_some() || self.timing
     }
 
-    /// Writes the chrome trace and/or prints the timing summary.
+    /// Writes the chrome trace / flamegraph and/or prints the timing
+    /// summary.
     fn export(&self) -> Result<(), String> {
         if let Some(path) = &self.trace_path {
             amrviz_obs::chrome::write_chrome_trace(std::path::Path::new(path))
                 .map_err(|e| format!("writing trace to {path}: {e}"))?;
             eprintln!("trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
         }
+        if let Some(path) = &self.flame_path {
+            amrviz_obs::flame::write_flamegraph(std::path::Path::new(path))
+                .map_err(|e| format!("writing flamegraph to {path}: {e}"))?;
+            let kind = if path.to_ascii_lowercase().ends_with(".html")
+                || path.to_ascii_lowercase().ends_with(".htm")
+            {
+                "self-contained HTML"
+            } else {
+                "collapsed-stack text"
+            };
+            eprintln!("flamegraph written to {path} ({kind})");
+        }
         if self.timing {
             let summary = amrviz_obs::summary::collect();
             eprint!("{}", summary.to_text());
+            let hists = amrviz_obs::histograms_snapshot();
+            if !hists.is_empty() {
+                eprint!("{}", amrviz_obs::hist::render_text(&hists));
+            }
             eprint!("{}", amrviz_par::utilization().to_text());
         }
         Ok(())
     }
 }
 
-/// Strips `--trace PATH`, `--timing`, and `--threads N` (valid anywhere on
-/// the command line) from `argv` before subcommand dispatch.
+/// Strips `--trace PATH`, `--flame PATH`, `--timing`, and `--threads N`
+/// (valid anywhere on the command line) from `argv` before subcommand
+/// dispatch.
 fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
     let mut opts = ObsOptions::default();
     let mut rest = Vec::with_capacity(argv.len());
@@ -109,6 +129,10 @@ fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), S
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a value".to_string())?;
                 opts.trace_path = Some(path);
+            }
+            "--flame" => {
+                let path = it.next().ok_or("--flame needs a value".to_string())?;
+                opts.flame_path = Some(path);
             }
             "--timing" => opts.timing = true,
             "--threads" => {
@@ -155,11 +179,26 @@ USAGE:
                     under the peak-allocation cap (default 128 MiB).
                     Prints one machine-readable `TORTURE {...}` line;
                     exits nonzero on any contract violation.
+  amrviz bench      [--quick] [--name LABEL] [--out DIR]
+                    [--baseline OLD.json] [--threshold PCT]
+                    [--thread-counts 1,4] [--scale S] [--ebs 1e-3,1e-2]
+                    runs the pinned Nyx/WarpX × {szlr, interp, zfp-like} ×
+                    thread-count matrix and writes BENCH_<name>.json (wall
+                    times, histogram percentiles, peak memory, CR/PSNR/SSIM
+                    per cell). With --baseline, prints per-metric deltas and
+                    exits nonzero when any gated metric leaves the ±PCT%
+                    band (default 200). Time metrics gate symmetrically —
+                    an implausibly *faster* run also fails, since it means
+                    the baseline is stale or doctored.
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run
-  --timing       print a hierarchical per-stage timing summary plus
-                 worker-pool utilization to stderr
+  --flame FILE   write a flamegraph of the run's span tree; `.html` gets a
+                 self-contained interactive page, anything else
+                 collapsed-stack text (flamegraph.pl format)
+  --timing       print a hierarchical per-stage timing summary, latency/size
+                 histograms (p50/p90/p99), plus worker-pool utilization to
+                 stderr
   --threads N    size of the worker pool (default: available parallelism;
                  the AMRVIZ_THREADS env var sets the same default).
                  Results are bit-identical at any thread count.

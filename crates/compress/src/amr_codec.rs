@@ -261,7 +261,15 @@ pub fn compress_hierarchy_field(
             let (fi, piece) = tasks[ti];
             let sub = mf.fabs()[fi].subfab(piece);
             let field3 = Field3::new(piece.size(), sub.into_vec());
-            compressor.compress(&field3, ErrorBound::Abs(abs_eb))
+            // Per-piece latency + blob-size distributions. The Instant pair
+            // is gated so a disabled recorder costs nothing extra here.
+            let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
+            let blob = compressor.compress(&field3, ErrorBound::Abs(abs_eb));
+            if let Some(t0) = t0 {
+                amrviz_obs::histogram!("compress.piece_us", t0.elapsed().as_micros());
+                amrviz_obs::histogram!("compress.blob_bytes", blob.len());
+            }
+            blob
         });
         let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
         amrviz_obs::counter!("compress.bytes_in", level_values * 8);
@@ -438,7 +446,11 @@ pub fn decompress_hierarchy_field_policy(
                 if fnv1a_64(blob) != sums[ti] {
                     return Err(CompressError::Malformed("blob checksum mismatch".into()));
                 }
+                let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
                 let field3 = compressor.decompress_budgeted(blob, budget)?;
+                if let Some(t0) = t0 {
+                    amrviz_obs::histogram!("decompress.piece_us", t0.elapsed().as_micros());
+                }
                 if field3.dims != piece.size() {
                     return Err(CompressError::Malformed(format!(
                         "piece dims {:?} but box size {:?}",

@@ -46,10 +46,17 @@ impl QuantStats {
     }
 
     /// Publishes the tally to the global observability counters (batched:
-    /// two counter adds per stream, regardless of value count).
+    /// two counter adds per stream, regardless of value count) and records
+    /// the stream's integer hit rate (% of values that quantized in-range)
+    /// into the `quantizer.hit_pct` histogram, giving the *distribution*
+    /// of hit rates across streams rather than just the global mean.
     pub fn report(&self) {
         amrviz_obs::counter!("quantizer.codes", self.codes);
         amrviz_obs::counter!("quantizer.outliers", self.outliers);
+        let total = self.codes + self.outliers;
+        if total > 0 {
+            amrviz_obs::histogram!("quantizer.hit_pct", self.codes * 100 / total);
+        }
     }
 }
 

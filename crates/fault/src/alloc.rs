@@ -1,110 +1,21 @@
-//! A counting global allocator for bounded-memory assertions.
+//! Allocation counting for bounded-memory assertions.
 //!
-//! [`CountingAlloc`] wraps the system allocator and tracks live bytes and
-//! the high-water mark with relaxed atomics (the counters are a
-//! diagnostic, not a synchronization point). Install it with
+//! The counting allocator now lives in [`amrviz_obs::mem`] so the
+//! observability layer can attribute allocations to spans; this module
+//! re-exports it under the original `amrviz_fault` names, so existing
+//! installs keep working unchanged:
 //!
 //! ```ignore
 //! #[global_allocator]
 //! static ALLOC: amrviz_fault::CountingAlloc = amrviz_fault::CountingAlloc;
 //! ```
 //!
-//! then bracket a decode with [`alloc_baseline`] / [`peak_since`] to check
-//! that a corrupted stream never drove allocation past a budget. When the
+//! Bracket a decode with [`alloc_baseline`] / [`peak_since`] to check that
+//! a corrupted stream never drove allocation past a budget. When the
 //! allocator is *not* installed the counters just stay at zero, and
 //! [`counting_alloc_installed`] reports so — the torture runner downgrades
 //! its memory assertion to a no-op rather than reporting false peaks.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-static CURRENT: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-/// Global allocator wrapper that counts live and peak bytes.
-pub struct CountingAlloc;
-
-fn add(n: usize) {
-    let cur = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
-    PEAK.fetch_max(cur, Ordering::Relaxed);
-}
-
-fn sub(n: usize) {
-    CURRENT.fetch_sub(n, Ordering::Relaxed);
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            add(layout.size());
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        sub(layout.size());
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            add(layout.size());
-        }
-        p
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            sub(layout.size());
-            add(new_size);
-        }
-        p
-    }
-}
-
-/// Bytes currently live (0 if the counting allocator is not installed).
-pub fn current_bytes() -> usize {
-    CURRENT.load(Ordering::Relaxed)
-}
-
-/// Resets the high-water mark to the current live count and returns the
-/// baseline. Call before the operation under test.
-pub fn alloc_baseline() -> usize {
-    let cur = CURRENT.load(Ordering::Relaxed);
-    PEAK.store(cur, Ordering::Relaxed);
-    cur
-}
-
-/// Peak bytes allocated *above* `baseline` since [`alloc_baseline`].
-pub fn peak_since(baseline: usize) -> usize {
-    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
-}
-
-/// Whether allocations are actually being counted (i.e. [`CountingAlloc`]
-/// is the process's global allocator).
-pub fn counting_alloc_installed() -> bool {
-    // If anything at all has been counted, the allocator is live. A Rust
-    // process that has reached user code has long since allocated.
-    CURRENT.load(Ordering::Relaxed) > 0 || PEAK.load(Ordering::Relaxed) > 0
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    // Not installed as #[global_allocator] in this test binary, so the
-    // counters stay quiet; exercise the raw bookkeeping directly.
-    #[test]
-    fn bookkeeping_tracks_peak_above_baseline() {
-        let base = alloc_baseline();
-        add(1000);
-        add(500);
-        sub(1500);
-        assert!(peak_since(base) >= 1500);
-        let base2 = alloc_baseline();
-        assert_eq!(peak_since(base2), 0);
-    }
-}
+pub use amrviz_obs::mem::{
+    alloc_baseline, counting_alloc_installed, current_bytes, peak_since, CountingAlloc,
+};

@@ -52,6 +52,15 @@ pub fn render_chrome_trace(
             }
             args.push_str(&format!("\"{}\":{}", json_escape(k), v.to_json()));
         }
+        if cfg!(feature = "mem-profile") {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!(
+                "\"mem.peak_bytes\":{},\"mem.net_bytes\":{}",
+                e.mem_peak_bytes, e.mem_net_bytes
+            ));
+        }
         push(
             format!(
                 "{{\"name\":\"{}\",\"cat\":\"amrviz\",\"ph\":\"X\",\"ts\":{ts:.3},\
@@ -105,6 +114,8 @@ mod tests {
             thread,
             start_ns: 1_000 * id,
             dur_ns: 500,
+            mem_net_bytes: 64,
+            mem_peak_bytes: 128,
         }
     }
 
@@ -124,6 +135,10 @@ mod tests {
         assert!(s.contains("\"ph\":\"M\""));
         assert!(s.contains("\"name\":\"compress\""));
         assert!(s.contains("\"level\":1"));
+        if cfg!(feature = "mem-profile") {
+            assert!(s.contains("\"mem.peak_bytes\":128"));
+            assert!(s.contains("\"mem.net_bytes\":64"));
+        }
     }
 
     #[test]

@@ -11,10 +11,19 @@
 //!   (bytes in/out, quantizer outliers, triangles emitted, crack rim edges);
 //!   [`gauge_set`] records last-written values (resolved error bounds, iso
 //!   values).
+//! * **Histograms** — [`histogram!`] records `u64` samples into log-bucketed
+//!   [`hist::Histogram`]s (per-piece latencies, blob sizes, hit rates) whose
+//!   shard merge is a commutative integer sum, so p50/p90/p99 are identical
+//!   at any thread count for the same multiset of samples.
+//! * **Memory** — with the default `mem-profile` feature and
+//!   [`mem::CountingAlloc`] installed as the global allocator, every span
+//!   carries `mem_net_bytes` / `mem_peak_bytes` attribution (see [`mem`]).
 //! * **Exporters** — [`chrome::chrome_trace_json`] emits a
 //!   `chrome://tracing` / Perfetto `traceEvents` file;
 //!   [`summary::collect`] aggregates spans into a hierarchical
-//!   stage/level summary with percentages.
+//!   stage/level summary with percentages; [`flame::write_flamegraph`]
+//!   renders the span tree as collapsed stacks or a self-contained HTML
+//!   flamegraph.
 //!
 //! # Overhead
 //!
@@ -43,6 +52,9 @@
 //! ```
 
 pub mod chrome;
+pub mod flame;
+pub mod hist;
+pub mod mem;
 pub mod summary;
 
 use std::cell::{Cell, RefCell};
@@ -140,6 +152,14 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Wall duration in nanoseconds.
     pub dur_ns: u64,
+    /// Net bytes allocated minus freed on this thread while the span was
+    /// active (0 unless the `mem-profile` feature is on and
+    /// [`mem::CountingAlloc`] is installed). Negative when the span freed
+    /// more than it allocated.
+    pub mem_net_bytes: i64,
+    /// This thread's allocation high-water mark above the span's entry
+    /// level (same availability as `mem_net_bytes`).
+    pub mem_peak_bytes: u64,
 }
 
 impl SpanEvent {
@@ -160,6 +180,7 @@ struct Recorder {
     events: [Mutex<Vec<SpanEvent>>; SHARDS],
     counters: [Mutex<BTreeMap<&'static str, u64>>; SHARDS],
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    hists: [Mutex<BTreeMap<&'static str, hist::Histogram>>; SHARDS],
 }
 
 impl Recorder {
@@ -173,6 +194,7 @@ impl Recorder {
             events: std::array::from_fn(|_| Mutex::new(Vec::new())),
             counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             gauges: Mutex::new(BTreeMap::new()),
+            hists: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
 }
@@ -257,8 +279,11 @@ pub fn is_enabled() -> bool {
         .is_some_and(|r| r.enabled.load(Ordering::Relaxed))
 }
 
-/// Clears all recorded events, counters and gauges (enabled state and
-/// thread ids are kept).
+/// Clears all recorded events, counters, gauges and histograms, and
+/// collapses the global allocation high-water mark back to the current live
+/// count (enabled state and thread ids are kept). Successive measurements
+/// therefore never inherit a stale distribution or peak from an earlier
+/// experiment.
 pub fn reset() {
     let r = recorder();
     for shard in &r.events {
@@ -268,6 +293,10 @@ pub fn reset() {
         lock_clean(shard).clear();
     }
     lock_clean(&r.gauges).clear();
+    for shard in &r.hists {
+        lock_clean(shard).clear();
+    }
+    mem::reset_peak();
 }
 
 /// Locks a mutex, recovering from poisoning (a panicking instrumented
@@ -276,7 +305,16 @@ fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Adds `delta` to the named monotonic counter. No-op while disabled.
+/// Adds `delta` to the named monotonic counter.
+///
+/// # Disabled behaviour
+///
+/// This is a **silent no-op whenever recording is disabled** — including
+/// when recording is turned off *mid-span*: a counter increment that races
+/// with [`disable`] may or may not land, and nothing is buffered for a
+/// later [`enable`]. Callers needing exact totals must keep the recorder
+/// enabled for the whole measured region (the pattern used by `repro` and
+/// `amrviz bench`: `reset` → `enable` → work → snapshot).
 pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() {
         return;
@@ -286,12 +324,45 @@ pub fn counter_add(name: &'static str, delta: u64) {
     *lock_clean(&r.counters[shard]).entry(name).or_insert(0) += delta;
 }
 
-/// Sets the named gauge to `value` (last write wins). No-op while disabled.
+/// Sets the named gauge to `value` (last write wins).
+///
+/// # Disabled behaviour
+///
+/// Like [`counter_add`], this is a silent no-op whenever recording is
+/// disabled, even if a span opened while recording was enabled is still
+/// active on this thread.
 pub fn gauge_set(name: &'static str, value: f64) {
     if !is_enabled() {
         return;
     }
     lock_clean(&recorder().gauges).insert(name, value);
+}
+
+/// Records one `u64` sample into the named histogram. No-op while
+/// disabled (same semantics as [`counter_add`]).
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let r = recorder();
+    let shard = (thread_id() as usize) % SHARDS;
+    lock_clean(&r.hists[shard])
+        .entry(name)
+        .or_default()
+        .record(value);
+}
+
+/// Merged snapshot of all histograms. Shard merge is a bucket-wise integer
+/// sum, so the result is independent of which thread recorded which sample.
+pub fn histograms_snapshot() -> BTreeMap<&'static str, hist::Histogram> {
+    let r = recorder();
+    let mut out: BTreeMap<&'static str, hist::Histogram> = BTreeMap::new();
+    for shard in &r.hists {
+        for (k, h) in lock_clean(shard).iter() {
+            out.entry(*k).or_default().merge(h);
+        }
+    }
+    out
 }
 
 /// Merged snapshot of all counters.
@@ -330,6 +401,7 @@ struct ActiveSpan {
     fields: Vec<(&'static str, FieldValue)>,
     thread: u64,
     start_ns: u64,
+    mem: mem::MemFrame,
 }
 
 /// RAII timer for one pipeline stage. Always measures wall time (so
@@ -360,11 +432,15 @@ impl SpanGuard {
                 fields,
                 thread: thread_id(),
                 start_ns: r.epoch.elapsed().as_nanos() as u64,
+                mem: mem::frame_enter(),
             })
         } else {
             None
         };
-        SpanGuard { start: Instant::now(), active }
+        SpanGuard {
+            start: Instant::now(),
+            active,
+        }
     }
 
     /// Attaches a field after creation (e.g. an output size known only at
@@ -377,6 +453,12 @@ impl SpanGuard {
 
     /// Ends the span, returning its wall time in seconds — valid whether or
     /// not recording is enabled, so callers can use it as their only timer.
+    ///
+    /// Exception: if recording was **disabled mid-span** (enabled at span
+    /// start, disabled before `finish`), the half-recorded measurement is
+    /// discarded — no event is pushed and `finish` returns `0.0` rather
+    /// than a duration the recorder never saw. A span started while
+    /// disabled still returns its true wall time.
     pub fn finish(mut self) -> f64 {
         self.record()
     }
@@ -394,6 +476,13 @@ impl SpanGuard {
                     s.retain(|&id| id != a.id);
                 }
             });
+            let (mem_net_bytes, mem_peak_bytes) = mem::frame_exit(a.mem);
+            if !is_enabled() {
+                // Disabled mid-span: the event would be a torn measurement
+                // (its counters and children may be partially dropped), so
+                // discard it and report 0.0 instead of a stale duration.
+                return 0.0;
+            }
             let r = recorder();
             let shard = (a.thread as usize) % SHARDS;
             lock_clean(&r.events[shard]).push(SpanEvent {
@@ -404,6 +493,8 @@ impl SpanGuard {
                 thread: a.thread,
                 start_ns: a.start_ns,
                 dur_ns: dur.as_nanos() as u64,
+                mem_net_bytes,
+                mem_peak_bytes,
             });
         }
         dur.as_secs_f64()
@@ -440,6 +531,17 @@ macro_rules! span {
 macro_rules! counter {
     ($name:expr, $delta:expr) => {
         $crate::counter_add($name, $delta as u64)
+    };
+}
+
+/// Records a histogram sample: `histogram!("compress.blob_bytes", blob.len())`.
+///
+/// The *value* expression is always evaluated (keep it a cheap cast);
+/// recording itself is a no-op while disabled.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        $crate::histogram_record($name, $value as u64)
     };
 }
 

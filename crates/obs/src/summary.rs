@@ -98,11 +98,7 @@ pub fn build(events: &[SpanEvent]) -> Summary {
         node_of_event.insert(e.id, idx);
     }
 
-    let total_ns: u64 = nodes[0]
-        .children
-        .iter()
-        .map(|&i| nodes[i].total_ns)
-        .sum();
+    let total_ns: u64 = nodes[0].children.iter().map(|&i| nodes[i].total_ns).sum();
     let total_seconds = total_ns as f64 / 1e9;
     let denom = if total_ns == 0 { 1.0 } else { total_ns as f64 };
 
@@ -137,7 +133,10 @@ pub fn build(events: &[SpanEvent]) -> Summary {
             .partial_cmp(&a.seconds)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    Summary { roots, total_seconds }
+    Summary {
+        roots,
+        total_seconds,
+    }
 }
 
 /// Summary of everything recorded so far in the global recorder.
@@ -211,7 +210,17 @@ mod tests {
             Some(l) => vec![("level", FieldValue::Int(l))],
             None => Vec::new(),
         };
-        SpanEvent { id, parent, name, fields, thread: 0, start_ns: id * 10, dur_ns }
+        SpanEvent {
+            id,
+            parent,
+            name,
+            fields,
+            thread: 0,
+            start_ns: id * 10,
+            dur_ns,
+            mem_net_bytes: 0,
+            mem_peak_bytes: 0,
+        }
     }
 
     #[test]
@@ -234,10 +243,7 @@ mod tests {
 
     #[test]
     fn repeated_spans_aggregate() {
-        let events = vec![
-            ev(1, 0, "stage", None, 100),
-            ev(2, 0, "stage", None, 300),
-        ];
+        let events = vec![ev(1, 0, "stage", None, 100), ev(2, 0, "stage", None, 300)];
         let s = build(&events);
         assert_eq!(s.roots.len(), 1);
         assert_eq!(s.roots[0].count, 2);

@@ -10,6 +10,12 @@ use std::sync::Mutex;
 
 use amrviz_json::Json;
 
+// Installed for real in this test binary so the span-level memory
+// attribution tests measure actual allocations, exactly as the `amrviz`
+// binary does.
+#[global_allocator]
+static ALLOC: amrviz_obs::mem::CountingAlloc = amrviz_obs::mem::CountingAlloc;
+
 static LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -20,8 +26,7 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 /// assignment) and returns the per-call results in index order.
 fn fan_out<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let slots: Vec<Mutex<&mut [Option<T>]>> =
-        out.chunks_mut(1).map(Mutex::new).collect();
+    let slots: Vec<Mutex<&mut [Option<T>]>> = out.chunks_mut(1).map(Mutex::new).collect();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let f = &f;
@@ -35,7 +40,9 @@ fn fan_out<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) ->
             });
         }
     });
-    out.into_iter().map(|v| v.expect("every index ran")).collect()
+    out.into_iter()
+        .map(|v| v.expect("every index ran"))
+        .collect()
 }
 
 #[test]
@@ -267,10 +274,172 @@ fn reset_clears_everything() {
         let _sp = amrviz_obs::span!("temp");
         amrviz_obs::counter!("temp_counter", 1u64);
         amrviz_obs::gauge_set("temp_gauge", 1.0);
+        amrviz_obs::histogram!("temp_hist", 42u64);
     }
+    assert_eq!(amrviz_obs::histograms_snapshot().len(), 1);
     amrviz_obs::reset();
     amrviz_obs::disable();
     assert!(amrviz_obs::events_snapshot().is_empty());
     assert!(amrviz_obs::counters_snapshot().is_empty());
     assert!(amrviz_obs::gauges_snapshot().is_empty());
+    assert!(amrviz_obs::histograms_snapshot().is_empty());
+    // reset() also collapses the allocator's high-water mark: a fresh
+    // baseline taken right after sees no residual peak.
+    let base = amrviz_obs::mem::alloc_baseline();
+    assert_eq!(amrviz_obs::mem::peak_since(base), 0);
+}
+
+#[test]
+fn histogram_macro_aggregates_across_threads() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    const N: usize = 1000;
+    fan_out(N, 8, |i| {
+        amrviz_obs::histogram!("lat_us", (i + 1) as u64);
+    });
+    amrviz_obs::disable();
+    let hists = amrviz_obs::histograms_snapshot();
+    let h = &hists["lat_us"];
+    assert_eq!(h.count(), N as u64);
+    assert_eq!(h.sum(), (N as u64) * (N as u64 + 1) / 2);
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), N as u64);
+    // Log-bucketing bounds the relative error of every percentile.
+    let p50 = h.percentile(50.0);
+    assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50={p50}");
+    let p99 = h.percentile(99.0);
+    assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99={p99}");
+    amrviz_obs::reset();
+}
+
+#[test]
+fn finish_returns_zero_when_disabled_mid_span() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    let sp = amrviz_obs::span!("cut_short");
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    amrviz_obs::disable();
+    assert_eq!(sp.finish(), 0.0, "disabled mid-span must report 0.0");
+    assert!(
+        amrviz_obs::events_snapshot().is_empty(),
+        "disabled span must not be recorded"
+    );
+    // Counters and gauges are no-ops while disabled.
+    amrviz_obs::counter!("ignored", 7u64);
+    amrviz_obs::gauge_set("ignored_gauge", 1.0);
+    amrviz_obs::histogram!("ignored_hist", 1u64);
+    assert!(amrviz_obs::counters_snapshot().is_empty());
+    assert!(amrviz_obs::gauges_snapshot().is_empty());
+    assert!(amrviz_obs::histograms_snapshot().is_empty());
+}
+
+#[cfg(feature = "mem-profile")]
+#[test]
+fn spans_attribute_peak_and_net_memory() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    assert!(amrviz_obs::mem::span_profiling_active());
+    const BUF: usize = 4 << 20;
+    {
+        let _sp = amrviz_obs::span!("transient");
+        let v = vec![1u8; BUF];
+        assert_eq!(v[BUF - 1], 1);
+        drop(v);
+    }
+    amrviz_obs::disable();
+    let events = amrviz_obs::events_snapshot();
+    let sp = events.iter().find(|e| e.name == "transient").unwrap();
+    // The buffer was allocated *and freed* inside the span: the peak saw
+    // it, the net did not.
+    assert!(
+        sp.mem_peak_bytes >= BUF as u64,
+        "peak {} < {BUF}",
+        sp.mem_peak_bytes
+    );
+    assert!(
+        sp.mem_net_bytes.unsigned_abs() < BUF as u64 / 2,
+        "net {} should not retain the dropped buffer",
+        sp.mem_net_bytes
+    );
+    // The chrome exporter surfaces the same numbers as args.
+    let text = amrviz_obs::chrome::chrome_trace_json();
+    let doc = Json::parse(&text).unwrap();
+    let ev = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("transient"))
+        .expect("span exported");
+    let peak = ev
+        .get("args")
+        .and_then(|a| a.get("mem.peak_bytes"))
+        .and_then(Json::as_f64)
+        .expect("mem.peak_bytes arg");
+    assert_eq!(peak as u64, sp.mem_peak_bytes);
+    amrviz_obs::reset();
+}
+
+#[test]
+fn flame_roots_match_summary_and_chrome_trace() {
+    let _g = lock();
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    {
+        let _a = amrviz_obs::span!("stage_a");
+        {
+            let _c = amrviz_obs::span!("child", level = 1usize);
+        }
+    }
+    {
+        let _b = amrviz_obs::span!("stage_b");
+    }
+    amrviz_obs::disable();
+    let events = amrviz_obs::events_snapshot();
+
+    let tree = amrviz_obs::flame::build_tree(&events);
+    let summary = amrviz_obs::summary::build(&events);
+    // Same root frames (flame sorts lexicographically, summary by time).
+    let flame_roots: Vec<&str> = tree.iter().map(|n| n.key.as_str()).collect();
+    let mut summary_roots: Vec<&str> = summary.roots.iter().map(|r| r.key.as_str()).collect();
+    summary_roots.sort_unstable();
+    assert_eq!(
+        flame_roots, summary_roots,
+        "flamegraph roots must mirror the summary tree"
+    );
+
+    // Every flame root is a span name present in the chrome trace.
+    let text = amrviz_obs::chrome::chrome_trace_json();
+    let doc = Json::parse(&text).unwrap();
+    let names: Vec<String> = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    for root in &flame_roots {
+        assert!(
+            names.iter().any(|n| n == root),
+            "flame root {root:?} missing from chrome trace names {names:?}"
+        );
+    }
+
+    // Collapsed-stack output nests child under parent with a self count.
+    let folded = amrviz_obs::flame::collapsed(&events);
+    assert!(folded.contains("stage_a;child [L1] "), "{folded}");
+    assert!(
+        folded.lines().any(|l| l.starts_with("stage_b ")),
+        "{folded}"
+    );
+
+    // The HTML is self-contained: no external fetches.
+    let html = amrviz_obs::flame::html(&events);
+    assert!(html.contains("<html"));
+    assert!(!html.contains("http://") && !html.contains("https://"));
+    amrviz_obs::reset();
 }

@@ -254,7 +254,12 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
     }
     let n_slabs = cz.div_ceil(SLAB);
     let slabs: Vec<TriMesh> = amrviz_par::run(n_slabs, |s| {
-        extract_range(grid, iso, s * SLAB, ((s + 1) * SLAB).min(cz))
+        let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
+        let mesh = extract_range(grid, iso, s * SLAB, ((s + 1) * SLAB).min(cz));
+        if let Some(t0) = t0 {
+            amrviz_obs::histogram!("extract.slab_us", t0.elapsed().as_micros());
+        }
+        mesh
     });
 
     // Merge, de-duplicating vertices that lie exactly on interior boundary

@@ -80,6 +80,7 @@ pub fn extract_amr_isosurface(
     let level_meshes: Vec<TriMesh> = amrviz_par::run(levels.len(), |lev| {
         let mf = &levels[lev];
         let mut lsp = amrviz_obs::span!("extract.level", level = lev);
+        let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
         let mesh = match method {
             IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
             IsoMethod::DualCell => {
@@ -89,6 +90,9 @@ pub fn extract_amr_isosurface(
                 extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
             }
         };
+        if let Some(t0) = t0 {
+            amrviz_obs::histogram!("extract.level_us", t0.elapsed().as_micros());
+        }
         lsp.add_field("triangles", mesh.num_triangles());
         mesh
     });

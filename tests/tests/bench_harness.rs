@@ -1,0 +1,172 @@
+//! End-to-end tests of the `amrviz bench` harness: a quick Tiny-scale run
+//! must emit a schema-complete BENCH document (times, CR/PSNR/SSIM,
+//! peak memory, and p50/p99 latency histograms per cell), compare cleanly
+//! against itself, and *fail* against a doctored baseline — in both
+//! directions, since the time gate is symmetric.
+
+use std::sync::Mutex;
+
+use amrviz_bench::harness::{
+    compare, run_bench, write_bench, BenchConfig, DEFAULT_THRESHOLD_PCT, SCHEMA,
+};
+use amrviz_core::prelude::*;
+use amrviz_json::Json;
+
+// Install the counting allocator so peak_alloc_bytes is measured for real,
+// exactly as in the `amrviz` binary.
+#[global_allocator]
+static ALLOC: amrviz_obs::mem::CountingAlloc = amrviz_obs::mem::CountingAlloc;
+
+/// `run_bench` sweeps the process-global thread pool and obs recorder.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_out(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "amrviz_bench_test_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One-cell-per-(app, compressor) Tiny matrix — the smallest real run.
+fn tiny_config(out: std::path::PathBuf) -> BenchConfig {
+    BenchConfig {
+        scale: Scale::Tiny,
+        thread_counts: vec![1],
+        rel_ebs: vec![1e-3],
+        name: "selftest".to_string(),
+        out_dir: out,
+        quick: true,
+    }
+}
+
+#[test]
+fn quick_bench_emits_complete_schema_and_gates() {
+    let _g = lock();
+    let out = tmp_out("schema");
+    let doc = run_bench(&tiny_config(out.clone()));
+
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+    assert!(doc.get("git").and_then(Json::as_str).is_some());
+    assert_eq!(doc.get("mem_profile").and_then(Json::as_bool), Some(true));
+
+    let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+    // 2 apps × 3 compressors × 1 thread count × 1 eb.
+    assert_eq!(cells.len(), 6);
+    let mut compressors = std::collections::BTreeSet::new();
+    for cell in cells {
+        let comp = cell.get("compressor").and_then(Json::as_str).unwrap();
+        compressors.insert(comp.to_string());
+        let num = |k: &str| {
+            cell.get(k)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("cell missing {k}: {cell:?}"))
+        };
+        assert!(num("compress_seconds") >= 0.0);
+        assert!(num("decompress_seconds") >= 0.0);
+        assert!(num("extract_seconds") >= 0.0);
+        assert!(num("compression_ratio") > 1.0, "lossy CR must beat 1:1");
+        assert!(num("psnr_db") > 10.0);
+        let ssim = num("ssim");
+        assert!(ssim > 0.0 && ssim <= 1.0, "ssim={ssim}");
+        assert!(num("triangles") > 0.0, "extraction produced no mesh");
+        // The counting allocator is installed in this binary, so per-cell
+        // peak memory is real and nonzero.
+        assert!(num("peak_alloc_bytes") > 0.0);
+
+        // Per-cell latency/size histograms with percentiles.
+        let hists = cell.get("histograms").expect("histograms object");
+        for name in ["compress.piece_us", "compress.blob_bytes", "decompress.piece_us"] {
+            let h = hists
+                .get(name)
+                .unwrap_or_else(|| panic!("histogram {name} missing: {hists:?}"));
+            let hv = |k: &str| h.get(k).and_then(Json::as_f64).unwrap();
+            assert!(hv("count") > 0.0, "{name} recorded nothing");
+            assert!(hv("min") as u64 <= hv("max") as u64);
+            assert!(hv("p50") <= hv("p99") + 1e-9, "{name}: p50 > p99");
+            assert!(hv("p99") <= hv("max") * 1.0 + 1e-9);
+        }
+    }
+    assert_eq!(
+        compressors.into_iter().collect::<Vec<_>>(),
+        vec!["interp", "szlr", "zfp-like"],
+        "matrix must sweep all three paper compressors"
+    );
+
+    // The file artifact: BENCH_<name>.json, parseable, identical content.
+    let path = write_bench(&doc, &out).unwrap();
+    assert_eq!(path.file_name().unwrap(), "BENCH_selftest.json");
+    let reread = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reread.to_string_pretty(), doc.to_string_pretty());
+
+    // Self-comparison is clean: same doc on both sides, zero regressions.
+    let cmp = compare(&doc, &reread, DEFAULT_THRESHOLD_PCT);
+    assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    assert!(cmp.unmatched.is_empty());
+    assert!(!cmp.lines.is_empty());
+    let rendered = cmp.render(DEFAULT_THRESHOLD_PCT);
+    assert!(rendered.contains("OK: no metric outside"), "{rendered}");
+
+    // A doctored baseline — timings inflated far past the floor so the run
+    // under test looks impossibly fast — must FAIL the symmetric gate.
+    let doctored_cells: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.set("compress_seconds", 120.0)
+                .set("decompress_seconds", 120.0);
+            c
+        })
+        .collect();
+    let mut doctored = doc.clone();
+    doctored.set("cells", Json::Arr(doctored_cells));
+    let cmp = compare(&doc, &doctored, DEFAULT_THRESHOLD_PCT);
+    assert!(
+        cmp.regressions
+            .iter()
+            .any(|r| r.kind.starts_with("faster than baseline")),
+        "doctored baseline must be caught: {:?}",
+        cmp.regressions
+    );
+    let rendered = cmp.render(DEFAULT_THRESHOLD_PCT);
+    assert!(rendered.contains("FAIL"), "{rendered}");
+
+    // And the mirror image — this run doctored to be slower — fails too.
+    let cmp = compare(&doctored, &doc, DEFAULT_THRESHOLD_PCT);
+    assert!(
+        cmp.regressions.iter().any(|r| r.kind == "slower"),
+        "{:?}",
+        cmp.regressions
+    );
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn bench_leaves_global_state_clean() {
+    let _g = lock();
+    let prior_threads = amrviz_par::threads();
+    let was_enabled = amrviz_obs::is_enabled();
+    let out = tmp_out("state");
+    let mut cfg = tiny_config(out.clone());
+    cfg.thread_counts = vec![2];
+    let _ = run_bench(&cfg);
+    assert_eq!(
+        amrviz_par::threads(),
+        prior_threads,
+        "run_bench must restore the worker-pool size"
+    );
+    assert_eq!(amrviz_obs::is_enabled(), was_enabled);
+    assert!(
+        amrviz_obs::events_snapshot().is_empty(),
+        "run_bench must leave the recorder reset"
+    );
+    assert!(amrviz_obs::histograms_snapshot().is_empty());
+    std::fs::remove_dir_all(&out).ok();
+}

@@ -149,6 +149,68 @@ fn warpx_pipeline_is_bit_identical_at_1_2_8_threads() {
     assert_thread_invariant(|| warpx_like(42), "WarpX");
 }
 
+/// Value-based histograms (sizes, hit rates — anything not measuring wall
+/// time) must aggregate to the exact same distribution at any thread
+/// count: the sharded recorders merge bucket-wise with commutative integer
+/// sums, and the recorded values themselves are bit-deterministic.
+const VALUE_HISTOGRAMS: [&str; 2] = ["compress.blob_bytes", "quantizer.hit_pct"];
+
+/// `(name, count, sum, min, max, nonzero buckets)` for each value-based
+/// histogram recorded during one instrumented pipeline run.
+type HistFingerprint = Vec<(String, u64, u64, u64, u64, Vec<(u64, u64, u64)>)>;
+
+fn instrumented_hist_fingerprint(built: &BuiltScenario) -> HistFingerprint {
+    amrviz_obs::reset();
+    amrviz_obs::enable();
+    let _ = run_pipeline(built);
+    amrviz_obs::disable();
+    let hists = amrviz_obs::histograms_snapshot();
+    amrviz_obs::reset();
+    VALUE_HISTOGRAMS
+        .iter()
+        .filter_map(|&name| {
+            hists.get(name).map(|h| {
+                (
+                    name.to_string(),
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.nonzero_buckets(),
+                )
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn value_histograms_are_bit_identical_across_thread_counts() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = amrviz_par::threads();
+    let built = warpx_like(42);
+
+    amrviz_par::set_threads(1);
+    let baseline = instrumented_hist_fingerprint(&built);
+    assert_eq!(
+        baseline.len(),
+        VALUE_HISTOGRAMS.len(),
+        "pipeline must record every value-based histogram: {baseline:?}"
+    );
+    for (name, count, ..) in &baseline {
+        assert!(*count > 0, "{name} recorded nothing");
+    }
+
+    for n in [2, 8] {
+        amrviz_par::set_threads(n);
+        let got = instrumented_hist_fingerprint(&built);
+        assert_eq!(
+            got, baseline,
+            "value-based histograms diverged at {n} threads"
+        );
+    }
+    amrviz_par::set_threads(prev);
+}
+
 #[test]
 fn thread_count_resolution_order() {
     let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
