@@ -48,10 +48,7 @@ impl BoxArray {
 
     /// Smallest box containing every box, or `None` when empty.
     pub fn bounding_box(&self) -> Option<Box3> {
-        self.boxes
-            .iter()
-            .copied()
-            .reduce(|a, b| a.union_hull(&b))
+        self.boxes.iter().copied().reduce(|a, b| a.union_hull(&b))
     }
 
     /// True if any box contains the cell.
@@ -71,12 +68,16 @@ impl BoxArray {
 
     /// Refines every box.
     pub fn refine(&self, ratio: i64) -> BoxArray {
-        BoxArray { boxes: self.boxes.iter().map(|b| b.refine(ratio)).collect() }
+        BoxArray {
+            boxes: self.boxes.iter().map(|b| b.refine(ratio)).collect(),
+        }
     }
 
     /// Coarsens every box.
     pub fn coarsen(&self, ratio: i64) -> BoxArray {
-        BoxArray { boxes: self.boxes.iter().map(|b| b.coarsen(ratio)).collect() }
+        BoxArray {
+            boxes: self.boxes.iter().map(|b| b.coarsen(ratio)).collect(),
+        }
     }
 
     /// Checks pairwise disjointness (O(n²); fine for the box counts AMR
@@ -95,8 +96,7 @@ impl BoxArray {
     /// True if the union of boxes covers `domain` exactly (assumes
     /// disjointness): coverage is checked by cell count plus containment.
     pub fn covers_exactly(&self, domain: &Box3) -> bool {
-        self.boxes.iter().all(|b| domain.contains_box(b))
-            && self.num_cells() == domain.num_cells()
+        self.boxes.iter().all(|b| domain.contains_box(b)) && self.num_cells() == domain.num_cells()
     }
 
     /// The parts of `bx` *not* covered by this array, as disjoint boxes.

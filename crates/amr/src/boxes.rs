@@ -95,7 +95,10 @@ impl Box3 {
 
     /// Smallest box containing both.
     pub fn union_hull(&self, other: &Box3) -> Box3 {
-        Box3 { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Box3 {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Grows the box by `n` cells on every face (may be negative to shrink;
@@ -106,7 +109,10 @@ impl Box3 {
 
     /// Translates the box.
     pub fn shift(&self, by: IntVect) -> Box3 {
-        Box3 { lo: self.lo + by, hi: self.hi + by }
+        Box3 {
+            lo: self.lo + by,
+            hi: self.hi + by,
+        }
     }
 
     /// The refinement map: each cell becomes a `ratio³` block of fine cells.
@@ -122,7 +128,10 @@ impl Box3 {
     /// this box.
     pub fn coarsen(&self, ratio: i64) -> Box3 {
         debug_assert!(ratio > 0);
-        Box3 { lo: self.lo.coarsen(ratio), hi: self.hi.coarsen(ratio) }
+        Box3 {
+            lo: self.lo.coarsen(ratio),
+            hi: self.hi.coarsen(ratio),
+        }
     }
 
     /// Whether the box's lo/hi are aligned to multiples of `ratio` — i.e.
@@ -143,8 +152,14 @@ impl Box3 {
         let mut right_lo = self.lo;
         right_lo[axis] = at;
         Some((
-            Box3 { lo: self.lo, hi: left_hi },
-            Box3 { lo: right_lo, hi: self.hi },
+            Box3 {
+                lo: self.lo,
+                hi: left_hi,
+            },
+            Box3 {
+                lo: right_lo,
+                hi: self.hi,
+            },
         ))
     }
 
@@ -164,8 +179,7 @@ impl Box3 {
     pub fn cells(&self) -> impl Iterator<Item = IntVect> + '_ {
         let (lo, hi) = (self.lo, self.hi);
         (lo[2]..=hi[2]).flat_map(move |k| {
-            (lo[1]..=hi[1])
-                .flat_map(move |j| (lo[0]..=hi[0]).map(move |i| IntVect::new(i, j, k)))
+            (lo[1]..=hi[1]).flat_map(move |j| (lo[0]..=hi[0]).map(move |i| IntVect::new(i, j, k)))
         })
     }
 

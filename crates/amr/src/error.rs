@@ -22,7 +22,10 @@ impl fmt::Display for AmrError {
         match self {
             AmrError::InvalidStructure(msg) => write!(f, "invalid AMR structure: {msg}"),
             AmrError::UnknownField(name) => write!(f, "unknown field: {name}"),
-            AmrError::BadLevel { requested, available } => {
+            AmrError::BadLevel {
+                requested,
+                available,
+            } => {
                 write!(f, "level {requested} out of range ({available} levels)")
             }
             AmrError::Io(e) => write!(f, "I/O error: {e}"),
@@ -52,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = AmrError::BadLevel { requested: 3, available: 2 };
+        let e = AmrError::BadLevel {
+            requested: 3,
+            available: 2,
+        };
         assert!(e.to_string().contains("level 3"));
         let e = AmrError::UnknownField("rho".into());
         assert!(e.to_string().contains("rho"));

@@ -13,12 +13,18 @@ pub struct Fab {
 impl Fab {
     /// Zero-filled fab on `bx`.
     pub fn zeros(bx: Box3) -> Self {
-        Fab { data: vec![0.0; bx.num_cells()], bx }
+        Fab {
+            data: vec![0.0; bx.num_cells()],
+            bx,
+        }
     }
 
     /// Constant-filled fab on `bx`.
     pub fn constant(bx: Box3, v: f64) -> Self {
-        Fab { data: vec![v; bx.num_cells()], bx }
+        Fab {
+            data: vec![v; bx.num_cells()],
+            bx,
+        }
     }
 
     /// Fab taking ownership of an existing buffer.
@@ -128,6 +134,52 @@ impl Fab {
         out.copy_from(self);
         out
     }
+
+    /// Copies the values of `region` (which must be contained in the fab's
+    /// box) into `out`, x-fastest — the allocation-free counterpart of
+    /// [`Fab::subfab`] for callers that own a reusable buffer.
+    ///
+    /// # Panics
+    /// Panics if `region` is not contained in the fab's box or if
+    /// `out.len() != region.num_cells()`.
+    pub fn read_region_into(&self, region: Box3, out: &mut [f64]) {
+        assert!(self.bx.contains_box(&region), "read region outside fab");
+        assert_eq!(out.len(), region.num_cells(), "region buffer size mismatch");
+        let [onx, ony, onz] = region.size();
+        let slo = region.lo() - self.bx.lo();
+        let [snx, sny, _] = self.bx.size();
+        for kk in 0..onz {
+            for jj in 0..ony {
+                let drow = onx * (jj + ony * kk);
+                let srow = (slo[0] as usize)
+                    + snx * ((slo[1] as usize + jj) + sny * (slo[2] as usize + kk));
+                out[drow..drow + onx].copy_from_slice(&self.data[srow..srow + onx]);
+            }
+        }
+    }
+
+    /// Writes a `region`-shaped, x-fastest buffer into the fab — the inverse
+    /// of [`Fab::read_region_into`], replacing the build-a-`Fab`-then-
+    /// `copy_from` dance when the source data already lives in a flat slice.
+    ///
+    /// # Panics
+    /// Panics if `region` is not contained in the fab's box or if
+    /// `src.len() != region.num_cells()`.
+    pub fn write_region_from(&mut self, region: Box3, src: &[f64]) {
+        assert!(self.bx.contains_box(&region), "write region outside fab");
+        assert_eq!(src.len(), region.num_cells(), "region buffer size mismatch");
+        let [onx, ony, onz] = region.size();
+        let dlo = region.lo() - self.bx.lo();
+        let [dnx, dny, _] = self.bx.size();
+        for kk in 0..onz {
+            for jj in 0..ony {
+                let srow = onx * (jj + ony * kk);
+                let drow = (dlo[0] as usize)
+                    + dnx * ((dlo[1] as usize + jj) + dny * (dlo[2] as usize + kk));
+                self.data[drow..drow + onx].copy_from_slice(&src[srow..srow + onx]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +227,41 @@ mod tests {
         for (cell, v) in sub.iter() {
             assert_eq!(v, cell.sum() as f64);
         }
+    }
+
+    #[test]
+    fn read_region_into_matches_subfab() {
+        let fab = Fab::from_fn(b([0, 0, 0], [4, 4, 4]), |iv| iv.sum() as f64);
+        let region = b([1, 2, 3], [2, 3, 4]);
+        let mut buf = vec![0.0; region.num_cells()];
+        fab.read_region_into(region, &mut buf);
+        assert_eq!(buf, fab.subfab(region).into_vec());
+    }
+
+    #[test]
+    fn write_region_from_roundtrips_read() {
+        let src = Fab::from_fn(b([0, 0, 0], [4, 4, 4]), |iv| iv.sum() as f64);
+        let region = b([1, 1, 1], [3, 2, 4]);
+        let mut buf = vec![0.0; region.num_cells()];
+        src.read_region_into(region, &mut buf);
+        let mut dst = Fab::zeros(b([0, 0, 0], [4, 4, 4]));
+        dst.write_region_from(region, &buf);
+        for (cell, v) in dst.iter() {
+            let want = if region.contains(cell) {
+                cell.sum() as f64
+            } else {
+                0.0
+            };
+            assert_eq!(v, want, "at {cell:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read region outside fab")]
+    fn read_region_checks_containment() {
+        let fab = Fab::zeros(b([0, 0, 0], [1, 1, 1]));
+        let mut buf = vec![0.0; 8];
+        fab.read_region_into(b([1, 1, 1], [2, 2, 2]), &mut buf);
     }
 
     #[test]

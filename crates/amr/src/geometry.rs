@@ -18,14 +18,25 @@ pub struct Geometry {
 impl Geometry {
     /// Unit-cube geometry over `domain`.
     pub fn unit(domain: Box3) -> Self {
-        Geometry { domain, prob_lo: [0.0; 3], prob_hi: [1.0; 3] }
+        Geometry {
+            domain,
+            prob_lo: [0.0; 3],
+            prob_hi: [1.0; 3],
+        }
     }
 
     pub fn new(domain: Box3, prob_lo: [f64; 3], prob_hi: [f64; 3]) -> Self {
         for a in 0..3 {
-            assert!(prob_hi[a] > prob_lo[a], "degenerate physical extent on axis {a}");
+            assert!(
+                prob_hi[a] > prob_lo[a],
+                "degenerate physical extent on axis {a}"
+            );
         }
-        Geometry { domain, prob_lo, prob_hi }
+        Geometry {
+            domain,
+            prob_lo,
+            prob_hi,
+        }
     }
 
     /// Cell size at level 0.
@@ -84,11 +95,7 @@ mod tests {
 
     #[test]
     fn cell_sizes_divide_by_ratio() {
-        let g = Geometry::new(
-            Box3::from_dims(8, 8, 16),
-            [0.0, 0.0, 0.0],
-            [1.0, 1.0, 2.0],
-        );
+        let g = Geometry::new(Box3::from_dims(8, 8, 16), [0.0, 0.0, 0.0], [1.0, 1.0, 2.0]);
         assert_eq!(g.cell_size(), [0.125, 0.125, 0.125]);
         assert_eq!(g.cell_size_at(2), [0.0625, 0.0625, 0.0625]);
     }

@@ -153,8 +153,13 @@ impl AmrHierarchy {
                 )));
             }
         }
-        self.fields
-            .insert(name.to_string(), AmrField { name: name.to_string(), levels });
+        self.fields.insert(
+            name.to_string(),
+            AmrField {
+                name: name.to_string(),
+                levels,
+            },
+        );
         Ok(())
     }
 

@@ -48,4 +48,7 @@ pub use ivec::IntVect;
 pub use mask::Raster;
 pub use multifab::{rasterize_into, MultiFab};
 pub use regrid::{berger_rigoutsos, RegridConfig};
-pub use resample::{flatten_to_finest, rasterize_level, upsample_dense, UniformField, Upsample};
+pub use resample::{
+    flatten_levels_to_finest, flatten_to_finest, rasterize_level, upsample_dense,
+    upsample_dense_owned, UniformField, Upsample,
+};

@@ -18,12 +18,18 @@ pub struct Raster {
 impl Raster {
     /// All-false raster over `region`.
     pub fn falses(region: Box3) -> Self {
-        Raster { bits: vec![false; region.num_cells()], region }
+        Raster {
+            bits: vec![false; region.num_cells()],
+            region,
+        }
     }
 
     /// All-true raster over `region`.
     pub fn trues(region: Box3) -> Self {
-        Raster { bits: vec![true; region.num_cells()], region }
+        Raster {
+            bits: vec![true; region.num_cells()],
+            region,
+        }
     }
 
     /// Raster marking the cells of `region` covered by any box of `ba`.
@@ -69,8 +75,8 @@ impl Raster {
         let lo = overlap.lo() - self.region.lo();
         for kk in 0..onz {
             for jj in 0..ony {
-                let row = (lo[0] as usize)
-                    + nx * ((lo[1] as usize + jj) + ny * (lo[2] as usize + kk));
+                let row =
+                    (lo[0] as usize) + nx * ((lo[1] as usize + jj) + ny * (lo[2] as usize + kk));
                 self.bits[row..row + onx].fill(v);
             }
         }

@@ -15,7 +15,9 @@ pub struct MultiFab {
 impl MultiFab {
     /// Zero-filled field on `ba`.
     pub fn zeros(ba: &BoxArray) -> Self {
-        MultiFab { fabs: ba.iter().map(|&bx| Fab::zeros(bx)).collect() }
+        MultiFab {
+            fabs: ba.iter().map(|&bx| Fab::zeros(bx)).collect(),
+        }
     }
 
     /// Builds a field by evaluating `f` at every cell of every box.
@@ -81,16 +83,17 @@ impl MultiFab {
     /// independent.
     pub fn min_max(&self) -> (f64, f64) {
         amrviz_par::run(self.fabs.len(), |i| {
-            self.fabs[i].data().iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &v| (lo.min(v), hi.max(v)),
-            )
+            self.fabs[i]
+                .data()
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                })
         })
         .into_iter()
-        .fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
-        )
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(al, ah), (bl, bh)| {
+            (al.min(bl), ah.max(bh))
+        })
     }
 
     /// L2 norm of all values. Partial sums are per fab and combined in box
@@ -166,8 +169,8 @@ pub fn rasterize_into(mf: &MultiFab, region: Box3, out: &mut [f64]) -> usize {
         let slo = overlap.lo() - src_bx.lo();
         for kk in 0..onz {
             for jj in 0..ony {
-                let drow = (dlo[0] as usize)
-                    + nx * ((dlo[1] as usize + jj) + ny * (dlo[2] as usize + kk));
+                let drow =
+                    (dlo[0] as usize) + nx * ((dlo[1] as usize + jj) + ny * (dlo[2] as usize + kk));
                 let srow = (slo[0] as usize)
                     + snx * ((slo[1] as usize + jj) + sny * (slo[2] as usize + kk));
                 out[drow..drow + onx].copy_from_slice(&fab.data()[srow..srow + onx]);
@@ -215,10 +218,7 @@ mod tests {
     fn copy_from_transfers_overlap() {
         let ba = sample_ba();
         let mut dst = MultiFab::zeros(&ba);
-        let src = MultiFab::from_fn(
-            &BoxArray::single(b([2, 0, 0], [5, 3, 3])),
-            |_| 9.0,
-        );
+        let src = MultiFab::from_fn(&BoxArray::single(b([2, 0, 0], [5, 3, 3])), |_| 9.0);
         let copied = dst.copy_from(&src);
         assert_eq!(copied, 4 * 4 * 4);
         assert_eq!(dst.value_at(IntVect::new(3, 0, 0)), Some(9.0));
@@ -251,7 +251,11 @@ mod tests {
     #[test]
     fn norms() {
         let mf = MultiFab::from_fn(&BoxArray::single(b([0, 0, 0], [0, 0, 1])), |iv| {
-            if iv[2] == 0 { 3.0 } else { 4.0 }
+            if iv[2] == 0 {
+                3.0
+            } else {
+                4.0
+            }
         });
         assert!((mf.norm_l2() - 5.0).abs() < 1e-12);
     }

@@ -58,7 +58,8 @@ fn ivec_from(v: &Json) -> Option<crate::ivec::IntVect> {
 
 fn box_json(bx: Box3) -> Json {
     let mut o = Json::obj();
-    o.set("lo", ivec_json(bx.lo())).set("hi", ivec_json(bx.hi()));
+    o.set("lo", ivec_json(bx.lo()))
+        .set("hi", ivec_json(bx.hi()));
     o
 }
 
@@ -94,7 +95,12 @@ impl Header {
             .set("geometry", geom)
             .set(
                 "ref_ratios",
-                Json::Arr(self.ref_ratios.iter().map(|&r| Json::Num(r as f64)).collect()),
+                Json::Arr(
+                    self.ref_ratios
+                        .iter()
+                        .map(|&r| Json::Num(r as f64))
+                        .collect(),
+                ),
             )
             .set(
                 "box_arrays",
@@ -207,8 +213,8 @@ pub fn read_plotfile_budgeted(
     budget: &amrviz_codec::DecodeBudget,
 ) -> Result<AmrHierarchy, AmrError> {
     let header_text = fs::read_to_string(dir.join("Header.json"))?;
-    let header_value = Json::parse(&header_text)
-        .map_err(|e| AmrError::Corrupt(format!("header parse: {e}")))?;
+    let header_value =
+        Json::parse(&header_text).map_err(|e| AmrError::Corrupt(format!("header parse: {e}")))?;
     let header = Header::from_json(&header_value)
         .ok_or_else(|| AmrError::Corrupt("header: missing or mistyped field".into()))?;
     if header.version != VERSION {
@@ -292,11 +298,7 @@ mod tests {
     use crate::ivec::IntVect;
 
     fn sample_hierarchy() -> AmrHierarchy {
-        let geom = Geometry::new(
-            Box3::from_dims(8, 8, 8),
-            [0.0, 0.0, 0.0],
-            [1.0, 2.0, 3.0],
-        );
+        let geom = Geometry::new(Box3::from_dims(8, 8, 8), [0.0, 0.0, 0.0], [1.0, 2.0, 3.0]);
         let mut h = AmrHierarchy::new(
             geom,
             vec![2],

@@ -26,7 +26,11 @@ pub struct RegridConfig {
 
 impl Default for RegridConfig {
     fn default() -> Self {
-        RegridConfig { efficiency: 0.7, blocking_factor: 4, max_box_cells: Some(64 * 64 * 64) }
+        RegridConfig {
+            efficiency: 0.7,
+            blocking_factor: 4,
+            max_box_cells: Some(64 * 64 * 64),
+        }
     }
 }
 
@@ -57,7 +61,10 @@ pub fn berger_rigoutsos(tags: &Raster, cfg: &RegridConfig) -> BoxArray {
         .filter_map(|b| b.refine(cfg.blocking_factor).intersect(&tags.region()))
         .collect();
     if let Some(maxc) = cfg.max_box_cells {
-        boxes = BoxArray::new(boxes).chop_to_max_cells(maxc).boxes().to_vec();
+        boxes = BoxArray::new(boxes)
+            .chop_to_max_cells(maxc)
+            .boxes()
+            .to_vec();
     }
     BoxArray::new(boxes)
 }
@@ -110,8 +117,7 @@ fn cluster(tags: &Raster, candidate: Box3, efficiency: f64, out: &mut Vec<Box3>)
 fn find_split(tags: &Raster, bx: Box3) -> Option<(usize, i64)> {
     let size = bx.size();
     // Signatures: tag counts per plane along each axis.
-    let mut sigs: [Vec<usize>; 3] =
-        [vec![0; size[0]], vec![0; size[1]], vec![0; size[2]]];
+    let mut sigs: [Vec<usize>; 3] = [vec![0; size[0]], vec![0; size[1]], vec![0; size[2]]];
     for cell in bx.cells() {
         if tags.get_unchecked(cell) {
             let d = cell - bx.lo();
@@ -158,7 +164,8 @@ fn find_split(tags: &Raster, bx: Box3) -> Option<(usize, i64)> {
                 // Laplacian index w corresponds to plane offset w+1; the
                 // sign change sits between offsets w+1 and w+2.
                 let at = bx.lo()[axis] + w as i64 + 2;
-                if at > bx.lo()[axis] && at <= bx.hi()[axis]
+                if at > bx.lo()[axis]
+                    && at <= bx.hi()[axis]
                     && best_infl.is_none_or(|(_, _, s)| strength > s)
                 {
                     best_infl = Some((axis, at, strength));
@@ -211,7 +218,10 @@ pub fn tag_gradient(region: Box3, values: &[f64], threshold: f64) -> Raster {
                 let gy = 0.5 * (v(0, 1, 0) - v(0, -1, 0));
                 let gz = 0.5 * (v(0, 0, 1) - v(0, 0, -1));
                 if (gx * gx + gy * gy + gz * gz).sqrt() > threshold {
-                    tags.set(region.lo() + IntVect::new(i as i64, j as i64, k as i64), true);
+                    tags.set(
+                        region.lo() + IntVect::new(i as i64, j as i64, k as i64),
+                        true,
+                    );
                 }
             }
         }
@@ -248,7 +258,10 @@ mod tests {
     fn single_cluster_yields_tight_box() {
         let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
         tags.set_box(&b([8, 8, 8], [15, 15, 15]), true);
-        let cfg = RegridConfig { blocking_factor: 4, ..Default::default() };
+        let cfg = RegridConfig {
+            blocking_factor: 4,
+            ..Default::default()
+        };
         let ba = berger_rigoutsos(&tags, &cfg);
         check_invariants(&tags, &ba);
         // The cluster is exactly blocking-aligned, so coverage should be tight.
@@ -260,7 +273,10 @@ mod tests {
         let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
         tags.set_box(&b([0, 0, 0], [7, 7, 7]), true);
         tags.set_box(&b([24, 24, 24], [31, 31, 31]), true);
-        let cfg = RegridConfig { blocking_factor: 4, ..Default::default() };
+        let cfg = RegridConfig {
+            blocking_factor: 4,
+            ..Default::default()
+        };
         let ba = berger_rigoutsos(&tags, &cfg);
         check_invariants(&tags, &ba);
         assert!(ba.len() >= 2, "expected a split, got {:?}", ba.boxes());
@@ -273,7 +289,11 @@ mod tests {
         let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 7]));
         tags.set_box(&b([0, 0, 0], [31, 7, 7]), true);
         tags.set_box(&b([0, 8, 0], [7, 31, 7]), true);
-        let cfg = RegridConfig { efficiency: 0.8, blocking_factor: 4, ..Default::default() };
+        let cfg = RegridConfig {
+            efficiency: 0.8,
+            blocking_factor: 4,
+            ..Default::default()
+        };
         let ba = berger_rigoutsos(&tags, &cfg);
         check_invariants(&tags, &ba);
         let tagged = tags.count();
@@ -288,7 +308,10 @@ mod tests {
     fn boxes_align_to_blocking_factor() {
         let mut tags = Raster::falses(b([0, 0, 0], [31, 31, 31]));
         tags.set(IntVect::new(13, 17, 5), true);
-        let cfg = RegridConfig { blocking_factor: 8, ..Default::default() };
+        let cfg = RegridConfig {
+            blocking_factor: 8,
+            ..Default::default()
+        };
         let ba = berger_rigoutsos(&tags, &cfg);
         check_invariants(&tags, &ba);
         for bx in ba.iter() {
@@ -331,7 +354,10 @@ mod tests {
         let tags = tag_gradient(region, &vals, 1.0);
         assert!(tags.any());
         for cell in tags.true_cells() {
-            assert!((3..=4).contains(&cell[0]), "tag far from interface: {cell:?}");
+            assert!(
+                (3..=4).contains(&cell[0]),
+                "tag far from interface: {cell:?}"
+            );
         }
     }
 }

@@ -6,10 +6,10 @@
 
 use crate::boxes::Box3;
 use crate::error::AmrError;
+use crate::fab::Fab;
 use crate::hierarchy::AmrHierarchy;
 use crate::interp;
-use crate::fab::Fab;
-use crate::multifab::rasterize_into;
+use crate::multifab::{rasterize_into, MultiFab};
 
 /// How coarse data is up-sampled during flattening.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,25 +45,37 @@ impl UniformField {
     }
 
     pub fn min_max(&self) -> (f64, f64) {
-        self.data.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 }
 
 /// Up-samples a dense field covering `region` by `ratio`, returning a dense
 /// field covering `region.refine(ratio)`.
 pub fn upsample_dense(field: &UniformField, ratio: i64, method: Upsample) -> UniformField {
-    let coarse_fab = Fab::from_vec(field.region, field.data.clone());
-    let target = field.region.refine(ratio);
+    upsample_dense_owned(field.clone(), ratio, method)
+}
+
+/// [`upsample_dense`] taking the field by value: the coarse buffer is moved
+/// into the interpolation (no clone), which matters when flattening large
+/// hierarchies level by level.
+pub fn upsample_dense_owned(field: UniformField, ratio: i64, method: Upsample) -> UniformField {
+    let region = field.region;
+    let coarse_fab = Fab::from_vec(region, field.data);
+    let target = region.refine(ratio);
     let fine = match method {
         Upsample::PiecewiseConstant => {
             interp::prolong_piecewise_constant(&coarse_fab, target, ratio)
         }
         Upsample::Trilinear => interp::prolong_trilinear(&coarse_fab, target, ratio),
     };
-    UniformField { region: target, data: fine.into_vec() }
+    UniformField {
+        region: target,
+        data: fine.into_vec(),
+    }
 }
 
 /// Flattens a hierarchy field to the finest level's resolution: level 0 is
@@ -74,15 +86,33 @@ pub fn flatten_to_finest(
     field: &str,
     method: Upsample,
 ) -> Result<UniformField, AmrError> {
-    let mf0 = hier.field_level(field, 0)?;
+    flatten_levels_to_finest(hier, &hier.field(field)?.levels, method)
+}
+
+/// [`flatten_to_finest`] over caller-supplied per-level data (one
+/// [`MultiFab`] per level, on the hierarchy's box arrays). This is the entry
+/// point for flattening *decompressed* level data: it borrows the levels
+/// directly, so callers no longer need to clone the hierarchy and attach a
+/// scratch field just to merge a reconstruction.
+pub fn flatten_levels_to_finest(
+    hier: &AmrHierarchy,
+    levels: &[MultiFab],
+    method: Upsample,
+) -> Result<UniformField, AmrError> {
+    if levels.len() != hier.num_levels() {
+        return Err(AmrError::InvalidStructure(format!(
+            "{} level fields for a {}-level hierarchy",
+            levels.len(),
+            hier.num_levels()
+        )));
+    }
     let dom0 = hier.level_domain(0);
     let mut data = vec![0.0; dom0.num_cells()];
-    let written = rasterize_into(mf0, dom0, &mut data);
+    let written = rasterize_into(&levels[0], dom0, &mut data);
     debug_assert_eq!(written, dom0.num_cells(), "level 0 must cover the domain");
     let mut uniform = UniformField { region: dom0, data };
-    for lev in 1..hier.num_levels() {
-        uniform = upsample_dense(&uniform, hier.ratio_at(lev - 1), method);
-        let mf = hier.field_level(field, lev)?;
+    for (lev, mf) in levels.iter().enumerate().skip(1) {
+        uniform = upsample_dense_owned(uniform, hier.ratio_at(lev - 1), method);
         rasterize_into(mf, uniform.region, &mut uniform.data);
     }
     Ok(uniform)
@@ -137,7 +167,11 @@ mod tests {
         assert_eq!(u.region, b([0, 0, 0], [15, 15, 15]));
         // Fine octant (all indices >= 8) must be 2.0; elsewhere 1.0.
         for (n, cell) in u.region.cells().enumerate() {
-            let want = if cell[0] >= 8 && cell[1] >= 8 && cell[2] >= 8 { 2.0 } else { 1.0 };
+            let want = if cell[0] >= 8 && cell[1] >= 8 && cell[2] >= 8 {
+                2.0
+            } else {
+                1.0
+            };
             assert_eq!(u.data[n], want, "at {cell:?}");
         }
     }
@@ -168,6 +202,17 @@ mod tests {
         // Covered cells hold data; uncovered cells are NaN.
         assert_eq!(u.at(8, 8, 8), 1.0);
         assert!(u.at(0, 0, 0).is_nan());
+    }
+
+    #[test]
+    fn flatten_levels_slice_matches_field_path() {
+        let h = two_level_with_field(|lev, iv| lev as f64 * 10.0 + iv.sum() as f64);
+        let by_name = flatten_to_finest(&h, "v", Upsample::Trilinear).unwrap();
+        let levels = h.field("v").unwrap().levels.clone();
+        let by_slice = flatten_levels_to_finest(&h, &levels, Upsample::Trilinear).unwrap();
+        assert_eq!(by_name, by_slice);
+        // Wrong level count is a structural error, not a panic.
+        assert!(flatten_levels_to_finest(&h, &levels[..1], Upsample::Trilinear).is_err());
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! platforms; failures report a reproduction seed).
 
 use amrviz_amr::regrid::tag_where;
-use amrviz_amr::{
-    berger_rigoutsos, Box3, BoxArray, Fab, IntVect, Raster, RegridConfig,
-};
+use amrviz_amr::{berger_rigoutsos, Box3, BoxArray, Fab, IntVect, Raster, RegridConfig};
 use amrviz_rng::{check, Rng};
 
 /// A random non-empty box with coordinates in ±32 and extents up to 16.
@@ -81,7 +79,10 @@ fn refine_coarsen_roundtrip() {
         assert_eq!(a.refine(r).coarsen(r), a);
         // Coarsening any box then refining covers the original.
         assert!(a.coarsen(r).refine(r).contains_box(&a));
-        assert_eq!(a.refine(r).num_cells(), a.num_cells() * (r * r * r) as usize);
+        assert_eq!(
+            a.refine(r).num_cells(),
+            a.num_cells() * (r * r * r) as usize
+        );
     });
 }
 
@@ -202,7 +203,11 @@ fn berger_rigoutsos_covers_all_tags() {
             tags.set_box(&Box3::new(lo, hi), true);
         }
         let eff = rng.range_f64(0.3, 0.95);
-        let cfg = RegridConfig { efficiency: eff, blocking_factor: 4, max_box_cells: None };
+        let cfg = RegridConfig {
+            efficiency: eff,
+            blocking_factor: 4,
+            max_box_cells: None,
+        };
         let ba = berger_rigoutsos(&tags, &cfg);
         assert!(ba.validate_disjoint().is_ok());
         for cell in tags.true_cells() {

@@ -32,8 +32,8 @@ use amrviz_compress::{
 };
 use amrviz_core::experiment::{self, standard_camera, CompressorKind};
 use amrviz_core::prelude::*;
-use amrviz_json::{Json, ToJson};
 use amrviz_core::report;
+use amrviz_json::{Json, ToJson};
 use amrviz_render::{render_slice, Color, RenderOptions, SliceOptions};
 use amrviz_sim::solver::{AmrAdvection, FIELD};
 use amrviz_viz::extract_amr_isosurface;
@@ -123,7 +123,10 @@ impl Ctx {
     fn scenario(&mut self, app: Application) -> &BuiltScenario {
         let key = app.label();
         if !self.built.contains_key(key) {
-            eprintln!("[repro] generating {key} scenario at {:?} scale…", self.scale);
+            eprintln!(
+                "[repro] generating {key} scenario at {:?} scale…",
+                self.scale
+            );
             self.built
                 .insert(key, Scenario::new(app, self.scale, self.seed).build());
         }
@@ -183,8 +186,19 @@ impl Ctx {
     ) {
         let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, method);
         // Frame the surface itself (the paper's panels zoom to the refined
-        // region), falling back to the whole domain for empty meshes.
-        let cam = match res.combined.bbox() {
+        // region), falling back to the whole domain for empty meshes. The
+        // bbox is the union of the per-level boxes — no combined-mesh copy.
+        let bbox =
+            res.level_meshes
+                .iter()
+                .filter_map(|m| m.bbox())
+                .reduce(|(alo, ahi), (blo, bhi)| {
+                    (
+                        [alo[0].min(blo[0]), alo[1].min(blo[1]), alo[2].min(blo[2])],
+                        [ahi[0].max(bhi[0]), ahi[1].max(bhi[1]), ahi[2].max(bhi[2])],
+                    )
+                });
+        let cam = match bbox {
             Some((lo, hi)) => {
                 let center = [
                     0.5 * (lo[0] + hi[0]),
@@ -204,7 +218,11 @@ impl Ctx {
             }
             None => standard_camera(built),
         };
-        let opts = RenderOptions { width: 960, height: 720, ..Default::default() };
+        let opts = RenderOptions {
+            width: 960,
+            height: 720,
+            ..Default::default()
+        };
         // Color the levels differently so cracks/gaps/overlaps stand out,
         // like the paper's red fine-level box.
         let img = amrviz_render::raster::render_meshes(
@@ -245,7 +263,7 @@ fn table2(ctx: &mut Ctx) {
     let mut all = Vec::new();
     for app in Application::ALL {
         let built = ctx.scenario(app);
-        let rows = experiment::run_table2(built);
+        let rows = experiment::run_table2(built).expect("table2 runs");
         all.extend(rows);
     }
     println!("{}", report::format_table2(&all));
@@ -259,7 +277,12 @@ fn fig1(ctx: &mut Ctx) {
     let rows = experiment::run_crack_analysis(built);
     println!("{}", report::format_cracks(&rows));
     let field = built.spec.app.eval_field();
-    let levels = built.hierarchy.field(field).expect("eval field").levels.clone();
+    let levels = built
+        .hierarchy
+        .field(field)
+        .expect("eval field")
+        .levels
+        .clone();
     let built = &ctx.built[Application::Warpx.label()];
     for (method, name) in [
         (IsoMethod::Resampling, "fig1a_resampling"),
@@ -323,7 +346,8 @@ fn figs_9_10(ctx: &mut Ctx, kind: CompressorKind, figname: &str) {
         kind,
         &[1e-4, 1e-3, 1e-2],
         &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
-    );
+    )
+    .expect("viz-quality runs");
     println!("{}", report::format_viz_quality(&rows));
 
     // Render the eb=1e-2 panels (the paper's most visible case).
@@ -367,15 +391,26 @@ fn fig11(ctx: &mut Ctx) {
             kind,
             &[1e-2],
             &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
-        );
+        )
+        .expect("viz-quality runs");
         all.extend(rows);
     }
     println!("{}", report::format_viz_quality(&all));
     // Original-data render for reference.
     let field = built.spec.app.eval_field();
-    let levels = built.hierarchy.field(field).expect("eval field").levels.clone();
+    let levels = built
+        .hierarchy
+        .field(field)
+        .expect("eval field")
+        .levels
+        .clone();
     let built = &ctx.built[Application::Nyx.label()];
-    ctx.save_mesh_render(built, &levels, IsoMethod::Resampling, "fig11_original_resampling");
+    ctx.save_mesh_render(
+        built,
+        &levels,
+        IsoMethod::Resampling,
+        "fig11_original_resampling",
+    );
     ctx.record("fig11", &all);
 }
 
@@ -387,7 +422,7 @@ fn rate_distortion(ctx: &mut Ctx, app: Application, figname: &str) {
         app.eval_field()
     );
     let built = ctx.scenario(app);
-    let pts = experiment::run_rate_distortion(built, &RD_EBS);
+    let pts = experiment::run_rate_distortion(built, &RD_EBS).expect("rate-distortion runs");
     println!("{}", report::format_rate_distortion(&pts));
     ctx.record(figname, &pts);
 }
@@ -430,7 +465,10 @@ fn ablation(ctx: &mut Ctx) {
                 ("keep", AmrCodecConfig::default()),
                 (
                     "skip",
-                    AmrCodecConfig { skip_redundant: true, restore_redundant: false },
+                    AmrCodecConfig {
+                        skip_redundant: true,
+                        restore_redundant: false,
+                    },
                 ),
             ] {
                 let c = compress_hierarchy_field(
@@ -445,7 +483,10 @@ fn ablation(ctx: &mut Ctx) {
                     app.label().to_string(),
                     kind.label().to_string(),
                     label.to_string(),
-                    format!("{:.1}", (c.n_values * 8) as f64 / c.compressed_bytes() as f64),
+                    format!(
+                        "{:.1}",
+                        (c.n_values * 8) as f64 / c.compressed_bytes() as f64
+                    ),
                 ]);
             }
         }
@@ -464,12 +505,8 @@ fn ablation(ctx: &mut Ctx) {
         let built = ctx.scenario(app);
         let field = built.spec.app.eval_field();
         let n = built.hierarchy.total_cells();
-        let z = amrviz_compress::compress_zmesh(
-            &built.hierarchy,
-            field,
-            ErrorBound::Rel(1e-3),
-        )
-        .expect("field exists");
+        let z = amrviz_compress::compress_zmesh(&built.hierarchy, field, ErrorBound::Rel(1e-3))
+            .expect("field exists");
         rows.push(vec![
             app.label().to_string(),
             "zMesh-1D".to_string(),
@@ -478,7 +515,10 @@ fn ablation(ctx: &mut Ctx) {
         for (label, comp) in [
             ("SZ-L/R hybrid", amrviz_compress::SzLr::default()),
             ("SZ-L/R lorenzo-only", amrviz_compress::SzLr::lorenzo_only()),
-            ("SZ-L/R regression-only", amrviz_compress::SzLr::regression_only()),
+            (
+                "SZ-L/R regression-only",
+                amrviz_compress::SzLr::regression_only(),
+            ),
         ] {
             let c = compress_hierarchy_field(
                 &built.hierarchy,
@@ -491,7 +531,10 @@ fn ablation(ctx: &mut Ctx) {
             rows.push(vec![
                 app.label().to_string(),
                 label.to_string(),
-                format!("{:.1}", (c.n_values * 8) as f64 / c.compressed_bytes() as f64),
+                format!(
+                    "{:.1}",
+                    (c.n_values * 8) as f64 / c.compressed_bytes() as f64
+                ),
             ]);
         }
     }
@@ -536,8 +579,8 @@ fn main() -> ExitCode {
     amrviz_obs::enable();
     let exp = args.experiment.as_str();
     let known = [
-        "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "ablation", "all",
+        "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "ablation", "all",
     ];
     if !known.contains(&exp) {
         eprintln!("unknown experiment `{exp}`; known: {known:?}");
@@ -583,7 +626,9 @@ fn main() -> ExitCode {
         instrumented(&mut ctx, "fig2", &fig2);
     }
     if run("fig9") {
-        instrumented(&mut ctx, "fig9", &|c| figs_9_10(c, CompressorKind::SzLr, "fig9"));
+        instrumented(&mut ctx, "fig9", &|c| {
+            figs_9_10(c, CompressorKind::SzLr, "fig9")
+        });
     }
     if run("fig10") {
         instrumented(&mut ctx, "fig10", &|c| {
@@ -618,7 +663,10 @@ fn main() -> ExitCode {
     if let Some(flame_path) = &ctx.flame {
         match amrviz_obs::flame::write_flamegraph_events(flame_path, &ctx.flame_events) {
             Ok(()) => println!("flamegraph written to {}", flame_path.display()),
-            Err(e) => eprintln!("[repro] writing flamegraph to {}: {e}", flame_path.display()),
+            Err(e) => eprintln!(
+                "[repro] writing flamegraph to {}: {e}",
+                flame_path.display()
+            ),
         }
     }
 

@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use amrviz_amr::resample::{flatten_to_finest, Upsample};
+use amrviz_amr::resample::{flatten_levels_to_finest, Upsample};
 use amrviz_compress::{
     compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, CompressionStats,
     ErrorBound,
@@ -145,10 +145,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Json {
         .set("quick", cfg.quick)
         .set("scale", format!("{:?}", cfg.scale))
         .set("threads_swept", cfg.thread_counts.to_json())
-        .set(
-            "mem_profile",
-            amrviz_obs::mem::span_profiling_active(),
-        )
+        .set("mem_profile", amrviz_obs::mem::span_profiling_active())
         .set(
             "peak_rss_bytes",
             match peak_rss_bytes() {
@@ -189,21 +186,27 @@ fn run_cell(built: &BuiltScenario, kind: CompressorKind, threads: usize, rel_eb:
     let decompress_seconds = sp.finish();
 
     let sp = amrviz_obs::span!("bench.extract", compressor = kind.label());
-    let iso_res =
-        amrviz_viz::extract_amr_isosurface(&built.hierarchy, &levels, built.iso, IsoMethod::Resampling);
+    let iso_res = amrviz_viz::extract_amr_isosurface(
+        &built.hierarchy,
+        &levels,
+        built.iso,
+        IsoMethod::Resampling,
+    );
     let extract_seconds = sp.finish();
 
     // Quality against the uniform reference (bit-deterministic per seed).
-    let recon = {
-        let mut hier = built.hierarchy.clone();
-        hier.add_field("__bench_recon", levels).expect("levels match hierarchy");
-        flatten_to_finest(&hier, "__bench_recon", Upsample::PiecewiseConstant)
-            .expect("field just added")
-            .data
-    };
+    // The decompressed levels are flattened in place — no hierarchy clone.
+    let recon = flatten_levels_to_finest(&built.hierarchy, &levels, Upsample::PiecewiseConstant)
+        .expect("levels match hierarchy")
+        .data;
     let stats = CompressionStats::new(compressed.n_values, compressed.compressed_bytes());
     let q = quality(&built.uniform.data, &recon);
-    let s = ssim3(&built.uniform.data, &recon, built.uniform.dims(), &SsimConfig::default());
+    let s = ssim3(
+        &built.uniform.data,
+        &recon,
+        built.uniform.dims(),
+        &SsimConfig::default(),
+    );
 
     let peak_alloc = amrviz_obs::mem::peak_since(mem_base);
     let hists = amrviz_obs::histograms_snapshot();
@@ -298,10 +301,8 @@ pub fn compare(new_doc: &Json, baseline: &Json, threshold_pct: f64) -> Compariso
 
     let new_cells = new_doc.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
     let old_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
-    let old_by_key: BTreeMap<String, &Json> =
-        old_cells.iter().map(|c| (cell_key(c), c)).collect();
-    let new_keys: std::collections::BTreeSet<String> =
-        new_cells.iter().map(cell_key).collect();
+    let old_by_key: BTreeMap<String, &Json> = old_cells.iter().map(|c| (cell_key(c), c)).collect();
+    let new_keys: std::collections::BTreeSet<String> = new_cells.iter().map(cell_key).collect();
     for c in old_cells {
         let k = cell_key(c);
         if !new_keys.contains(&k) {
@@ -309,8 +310,7 @@ pub fn compare(new_doc: &Json, baseline: &Json, threshold_pct: f64) -> Compariso
         }
     }
 
-    const TIME_METRICS: [&str; 3] =
-        ["compress_seconds", "decompress_seconds", "extract_seconds"];
+    const TIME_METRICS: [&str; 3] = ["compress_seconds", "decompress_seconds", "extract_seconds"];
     const QUALITY_METRICS: [&str; 3] = ["compression_ratio", "psnr_db", "ssim"];
 
     for cell in new_cells {
@@ -331,7 +331,13 @@ pub fn compare(new_doc: &Json, baseline: &Json, threshold_pct: f64) -> Compariso
                 continue; // micro-times: noise, not signal
             }
             if n > o * (1.0 + f) {
-                out.regressions.push(Regression { cell: key.clone(), metric: m, old: o, new: n, kind: "slower" });
+                out.regressions.push(Regression {
+                    cell: key.clone(),
+                    metric: m,
+                    old: o,
+                    new: n,
+                    kind: "slower",
+                });
             } else if o > n * (1.0 + f) {
                 out.regressions.push(Regression {
                     cell: key.clone(),
@@ -351,12 +357,19 @@ pub fn compare(new_doc: &Json, baseline: &Json, threshold_pct: f64) -> Compariso
                 "{key:<36} {m:<20} {o:>12.4} -> {n:>12.4}  ({delta_pct:+8.1}%)"
             ));
             if o > n * (1.0 + f) {
-                out.regressions.push(Regression { cell: key.clone(), metric: m, old: o, new: n, kind: "quality drop" });
+                out.regressions.push(Regression {
+                    cell: key.clone(),
+                    metric: m,
+                    old: o,
+                    new: n,
+                    kind: "quality drop",
+                });
             }
         }
-        if let (Some(n), Some(o)) =
-            (metric(cell, "peak_alloc_bytes"), metric(old, "peak_alloc_bytes"))
-        {
+        if let (Some(n), Some(o)) = (
+            metric(cell, "peak_alloc_bytes"),
+            metric(old, "peak_alloc_bytes"),
+        ) {
             if n > 0.0 && o > 0.0 {
                 let delta_pct = 100.0 * (n - o) / o;
                 out.lines.push(format!(
@@ -470,7 +483,9 @@ mod tests {
             .set("ssim", 0.999)
             .set("peak_alloc_bytes", 1_000_000usize);
         let mut doc = Json::obj();
-        doc.set("schema", SCHEMA).set("name", "t").set("cells", Json::Arr(vec![cell]));
+        doc.set("schema", SCHEMA)
+            .set("name", "t")
+            .set("cells", Json::Arr(vec![cell]));
         doc
     }
 
@@ -499,7 +514,9 @@ mod tests {
         let new = mini_doc(0.5, 10.0);
         let c = compare(&new, &old, 200.0);
         assert!(
-            c.regressions.iter().any(|r| r.kind.starts_with("faster than baseline")),
+            c.regressions
+                .iter()
+                .any(|r| r.kind.starts_with("faster than baseline")),
             "{:?}",
             c.regressions
         );
@@ -510,10 +527,16 @@ mod tests {
         let old = mini_doc(0.5, 30.0);
         let new = mini_doc(0.5, 5.0);
         let c = compare(&new, &old, 200.0);
-        assert!(c.regressions.iter().any(|r| r.metric == "compression_ratio"));
+        assert!(c
+            .regressions
+            .iter()
+            .any(|r| r.metric == "compression_ratio"));
         // Quality *gain* is never a failure.
         let c2 = compare(&old, &new, 200.0);
-        assert!(c2.regressions.iter().all(|r| r.metric != "compression_ratio"));
+        assert!(c2
+            .regressions
+            .iter()
+            .all(|r| r.metric != "compression_ratio"));
     }
 
     #[test]

@@ -12,11 +12,7 @@ pub struct Parsed {
 
 /// Parses `argv` given the set of value-taking option names and boolean
 /// switch names (both without the `--` prefix).
-pub fn parse(
-    argv: &[String],
-    value_opts: &[&str],
-    switch_opts: &[&str],
-) -> Result<Parsed, String> {
+pub fn parse(argv: &[String], value_opts: &[&str], switch_opts: &[&str]) -> Result<Parsed, String> {
     let mut out = Parsed::default();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -54,10 +50,7 @@ impl Parsed {
     {
         match self.opt(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|e| format!("--{name}: {e}")),
+            Some(v) => v.parse().map(Some).map_err(|e| format!("--{name}: {e}")),
         }
     }
 
@@ -127,7 +120,10 @@ mod tests {
             err.contains("`--field=VALUE` style is not supported"),
             "unexpected message: {err}"
         );
-        assert!(err.contains("use `--field VALUE`"), "unexpected message: {err}");
+        assert!(
+            err.contains("use `--field VALUE`"),
+            "unexpected message: {err}"
+        );
         // Even an unknown key gets the syntax hint, not "unknown option".
         let err = parse(&sv(&["--nope=1"]), &["field"], &[]).unwrap_err();
         assert!(err.contains("`--nope=VALUE`"), "unexpected message: {err}");

@@ -7,12 +7,11 @@ use amrviz_amr::resample::{flatten_to_finest, Upsample};
 use amrviz_amr::AmrHierarchy;
 use amrviz_compress::{
     compress_hierarchy_field, decompress_hierarchy_field_policy, AmrCodecConfig,
-    CompressedHierarchyField, CompressionStats, Compressor, DecodeBudget, DecodePolicy,
-    ErrorBound, FabStatus, SzInterp, SzLr, ZfpLike,
+    CompressedHierarchyField, CompressionStats, Compressor, DecodeBudget, DecodePolicy, ErrorBound,
+    FabStatus, SzInterp, SzLr, ZfpLike,
 };
 use amrviz_render::{
-    render_mesh, render_slice, render_volume, Camera, RenderOptions, SliceOptions,
-    VolumeOptions,
+    render_mesh, render_slice, render_volume, Camera, RenderOptions, SliceOptions, VolumeOptions,
 };
 use amrviz_sim::solver::AmrAdvection;
 use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
@@ -54,11 +53,7 @@ fn load(path: &str) -> Result<AmrHierarchy, String> {
 }
 
 /// Iso value from `--iso` or `--quantile` (default: 0.9 quantile).
-fn iso_value(
-    p: &crate::args::Parsed,
-    hier: &AmrHierarchy,
-    field: &str,
-) -> Result<f64, String> {
+fn iso_value(p: &crate::args::Parsed, hier: &AmrHierarchy, field: &str) -> Result<f64, String> {
     if let Some(v) = p.opt_parse::<f64>("iso")? {
         return Ok(v);
     }
@@ -66,12 +61,11 @@ fn iso_value(
     if !(0.0..=1.0).contains(&q) {
         return Err("--quantile must be in [0, 1]".into());
     }
-    let uniform = flatten_to_finest(hier, field, Upsample::PiecewiseConstant)
-        .map_err(|e| e.to_string())?;
+    let uniform =
+        flatten_to_finest(hier, field, Upsample::PiecewiseConstant).map_err(|e| e.to_string())?;
     let mut v = uniform.data;
     let k = ((v.len() - 1) as f64 * q).round() as usize;
-    let (_, val, _) =
-        v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
+    let (_, val, _) = v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
     Ok(*val)
 }
 
@@ -207,7 +201,11 @@ pub fn compress(argv: &[String]) -> Result<(), String> {
 }
 
 pub fn decompress(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv, &["out", "algo", "field"], &["skip-redundant", "degrade"])?;
+    let p = parse(
+        argv,
+        &["out", "algo", "field"],
+        &["skip-redundant", "degrade"],
+    )?;
     let hier = load(p.positional(0, "plotfile path (for structure)")?)?;
     let stream_path = p.positional(1, "compressed stream path")?;
     let out = p.required("out")?;
@@ -219,7 +217,11 @@ pub fn decompress(argv: &[String]) -> Result<(), String> {
         skip_redundant: p.switch("skip-redundant"),
         restore_redundant: p.switch("skip-redundant"),
     };
-    let policy = if p.switch("degrade") { DecodePolicy::Degrade } else { DecodePolicy::Strict };
+    let policy = if p.switch("degrade") {
+        DecodePolicy::Degrade
+    } else {
+        DecodePolicy::Strict
+    };
     let (levels, report) = decompress_hierarchy_field_policy(
         &hier,
         &c,
@@ -258,7 +260,10 @@ pub fn decompress(argv: &[String]) -> Result<(), String> {
         .add_field(field_name, levels)
         .map_err(|e| e.to_string())?;
     write_plotfile(Path::new(out), &out_hier).map_err(|e| e.to_string())?;
-    println!("wrote {out} with field `{field_name}` (abs eb {:.3e})", c.abs_eb);
+    println!(
+        "wrote {out} with field `{field_name}` (abs eb {:.3e})",
+        c.abs_eb
+    );
     Ok(())
 }
 
@@ -271,11 +276,11 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
     let iso = iso_value(&p, &hier, field)?;
     let levels = &hier.field(field).map_err(|e| e.to_string())?.levels;
     let res = extract_amr_isosurface(&hier, levels, iso, m);
-    obj::save_obj(Path::new(out), &res.combined).map_err(|e| e.to_string())?;
+    obj::save_obj(Path::new(out), &res.combined()).map_err(|e| e.to_string())?;
     println!(
         "{} @ iso {iso:.6e}: {} triangles ({} per-level) -> {out}",
         m.label(),
-        res.combined.num_triangles(),
+        res.total_triangles(),
         res.level_meshes
             .iter()
             .map(|m| m.num_triangles().to_string())
@@ -288,7 +293,9 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
 pub fn render(argv: &[String]) -> Result<(), String> {
     let p = parse(
         argv,
-        &["field", "out", "iso", "quantile", "method", "mode", "width", "height"],
+        &[
+            "field", "out", "iso", "quantile", "method", "mode", "width", "height",
+        ],
         &["log"],
     )?;
     let hier = load(p.positional(0, "plotfile path")?)?;
@@ -307,7 +314,11 @@ pub fn render(argv: &[String]) -> Result<(), String> {
         .map(|a| (g.prob_hi[a] - g.prob_lo[a]).powi(2))
         .sum::<f64>()
         .sqrt();
-    let eye = [center[0] - diag, center[1] - 0.6 * diag, center[2] + 0.5 * diag];
+    let eye = [
+        center[0] - diag,
+        center[1] - 0.6 * diag,
+        center[2] + 0.5 * diag,
+    ];
     let cam = Camera::orthographic(eye, center, 0.55 * diag);
 
     let img = match p.opt("mode").unwrap_or("surface") {
@@ -315,21 +326,28 @@ pub fn render(argv: &[String]) -> Result<(), String> {
             let m = method(p.opt("method"))?;
             let iso = iso_value(&p, &hier, field)?;
             let levels = &hier.field(field).map_err(|e| e.to_string())?.levels;
-            let res = extract_amr_isosurface(&hier, levels, iso, m);
+            let mesh = extract_amr_isosurface(&hier, levels, iso, m).into_combined();
             println!(
                 "surface @ iso {iso:.6e}: {} triangles",
-                res.combined.num_triangles()
+                mesh.num_triangles()
             );
             render_mesh(
-                &res.combined,
+                &mesh,
                 &cam,
-                &RenderOptions { width, height, ..Default::default() },
+                &RenderOptions {
+                    width,
+                    height,
+                    ..Default::default()
+                },
             )
         }
         "slice" => render_slice(
             &hier,
             field,
-            &SliceOptions { log_scale: p.switch("log"), ..Default::default() },
+            &SliceOptions {
+                log_scale: p.switch("log"),
+                ..Default::default()
+            },
         )
         .map_err(|e| e.to_string())?,
         "volume" => {
@@ -364,10 +382,8 @@ pub fn diff(argv: &[String]) -> Result<(), String> {
     let hb = load(p.positional(1, "second plotfile")?)?;
     let fa = p.required("field")?;
     let fb = p.opt("field-b").unwrap_or(fa);
-    let ua = flatten_to_finest(&ha, fa, Upsample::PiecewiseConstant)
-        .map_err(|e| e.to_string())?;
-    let ub = flatten_to_finest(&hb, fb, Upsample::PiecewiseConstant)
-        .map_err(|e| e.to_string())?;
+    let ua = flatten_to_finest(&ha, fa, Upsample::PiecewiseConstant).map_err(|e| e.to_string())?;
+    let ub = flatten_to_finest(&hb, fb, Upsample::PiecewiseConstant).map_err(|e| e.to_string())?;
     if ua.dims() != ub.dims() {
         return Err(format!(
             "shape mismatch: {:?} vs {:?}",
@@ -421,8 +437,10 @@ pub fn torture(argv: &[String]) -> Result<(), String> {
             msg.push_str("  ");
             msg.push_str(v);
         }
-        msg.push_str(&format!("\nreproduce with: amrviz torture --seed {} --iters {}",
-            report.seed, report.iters));
+        msg.push_str(&format!(
+            "\nreproduce with: amrviz torture --seed {} --iters {}",
+            report.seed, report.iters
+        ));
         Err(msg)
     }
 }
@@ -431,7 +449,15 @@ pub fn torture(argv: &[String]) -> Result<(), String> {
 pub fn bench(argv: &[String]) -> Result<(), String> {
     let p = parse(
         argv,
-        &["name", "out", "baseline", "threshold", "scale", "thread-counts", "ebs"],
+        &[
+            "name",
+            "out",
+            "baseline",
+            "threshold",
+            "scale",
+            "thread-counts",
+            "ebs",
+        ],
         &["quick"],
     )?;
     let out_dir = std::path::PathBuf::from(p.opt("out").unwrap_or("."));

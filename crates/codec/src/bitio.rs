@@ -18,7 +18,23 @@ impl BitWriter {
     }
 
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { bytes: Vec::with_capacity(bytes), cur: 0, used: 0 }
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    /// Builds a writer on top of an existing (cleared) buffer, so scratch
+    /// capacity can be recycled across calls. [`BitWriter::finish`] hands
+    /// the buffer back.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            bytes: buf,
+            cur: 0,
+            used: 0,
+        }
     }
 
     /// Writes a single bit.
@@ -114,7 +130,9 @@ mod tests {
 
     #[test]
     fn single_bits_roundtrip() {
-        let bits = [true, false, true, true, false, false, false, true, true, false];
+        let bits = [
+            true, false, true, true, false, false, false, true, true, false,
+        ];
         let mut w = BitWriter::new();
         for &b in &bits {
             w.write_bit(b);
@@ -142,7 +160,10 @@ mod tests {
         let mut r = BitReader::new(&buf);
         assert_eq!(r.read_bits(8).unwrap(), 0xFF);
         assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
-        assert_eq!(BitReader::new(&buf).read_bits(9), Err(CodecError::UnexpectedEof));
+        assert_eq!(
+            BitReader::new(&buf).read_bits(9),
+            Err(CodecError::UnexpectedEof)
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl DecodeBudget {
             return Err(CodecError::UnexpectedEof);
         }
         if declared > self.max_section_bytes {
-            return Err(CodecError::Malformed("declared section length exceeds budget"));
+            return Err(CodecError::Malformed(
+                "declared section length exceeds budget",
+            ));
         }
         Ok(declared)
     }
@@ -75,7 +77,9 @@ impl DecodeBudget {
     /// the budget only.
     pub fn check_payload(&self, declared: usize) -> Result<usize, CodecError> {
         if declared > self.max_section_bytes {
-            return Err(CodecError::Malformed("declared payload length exceeds budget"));
+            return Err(CodecError::Malformed(
+                "declared payload length exceeds budget",
+            ));
         }
         Ok(declared)
     }

@@ -78,9 +78,17 @@ fn canonical_codes(sorted_lens: &[u32]) -> Vec<u64> {
 /// `(uvarint symbol, uvarint len)*`, padded bitstream.
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
-    write_uvarint(&mut out, symbols.len() as u64);
+    huffman_encode_into(symbols, &mut out);
+    out
+}
+
+/// Appends the encoding of `symbols` to `out` (same layout as
+/// [`huffman_encode`]); lets callers assemble streams in rented scratch
+/// buffers instead of chaining fresh allocations.
+pub fn huffman_encode_into(symbols: &[u32], out: &mut Vec<u8>) {
+    write_uvarint(out, symbols.len() as u64);
     if symbols.is_empty() {
-        return out;
+        return;
     }
 
     // Frequency table (deterministic order: by symbol).
@@ -118,20 +126,23 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
         .collect();
 
     // Header.
-    write_uvarint(&mut out, entries.len() as u64);
+    write_uvarint(out, entries.len() as u64);
     for &(len, sym) in &entries {
-        write_uvarint(&mut out, sym as u64);
-        write_uvarint(&mut out, len as u64);
+        write_uvarint(out, sym as u64);
+        write_uvarint(out, len as u64);
     }
 
-    // Body.
-    let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+    // Body: the bitstream accumulates in a rented scratch buffer (it can't
+    // go straight into `out` — the writer needs byte-boundary padding that
+    // only `finish` applies).
+    let mut bits = BitWriter::with_buffer(amrviz_par::scratch::take_bytes());
     for &s in symbols {
         let (code, len) = table[&s];
         bits.write_bits(code, len);
     }
-    out.extend_from_slice(&bits.finish());
-    out
+    let body = bits.finish();
+    out.extend_from_slice(&body);
+    amrviz_par::scratch::give_bytes(body);
 }
 
 /// Decodes a stream produced by [`huffman_encode`] under the default
@@ -149,10 +160,24 @@ pub fn huffman_decode_budgeted(
     bytes: &[u8],
     budget: &DecodeBudget,
 ) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::new();
+    huffman_decode_into(bytes, budget, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes into `out` (cleared first, capacity reused) with the same
+/// validation as [`huffman_decode_budgeted`]. On error `out` may hold a
+/// partial prefix; its contents are unspecified.
+pub fn huffman_decode_into(
+    bytes: &[u8],
+    budget: &DecodeBudget,
+    out: &mut Vec<u32>,
+) -> Result<(), CodecError> {
+    out.clear();
     let mut pos = 0usize;
     let total = budget.check_values(read_uvarint(bytes, &mut pos)? as usize)?;
     if total == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let distinct = read_uvarint(bytes, &mut pos)? as usize;
     if distinct == 0 {
@@ -212,7 +237,7 @@ pub fn huffman_decode_budgeted(
     let syms: Vec<u32> = entries.iter().map(|&(_, s)| s).collect();
 
     let mut reader = BitReader::new(&bytes[pos..]);
-    let mut out = Vec::with_capacity(total);
+    out.reserve(total);
     for _ in 0..total {
         let mut code = 0u64;
         let mut len = 0u32;
@@ -233,7 +258,7 @@ pub fn huffman_decode_budgeted(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -294,7 +319,10 @@ mod tests {
         let data: Vec<u32> = (0..100).collect();
         let enc = huffman_encode(&data);
         for cut in [1, enc.len() / 2, enc.len() - 1] {
-            assert!(huffman_decode(&enc[..cut]).is_err(), "cut at {cut} accepted");
+            assert!(
+                huffman_decode(&enc[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 
@@ -345,7 +373,10 @@ mod tests {
             write_uvarint(&mut buf, 4);
         }
         buf.push(0x00);
-        assert!(matches!(huffman_decode(&buf), Err(CodecError::Malformed(_))));
+        assert!(matches!(
+            huffman_decode(&buf),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -365,12 +396,18 @@ mod tests {
     fn budget_caps_declared_total() {
         let data: Vec<u32> = (0..100).collect();
         let enc = huffman_encode(&data);
-        let tiny = DecodeBudget { max_values: 10, ..DecodeBudget::strict() };
+        let tiny = DecodeBudget {
+            max_values: 10,
+            ..DecodeBudget::strict()
+        };
         assert!(matches!(
             huffman_decode_budgeted(&enc, &tiny),
             Err(CodecError::Malformed(_))
         ));
-        assert_eq!(huffman_decode_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
+        assert_eq!(
+            huffman_decode_budgeted(&enc, &DecodeBudget::strict()).unwrap(),
+            data
+        );
     }
 
     #[test]

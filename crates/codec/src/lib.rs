@@ -43,8 +43,14 @@ pub mod varint;
 pub use bitio::{BitReader, BitWriter};
 pub use budget::DecodeBudget;
 pub use checksum::fnv1a_64;
-pub use huffman::{huffman_decode, huffman_decode_budgeted, huffman_encode};
-pub use lzss::{lzss_compress, lzss_decompress, lzss_decompress_budgeted};
+pub use huffman::{
+    huffman_decode, huffman_decode_budgeted, huffman_decode_into, huffman_encode,
+    huffman_encode_into,
+};
+pub use lzss::{
+    lzss_compress, lzss_compress_into, lzss_decompress, lzss_decompress_budgeted,
+    lzss_decompress_into,
+};
 pub use rle::{rle_decode_zeros, rle_decode_zeros_budgeted, rle_encode_zeros};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
 

@@ -34,13 +34,24 @@ fn hash4(bytes: &[u8]) -> usize {
 /// Compresses `input`.
 pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    write_uvarint(&mut out, input.len() as u64);
+    lzss_compress_into(input, &mut out);
+    out
+}
+
+/// Appends the compression of `input` to `out` (same format as
+/// [`lzss_compress`]). The hash-chain match-finder state is rented from the
+/// per-thread scratch pool, so per-box callers pay for it once per worker
+/// instead of once per call.
+pub fn lzss_compress_into(input: &[u8], out: &mut Vec<u8>) {
+    write_uvarint(out, input.len() as u64);
     if input.is_empty() {
-        return out;
+        return;
     }
 
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; input.len()];
+    let mut head = amrviz_par::scratch::take_usize();
+    head.resize(1 << HASH_BITS, usize::MAX);
+    let mut prev = amrviz_par::scratch::take_usize();
+    prev.resize(input.len(), usize::MAX);
 
     let mut lit_start = 0usize;
     let mut i = 0usize;
@@ -53,9 +64,7 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
             let mut chain = 0;
             while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
                 // Candidate must at least beat the current best.
-                if best_len == 0
-                    || input.get(i + best_len) == input.get(cand + best_len)
-                {
+                if best_len == 0 || input.get(i + best_len) == input.get(cand + best_len) {
                     let limit = (input.len() - i).min(MAX_MATCH);
                     let mut l = 0;
                     while l < limit && input[cand + l] == input[i + l] {
@@ -76,10 +85,10 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
 
         if best_len >= MIN_MATCH {
             // Emit pending literals, then the match.
-            write_uvarint(&mut out, (i - lit_start) as u64);
+            write_uvarint(out, (i - lit_start) as u64);
             out.extend_from_slice(&input[lit_start..i]);
-            write_uvarint(&mut out, (best_len - MIN_MATCH) as u64);
-            write_uvarint(&mut out, best_dist as u64);
+            write_uvarint(out, (best_len - MIN_MATCH) as u64);
+            write_uvarint(out, best_dist as u64);
             // Insert hash entries for every position the match covers.
             let end = i + best_len;
             while i < end && i + MIN_MATCH <= input.len() {
@@ -100,9 +109,10 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
         }
     }
     // Trailing literals.
-    write_uvarint(&mut out, (input.len() - lit_start) as u64);
+    write_uvarint(out, (input.len() - lit_start) as u64);
     out.extend_from_slice(&input[lit_start..]);
-    out
+    amrviz_par::scratch::give_usize(prev);
+    amrviz_par::scratch::give_usize(head);
 }
 
 /// Decompresses a buffer produced by [`lzss_compress`] under the default
@@ -119,6 +129,20 @@ pub fn lzss_decompress_budgeted(
     bytes: &[u8],
     budget: &DecodeBudget,
 ) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    lzss_decompress_into(bytes, budget, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into `out` (cleared first, capacity reused) with the same
+/// validation as [`lzss_decompress_budgeted`]. On error `out` may hold a
+/// partial prefix; its contents are unspecified.
+pub fn lzss_decompress_into(
+    bytes: &[u8],
+    budget: &DecodeBudget,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    out.clear();
     let mut pos = 0usize;
     let total = budget.check_payload(read_uvarint(bytes, &mut pos)? as usize)?;
     // Each token (literal byte, or match pair) consumes at least one input
@@ -128,7 +152,7 @@ pub fn lzss_decompress_budgeted(
     if total > (bytes.len() - pos).saturating_mul(MAX_MATCH) {
         return Err(CodecError::UnexpectedEof);
     }
-    let mut out = Vec::with_capacity(total);
+    out.reserve(total);
     while out.len() < total {
         let lit_len = read_uvarint(bytes, &mut pos)? as usize;
         if lit_len > bytes.len() - pos || out.len() + lit_len > total {
@@ -153,7 +177,7 @@ pub fn lzss_decompress_budgeted(
             out.push(b);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -180,7 +204,12 @@ mod tests {
     fn repetitive_input_compresses_hard() {
         let data = b"abcabcabcabcabcabcabcabcabcabcabc".repeat(100);
         let enc = lzss_compress(&data);
-        assert!(enc.len() < data.len() / 10, "{} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 10,
+            "{} vs {}",
+            enc.len(),
+            data.len()
+        );
         assert_eq!(lzss_decompress(&enc).unwrap(), data);
     }
 
@@ -245,9 +274,15 @@ mod tests {
     fn budget_caps_declared_length() {
         let data = vec![9u8; 4096];
         let enc = lzss_compress(&data);
-        let tiny = DecodeBudget { max_section_bytes: 64, ..DecodeBudget::strict() };
+        let tiny = DecodeBudget {
+            max_section_bytes: 64,
+            ..DecodeBudget::strict()
+        };
         assert!(lzss_decompress_budgeted(&enc, &tiny).is_err());
-        assert_eq!(lzss_decompress_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
+        assert_eq!(
+            lzss_decompress_budgeted(&enc, &DecodeBudget::strict()).unwrap(),
+            data
+        );
     }
 
     #[test]

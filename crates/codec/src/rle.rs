@@ -113,9 +113,15 @@ mod tests {
     fn budget_caps_declared_count() {
         let data = vec![0u32; 100_000];
         let enc = rle_encode_zeros(&data);
-        let tiny = DecodeBudget { max_values: 1000, ..DecodeBudget::strict() };
+        let tiny = DecodeBudget {
+            max_values: 1000,
+            ..DecodeBudget::strict()
+        };
         assert!(rle_decode_zeros_budgeted(&enc, &tiny).is_err());
-        assert_eq!(rle_decode_zeros_budgeted(&enc, &DecodeBudget::strict()).unwrap(), data);
+        assert_eq!(
+            rle_decode_zeros_budgeted(&enc, &DecodeBudget::strict()).unwrap(),
+            data
+        );
     }
 
     #[test]

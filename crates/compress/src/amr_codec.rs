@@ -24,9 +24,10 @@ use amrviz_amr::{
 };
 use amrviz_codec::{fnv1a_64, DecodeBudget};
 
-use crate::field::Field3;
+use crate::field::Field3View;
 use crate::wire::{ByteReader, ByteWriter};
 use crate::{CompressError, Compressor, ErrorBound};
+use amrviz_par::scratch;
 
 /// Magic byte opening a serialized [`CompressedHierarchyField`] container
 /// (v2 and later). v1 streams had no magic — they began directly with the
@@ -73,7 +74,12 @@ impl CompressedHierarchyField {
             .iter()
             .map(|level| level.iter().map(|b| fnv1a_64(b)).collect())
             .collect();
-        CompressedHierarchyField { blobs, checksums, abs_eb, n_values }
+        CompressedHierarchyField {
+            blobs,
+            checksums,
+            abs_eb,
+            n_values,
+        }
     }
 
     /// Total compressed payload size in bytes.
@@ -127,10 +133,7 @@ impl CompressedHierarchyField {
     /// fails. Parsing is structural only — a blob with a wrong checksum is
     /// parsed fine here and surfaces later, per-fab, during decode (which
     /// is what lets [`DecodePolicy::Degrade`] repair it).
-    pub fn from_bytes_budgeted(
-        bytes: &[u8],
-        budget: &DecodeBudget,
-    ) -> Result<Self, CompressError> {
+    pub fn from_bytes_budgeted(bytes: &[u8], budget: &DecodeBudget) -> Result<Self, CompressError> {
         if bytes.len() >= 2 && bytes[0] == CONTAINER_MAGIC {
             if bytes[1] == CONTAINER_VERSION {
                 return match Self::parse_v2(bytes, budget) {
@@ -162,7 +165,9 @@ impl CompressedHierarchyField {
         let nlev = r.uvarint()? as usize;
         // Each level costs at least one byte (its blob count).
         if nlev > r.remaining() {
-            return Err(CompressError::Malformed("level count exceeds stream".into()));
+            return Err(CompressError::Malformed(
+                "level count exceeds stream".into(),
+            ));
         }
         let mut blobs = Vec::with_capacity(nlev);
         let mut checksums = Vec::with_capacity(nlev);
@@ -176,15 +181,24 @@ impl CompressedHierarchyField {
             let mut sums = Vec::with_capacity(nblob);
             for _ in 0..nblob {
                 sums.push(r.u64_le()?);
+                // Owned copy is required: blobs live in the returned
+                // `CompressedHierarchyField`, which outlives `bytes`.
                 level.push(r.section()?.to_vec());
             }
             blobs.push(level);
             checksums.push(sums);
         }
         if r.remaining() != 0 {
-            return Err(CompressError::Malformed("trailing bytes after container".into()));
+            return Err(CompressError::Malformed(
+                "trailing bytes after container".into(),
+            ));
         }
-        Ok(CompressedHierarchyField { blobs, checksums, abs_eb, n_values })
+        Ok(CompressedHierarchyField {
+            blobs,
+            checksums,
+            abs_eb,
+            n_values,
+        })
     }
 
     fn parse_v1(bytes: &[u8], budget: &DecodeBudget) -> Result<Self, CompressError> {
@@ -193,7 +207,9 @@ impl CompressedHierarchyField {
         let n_values = budget.check_values(r.uvarint()? as usize)?;
         let nlev = r.uvarint()? as usize;
         if nlev > r.remaining() {
-            return Err(CompressError::Malformed("level count exceeds stream".into()));
+            return Err(CompressError::Malformed(
+                "level count exceeds stream".into(),
+            ));
         }
         let mut blobs = Vec::with_capacity(nlev);
         for _ in 0..nlev {
@@ -204,12 +220,15 @@ impl CompressedHierarchyField {
             }
             let mut level = Vec::with_capacity(nfab);
             for _ in 0..nfab {
+                // Owned copy required, as in `parse_v2`.
                 level.push(r.section()?.to_vec());
             }
             blobs.push(level);
         }
         if r.remaining() != 0 {
-            return Err(CompressError::Malformed("trailing bytes after container".into()));
+            return Err(CompressError::Malformed(
+                "trailing bytes after container".into(),
+            ));
         }
         Ok(Self::from_blobs(blobs, abs_eb, n_values))
     }
@@ -236,7 +255,11 @@ pub fn compress_hierarchy_field(
     }
     let abs_eb = {
         let e = bound.to_abs(hi - lo);
-        if e > 0.0 { e } else { 1e-300 }
+        if e > 0.0 {
+            e
+        } else {
+            1e-300
+        }
     };
     amrviz_obs::gauge_set("compress.abs_eb", abs_eb);
 
@@ -259,16 +282,27 @@ pub fn compress_hierarchy_field(
         // so the per-level blob sequence is identical at any thread count.
         let level_blobs: Vec<Vec<u8>> = amrviz_par::run(tasks.len(), |ti| {
             let (fi, piece) = tasks[ti];
-            let sub = mf.fabs()[fi].subfab(piece);
-            let field3 = Field3::new(piece.size(), sub.into_vec());
+            // Gather the piece into per-thread scratch and compress straight
+            // off the borrowed view — no owned sub-fab or `Field3` per piece.
+            // The blob itself stays a fresh `Vec`: it outlives the task as
+            // part of the returned `CompressedHierarchyField`.
+            let mut vals = scratch::take_f64();
+            vals.resize(piece.num_cells(), 0.0);
+            mf.fabs()[fi].read_region_into(piece, &mut vals);
             // Per-piece latency + blob-size distributions. The Instant pair
             // is gated so a disabled recorder costs nothing extra here.
             let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
-            let blob = compressor.compress(&field3, ErrorBound::Abs(abs_eb));
+            let mut blob = Vec::new();
+            compressor.compress_into(
+                Field3View::new(piece.size(), &vals),
+                ErrorBound::Abs(abs_eb),
+                &mut blob,
+            );
             if let Some(t0) = t0 {
                 amrviz_obs::histogram!("compress.piece_us", t0.elapsed().as_micros());
                 amrviz_obs::histogram!("compress.blob_bytes", blob.len());
             }
+            scratch::give_f64(vals);
             blob
         });
         let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
@@ -279,7 +313,9 @@ pub fn compress_hierarchy_field(
         sp.add_field("bytes_out", level_bytes);
         blobs.push(level_blobs);
     }
-    Ok(CompressedHierarchyField::from_blobs(blobs, abs_eb, n_values))
+    Ok(CompressedHierarchyField::from_blobs(
+        blobs, abs_eb, n_values,
+    ))
 }
 
 /// The rectangular pieces of `bx` that get encoded: the whole box normally,
@@ -403,6 +439,35 @@ pub fn decompress_hierarchy_field_policy(
     policy: DecodePolicy,
     budget: &DecodeBudget,
 ) -> Result<(Vec<MultiFab>, DecodeReport), CompressError> {
+    let mut levels = Vec::new();
+    let report = decompress_hierarchy_field_into(
+        hier,
+        compressed,
+        compressor,
+        cfg,
+        policy,
+        budget,
+        &mut levels,
+    )?;
+    Ok((levels, report))
+}
+
+/// [`decompress_hierarchy_field_policy`] decoding into caller-owned level
+/// storage. When `levels` already has the hierarchy's box structure (e.g.
+/// from a previous decode of the same hierarchy), every fab buffer is reused
+/// in place — repeated decodes allocate nothing for cell data. Structure
+/// mismatches rebuild the affected level. On error, `levels` may hold a
+/// partially decoded state; its contents are unspecified.
+#[allow(clippy::too_many_arguments)]
+pub fn decompress_hierarchy_field_into(
+    hier: &AmrHierarchy,
+    compressed: &CompressedHierarchyField,
+    compressor: &dyn Compressor,
+    cfg: &AmrCodecConfig,
+    policy: DecodePolicy,
+    budget: &DecodeBudget,
+    levels: &mut Vec<MultiFab>,
+) -> Result<DecodeReport, CompressError> {
     if compressed.blobs.len() != hier.num_levels() {
         return Err(CompressError::Malformed(format!(
             "{} levels in stream, hierarchy has {}",
@@ -410,20 +475,25 @@ pub fn decompress_hierarchy_field_policy(
             hier.num_levels()
         )));
     }
-    let mut levels: Vec<MultiFab> = Vec::with_capacity(hier.num_levels());
+    prepare_levels(hier, levels);
     // Failed pieces per level: (fab index, piece box, cause).
     let mut failures: Vec<Vec<(usize, amrviz_amr::Box3, String)>> =
         vec![Vec::new(); hier.num_levels()];
     for (lev, level_blobs) in compressed.blobs.iter().enumerate() {
         let mut sp = amrviz_obs::span!("decompress.level", level = lev);
         let ba = hier.box_array(lev);
-        // Reconstruct the deterministic (fab, piece) schedule, then decode
-        // all pieces in parallel.
+        // Reconstruct the deterministic (fab, piece) schedule. Tasks are
+        // fab-major, so each fab's pieces occupy one contiguous task range —
+        // which is what lets the decode fan out per *fab* below with every
+        // worker writing straight into its own fab's buffer.
         let mut tasks: Vec<(usize, amrviz_amr::Box3)> = Vec::new();
+        let mut fab_tasks: Vec<std::ops::Range<usize>> = Vec::with_capacity(ba.len());
         for (fi, bx) in ba.iter().enumerate() {
+            let start = tasks.len();
             for piece in encode_pieces(hier, lev, *bx, cfg) {
                 tasks.push((fi, piece));
             }
+            fab_tasks.push(start..tasks.len());
         }
         if tasks.len() != level_blobs.len() {
             return Err(CompressError::Malformed(format!(
@@ -439,45 +509,45 @@ pub fn decompress_hierarchy_field_policy(
             )));
         }
         let sums = sums.expect("checked above");
-        let decoded: Vec<Result<Fab, CompressError>> =
-            amrviz_par::run(tasks.len(), |ti| {
+        // One chunk per fab: each worker decodes that fab's pieces into
+        // per-thread scratch and writes them into the fab's (reused) buffer.
+        // Failures land in a mutex in scheduling order and are re-sorted by
+        // task index so reporting is thread-count independent.
+        let failed: std::sync::Mutex<Vec<(usize, usize, amrviz_amr::Box3, String)>> =
+            std::sync::Mutex::new(Vec::new());
+        amrviz_par::for_each_chunk_mut(levels[lev].fabs_mut(), 1, |fi, chunk| {
+            let fab = &mut chunk[0];
+            for ti in fab_tasks[fi].clone() {
                 let (_, piece) = tasks[ti];
-                let blob = &level_blobs[ti];
-                if fnv1a_64(blob) != sums[ti] {
-                    return Err(CompressError::Malformed("blob checksum mismatch".into()));
+                if let Err(e) =
+                    decode_piece_into(compressor, &level_blobs[ti], sums[ti], piece, budget, fab)
+                {
+                    failed.lock().unwrap_or_else(|p| p.into_inner()).push((
+                        ti,
+                        fi,
+                        piece,
+                        e.to_string(),
+                    ));
                 }
-                let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
-                let field3 = compressor.decompress_budgeted(blob, budget)?;
-                if let Some(t0) = t0 {
-                    amrviz_obs::histogram!("decompress.piece_us", t0.elapsed().as_micros());
+            }
+        });
+        let mut failed = failed.into_inner().unwrap_or_else(|p| p.into_inner());
+        failed.sort_by_key(|&(ti, ..)| ti);
+        match policy {
+            DecodePolicy::Strict => {
+                if let Some((_, fi, _, cause)) = failed.into_iter().next() {
+                    return Err(CompressError::FabDecode {
+                        level: lev,
+                        fab: fi,
+                        cause,
+                    });
                 }
-                if field3.dims != piece.size() {
-                    return Err(CompressError::Malformed(format!(
-                        "piece dims {:?} but box size {:?}",
-                        field3.dims,
-                        piece.size()
-                    )));
-                }
-                Ok(Fab::from_vec(piece, field3.data))
-            });
-        let mut fabs: Vec<Fab> = ba.iter().map(|&bx| Fab::zeros(bx)).collect();
-        for (&(fi, piece), piece_fab) in tasks.iter().zip(decoded) {
-            match piece_fab {
-                Ok(pf) => {
-                    fabs[fi].copy_from(&pf);
-                }
-                Err(e) => match policy {
-                    DecodePolicy::Strict => {
-                        return Err(CompressError::FabDecode {
-                            level: lev,
-                            fab: fi,
-                            cause: e.to_string(),
-                        })
-                    }
-                    DecodePolicy::Degrade => {
-                        failures[lev].push((fi, piece, e.to_string()));
-                    }
-                },
+            }
+            DecodePolicy::Degrade => {
+                failures[lev] = failed
+                    .into_iter()
+                    .map(|(_, fi, piece, cause)| (fi, piece, cause))
+                    .collect();
             }
         }
         let level_bytes: usize = level_blobs.iter().map(Vec::len).sum();
@@ -485,17 +555,15 @@ pub fn decompress_hierarchy_field_policy(
         amrviz_obs::counter!("decompress.bytes_out", ba.num_cells() * 8);
         sp.add_field("pieces", tasks.len());
         sp.add_field("bytes_in", level_bytes);
-        levels.push(MultiFab::from_fabs(fabs));
     }
 
     // Repair pass, coarse to fine, so prolongation always reads from a
     // level that has itself been repaired already.
     let mut report = DecodeReport::default();
-    for lev in 0..hier.num_levels() {
-        let mut fab_status: Vec<FabStatus> =
-            vec![FabStatus::Ok; hier.box_array(lev).len()];
-        for (fi, piece, cause) in failures[lev].drain(..) {
-            let status = repair_piece(hier, &mut levels, lev, piece, cause);
+    for (lev, lev_failures) in failures.iter_mut().enumerate() {
+        let mut fab_status: Vec<FabStatus> = vec![FabStatus::Ok; hier.box_array(lev).len()];
+        for (fi, piece, cause) in lev_failures.drain(..) {
+            let status = repair_piece(hier, levels, lev, piece, cause);
             // A fab with several failed pieces keeps its worst status
             // (Failed > Degraded > Ok).
             if !matches!(fab_status[fi], FabStatus::Failed { .. }) {
@@ -527,8 +595,7 @@ pub fn decompress_hierarchy_field_policy(
                 for ffab in fine.fabs() {
                     let fine_bx = ffab.box3();
                     // Only fully-refinable overlap (fine boxes are aligned).
-                    let Some(overlap) = cfab.box3().intersect(&fine_bx.coarsen(ratio))
-                    else {
+                    let Some(overlap) = cfab.box3().intersect(&fine_bx.coarsen(ratio)) else {
                         continue;
                     };
                     let restricted = restrict_average(ffab, overlap, ratio);
@@ -537,7 +604,73 @@ pub fn decompress_hierarchy_field_policy(
             }
         }
     }
-    Ok((levels, report))
+    Ok(report)
+}
+
+/// Shapes `levels` onto the hierarchy's box structure, reusing existing fab
+/// allocations when the boxes already match. Everything is zero-filled
+/// either way: pieces absent from the stream (skipped redundant regions,
+/// failed blobs) must decode to zero, exactly as a fresh decode would.
+fn prepare_levels(hier: &AmrHierarchy, levels: &mut Vec<MultiFab>) {
+    levels.truncate(hier.num_levels());
+    for lev in 0..hier.num_levels() {
+        let ba = hier.box_array(lev);
+        match levels.get_mut(lev) {
+            Some(mf)
+                if mf.fabs().len() == ba.len()
+                    && mf
+                        .fabs()
+                        .iter()
+                        .zip(ba.iter())
+                        .all(|(f, &bx)| f.box3() == bx) =>
+            {
+                for fab in mf.fabs_mut() {
+                    fab.data_mut().fill(0.0);
+                }
+            }
+            Some(mf) => *mf = MultiFab::zeros(ba),
+            None => levels.push(MultiFab::zeros(ba)),
+        }
+    }
+}
+
+/// Verifies and decodes one piece blob into `fab` over `piece`, routing the
+/// decoded values through per-thread scratch (no per-piece `Fab` or owned
+/// `Field3`).
+fn decode_piece_into(
+    compressor: &dyn Compressor,
+    blob: &[u8],
+    sum: u64,
+    piece: amrviz_amr::Box3,
+    budget: &DecodeBudget,
+    fab: &mut Fab,
+) -> Result<(), CompressError> {
+    if fnv1a_64(blob) != sum {
+        return Err(CompressError::Malformed("blob checksum mismatch".into()));
+    }
+    let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
+    let mut vals = scratch::take_f64();
+    let dims = match compressor.decompress_into(blob, budget, &mut vals) {
+        Ok(d) => d,
+        Err(e) => {
+            scratch::give_f64(vals);
+            return Err(e);
+        }
+    };
+    if let Some(t0) = t0 {
+        amrviz_obs::histogram!("decompress.piece_us", t0.elapsed().as_micros());
+    }
+    if dims != piece.size() {
+        scratch::give_f64(vals);
+        return Err(CompressError::Malformed(format!(
+            "piece dims {:?} but box size {:?}",
+            dims,
+            piece.size()
+        )));
+    }
+    fab.write_region_from(piece, &vals);
+    scratch::give_f64(vals);
+    Ok(())
 }
 
 /// Rebuilds one failed piece from neighbor-level data and returns the
@@ -564,7 +697,10 @@ fn repair_piece(
         for fab in levels[lev].fabs_mut() {
             fab.copy_from(&repaired);
         }
-        return FabStatus::Degraded { repair: RepairKind::Prolonged, cause };
+        return FabStatus::Degraded {
+            repair: RepairKind::Prolonged,
+            cause,
+        };
     }
     if hier.num_levels() > 1 {
         // Coarsest level: averaging restriction from the finer level over
@@ -575,7 +711,9 @@ fn repair_piece(
         let fine = &fine_slice[0];
         let mut covered_any = false;
         for cfab in coarse_slice[0].fabs_mut() {
-            let Some(target) = cfab.box3().intersect(&piece) else { continue };
+            let Some(target) = cfab.box3().intersect(&piece) else {
+                continue;
+            };
             for ffab in fine.fabs() {
                 let Some(overlap) = target.intersect(&ffab.box3().coarsen(ratio)) else {
                     continue;
@@ -586,7 +724,10 @@ fn repair_piece(
             }
         }
         if covered_any {
-            return FabStatus::Degraded { repair: RepairKind::Restricted, cause };
+            return FabStatus::Degraded {
+                repair: RepairKind::Restricted,
+                cause,
+            };
         }
     }
     FabStatus::Failed {
@@ -597,8 +738,8 @@ fn repair_piece(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::szlr::SzLr;
     use crate::interp::SzInterp;
+    use crate::szlr::SzLr;
     use amrviz_amr::{Box3, BoxArray, Geometry, IntVect};
 
     fn two_level_hier() -> AmrHierarchy {
@@ -648,12 +789,15 @@ mod tests {
         let cfg = AmrCodecConfig::default();
         let compressors: [&dyn Compressor; 2] = [&SzLr::default(), &SzInterp];
         for comp in compressors {
-            let c =
-                compress_hierarchy_field(&h, "rho", comp, ErrorBound::Rel(1e-3), &cfg)
-                    .unwrap();
+            let c = compress_hierarchy_field(&h, "rho", comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
             let levels = decompress_hierarchy_field(&h, &c, comp, &cfg).unwrap();
             let err = max_err(&h, &levels, false);
-            assert!(err <= c.abs_eb * (1.0 + 1e-12), "{}: {err} > {}", comp.name(), c.abs_eb);
+            assert!(
+                err <= c.abs_eb * (1.0 + 1e-12),
+                "{}: {err} > {}",
+                comp.name(),
+                c.abs_eb
+            );
         }
     }
 
@@ -699,7 +843,10 @@ mod tests {
             "rho",
             &comp,
             ErrorBound::Rel(1e-4),
-            &AmrCodecConfig { skip_redundant: true, restore_redundant: false },
+            &AmrCodecConfig {
+                skip_redundant: true,
+                restore_redundant: false,
+            },
         )
         .unwrap();
         assert!(
@@ -710,7 +857,10 @@ mod tests {
         );
         // And the *unique* cells still honor the bound. (Decompression must
         // use the same piece decomposition it was encoded with.)
-        let skip_cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: false };
+        let skip_cfg = AmrCodecConfig {
+            skip_redundant: true,
+            restore_redundant: false,
+        };
         let levels = decompress_hierarchy_field(&h, &skip, &comp, &skip_cfg).unwrap();
         let err = max_err(&h, &levels, true);
         assert!(err <= skip.abs_eb * (1.0 + 1e-12));
@@ -720,9 +870,11 @@ mod tests {
     fn restore_redundant_rebuilds_covered_cells() {
         let h = two_level_hier();
         let comp = SzLr::default();
-        let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-4), &cfg)
-            .unwrap();
+        let cfg = AmrCodecConfig {
+            skip_redundant: true,
+            restore_redundant: true,
+        };
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-4), &cfg).unwrap();
         let levels = decompress_hierarchy_field(&h, &c, &comp, &cfg).unwrap();
         // Covered coarse cells should now approximate the restriction of the
         // original fine data (compression error + restriction difference).
@@ -758,12 +910,58 @@ mod tests {
     }
 
     #[test]
+    fn decode_into_reuses_fab_storage_and_matches_fresh() {
+        let h = two_level_hier();
+        let comp = SzLr::default();
+        let cfg = AmrCodecConfig::default();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
+        let fresh = decompress_hierarchy_field(&h, &c, &comp, &cfg).unwrap();
+
+        // Seed `levels` with a decode, note every fab's buffer address, then
+        // decode again into the same storage.
+        let mut levels = Vec::new();
+        decompress_hierarchy_field_into(
+            &h,
+            &c,
+            &comp,
+            &cfg,
+            DecodePolicy::Strict,
+            &DecodeBudget::default(),
+            &mut levels,
+        )
+        .unwrap();
+        let ptrs: Vec<*const f64> = levels
+            .iter()
+            .flat_map(|mf| mf.fabs().iter().map(|f| f.data().as_ptr()))
+            .collect();
+        let report = decompress_hierarchy_field_into(
+            &h,
+            &c,
+            &comp,
+            &cfg,
+            DecodePolicy::Strict,
+            &DecodeBudget::default(),
+            &mut levels,
+        )
+        .unwrap();
+        assert!(report.is_clean());
+        let ptrs2: Vec<*const f64> = levels
+            .iter()
+            .flat_map(|mf| mf.fabs().iter().map(|f| f.data().as_ptr()))
+            .collect();
+        assert_eq!(ptrs, ptrs2, "second decode must reuse every fab buffer");
+        assert_eq!(
+            levels, fresh,
+            "reused-storage decode must match a fresh one"
+        );
+    }
+
+    #[test]
     fn serialized_form_roundtrips() {
         let h = two_level_hier();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-            .unwrap();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let bytes = c.to_bytes();
         let back = CompressedHierarchyField::from_bytes(&bytes).unwrap();
         assert_eq!(back.abs_eb, c.abs_eb);
@@ -778,8 +976,7 @@ mod tests {
         let h = two_level_hier();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-            .unwrap();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let (_, report) = decompress_hierarchy_field_policy(
             &h,
             &c,
@@ -800,8 +997,7 @@ mod tests {
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
         let mut c =
-            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-                .unwrap();
+            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         // Flip one byte inside the fine level's blob; the stored checksum
         // no longer matches.
         let mid = c.blobs[1][0].len() / 2;
@@ -830,8 +1026,7 @@ mod tests {
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
         let mut c =
-            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-                .unwrap();
+            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let mid = c.blobs[1][0].len() / 2;
         c.blobs[1][0][mid] ^= 0xFF;
         let (levels, report) = decompress_hierarchy_field_policy(
@@ -850,7 +1045,10 @@ mod tests {
         assert_eq!((*lev, *fab), (1, 0));
         assert!(matches!(
             status,
-            FabStatus::Degraded { repair: RepairKind::Prolonged, .. }
+            FabStatus::Degraded {
+                repair: RepairKind::Prolonged,
+                ..
+            }
         ));
         // The repaired fab approximates the true fine data via trilinear
         // prolongation of the (smooth) coarse field — far better than the
@@ -877,8 +1075,7 @@ mod tests {
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
         let mut c =
-            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-4), &cfg)
-                .unwrap();
+            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-4), &cfg).unwrap();
         let mid = c.blobs[0][0].len() / 2;
         c.blobs[0][0][mid] ^= 0xFF;
         let (levels, report) = decompress_hierarchy_field_policy(
@@ -896,7 +1093,10 @@ mod tests {
         assert_eq!(*lev, 0);
         assert!(matches!(
             status,
-            FabStatus::Degraded { repair: RepairKind::Restricted, .. }
+            FabStatus::Degraded {
+                repair: RepairKind::Restricted,
+                ..
+            }
         ));
         // Restricted coarse values approximate the original coarse data on
         // every cell the fine level covers.
@@ -920,14 +1120,12 @@ mod tests {
     #[test]
     fn single_level_corruption_is_reported_failed() {
         let geom = Geometry::unit(Box3::from_dims(8, 8, 8));
-        let mut h =
-            AmrHierarchy::new(geom, vec![], vec![BoxArray::single(geom.domain)]).unwrap();
+        let mut h = AmrHierarchy::new(geom, vec![], vec![BoxArray::single(geom.domain)]).unwrap();
         h.add_field_from_fn("rho", |_, iv| iv[0] as f64).unwrap();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
         let mut c =
-            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-                .unwrap();
+            compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let mid = c.blobs[0][0].len() / 2;
         c.blobs[0][0][mid] ^= 0xFF;
         let (_, report) = decompress_hierarchy_field_policy(
@@ -948,8 +1146,7 @@ mod tests {
         let h = two_level_hier();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-            .unwrap();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let mut bytes = c.to_bytes();
         assert_eq!(bytes[0], CONTAINER_MAGIC);
         assert_eq!(bytes[1], CONTAINER_VERSION);
@@ -967,8 +1164,7 @@ mod tests {
         let h = two_level_hier();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-            .unwrap();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         // Serialize by hand in the v1 layout (no magic, no checksums).
         let mut w = ByteWriter::new();
         w.f64(c.abs_eb);
@@ -994,8 +1190,7 @@ mod tests {
         let h = two_level_hier();
         let comp = SzInterp;
         let cfg = AmrCodecConfig::default();
-        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg)
-            .unwrap();
+        let c = compress_hierarchy_field(&h, "rho", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
         let mut bytes = c.to_bytes();
         bytes[1] = 99;
         let err = CompressedHierarchyField::from_bytes(&bytes).unwrap_err();

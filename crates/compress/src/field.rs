@@ -1,4 +1,9 @@
 //! Dense 3D scalar fields — the unit of compression.
+//!
+//! [`Field3`] owns its storage; [`Field3View`] and [`FieldMut`] borrow it.
+//! The compressors operate on views (see [`Compressor`](crate::Compressor)),
+//! so callers can hand in a sub-region gathered into a rented scratch
+//! buffer without ever materializing an owned `Field3`.
 
 /// An owned, dense, x-fastest 3D scalar field.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,7 +23,10 @@ impl Field3 {
     }
 
     pub fn zeros(dims: [usize; 3]) -> Self {
-        Field3 { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+        Field3 {
+            dims,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+        }
     }
 
     /// Builds a field by evaluating `f(i, j, k)`.
@@ -60,10 +68,11 @@ impl Field3 {
         if self.data.is_empty() {
             return (0.0, 0.0);
         }
-        self.data.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 
     /// Value range `max − min`.
@@ -75,6 +84,139 @@ impl Field3 {
     /// Size of the raw data in bytes.
     pub fn nbytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Borrows the field as a [`Field3View`].
+    #[inline]
+    pub fn view(&self) -> Field3View<'_> {
+        Field3View {
+            dims: self.dims,
+            data: &self.data,
+        }
+    }
+
+    /// Borrows the field as a [`FieldMut`].
+    #[inline]
+    pub fn view_mut(&mut self) -> FieldMut<'_> {
+        FieldMut {
+            dims: self.dims,
+            data: &mut self.data,
+        }
+    }
+}
+
+/// A borrowed, dense, x-fastest 3D scalar field — the zero-copy input type
+/// of the compressors. `Copy`, so it threads through call chains freely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Field3View<'a> {
+    pub dims: [usize; 3],
+    pub data: &'a [f64],
+}
+
+impl<'a> Field3View<'a> {
+    pub fn new(dims: [usize; 3], data: &'a [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            dims[0] * dims[1] * dims[2],
+            "field buffer does not match dims"
+        );
+        Field3View { dims, data }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        i + self.dims[0] * (j + self.dims[1] * k)
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// `(min, max)` of the data (0.0 pair for empty fields).
+    pub fn min_max(&self) -> (f64, f64) {
+        if self.data.is_empty() {
+            return (0.0, 0.0);
+        }
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
+    }
+
+    /// Value range `max − min`.
+    pub fn range(&self) -> f64 {
+        let (lo, hi) = self.min_max();
+        hi - lo
+    }
+
+    /// Size of the raw data in bytes.
+    pub fn nbytes(&self) -> usize {
+        std::mem::size_of_val(self.data)
+    }
+
+    /// Copies the view into an owned [`Field3`].
+    pub fn to_owned_field(&self) -> Field3 {
+        Field3 {
+            dims: self.dims,
+            data: self.data.to_vec(),
+        }
+    }
+}
+
+/// A mutably borrowed dense field: reconstruction buffers, rented scratch,
+/// or fab interiors viewed as a volume without transferring ownership.
+#[derive(Debug, PartialEq)]
+pub struct FieldMut<'a> {
+    pub dims: [usize; 3],
+    pub data: &'a mut [f64],
+}
+
+impl<'a> FieldMut<'a> {
+    pub fn new(dims: [usize; 3], data: &'a mut [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            dims[0] * dims[1] * dims[2],
+            "field buffer does not match dims"
+        );
+        FieldMut { dims, data }
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        i + self.dims[0] * (j + self.dims[1] * k)
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Reborrows immutably.
+    #[inline]
+    pub fn as_view(&self) -> Field3View<'_> {
+        Field3View {
+            dims: self.dims,
+            data: self.data,
+        }
     }
 }
 
@@ -104,5 +246,36 @@ mod tests {
     #[should_panic(expected = "does not match dims")]
     fn dims_checked() {
         Field3::new([2, 2, 2], vec![0.0; 7]);
+    }
+
+    #[test]
+    fn views_borrow_without_copying() {
+        let f = Field3::from_fn([2, 3, 4], |i, j, k| (i + 10 * j + 100 * k) as f64);
+        let v = f.view();
+        assert_eq!(v.at(1, 2, 3), 321.0);
+        assert_eq!(v.min_max(), f.min_max());
+        assert_eq!(v.range(), f.range());
+        assert_eq!(v.nbytes(), f.nbytes());
+        assert_eq!(
+            v.data.as_ptr(),
+            f.data.as_ptr(),
+            "view must alias the field"
+        );
+        assert_eq!(v.to_owned_field(), f);
+    }
+
+    #[test]
+    fn field_mut_writes_through() {
+        let mut f = Field3::zeros([2, 2, 2]);
+        let mut m = f.view_mut();
+        m.set(1, 1, 1, 9.0);
+        assert_eq!(m.as_view().at(1, 1, 1), 9.0);
+        assert_eq!(f.at(1, 1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn view_dims_checked() {
+        Field3View::new([2, 2, 2], &[0.0; 7]);
     }
 }

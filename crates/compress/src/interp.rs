@@ -14,11 +14,12 @@
 //! than blocks (paper §4).
 
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    huffman_decode_into, huffman_encode_into, lzss_compress_into, lzss_decompress_into,
     DecodeBudget,
 };
+use amrviz_par::scratch;
 
-use crate::field::Field3;
+use crate::field::{Field3View, FieldMut};
 use crate::quantizer::{QuantStats, Quantized, Quantizer};
 use crate::wire::{ByteReader, ByteWriter};
 use crate::{CompressError, Compressor, ErrorBound};
@@ -49,12 +50,9 @@ struct Site {
 ///
 /// Shared by compressor and decompressor so the traversal can never drift
 /// out of sync.
-fn sweep(
-    recon: &mut [f64],
-    dims: [usize; 3],
-    mut visit: impl FnMut(Site) -> f64,
-) {
-    let [nx, ny, nz] = dims;
+fn sweep(recon: FieldMut<'_>, mut visit: impl FnMut(Site) -> f64) {
+    let [nx, ny, nz] = recon.dims;
+    let recon = recon.data;
     let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
     let max_dim = nx.max(ny).max(nz);
     if max_dim <= 1 {
@@ -88,7 +86,10 @@ fn sweep(
                 for i in (s..nx).step_by(s2) {
                     let at = |t: usize| idx(t, j, k);
                     let pred = predict_line(recon, nx, i, &at);
-                    recon[idx(i, j, k)] = visit(Site { idx: idx(i, j, k), pred });
+                    recon[idx(i, j, k)] = visit(Site {
+                        idx: idx(i, j, k),
+                        pred,
+                    });
                 }
             }
         }
@@ -98,7 +99,10 @@ fn sweep(
                 for i in (0..nx).step_by(s) {
                     let at = |t: usize| idx(i, t, k);
                     let pred = predict_line(recon, ny, j, &at);
-                    recon[idx(i, j, k)] = visit(Site { idx: idx(i, j, k), pred });
+                    recon[idx(i, j, k)] = visit(Site {
+                        idx: idx(i, j, k),
+                        pred,
+                    });
                 }
             }
         }
@@ -108,7 +112,10 @@ fn sweep(
                 for i in (0..nx).step_by(s) {
                     let at = |t: usize| idx(i, j, t);
                     let pred = predict_line(recon, nz, k, &at);
-                    recon[idx(i, j, k)] = visit(Site { idx: idx(i, j, k), pred });
+                    recon[idx(i, j, k)] = visit(Site {
+                        idx: idx(i, j, k),
+                        pred,
+                    });
                 }
             }
         }
@@ -121,23 +128,32 @@ impl Compressor for SzInterp {
         "SZ-Itp"
     }
 
-    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+    fn compress_into(&self, field: Field3View<'_>, bound: ErrorBound, out: &mut Vec<u8>) {
         let mut sp = amrviz_obs::span!("szitp.compress", values = field.len());
+        let start_len = out.len();
         let dims = field.dims;
         let n = field.len();
         let eb = {
             let e = bound.to_abs(field.range());
-            if e > 0.0 { e } else { 1e-300 }
+            if e > 0.0 {
+                e
+            } else {
+                1e-300
+            }
         };
         let q = Quantizer::new(eb);
         let mut qstats = QuantStats::default();
 
-        let mut recon = vec![0.0f64; n];
+        // Working buffers are rented per worker thread, not allocated per
+        // field.
+        let mut recon = scratch::take_f64();
+        recon.resize(n, 0.0);
         recon[0] = field.data[0]; // corner anchor, stored raw
-        let mut codes: Vec<u32> = Vec::with_capacity(n);
-        let mut outliers: Vec<f64> = Vec::new();
+        let mut codes = scratch::take_u32();
+        codes.reserve(n);
+        let mut outliers = scratch::take_f64();
 
-        sweep(&mut recon, dims, |site| {
+        sweep(FieldMut::new(dims, &mut recon), |site| {
             let actual = field.data[site.idx];
             let quantized = q.quantize(site.pred, actual);
             qstats.tally(&quantized);
@@ -154,30 +170,42 @@ impl Compressor for SzInterp {
             }
         });
 
-        let mut w = ByteWriter::new();
+        scratch::give_f64(recon);
+
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.u8(MAGIC);
         w.uvarint(dims[0] as u64);
         w.uvarint(dims[1] as u64);
         w.uvarint(dims[2] as u64);
         w.f64(eb);
         w.f64(field.data[0]);
-        w.section(&lzss_compress(&huffman_encode(&codes)));
-        let mut outlier_bytes = Vec::with_capacity(outliers.len() * 8);
+        let mut huff = scratch::take_bytes();
+        huffman_encode_into(&codes, &mut huff);
+        let mut lz = scratch::take_bytes();
+        lzss_compress_into(&huff, &mut lz);
+        w.section(&lz);
+        scratch::give_bytes(lz);
+        scratch::give_bytes(huff);
+        scratch::give_u32(codes);
+        let mut outlier_bytes = scratch::take_bytes();
+        outlier_bytes.reserve(outliers.len() * 8);
         for v in &outliers {
             outlier_bytes.extend_from_slice(&v.to_le_bytes());
         }
         w.section(&outlier_bytes);
-        let out = w.finish();
+        scratch::give_bytes(outlier_bytes);
+        scratch::give_f64(outliers);
+        *out = w.finish();
         qstats.report();
-        sp.add_field("bytes_out", out.len());
-        out
+        sp.add_field("bytes_out", out.len() - start_len);
     }
 
-    fn decompress_budgeted(
+    fn decompress_into(
         &self,
         bytes: &[u8],
         budget: &DecodeBudget,
-    ) -> Result<Field3, CompressError> {
+        out: &mut Vec<f64>,
+    ) -> Result<[usize; 3], CompressError> {
         let _sp = amrviz_obs::span!("szitp.decompress", bytes_in = bytes.len());
         let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
@@ -191,7 +219,11 @@ impl Compressor for SzInterp {
         }
         let q = Quantizer::new(eb);
 
-        let codes = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
+        let mut lz = scratch::take_bytes();
+        lzss_decompress_into(r.section()?, budget, &mut lz)?;
+        let mut codes = scratch::take_u32();
+        huffman_decode_into(&lz, budget, &mut codes)?;
+        scratch::give_bytes(lz);
         if codes.len() != n - 1 {
             return Err(CompressError::Malformed(format!(
                 "expected {} codes, found {}",
@@ -203,18 +235,19 @@ impl Compressor for SzInterp {
         if outlier_section.len() % 8 != 0 {
             return Err(CompressError::Malformed("ragged outlier section".into()));
         }
-        let outliers: Vec<f64> = outlier_section
+        // Outliers stream straight out of the borrowed section — no copy.
+        let mut outlier_iter = outlier_section
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")));
 
-        let mut recon = vec![0.0f64; n];
-        recon[0] = anchor;
-        let mut code_iter = codes.into_iter();
-        let mut outlier_iter = outliers.into_iter();
+        out.clear();
+        out.resize(n, 0.0);
+        out[0] = anchor;
+        let mut code_pos = 0usize;
         let mut missing_outlier = false;
-        sweep(&mut recon, [nx, ny, nz], |site| {
-            let code = code_iter.next().expect("code count checked");
+        sweep(FieldMut::new([nx, ny, nz], out), |site| {
+            let code = codes[code_pos];
+            code_pos += 1;
             if code == 0 {
                 match outlier_iter.next() {
                     Some(v) => v,
@@ -227,16 +260,18 @@ impl Compressor for SzInterp {
                 q.reconstruct(site.pred, code)
             }
         });
+        scratch::give_u32(codes);
         if missing_outlier {
             return Err(CompressError::Malformed("missing outlier value".into()));
         }
-        Ok(Field3::new([nx, ny, nz], recon))
+        Ok([nx, ny, nz])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::field::Field3;
     use amrviz_rng::check;
 
     fn check_bound(orig: &Field3, recon: &Field3, eb: f64) {
@@ -262,12 +297,19 @@ mod tests {
             let mut seen = vec![false; n];
             seen[0] = true; // anchor
             let mut recon = vec![0.0; n];
-            sweep(&mut recon, dims, |site| {
-                assert!(!seen[site.idx], "site {} visited twice (dims {dims:?})", site.idx);
+            sweep(FieldMut::new(dims, &mut recon), |site| {
+                assert!(
+                    !seen[site.idx],
+                    "site {} visited twice (dims {dims:?})",
+                    site.idx
+                );
                 seen[site.idx] = true;
                 0.0
             });
-            assert!(seen.iter().all(|&s| s), "not all sites visited for {dims:?}");
+            assert!(
+                seen.iter().all(|&s| s),
+                "not all sites visited for {dims:?}"
+            );
         }
     }
 

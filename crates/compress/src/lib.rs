@@ -51,12 +51,12 @@ pub mod zfp_like;
 pub mod zmesh;
 
 pub use amr_codec::{
-    compress_hierarchy_field, decompress_hierarchy_field,
-    decompress_hierarchy_field_policy, AmrCodecConfig, CompressedHierarchyField,
-    DecodePolicy, DecodeReport, FabStatus, RepairKind,
+    compress_hierarchy_field, decompress_hierarchy_field, decompress_hierarchy_field_into,
+    decompress_hierarchy_field_policy, AmrCodecConfig, CompressedHierarchyField, DecodePolicy,
+    DecodeReport, FabStatus, RepairKind,
 };
 pub use amrviz_codec::DecodeBudget;
-pub use field::Field3;
+pub use field::{Field3, Field3View, FieldMut};
 pub use interp::SzInterp;
 pub use stats::CompressionStats;
 pub use szlr::{PredictorMode, SzLr};
@@ -124,28 +124,55 @@ impl From<amrviz_codec::CodecError> for CompressError {
 
 /// A lossy, error-bounded compressor for 3D scalar fields.
 ///
-/// `compress` consumes the field and a bound; the produced buffer is fully
-/// self-describing (dims and bound are recoverable), so `decompress` needs
-/// nothing else.
+/// The primary methods are the zero-copy pair: [`Compressor::compress_into`]
+/// reads a borrowed [`Field3View`] and appends the self-describing stream to
+/// a caller-owned buffer; [`Compressor::decompress_into`] decodes into a
+/// reusable `Vec<f64>` and returns the dims. The owned `compress` /
+/// `decompress*` API is kept as default-impl shims over those, so existing
+/// callers (and the doc examples) keep working unchanged — byte-for-byte.
 pub trait Compressor: Sync {
     /// Short identifier used in reports ("SZ-L/R", "SZ-Itp", …).
     fn name(&self) -> &'static str;
 
-    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8>;
+    /// Appends the compressed stream for `field` to `out`. The stream is
+    /// fully self-describing (dims and bound are recoverable), and the
+    /// appended bytes are identical to what [`Compressor::compress`]
+    /// returns for the same input.
+    fn compress_into(&self, field: Field3View<'_>, bound: ErrorBound, out: &mut Vec<u8>);
+
+    /// Owned-API shim over [`Compressor::compress_into`].
+    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(field.view(), bound, &mut out);
+        out
+    }
 
     /// Decompresses under the default (permissive) [`DecodeBudget`].
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CompressError> {
         self.decompress_budgeted(bytes, &amrviz_codec::DecodeBudget::default())
     }
 
-    /// Decompresses with every declared dimension, count, and section
-    /// length validated against `budget` before allocation. This is the
-    /// method implementors provide; [`Compressor::decompress`] delegates.
+    /// Owned-API shim over [`Compressor::decompress_into`].
     fn decompress_budgeted(
         &self,
         bytes: &[u8],
         budget: &amrviz_codec::DecodeBudget,
-    ) -> Result<Field3, CompressError>;
+    ) -> Result<Field3, CompressError> {
+        let mut data = Vec::new();
+        let dims = self.decompress_into(bytes, budget, &mut data)?;
+        Ok(Field3::new(dims, data))
+    }
+
+    /// Decompresses into `out` (cleared first, capacity reused) with every
+    /// declared dimension, count, and section length validated against
+    /// `budget` before allocation; returns the decoded dims. On error `out`
+    /// may hold a partial prefix; its contents are unspecified.
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        budget: &amrviz_codec::DecodeBudget,
+        out: &mut Vec<f64>,
+    ) -> Result<[usize; 3], CompressError>;
 }
 
 #[cfg(test)]

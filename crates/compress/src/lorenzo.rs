@@ -28,8 +28,7 @@ pub fn lorenzo3_predict(v: &[f64], dims: [usize; 3], i: usize, j: usize, k: usiz
             v[idx(i - di, j - dj, k - dk)]
         }
     };
-    g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1)
-        + g(1, 1, 1)
+    g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1) + g(1, 1, 1)
 }
 
 #[cfg(test)]
@@ -56,8 +55,7 @@ mod tests {
         // the inclusion–exclusion is the pure ijk mixed difference).
         let dims = [6, 5, 4];
         let f = |i: usize, j: usize, k: usize| {
-            2.0 + 3.0 * i as f64 - 1.5 * j as f64 + 0.25 * k as f64
-                + 0.5 * (i * j) as f64
+            2.0 + 3.0 * i as f64 - 1.5 * j as f64 + 0.25 * k as f64 + 0.5 * (i * j) as f64
                 - 0.125 * (i * k) as f64
                 + 0.75 * (j * k) as f64
         };

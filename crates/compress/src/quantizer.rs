@@ -54,8 +54,8 @@ impl QuantStats {
         amrviz_obs::counter!("quantizer.codes", self.codes);
         amrviz_obs::counter!("quantizer.outliers", self.outliers);
         let total = self.codes + self.outliers;
-        if total > 0 {
-            amrviz_obs::histogram!("quantizer.hit_pct", self.codes * 100 / total);
+        if let Some(hit_pct) = (self.codes * 100).checked_div(total) {
+            amrviz_obs::histogram!("quantizer.hit_pct", hit_pct);
         }
     }
 }
@@ -72,7 +72,10 @@ impl Quantizer {
     /// Panics if `eb` is not strictly positive and finite.
     pub fn new(eb: f64) -> Self {
         assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
-        Quantizer { eb, inv_2eb: 0.5 / eb }
+        Quantizer {
+            eb,
+            inv_2eb: 0.5 / eb,
+        }
     }
 
     pub fn eb(&self) -> f64 {
@@ -93,7 +96,10 @@ impl Quantizer {
         if (recon - actual).abs() > self.eb {
             return Quantized::Outlier;
         }
-        Quantized::Code { code: (m as i64 + RADIUS) as u32, recon }
+        Quantized::Code {
+            code: (m as i64 + RADIUS) as u32,
+            recon,
+        }
     }
 
     /// Reconstructs from a symbol code (inverse of the `Code` arm).
@@ -116,7 +122,13 @@ mod tests {
         stats.tally(&q.quantize(0.0, 0.05));
         stats.tally(&q.quantize(0.0, 1e9));
         stats.tally(&q.quantize(0.0, f64::NAN));
-        assert_eq!(stats, QuantStats { codes: 1, outliers: 2 });
+        assert_eq!(
+            stats,
+            QuantStats {
+                codes: 1,
+                outliers: 2
+            }
+        );
         stats.report(); // recorder disabled: must be a free no-op
     }
 

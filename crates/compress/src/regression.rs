@@ -60,7 +60,11 @@ pub fn fit_block(values: &[f64], bs: [usize; 3]) -> RegressionCoeffs {
     let vbar = sv / n as f64;
     let mut b = [0.0f64; 3];
     for a in 0..3 {
-        b[a] = if denom[a] > 0.0 { sxv[a] / denom[a] } else { 0.0 };
+        b[a] = if denom[a] > 0.0 {
+            sxv[a] / denom[a]
+        } else {
+            0.0
+        };
     }
     // Shift intercept from centroid back to offset (0,0,0).
     let b0 = vbar - b[0] * ci - b[1] * cj - b[2] * ck;
@@ -86,7 +90,8 @@ mod tests {
     #[test]
     fn exact_on_planes() {
         let bs = [6, 6, 6];
-        let f = |i: usize, j: usize, k: usize| 1.5 + 2.0 * i as f64 - 0.5 * j as f64 + 3.0 * k as f64;
+        let f =
+            |i: usize, j: usize, k: usize| 1.5 + 2.0 * i as f64 - 0.5 * j as f64 + 3.0 * k as f64;
         let c = fit_block(&block(bs, f), bs);
         assert!((c.b0 - 1.5).abs() < 1e-10);
         assert!((c.b[0] - 2.0).abs() < 1e-10);
@@ -99,9 +104,8 @@ mod tests {
     }
 
     fn iproduct(bs: [usize; 3]) -> impl Iterator<Item = (usize, usize, usize)> {
-        (0..bs[2]).flat_map(move |k| {
-            (0..bs[1]).flat_map(move |j| (0..bs[0]).map(move |i| (k, j, i)))
-        })
+        (0..bs[2])
+            .flat_map(move |k| (0..bs[1]).flat_map(move |j| (0..bs[0]).map(move |i| (k, j, i))))
     }
 
     #[test]
@@ -137,7 +141,9 @@ mod tests {
         // plane than a constant predictor.
         let bs = [6, 6, 6];
         let f = |i: usize, j: usize, k: usize| {
-            2.0 * i as f64 + j as f64 + 0.5 * k as f64
+            2.0 * i as f64
+                + j as f64
+                + 0.5 * k as f64
                 + 0.3 * (((i * 7 + j * 13 + k * 29) % 5) as f64 - 2.0)
         };
         let vals = block(bs, f);

@@ -17,12 +17,13 @@
 //! coded quantization symbols, raw outlier values.
 
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    huffman_decode_into, huffman_encode_into, lzss_compress_into, lzss_decompress_into,
     DecodeBudget,
 };
 use amrviz_codec::{BitReader, BitWriter};
+use amrviz_par::scratch;
 
-use crate::field::Field3;
+use crate::field::Field3View;
 use crate::lorenzo::lorenzo3_predict;
 use crate::quantizer::{QuantStats, Quantized, Quantizer};
 use crate::regression::{fit_block, RegressionCoeffs};
@@ -56,19 +57,28 @@ pub struct SzLr {
 
 impl Default for SzLr {
     fn default() -> Self {
-        SzLr { block_size: 6, mode: PredictorMode::Hybrid }
+        SzLr {
+            block_size: 6,
+            mode: PredictorMode::Hybrid,
+        }
     }
 }
 
 impl SzLr {
     /// Ablation constructor: Lorenzo predictor only.
     pub fn lorenzo_only() -> Self {
-        SzLr { mode: PredictorMode::LorenzoOnly, ..Default::default() }
+        SzLr {
+            mode: PredictorMode::LorenzoOnly,
+            ..Default::default()
+        }
     }
 
     /// Ablation constructor: regression predictor only.
     pub fn regression_only() -> Self {
-        SzLr { mode: PredictorMode::RegressionOnly, ..Default::default() }
+        SzLr {
+            mode: PredictorMode::RegressionOnly,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,8 +153,9 @@ impl Compressor for SzLr {
         "SZ-L/R"
     }
 
-    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+    fn compress_into(&self, field: Field3View<'_>, bound: ErrorBound, out: &mut Vec<u8>) {
         let mut sp = amrviz_obs::span!("szlr.compress", values = field.len());
+        let start_len = out.len();
         let dims = field.dims;
         let [nx, ny, nz] = dims;
         let n = field.len();
@@ -154,13 +165,18 @@ impl Compressor for SzLr {
         let bs = self.block_size;
         let nblocks = self.block_extents(dims);
 
-        let mut recon = vec![0.0f64; n];
-        let mut codes: Vec<u32> = Vec::with_capacity(n);
-        let mut outliers: Vec<f64> = Vec::new();
-        let mut pred_bits = BitWriter::new();
-        let mut coeff_bytes = ByteWriter::new();
+        // All working state is rented from the per-thread scratch pool, so
+        // a worker compressing many boxes allocates these once, not per box.
+        let mut recon = scratch::take_f64();
+        recon.resize(n, 0.0);
+        let mut codes = scratch::take_u32();
+        codes.reserve(n);
+        let mut outliers = scratch::take_f64();
+        let mut pred_bits = BitWriter::with_buffer(scratch::take_bytes());
+        let mut coeff_bytes = ByteWriter::from_vec(scratch::take_bytes());
 
-        let mut block_vals: Vec<f64> = Vec::with_capacity(bs * bs * bs);
+        let mut block_vals = scratch::take_f64();
+        block_vals.reserve(bs * bs * bs);
         for bk in 0..nblocks[2] {
             for bj in 0..nblocks[1] {
                 for bi in 0..nblocks[0] {
@@ -181,8 +197,7 @@ impl Compressor for SzLr {
                         }
                     }
                     let coeffs = fit_block(&block_vals, ext);
-                    let pred_kind =
-                        self.select_predictor(&field.data, dims, base, ext, &coeffs);
+                    let pred_kind = self.select_predictor(field.data, dims, base, ext, &coeffs);
                     pred_bits.write_bit(pred_kind == Pred::Regression);
 
                     // Decompressor sees f32 coefficients; predict with the
@@ -235,33 +250,51 @@ impl Compressor for SzLr {
             }
         }
 
-        // Assemble the stream.
-        let mut w = ByteWriter::new();
+        scratch::give_f64(block_vals);
+
+        // Assemble the stream directly onto the caller's buffer; the
+        // entropy stages run through rented intermediates.
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.u8(MAGIC);
         w.uvarint(nx as u64);
         w.uvarint(ny as u64);
         w.uvarint(nz as u64);
         w.f64(eb);
         w.uvarint(bs as u64);
-        w.section(&pred_bits.finish());
-        w.section(&coeff_bytes.finish());
-        w.section(&lzss_compress(&huffman_encode(&codes)));
-        let mut outlier_bytes = Vec::with_capacity(outliers.len() * 8);
+        let pred = pred_bits.finish();
+        w.section(&pred);
+        scratch::give_bytes(pred);
+        let coeff = coeff_bytes.finish();
+        w.section(&coeff);
+        scratch::give_bytes(coeff);
+        let mut huff = scratch::take_bytes();
+        huffman_encode_into(&codes, &mut huff);
+        let mut lz = scratch::take_bytes();
+        lzss_compress_into(&huff, &mut lz);
+        w.section(&lz);
+        scratch::give_bytes(lz);
+        scratch::give_bytes(huff);
+        scratch::give_u32(codes);
+        scratch::give_f64(recon);
+        let mut outlier_bytes = scratch::take_bytes();
+        outlier_bytes.reserve(outliers.len() * 8);
         for v in &outliers {
             outlier_bytes.extend_from_slice(&v.to_le_bytes());
         }
         w.section(&outlier_bytes);
-        let out = w.finish();
+        scratch::give_bytes(outlier_bytes);
+        scratch::give_f64(outliers);
+        *out = w.finish();
         qstats.report();
-        sp.add_field("bytes_out", out.len());
-        out
+        sp.add_field("bytes_out", out.len() - start_len);
     }
 
-    fn decompress_budgeted(
+    fn decompress_into(
         &self,
         bytes: &[u8],
         budget: &DecodeBudget,
-    ) -> Result<Field3, CompressError> {
+        out: &mut Vec<f64>,
+    ) -> Result<[usize; 3], CompressError> {
         let _sp = amrviz_obs::span!("szlr.decompress", bytes_in = bytes.len());
         let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
@@ -276,9 +309,15 @@ impl Compressor for SzLr {
         let dims = [nx, ny, nz];
         let q = Quantizer::new(eb);
 
-        let pred_section = r.section()?.to_vec();
-        let coeff_section = r.section()?.to_vec();
-        let codes = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
+        // Section slices borrow the input stream directly (`ByteReader`
+        // hands back `&[u8]` tied to `bytes`), so nothing here is copied.
+        let pred_section = r.section()?;
+        let coeff_section = r.section()?;
+        let mut lz = scratch::take_bytes();
+        lzss_decompress_into(r.section()?, budget, &mut lz)?;
+        let mut codes = scratch::take_u32();
+        huffman_decode_into(&lz, budget, &mut codes)?;
+        scratch::give_bytes(lz);
         if codes.len() != n {
             return Err(CompressError::Malformed(format!(
                 "expected {n} codes, found {}",
@@ -289,16 +328,17 @@ impl Compressor for SzLr {
         if outlier_section.len() % 8 != 0 {
             return Err(CompressError::Malformed("ragged outlier section".into()));
         }
-        let outliers: Vec<f64> = outlier_section
+        // Outliers stream straight out of the borrowed section.
+        let mut outlier_iter = outlier_section
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")));
 
-        let mut pred_bits = BitReader::new(&pred_section);
-        let mut coeffs_r = ByteReader::new(&coeff_section);
-        let mut recon = vec![0.0f64; n];
-        let mut code_iter = codes.into_iter();
-        let mut outlier_iter = outliers.into_iter();
+        let mut pred_bits = BitReader::new(pred_section);
+        let mut coeffs_r = ByteReader::new(coeff_section);
+        out.clear();
+        out.resize(n, 0.0);
+        let recon = &mut out[..];
+        let mut code_pos = 0usize;
         let nblocks = self.block_extents_for(dims, bs);
 
         for bk in 0..nblocks[2] {
@@ -330,9 +370,10 @@ impl Compressor for SzLr {
                                 let idx = i + nx * (j + ny * k);
                                 let pred = match &c {
                                     Some(c) => c.predict(di, dj, dk),
-                                    None => lorenzo3_predict(&recon, dims, i, j, k),
+                                    None => lorenzo3_predict(recon, dims, i, j, k),
                                 };
-                                let code = code_iter.next().expect("len checked");
+                                let code = codes[code_pos];
+                                code_pos += 1;
                                 recon[idx] = if code == 0 {
                                     outlier_iter.next().ok_or_else(|| {
                                         CompressError::Malformed("missing outlier".into())
@@ -346,7 +387,8 @@ impl Compressor for SzLr {
                 }
             }
         }
-        Ok(Field3::new(dims, recon))
+        scratch::give_u32(codes);
+        Ok(dims)
     }
 }
 
@@ -363,6 +405,7 @@ impl SzLr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::field::Field3;
     use amrviz_rng::check;
 
     fn check_bound(orig: &Field3, recon: &Field3, eb: f64) {
@@ -406,7 +449,11 @@ mod tests {
         let f = Field3::new([16, 16, 16], vec![3.25; 4096]);
         let sz = SzLr::default();
         let buf = sz.compress(&f, ErrorBound::Rel(1e-3));
-        assert!(buf.len() < 600, "constant field stream too big: {}", buf.len());
+        assert!(
+            buf.len() < 600,
+            "constant field stream too big: {}",
+            buf.len()
+        );
         let back = sz.decompress(&buf).unwrap();
         assert_eq!(back.data, f.data);
     }
@@ -424,9 +471,16 @@ mod tests {
     #[test]
     fn outlier_heavy_data_roundtrips_exactly() {
         // Alternating huge jumps — every residual escapes.
-        let f = Field3::from_fn([8, 8, 8], |i, j, k| {
-            if (i + j + k) % 2 == 0 { 1e9 } else { -1e9 }
-        });
+        let f = Field3::from_fn(
+            [8, 8, 8],
+            |i, j, k| {
+                if (i + j + k) % 2 == 0 {
+                    1e9
+                } else {
+                    -1e9
+                }
+            },
+        );
         let sz = SzLr::default();
         let buf = sz.compress(&f, ErrorBound::Abs(1e-9));
         let back = sz.decompress(&buf).unwrap();

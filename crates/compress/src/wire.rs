@@ -18,6 +18,14 @@ impl ByteWriter {
         ByteWriter::default()
     }
 
+    /// Builds a writer that appends to an existing buffer; the buffer comes
+    /// back out of [`ByteWriter::finish`]. Lets streams be assembled
+    /// directly in caller-owned or rented scratch storage instead of a
+    /// fresh allocation per stream.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -74,7 +82,11 @@ impl<'a> ByteReader<'a> {
 
     /// Reader enforcing `budget` on sections and dimensions.
     pub fn with_budget(buf: &'a [u8], budget: DecodeBudget) -> Self {
-        ByteReader { buf, pos: 0, budget }
+        ByteReader {
+            buf,
+            pos: 0,
+            budget,
+        }
     }
 
     /// The budget this reader enforces.

@@ -12,12 +12,13 @@
 //! lossless on integers).
 
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
+    huffman_decode_into, huffman_encode_into, lzss_compress_into, lzss_decompress_into,
     DecodeBudget,
 };
 use amrviz_codec::{zigzag_decode, zigzag_encode};
+use amrviz_par::scratch;
 
-use crate::field::Field3;
+use crate::field::Field3View;
 use crate::wire::{ByteReader, ByteWriter};
 use crate::{CompressError, Compressor, ErrorBound};
 
@@ -106,20 +107,28 @@ impl Compressor for ZfpLike {
         "ZFP-like"
     }
 
-    fn compress(&self, field: &Field3, bound: ErrorBound) -> Vec<u8> {
+    fn compress_into(&self, field: Field3View<'_>, bound: ErrorBound, out: &mut Vec<u8>) {
         let dims = field.dims;
         let [nx, ny, nz] = dims;
         let eb = {
             let e = bound.to_abs(field.range());
-            if e > 0.0 { e } else { 1e-300 }
+            if e > 0.0 {
+                e
+            } else {
+                1e-300
+            }
         };
         let step = 2.0 * eb;
         let inv_step = 1.0 / step;
 
         let nb = [nx.div_ceil(BS), ny.div_ceil(BS), nz.div_ceil(BS)];
-        let mut symbols: Vec<u32> = Vec::with_capacity(field.len());
-        let mut escapes: Vec<i64> = Vec::new(); // large coefficients
-        let mut raw: Vec<f64> = Vec::new(); // raw-block values
+        let mut symbols = scratch::take_u32();
+        symbols.reserve(field.len());
+        // Escapes stay owned: there is no i64 scratch pool and the vector is
+        // almost always empty (only adversarially huge coefficients land
+        // here).
+        let mut escapes: Vec<i64> = Vec::new();
+        let mut raw = scratch::take_f64(); // raw-block values
 
         for bk in 0..nb[2] {
             for bj in 0..nb[1] {
@@ -168,31 +177,46 @@ impl Compressor for ZfpLike {
             }
         }
 
-        let mut w = ByteWriter::new();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.u8(MAGIC);
         w.uvarint(nx as u64);
         w.uvarint(ny as u64);
         w.uvarint(nz as u64);
         w.f64(eb);
-        w.section(&lzss_compress(&huffman_encode(&symbols)));
-        let mut esc_bytes = Vec::with_capacity(escapes.len() * 8);
+        let mut huff = scratch::take_bytes();
+        huffman_encode_into(&symbols, &mut huff);
+        let mut lz = scratch::take_bytes();
+        lzss_compress_into(&huff, &mut lz);
+        w.section(&lz);
+        scratch::give_bytes(huff);
+        scratch::give_u32(symbols);
+        let mut esc_bytes = scratch::take_bytes();
+        esc_bytes.reserve(escapes.len() * 8);
         for &e in &escapes {
             esc_bytes.extend_from_slice(&e.to_le_bytes());
         }
-        w.section(&lzss_compress(&esc_bytes));
-        let mut raw_bytes = Vec::with_capacity(raw.len() * 8);
+        lz.clear();
+        lzss_compress_into(&esc_bytes, &mut lz);
+        w.section(&lz);
+        scratch::give_bytes(lz);
+        let mut raw_bytes = esc_bytes; // reuse the rental for the raw section
+        raw_bytes.clear();
+        raw_bytes.reserve(raw.len() * 8);
         for &v in &raw {
             raw_bytes.extend_from_slice(&v.to_le_bytes());
         }
         w.section(&raw_bytes);
-        w.finish()
+        scratch::give_bytes(raw_bytes);
+        scratch::give_f64(raw);
+        *out = w.finish();
     }
 
-    fn decompress_budgeted(
+    fn decompress_into(
         &self,
         bytes: &[u8],
         budget: &DecodeBudget,
-    ) -> Result<Field3, CompressError> {
+        out: &mut Vec<f64>,
+    ) -> Result<[usize; 3], CompressError> {
         let mut r = ByteReader::with_budget(bytes, *budget);
         if r.u8()? != MAGIC {
             return Err(CompressError::Malformed("bad ZFP-like magic".into()));
@@ -203,8 +227,16 @@ impl Compressor for ZfpLike {
             return Err(CompressError::Malformed("bad ZFP-like header".into()));
         }
         let step = 2.0 * eb;
-        let symbols = huffman_decode_budgeted(&lzss_decompress_budgeted(r.section()?, budget)?, budget)?;
-        let esc_bytes = lzss_decompress_budgeted(r.section()?, budget)?;
+        let mut lz = scratch::take_bytes();
+        lzss_decompress_into(r.section()?, budget, &mut lz)?;
+        let symbols = {
+            let mut s = scratch::take_u32();
+            huffman_decode_into(&lz, budget, &mut s)?;
+            s
+        };
+        let mut esc_bytes = scratch::take_bytes();
+        lzss_decompress_into(r.section()?, budget, &mut esc_bytes)?;
+        scratch::give_bytes(lz);
         let mut escapes = esc_bytes
             .chunks_exact(8)
             .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")));
@@ -214,10 +246,13 @@ impl Compressor for ZfpLike {
             .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")));
 
         let nb = [nx.div_ceil(BS), ny.div_ceil(BS), nz.div_ceil(BS)];
-        let mut out = vec![0.0f64; n];
-        let mut sym = symbols.into_iter();
-        let mut next_sym =
-            || sym.next().ok_or(CompressError::Malformed("symbol underrun".into()));
+        out.clear();
+        out.resize(n, 0.0);
+        let mut sym = symbols.iter().copied();
+        let mut next_sym = || {
+            sym.next()
+                .ok_or(CompressError::Malformed("symbol underrun".into()))
+        };
 
         for bk in 0..nb[2] {
             for bj in 0..nb[1] {
@@ -226,17 +261,17 @@ impl Compressor for ZfpLike {
                     let mut vals = [0.0f64; 64];
                     if first == 0 {
                         for v in vals.iter_mut() {
-                            *v = raws.next().ok_or(CompressError::Malformed(
-                                "raw-block underrun".into(),
-                            ))?;
+                            *v = raws
+                                .next()
+                                .ok_or(CompressError::Malformed("raw-block underrun".into()))?;
                         }
                     } else {
                         let mut block = [0i64; 64];
                         let mut fill = |sym: u32| -> Result<i64, CompressError> {
                             if sym == 1 {
-                                escapes.next().ok_or(CompressError::Malformed(
-                                    "escape underrun".into(),
-                                ))
+                                escapes
+                                    .next()
+                                    .ok_or(CompressError::Malformed("escape underrun".into()))
                             } else {
                                 Ok(zigzag_decode(sym as u64 - 2))
                             }
@@ -269,13 +304,16 @@ impl Compressor for ZfpLike {
                 }
             }
         }
-        Ok(Field3::new([nx, ny, nz], out))
+        scratch::give_u32(symbols);
+        scratch::give_bytes(esc_bytes);
+        Ok([nx, ny, nz])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::field::Field3;
     use amrviz_rng::check;
 
     #[test]
@@ -290,7 +328,12 @@ mod tests {
 
     #[test]
     fn lane_roundtrip() {
-        let cases = [[0i64, 0, 0, 0], [1, 2, 3, 4], [-7, 13, -2, 900], [i64::MIN / 4; 4]];
+        let cases = [
+            [0i64, 0, 0, 0],
+            [1, 2, 3, 4],
+            [-7, 13, -2, 900],
+            [i64::MIN / 4; 4],
+        ];
         for c in cases {
             let mut v = c;
             lane_fwd(&mut v);
@@ -341,9 +384,7 @@ mod tests {
 
     #[test]
     fn compresses_smooth_data() {
-        let f = Field3::from_fn([32, 32, 32], |i, j, k| {
-            ((i + j + k) as f64 * 0.05).sin()
-        });
+        let f = Field3::from_fn([32, 32, 32], |i, j, k| ((i + j + k) as f64 * 0.05).sin());
         let buf = ZfpLike.compress(&f, ErrorBound::Rel(1e-3));
         let ratio = f.nbytes() as f64 / buf.len() as f64;
         assert!(ratio > 8.0, "ratio {ratio:.1}");

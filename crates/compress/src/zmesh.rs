@@ -20,8 +20,7 @@
 use amrviz_amr::multifab::rasterize_into;
 use amrviz_amr::{AmrHierarchy, Fab, IntVect, MultiFab};
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
-    DecodeBudget,
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted, DecodeBudget,
 };
 
 use crate::quantizer::{Quantized, Quantizer};
@@ -65,7 +64,11 @@ pub fn compress_zmesh(
     }
     let eb = {
         let e = bound.to_abs(hi - lo);
-        if e > 0.0 { e } else { 1e-300 }
+        if e > 0.0 {
+            e
+        } else {
+            1e-300
+        }
     };
     let q = Quantizer::new(eb);
 
@@ -74,17 +77,17 @@ pub fn compress_zmesh(
     let mut codes: Vec<u32> = Vec::with_capacity(coarse.len() + fine.len());
     let mut outliers: Vec<f64> = Vec::new();
     let mut prev = 0.0f64;
-    let push = |v: f64, prev: &mut f64, codes: &mut Vec<u32>, outliers: &mut Vec<f64>| {
-        match q.quantize(*prev, v) {
-            Quantized::Code { code, recon } => {
-                codes.push(code);
-                *prev = recon;
-            }
-            Quantized::Outlier => {
-                codes.push(0);
-                outliers.push(v);
-                *prev = v;
-            }
+    let push = |v: f64, prev: &mut f64, codes: &mut Vec<u32>, outliers: &mut Vec<f64>| match q
+        .quantize(*prev, v)
+    {
+        Quantized::Code { code, recon } => {
+            codes.push(code);
+            *prev = recon;
+        }
+        Quantized::Outlier => {
+            codes.push(0);
+            outliers.push(v);
+            *prev = v;
         }
     };
     for (n, cell) in dom0.cells().enumerate() {
@@ -123,10 +126,7 @@ pub fn compress_zmesh(
 /// Decompresses a [`compress_zmesh`] stream back onto the hierarchy's box
 /// structure. Fine cells outside the refined region and coarse cells are
 /// reconstructed; (coarse) values come back within the bound.
-pub fn decompress_zmesh(
-    hier: &AmrHierarchy,
-    bytes: &[u8],
-) -> Result<Vec<MultiFab>, CompressError> {
+pub fn decompress_zmesh(hier: &AmrHierarchy, bytes: &[u8]) -> Result<Vec<MultiFab>, CompressError> {
     decompress_zmesh_budgeted(hier, bytes, &DecodeBudget::default())
 }
 

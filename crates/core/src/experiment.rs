@@ -5,19 +5,19 @@
 //! wall-clock durations the trace exporters see, so a `--trace` file and
 //! the tabulated timings can never disagree.
 
+use amrviz_amr::resample::{flatten_levels_to_finest, Upsample};
+use amrviz_amr::MultiFab;
 use amrviz_compress::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig,
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, CompressError,
     CompressionStats, Compressor, ErrorBound, SzInterp, SzLr, ZfpLike,
 };
+use amrviz_json::{Json, ToJson};
 use amrviz_metrics::{quality, rssim, ssim2, ssim3, SsimConfig};
 use amrviz_render::{render_mesh, Camera, RenderOptions};
-use amrviz_amr::resample::{flatten_to_finest, Upsample};
-use amrviz_amr::MultiFab;
 use amrviz_viz::{
-    extract_amr_isosurface, interface_gap, normal_roughness, surface_distance_to,
-    IsoMethod, TriLocator,
+    extract_amr_isosurface, interface_gap, normal_roughness, surface_distance_to, IsoMethod,
+    TriLocator,
 };
-use amrviz_json::{Json, ToJson};
 
 use crate::scenario::{Application, BuiltScenario};
 
@@ -73,12 +73,14 @@ pub struct CompressionRun {
 }
 
 /// Compresses and decompresses a built scenario's evaluation field, then
-/// scores the reconstruction on the uniform-resolution merge.
+/// scores the reconstruction on the uniform-resolution merge. Errors
+/// (unknown field, a stream that fails to decode) propagate instead of
+/// panicking, so callers decide how a failed run is reported.
 pub fn run_compression(
     built: &BuiltScenario,
     kind: CompressorKind,
     rel_eb: f64,
-) -> CompressionRun {
+) -> Result<CompressionRun, CompressError> {
     let comp = kind.instance();
     let field = built.spec.app.eval_field();
     let cfg = AmrCodecConfig::default();
@@ -90,17 +92,15 @@ pub fn run_compression(
         comp.as_ref(),
         ErrorBound::Rel(rel_eb),
         &cfg,
-    )
-    .expect("scenario field exists");
+    )?;
     let compress_seconds = sp.finish();
 
     let sp = amrviz_obs::span!("decompress", compressor = kind.label());
-    let levels = decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
-        .expect("own stream decodes");
+    let levels = decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)?;
     let decompress_seconds = sp.finish();
 
     let sp_score = amrviz_obs::span!("score", compressor = kind.label());
-    let recon_uniform = flatten_levels(built, &levels);
+    let recon_uniform = flatten_levels(built, &levels)?;
     let stats = CompressionStats::new(compressed.n_values, compressed.compressed_bytes());
     let q = quality(&built.uniform.data, &recon_uniform);
     let dims = built.uniform.dims();
@@ -111,7 +111,7 @@ pub fn run_compression(
         &SsimConfig::default(),
     );
     sp_score.finish();
-    CompressionRun {
+    Ok(CompressionRun {
         app: built.spec.app,
         compressor: kind.label(),
         rel_error_bound: rel_eb,
@@ -125,19 +125,17 @@ pub fn run_compression(
         max_abs_error: q.max_abs_err,
         compress_seconds,
         decompress_seconds,
-    }
+    })
 }
 
-/// Merges decompressed level data to the finest uniform resolution by
-/// temporarily attaching it to a structural clone of the hierarchy.
-fn flatten_levels(built: &BuiltScenario, levels: &[MultiFab]) -> Vec<f64> {
+/// Merges decompressed level data to the finest uniform resolution. The
+/// level multifabs are borrowed directly — no hierarchy clone and no
+/// temporary field attachment.
+fn flatten_levels(built: &BuiltScenario, levels: &[MultiFab]) -> Result<Vec<f64>, CompressError> {
     let _sp = amrviz_obs::span!("flatten_levels");
-    let mut hier = built.hierarchy.clone();
-    hier.add_field("__recon", levels.to_vec())
-        .expect("levels match hierarchy");
-    flatten_to_finest(&hier, "__recon", Upsample::PiecewiseConstant)
-        .expect("field just added")
-        .data
+    flatten_levels_to_finest(&built.hierarchy, levels, Upsample::PiecewiseConstant)
+        .map(|u| u.data)
+        .map_err(|e| CompressError::Malformed(e.to_string()))
 }
 
 /// Table 1 row: dataset structure.
@@ -172,15 +170,15 @@ pub fn run_table1(built: &[&BuiltScenario]) -> Vec<Table1Row> {
 }
 
 /// Regenerates Table 2: both compressors × three error bounds per app.
-pub fn run_table2(built: &BuiltScenario) -> Vec<CompressionRun> {
+pub fn run_table2(built: &BuiltScenario) -> Result<Vec<CompressionRun>, CompressError> {
     let _sp = amrviz_obs::span!("run.table2");
     let mut rows = Vec::new();
     for kind in CompressorKind::PAPER {
         for eb in [1e-4, 1e-3, 1e-2] {
-            rows.push(run_compression(built, kind, eb));
+            rows.push(run_compression(built, kind, eb)?);
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of a rate-distortion curve (Figs. 12–13).
@@ -195,12 +193,15 @@ pub struct RateDistortionPoint {
 
 /// Sweeps error bounds for both compressors (Fig. 12 for WarpX "Ez",
 /// Fig. 13 for Nyx "Density").
-pub fn run_rate_distortion(built: &BuiltScenario, ebs: &[f64]) -> Vec<RateDistortionPoint> {
+pub fn run_rate_distortion(
+    built: &BuiltScenario,
+    ebs: &[f64],
+) -> Result<Vec<RateDistortionPoint>, CompressError> {
     let _sp = amrviz_obs::span!("run.rate_distortion", bounds = ebs.len());
     let mut pts = Vec::new();
     for kind in CompressorKind::PAPER {
         for &eb in ebs {
-            let run = run_compression(built, kind, eb);
+            let run = run_compression(built, kind, eb)?;
             pts.push(RateDistortionPoint {
                 compressor: kind.label(),
                 rel_error_bound: eb,
@@ -210,7 +211,7 @@ pub fn run_rate_distortion(built: &BuiltScenario, ebs: &[f64]) -> Vec<RateDistor
             });
         }
     }
-    pts
+    Ok(pts)
 }
 
 /// Crack/gap structure of the *original* data under each method (Fig. 1).
@@ -316,20 +317,29 @@ pub fn run_viz_quality(
     kind: CompressorKind,
     ebs: &[f64],
     methods: &[IsoMethod],
-) -> Vec<VizQualityRun> {
+) -> Result<Vec<VizQualityRun>, CompressError> {
     let _sp = amrviz_obs::span!("run.viz_quality", compressor = kind.label());
     let comp = kind.instance();
     let field = built.spec.app.eval_field();
-    let orig_levels = &built.hierarchy.field(field).expect("eval field").levels;
-    let fine_cell = built
+    let orig_levels = &built
         .hierarchy
-        .geometry()
-        .cell_size_at(built.hierarchy.ratio_to_level0(built.hierarchy.num_levels() - 1))[0];
+        .field(field)
+        .map_err(|e| CompressError::Malformed(e.to_string()))?
+        .levels;
+    let fine_cell = built.hierarchy.geometry().cell_size_at(
+        built
+            .hierarchy
+            .ratio_to_level0(built.hierarchy.num_levels() - 1),
+    )[0];
 
     // Reference surfaces and renders from the original data, computed once
     // per method (they do not depend on the error bound).
     let cam = standard_camera(built);
-    let opts = RenderOptions { width: 480, height: 360, ..Default::default() };
+    let opts = RenderOptions {
+        width: 480,
+        height: 360,
+        ..Default::default()
+    };
     struct Reference {
         method: IsoMethod,
         locator: Option<TriLocator>,
@@ -339,13 +349,16 @@ pub fn run_viz_quality(
     let references: Vec<Reference> = methods
         .iter()
         .map(|&method| {
-            let orig =
-                extract_amr_isosurface(&built.hierarchy, orig_levels, built.iso, method);
-            let lum = render_mesh(&orig.combined, &cam, &opts).luminance();
+            let orig = extract_amr_isosurface(&built.hierarchy, orig_levels, built.iso, method)
+                .into_combined();
+            let lum = render_mesh(&orig, &cam, &opts).luminance();
+            let roughness = normal_roughness(&orig);
             Reference {
                 method,
-                locator: TriLocator::build(&orig.combined),
-                roughness: normal_roughness(&orig.combined),
+                // `orig` is done with borrows here; the locator takes over
+                // its buffers rather than copying them.
+                locator: TriLocator::build_owned(orig),
+                roughness,
                 lum,
             }
         })
@@ -360,23 +373,21 @@ pub fn run_viz_quality(
             comp.as_ref(),
             ErrorBound::Rel(eb),
             &cfg,
-        )
-        .expect("field exists");
+        )?;
         let levels =
-            decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
-                .expect("own stream decodes");
+            decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)?;
         for r in &references {
-            let recon =
-                extract_amr_isosurface(&built.hierarchy, &levels, built.iso, r.method);
+            let recon = extract_amr_isosurface(&built.hierarchy, &levels, built.iso, r.method)
+                .into_combined();
             let dist = r
                 .locator
                 .as_ref()
-                .and_then(|loc| surface_distance_to(&recon.combined, loc));
+                .and_then(|loc| surface_distance_to(&recon, loc));
             let (mean_c, max_c) = match dist {
                 Some(d) => (d.mean / fine_cell, d.max / fine_cell),
                 None => (f64::NAN, f64::NAN),
             };
-            let img_r = render_mesh(&recon.combined, &cam, &opts);
+            let img_r = render_mesh(&recon, &cam, &opts);
             let image_ssim = ssim2(
                 &r.lum,
                 &img_r.luminance(),
@@ -390,15 +401,14 @@ pub fn run_viz_quality(
                 method: r.method.label(),
                 surface_error_cells: mean_c,
                 surface_error_max_cells: max_c,
-                roughness_increase: normal_roughness(&recon.combined) - r.roughness,
+                roughness_increase: normal_roughness(&recon) - r.roughness,
                 image_rssim: rssim(image_ssim),
-                triangles: recon.combined.num_triangles(),
+                triangles: recon.num_triangles(),
             });
         }
     }
-    rows
+    Ok(rows)
 }
-
 
 impl ToJson for CompressorKind {
     fn to_json(&self) -> Json {
@@ -498,7 +508,7 @@ mod tests {
     #[test]
     fn compression_run_is_sane() {
         let b = warpx();
-        let run = run_compression(&b, CompressorKind::SzInterp, 1e-3);
+        let run = run_compression(&b, CompressorKind::SzInterp, 1e-3).unwrap();
         assert!(run.compression_ratio > 4.0, "CR {}", run.compression_ratio);
         assert!(run.psnr_db > 50.0, "PSNR {}", run.psnr_db);
         assert!(run.ssim > 0.99);
@@ -525,11 +535,15 @@ mod tests {
     #[test]
     fn table2_has_12_rows_and_monotone_cr() {
         let b = warpx();
-        let rows = run_table2(&b);
+        let rows = run_table2(&b).unwrap();
         assert_eq!(rows.len(), 6); // per app: 2 compressors × 3 bounds
         for w in rows.chunks(3) {
-            assert!(w[0].compression_ratio < w[2].compression_ratio,
-                "CR should grow with eb: {} vs {}", w[0].compression_ratio, w[2].compression_ratio);
+            assert!(
+                w[0].compression_ratio < w[2].compression_ratio,
+                "CR should grow with eb: {} vs {}",
+                w[0].compression_ratio,
+                w[2].compression_ratio
+            );
             assert!(w[0].psnr_db > w[2].psnr_db, "PSNR should fall with eb");
             assert!(w[0].rssim < w[2].rssim, "R-SSIM should grow with eb");
         }
@@ -540,8 +554,8 @@ mod tests {
         // The headline of Fig. 12: on smooth data SZ-Interp compresses
         // harder at the same bound.
         let b = warpx();
-        let lr = run_compression(&b, CompressorKind::SzLr, 1e-3);
-        let itp = run_compression(&b, CompressorKind::SzInterp, 1e-3);
+        let lr = run_compression(&b, CompressorKind::SzLr, 1e-3).unwrap();
+        let itp = run_compression(&b, CompressorKind::SzInterp, 1e-3).unwrap();
         assert!(
             itp.compression_ratio > lr.compression_ratio,
             "Interp {} !> L/R {}",
@@ -575,7 +589,8 @@ mod tests {
             CompressorKind::SzLr,
             &[1e-2],
             &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
-        );
+        )
+        .unwrap();
         let resample = rows.iter().find(|r| r.method == "re-sampling").unwrap();
         let dual = rows
             .iter()
@@ -598,7 +613,7 @@ mod tests {
     #[test]
     fn zfp_like_also_runs() {
         let b = warpx();
-        let run = run_compression(&b, CompressorKind::ZfpLike, 1e-3);
+        let run = run_compression(&b, CompressorKind::ZfpLike, 1e-3).unwrap();
         assert!(run.compression_ratio > 2.0);
         assert!(run.max_abs_error <= run.abs_error_bound * (1.0 + 1e-9));
     }

@@ -23,7 +23,7 @@
 //! // A tiny Nyx-like snapshot, SZ-Interp at rel. eb 1e-3:
 //! let scenario = Scenario::new(Application::Nyx, Scale::Tiny, 42);
 //! let built = scenario.build();
-//! let run = run_compression(&built, CompressorKind::SzInterp, 1e-3);
+//! let run = run_compression(&built, CompressorKind::SzInterp, 1e-3).unwrap();
 //! assert!(run.compression_ratio > 1.0);
 //! assert!(run.psnr_db > 40.0);
 //! ```
@@ -34,17 +34,17 @@ pub mod scenario;
 
 pub use experiment::{
     run_compression, run_crack_analysis, run_rate_distortion, run_table1, run_table2,
-    run_viz_quality, CompressionRun, CompressorKind, CrackRun, RateDistortionPoint,
-    Table1Row, VizQualityRun,
+    run_viz_quality, CompressionRun, CompressorKind, CrackRun, RateDistortionPoint, Table1Row,
+    VizQualityRun,
 };
 pub use scenario::{Application, BuiltScenario, Scenario};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::experiment::{
-        run_compression, run_crack_analysis, run_rate_distortion, run_table1,
-        run_table2, run_viz_quality, CompressionRun, CompressorKind, CrackRun,
-        RateDistortionPoint, VizQualityRun,
+        run_compression, run_crack_analysis, run_rate_distortion, run_table1, run_table2,
+        run_viz_quality, CompressionRun, CompressorKind, CrackRun, RateDistortionPoint,
+        VizQualityRun,
     };
     pub use crate::scenario::{Application, BuiltScenario, Scenario};
     pub use amrviz_sim::Scale;

@@ -1,8 +1,6 @@
 //! Plain-text table rendering for the `repro` harness.
 
-use crate::experiment::{
-    CompressionRun, CrackRun, RateDistortionPoint, Table1Row, VizQualityRun,
-};
+use crate::experiment::{CompressionRun, CrackRun, RateDistortionPoint, Table1Row, VizQualityRun};
 
 /// Renders a list of rows as an aligned ASCII table.
 pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -82,7 +80,13 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         })
         .collect();
     ascii_table(
-        &["Runs", "#AMR Levels", "Grid size of each level", "Density of each level", "Cells"],
+        &[
+            "Runs",
+            "#AMR Levels",
+            "Grid size of each level",
+            "Density of each level",
+            "Cells",
+        ],
         &body,
     )
 }
@@ -107,7 +111,17 @@ pub fn format_table2(rows: &[CompressionRun]) -> String {
         })
         .collect();
     ascii_table(
-        &["App", "Compressor", "Err bound", "CR (f32)", "CR (f64)", "PSNR", "SSIM", "R-SSIM", "bits/val"],
+        &[
+            "App",
+            "Compressor",
+            "Err bound",
+            "CR (f32)",
+            "CR (f64)",
+            "PSNR",
+            "SSIM",
+            "R-SSIM",
+            "bits/val",
+        ],
         &body,
     )
 }
@@ -149,7 +163,15 @@ pub fn format_cracks(rows: &[CrackRun]) -> String {
         })
         .collect();
     ascii_table(
-        &["App", "Method", "Coarse tris", "Fine tris", "Rim edges", "Mean gap", "Max gap"],
+        &[
+            "App",
+            "Method",
+            "Coarse tris",
+            "Fine tris",
+            "Rim edges",
+            "Mean gap",
+            "Max gap",
+        ],
         &body,
     )
 }

@@ -81,15 +81,19 @@ impl Scenario {
             // wake (coarse), so the surface crosses the interface.
             Application::Warpx => quantile_of(&uniform.data, 0.97),
         };
-        BuiltScenario { spec: *self, hierarchy, uniform, iso }
+        BuiltScenario {
+            spec: *self,
+            hierarchy,
+            uniform,
+            iso,
+        }
     }
 }
 
 fn quantile_of(values: &[f64], p: f64) -> f64 {
     let mut v = values.to_vec();
     let k = ((v.len() - 1) as f64 * p).round() as usize;
-    let (_, val, _) =
-        v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
+    let (_, val, _) = v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs"));
     *val
 }
 
@@ -105,7 +109,10 @@ mod tests {
             assert_eq!(built.hierarchy.num_levels(), 2);
             assert!(!built.uniform.data.is_empty());
             let (lo, hi) = built.uniform.min_max();
-            assert!(lo < built.iso && built.iso < hi, "{app:?} iso outside range");
+            assert!(
+                lo < built.iso && built.iso < hi,
+                "{app:?} iso outside range"
+            );
         }
     }
 
@@ -117,12 +124,8 @@ mod tests {
             let built = Scenario::new(app, Scale::Tiny, 1).build();
             let field = built.spec.app.eval_field();
             let levels = &built.hierarchy.field(field).unwrap().levels;
-            let res = extract_amr_isosurface(
-                &built.hierarchy,
-                levels,
-                built.iso,
-                IsoMethod::Resampling,
-            );
+            let res =
+                extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
             assert!(
                 res.level_meshes[0].num_triangles() > 0,
                 "{app:?}: no coarse surface"

@@ -24,6 +24,8 @@ pub mod alloc;
 pub mod mutate;
 pub mod torture;
 
-pub use alloc::{alloc_baseline, counting_alloc_installed, current_bytes, peak_since, CountingAlloc};
+pub use alloc::{
+    alloc_baseline, counting_alloc_installed, current_bytes, peak_since, CountingAlloc,
+};
 pub use mutate::{mutate_stream, Mutation};
 pub use torture::{run_torture, TargetTally, TortureConfig, TortureReport};

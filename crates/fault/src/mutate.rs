@@ -74,7 +74,7 @@ impl Mutation {
                 }
             }
             Mutation::Extend { n, fill } => {
-                out.extend(std::iter::repeat(fill).take(n.min(1 << 16)));
+                out.extend(std::iter::repeat_n(fill, n.min(1 << 16)));
             }
         }
         out

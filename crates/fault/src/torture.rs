@@ -13,16 +13,16 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
+use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect, MultiFab};
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
-    read_uvarint, rle_decode_zeros_budgeted, rle_encode_zeros, write_uvarint, BitReader,
-    BitWriter, DecodeBudget,
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted, read_uvarint,
+    rle_decode_zeros_budgeted, rle_encode_zeros, write_uvarint, BitReader, BitWriter, DecodeBudget,
 };
 use amrviz_compress::{
-    compress_hierarchy_field, compress_zmesh, decompress_hierarchy_field_policy,
-    zmesh::decompress_zmesh_budgeted, AmrCodecConfig, CompressedHierarchyField, Compressor,
-    DecodePolicy, ErrorBound, Field3, SzInterp, SzLr, ZfpLike,
+    compress_hierarchy_field, compress_zmesh, decompress_hierarchy_field_into,
+    decompress_hierarchy_field_policy, zmesh::decompress_zmesh_budgeted, AmrCodecConfig,
+    CompressedHierarchyField, Compressor, DecodePolicy, ErrorBound, Field3, SzInterp, SzLr,
+    ZfpLike,
 };
 use amrviz_rng::Rng;
 
@@ -43,7 +43,11 @@ pub struct TortureConfig {
 
 impl Default for TortureConfig {
     fn default() -> Self {
-        TortureConfig { seed: 7, iters: 500, max_peak_bytes: 128 << 20 }
+        TortureConfig {
+            seed: 7,
+            iters: 500,
+            max_peak_bytes: 128 << 20,
+        }
     }
 }
 
@@ -145,7 +149,9 @@ fn corpus_hierarchy() -> AmrHierarchy {
     )
     .expect("corpus hierarchy is valid");
     h.add_field_from_fn("density", |lev, iv| {
-        (iv[0] as f64 * 0.3).sin() + (iv[1] as f64 * 0.2).cos() + 0.1 * lev as f64
+        (iv[0] as f64 * 0.3).sin()
+            + (iv[1] as f64 * 0.2).cos()
+            + 0.1 * lev as f64
             + 0.01 * iv[2] as f64
     })
     .expect("field fits hierarchy");
@@ -164,7 +170,27 @@ fn compressor_target<C: Compressor + 'static>(name: &'static str, c: C) -> Targe
         name,
         stream,
         decode: Box::new(move |bytes, budget| {
-            c.decompress_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+            c.decompress_budgeted(bytes, budget)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }),
+    }
+}
+
+/// Like [`compressor_target`] but via `decompress_into`, reusing one dirty
+/// output buffer across iterations — the zero-copy path must uphold the
+/// same no-panic contract regardless of what a previous decode left behind.
+fn compressor_into_target<C: Compressor + 'static>(name: &'static str, c: C) -> Target {
+    let stream = c.compress(&corpus_field(), ErrorBound::Rel(1e-3));
+    let reused: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
+    Target {
+        name,
+        stream,
+        decode: Box::new(move |bytes, budget| {
+            let mut out = reused.lock().unwrap_or_else(|p| p.into_inner());
+            c.decompress_into(bytes, budget, &mut out)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         }),
     }
 }
@@ -213,7 +239,9 @@ fn build_targets() -> Vec<Target> {
         name: "huffman",
         stream: huffman_encode(&symbols),
         decode: Box::new(|bytes, budget| {
-            huffman_decode_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+            huffman_decode_budgeted(bytes, budget)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         }),
     });
 
@@ -225,7 +253,9 @@ fn build_targets() -> Vec<Target> {
         name: "rle",
         stream: rle_encode_zeros(&rle_input),
         decode: Box::new(|bytes, budget| {
-            rle_decode_zeros_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+            rle_decode_zeros_budgeted(bytes, budget)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         }),
     });
 
@@ -234,7 +264,9 @@ fn build_targets() -> Vec<Target> {
         name: "lzss",
         stream: lzss_compress(&text),
         decode: Box::new(|bytes, budget| {
-            lzss_decompress_budgeted(bytes, budget).map(|_| ()).map_err(|e| e.to_string())
+            lzss_decompress_budgeted(bytes, budget)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         }),
     });
 
@@ -242,11 +274,14 @@ fn build_targets() -> Vec<Target> {
     targets.push(compressor_target("szlr", SzLr::default()));
     targets.push(compressor_target("szinterp", SzInterp));
     targets.push(compressor_target("zfp_like", ZfpLike));
+    targets.push(compressor_into_target("szlr_into", SzLr::default()));
+    targets.push(compressor_into_target("szinterp_into", SzInterp));
+    targets.push(compressor_into_target("zfp_like_into", ZfpLike));
 
     // --- hierarchy layer ---
     let hier = corpus_hierarchy();
-    let zmesh_stream = compress_zmesh(&hier, "density", ErrorBound::Rel(1e-3))
-        .expect("zmesh corpus compresses");
+    let zmesh_stream =
+        compress_zmesh(&hier, "density", ErrorBound::Rel(1e-3)).expect("zmesh corpus compresses");
     {
         let hier = corpus_hierarchy();
         targets.push(Target {
@@ -260,10 +295,18 @@ fn build_targets() -> Vec<Target> {
         });
     }
 
-    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
-    let compressed =
-        compress_hierarchy_field(&hier, "density", &SzLr::default(), ErrorBound::Rel(1e-3), &cfg)
-            .expect("corpus hierarchy compresses");
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
+    let compressed = compress_hierarchy_field(
+        &hier,
+        "density",
+        &SzLr::default(),
+        ErrorBound::Rel(1e-3),
+        &cfg,
+    )
+    .expect("corpus hierarchy compresses");
     let container = compressed.to_bytes();
 
     targets.push(Target {
@@ -278,17 +321,45 @@ fn build_targets() -> Vec<Target> {
 
     targets.push(Target {
         name: "hierarchy_degrade",
+        stream: container.clone(),
+        decode: Box::new({
+            let hier = hier.clone();
+            move |bytes, budget| {
+                let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
+                    .map_err(|e| e.to_string())?;
+                decompress_hierarchy_field_policy(
+                    &hier,
+                    &parsed,
+                    &SzLr::default(),
+                    &cfg,
+                    DecodePolicy::Degrade,
+                    budget,
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+            }
+        }),
+    });
+
+    // The storage-reusing decode path: one `levels` buffer survives across
+    // iterations, so every corrupted stream lands on fabs dirtied (or left
+    // partially decoded) by the previous one.
+    let reused_levels: std::sync::Mutex<Vec<MultiFab>> = std::sync::Mutex::new(Vec::new());
+    targets.push(Target {
+        name: "hierarchy_degrade_into",
         stream: container,
         decode: Box::new(move |bytes, budget| {
             let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
                 .map_err(|e| e.to_string())?;
-            decompress_hierarchy_field_policy(
+            let mut levels = reused_levels.lock().unwrap_or_else(|p| p.into_inner());
+            decompress_hierarchy_field_into(
                 &hier,
                 &parsed,
                 &SzLr::default(),
                 &cfg,
                 DecodePolicy::Degrade,
                 budget,
+                &mut levels,
             )
             .map(|_| ())
             .map_err(|e| e.to_string())
@@ -306,7 +377,10 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
 
     let mut tallies: Vec<TargetTally> = targets
         .iter()
-        .map(|t| TargetTally { name: t.name.to_string(), ..TargetTally::default() })
+        .map(|t| TargetTally {
+            name: t.name.to_string(),
+            ..TargetTally::default()
+        })
         .collect();
     let (mut graceful, mut harmless, mut panics, mut over) = (0u64, 0u64, 0u64, 0u64);
     let mut violations = Vec::new();
@@ -399,7 +473,11 @@ mod tests {
 
     #[test]
     fn torture_run_is_deterministic_and_panic_free() {
-        let cfg = TortureConfig { seed: 11, iters: 120, ..Default::default() };
+        let cfg = TortureConfig {
+            seed: 11,
+            iters: 120,
+            ..Default::default()
+        };
         let a = run_torture(&cfg);
         let b = run_torture(&cfg);
         assert_eq!(a.panics, 0, "violations: {:?}", a.violations);
@@ -407,14 +485,25 @@ mod tests {
         assert_eq!(a.graceful_errors, b.graceful_errors);
         assert_eq!(a.harmless_ok, b.harmless_ok);
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.graceful_errors > 0, "mutations should usually break decodes");
+        assert!(
+            a.graceful_errors > 0,
+            "mutations should usually break decodes"
+        );
         assert!(a.passed());
     }
 
     #[test]
     fn different_seeds_explore_different_corruptions() {
-        let a = run_torture(&TortureConfig { seed: 1, iters: 60, ..Default::default() });
-        let b = run_torture(&TortureConfig { seed: 2, iters: 60, ..Default::default() });
+        let a = run_torture(&TortureConfig {
+            seed: 1,
+            iters: 60,
+            ..Default::default()
+        });
+        let b = run_torture(&TortureConfig {
+            seed: 2,
+            iters: 60,
+            ..Default::default()
+        });
         // Same decoders, different corruption paths: tallies rarely align.
         assert!(
             a.graceful_errors != b.graceful_errors || a.harmless_ok != b.harmless_ok,

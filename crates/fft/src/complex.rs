@@ -39,7 +39,10 @@ impl Complex {
 
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -57,7 +60,10 @@ impl Complex {
     /// Multiplication by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -65,7 +71,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -81,7 +90,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -131,7 +143,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

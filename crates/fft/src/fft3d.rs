@@ -18,7 +18,12 @@ pub struct Grid3 {
 impl Grid3 {
     /// Zero-filled grid.
     pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
-        Grid3 { nx, ny, nz, data: vec![Complex::ZERO; nx * ny * nz] }
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            data: vec![Complex::ZERO; nx * ny * nz],
+        }
     }
 
     /// Grid built from a real scalar field.
@@ -188,8 +193,7 @@ mod tests {
         for k in 0..nz {
             for j in 0..ny {
                 for i in 0..nx {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * i) as f64 / nx as f64
+                    let phase = 2.0 * std::f64::consts::PI * (kx * i) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * j) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * k) as f64 / nz as f64;
                     g.set(i, j, k, Complex::cis(phase));

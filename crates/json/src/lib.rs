@@ -125,7 +125,10 @@ impl Json {
 
     /// Parses a JSON document (trailing whitespace allowed, nothing else).
     pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -347,7 +350,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -360,7 +367,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { offset: self.pos, message: message.to_string() }
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -633,7 +643,8 @@ mod tests {
 
     #[test]
     fn nested_document_roundtrip() {
-        let text = r#"{"runs":[{"cr":12.5,"psnr":38.25,"ok":true},{"cr":3,"psnr":null}],"app":"nyx"}"#;
+        let text =
+            r#"{"runs":[{"cr":12.5,"psnr":38.25,"ok":true},{"cr":3,"psnr":null}],"app":"nyx"}"#;
         let v = Json::parse(text).unwrap();
         assert_eq!(v.to_string_compact(), text);
         assert_eq!(

@@ -27,18 +27,29 @@ impl Histogram {
                 counts[b] += 1;
             }
         }
-        Histogram { lo, hi, counts, outliers }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            outliers,
+        }
     }
 
     /// Histogram spanning the data's own range.
     pub fn auto(values: &[f64], bins: usize) -> Self {
-        let (lo, hi) = values.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(l, h), &v| (l.min(v), h.max(v)),
-        );
+        let (lo, hi) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         if lo == hi {
             // Degenerate: one-bin histogram holding everything.
-            let mut h = Histogram { lo, hi: lo + 1.0, counts: vec![0; bins], outliers: 0 };
+            let mut h = Histogram {
+                lo,
+                hi: lo + 1.0,
+                counts: vec![0; bins],
+                outliers: 0,
+            };
             h.counts[0] = values.len() as u64;
             return h;
         }
@@ -81,7 +92,10 @@ impl ToJson for Histogram {
         let mut o = Json::obj();
         o.set("lo", self.lo)
             .set("hi", self.hi)
-            .set("counts", Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()))
+            .set(
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            )
             .set("outliers", self.outliers);
         o
     }

@@ -43,10 +43,11 @@ pub fn quality(original: &[f64], reconstructed: &[f64]) -> QualityStats {
         CHUNK,
         (f64::INFINITY, f64::NEG_INFINITY),
         |r| {
-            original[r].iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &v| (lo.min(v), hi.max(v)),
-            )
+            original[r]
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                })
         },
         |(al, ah), (bl, bh)| (al.min(bl), ah.max(bh)),
     );

@@ -26,14 +26,22 @@ pub struct SsimConfig {
 
 impl Default for SsimConfig {
     fn default() -> Self {
-        SsimConfig { window: 7, stride: 2, k1: 0.01, k2: 0.03 }
+        SsimConfig {
+            window: 7,
+            stride: 2,
+            k1: 0.01,
+            k2: 0.03,
+        }
     }
 }
 
 impl SsimConfig {
     /// Exhaustive evaluation (stride 1) — slower, reference-quality.
     pub fn exhaustive() -> Self {
-        SsimConfig { stride: 1, ..Default::default() }
+        SsimConfig {
+            stride: 1,
+            ..Default::default()
+        }
     }
 }
 
@@ -88,8 +96,7 @@ pub fn ssim3(original: &[f64], reconstructed: &[f64], dims: [usize; 3], cfg: &Ss
             let mut count = 0usize;
             for &y0 in &ys {
                 for &x0 in &xs {
-                    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) =
-                        (0.0, 0.0, 0.0, 0.0, 0.0);
+                    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
                     for dz in 0..w {
                         for dy in 0..w {
                             let row = x0 + nx * ((y0 + dy) + ny * (z0 + dz));
@@ -179,7 +186,10 @@ mod tests {
         let s_small = ssim3(&v, &noisy(0.01, &mut rng), dims, &cfg);
         let s_mid = ssim3(&v, &noisy(1.0, &mut rng), dims, &cfg);
         let s_big = ssim3(&v, &noisy(5.0, &mut rng), dims, &cfg);
-        assert!(s_small > s_mid && s_mid > s_big, "{s_small} vs {s_mid} vs {s_big}");
+        assert!(
+            s_small > s_mid && s_mid > s_big,
+            "{s_small} vs {s_mid} vs {s_big}"
+        );
         assert!(s_small > 0.999);
         assert!(s_big < 0.7);
     }
@@ -204,7 +214,15 @@ mod tests {
         let mut rng = Rng::seed(3);
         let noisy: Vec<f64> = v.iter().map(|x| x + rng.range_f64(-0.3, 0.3)).collect();
         let exact = ssim3(&v, &noisy, dims, &SsimConfig::exhaustive());
-        let approx = ssim3(&v, &noisy, dims, &SsimConfig { stride: 3, ..Default::default() });
+        let approx = ssim3(
+            &v,
+            &noisy,
+            dims,
+            &SsimConfig {
+                stride: 3,
+                ..Default::default()
+            },
+        );
         assert!((exact - approx).abs() < 0.02, "{exact} vs {approx}");
     }
 
@@ -221,7 +239,15 @@ mod tests {
     fn window_larger_than_volume_is_clamped() {
         let dims = [4, 4, 4];
         let v = ramp_volume(dims);
-        let s = ssim3(&v, &v, dims, &SsimConfig { window: 11, ..Default::default() });
+        let s = ssim3(
+            &v,
+            &v,
+            dims,
+            &SsimConfig {
+                window: 11,
+                ..Default::default()
+            },
+        );
         assert!((s - 1.0).abs() < 1e-12);
     }
 
@@ -257,7 +283,11 @@ mod tests {
             let j = (n / nx) % ny;
             let k = n / (nx * ny);
             // ±0.5 per 4³ block
-            let sign = if ((i / 4) + (j / 4) + (k / 4)) % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if ((i / 4) + (j / 4) + (k / 4)) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             *val += 0.5 * sign;
         }
         let cfg = SsimConfig::exhaustive();

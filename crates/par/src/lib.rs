@@ -16,6 +16,9 @@
 //! * **Bounded nesting** — a task that itself calls into the pool runs its
 //!   inner region serially; thread count stays `threads()` regardless of
 //!   call depth, and nested regions stay deterministic trivially.
+//! * **Per-thread scratch** — the [`scratch`] module pools reusable working
+//!   buffers per thread for the zero-copy hot path; see its docs for why
+//!   pooling cannot perturb bit-identical outputs.
 //!
 //! Thread count resolution (first match wins): [`set_threads`] (the CLI's
 //! `--threads N`), the `AMRVIZ_THREADS` environment variable, then
@@ -26,6 +29,8 @@
 //! `parent_scope`), so spans created inside tasks nest correctly in traces,
 //! and each worker's busy wall time is accumulated for the `--timing`
 //! utilization report ([`utilization`]).
+
+pub mod scratch;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,7 +90,11 @@ struct Utilization {
 fn util() -> &'static Mutex<Utilization> {
     static U: OnceLock<Mutex<Utilization>> = OnceLock::new();
     U.get_or_init(|| {
-        Mutex::new(Utilization { busy: Vec::new(), region_wall: 0.0, regions: 0 })
+        Mutex::new(Utilization {
+            busy: Vec::new(),
+            region_wall: 0.0,
+            regions: 0,
+        })
     })
 }
 
@@ -226,8 +235,7 @@ where
         busy[slot0] = secs0;
         parts.push(local0);
         for h in handles {
-            let (slot, secs, local) =
-                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            let (slot, secs, local) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             busy[slot] = secs;
             parts.push(local);
         }
@@ -270,8 +278,7 @@ where
 
     // Round-robin chunks over worker slots: static, deterministic, and
     // contiguous slabs stay cache-friendly within a worker.
-    let mut buckets: Vec<Vec<(usize, &mut [T])>> =
-        (0..width).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..width).map(|_| Vec::new()).collect();
     for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
         buckets[ci % width].push((ci, chunk));
     }
@@ -309,13 +316,7 @@ where
 /// results **in chunk order** with `combine`. The grouping is a function of
 /// `chunk_len` alone, so float accumulation is bit-stable at any thread
 /// count.
-pub fn reduce_chunked<A, F, C>(
-    n: usize,
-    chunk_len: usize,
-    identity: A,
-    f: F,
-    combine: C,
-) -> A
+pub fn reduce_chunked<A, F, C>(n: usize, chunk_len: usize, identity: A, f: F, combine: C) -> A
 where
     A: Send,
     F: Fn(std::ops::Range<usize>) -> A + Sync,
@@ -396,7 +397,13 @@ mod tests {
         // huge ones. The chunked reduction must give the same bits at any
         // thread count.
         let values: Vec<f64> = (0..10_000)
-            .map(|i| if i % 997 == 0 { 1e18 } else { 1e-3 + i as f64 * 1e-9 })
+            .map(|i| {
+                if i % 997 == 0 {
+                    1e18
+                } else {
+                    1e-3 + i as f64 * 1e-9
+                }
+            })
             .collect();
         let sum_at = |nt: usize| -> u64 {
             set_threads(nt);

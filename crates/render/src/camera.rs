@@ -78,12 +78,7 @@ impl Camera {
 
     /// Projects a world point to pixel coordinates and camera-space depth.
     /// Returns `None` for points behind a perspective camera.
-    pub fn project(
-        &self,
-        p: [f64; 3],
-        width: usize,
-        height: usize,
-    ) -> Option<([f64; 2], f64)> {
+    pub fn project(&self, p: [f64; 3], width: usize, height: usize) -> Option<([f64; 2], f64)> {
         let (right, up, forward) = self.basis();
         let rel = sub(p, self.eye);
         let x = dot(rel, right);

@@ -10,7 +10,11 @@ pub struct Color {
 
 impl Color {
     pub const BLACK: Color = Color { r: 0, g: 0, b: 0 };
-    pub const WHITE: Color = Color { r: 255, g: 255, b: 255 };
+    pub const WHITE: Color = Color {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
 
     pub const fn new(r: u8, g: u8, b: u8) -> Self {
         Color { r, g, b }
@@ -20,7 +24,11 @@ impl Color {
     pub fn lerp(self, other: Color, t: f64) -> Color {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
-        Color::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Color::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 
     /// Scales brightness by `f ∈ [0, 1]`.

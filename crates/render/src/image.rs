@@ -19,7 +19,11 @@ pub struct Image {
 
 impl Image {
     pub fn new(width: usize, height: usize, fill: Color) -> Self {
-        Image { width, height, pixels: vec![fill; width * height] }
+        Image {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
     }
 
     #[inline]
@@ -190,7 +194,7 @@ mod tests {
         assert_eq!(&buf[12..16], b"IHDR");
         assert_eq!(&buf[16..20], &3u32.to_be_bytes()); // width
         assert_eq!(&buf[20..24], &2u32.to_be_bytes()); // height
-        // Ends with a valid IEND chunk.
+                                                       // Ends with a valid IEND chunk.
         let tail = &buf[buf.len() - 12..];
         assert_eq!(&tail[0..4], &0u32.to_be_bytes());
         assert_eq!(&tail[4..8], b"IEND");

@@ -51,11 +51,7 @@ pub fn render_mesh(mesh: &TriMesh, camera: &Camera, opts: &RenderOptions) -> Ima
 
 /// Renders several meshes into one frame, each with its own color (used to
 /// visualize the per-level surfaces of an AMR extraction).
-pub fn render_meshes(
-    meshes: &[(&TriMesh, Color)],
-    camera: &Camera,
-    opts: &RenderOptions,
-) -> Image {
+pub fn render_meshes(meshes: &[(&TriMesh, Color)], camera: &Camera, opts: &RenderOptions) -> Image {
     let mut img = Image::new(opts.width, opts.height, opts.background);
     let mut zbuf = vec![f64::INFINITY; opts.width * opts.height];
     for (mesh, color) in meshes {
@@ -122,8 +118,7 @@ fn render_mesh_into(
                 let n = match &vertex_normals {
                     None => face_normal,
                     Some(vn) => {
-                        let (na, nb, nc) =
-                            (vn[ia as usize], vn[ib as usize], vn[ic as usize]);
+                        let (na, nb, nc) = (vn[ia as usize], vn[ib as usize], vn[ic as usize]);
                         let raw = [
                             w0 * na[0] + w1 * nb[0] + w2 * nc[0],
                             w0 * na[1] + w1 * nb[1] + w2 * nc[1],
@@ -135,8 +130,7 @@ fn render_mesh_into(
                         [raw[0] / l, raw[1] / l, raw[2] / l]
                     }
                 };
-                let lambert =
-                    (n[0] * light[0] + n[1] * light[1] + n[2] * light[2]).abs();
+                let lambert = (n[0] * light[0] + n[1] * light[1] + n[2] * light[2]).abs();
                 let intensity = opts.ambient + (1.0 - opts.ambient) * lambert;
                 img.set(px, py, surface.dim(intensity));
             }
@@ -159,11 +153,7 @@ mod tests {
     /// A single large triangle facing the camera.
     fn facing_triangle() -> TriMesh {
         TriMesh {
-            vertices: vec![
-                [-0.5, 0.0, -0.5],
-                [0.5, 0.0, -0.5],
-                [0.0, 0.0, 0.5],
-            ],
+            vertices: vec![[-0.5, 0.0, -0.5], [0.5, 0.0, -0.5], [0.0, 0.0, 0.5]],
             triangles: vec![[0, 1, 2]],
         }
     }
@@ -183,7 +173,11 @@ mod tests {
     #[test]
     fn triangle_covers_expected_fraction() {
         let cam = Camera::orthographic([0.0, -3.0, 0.0], [0.0, 0.0, 0.0], 1.0);
-        let opts = RenderOptions { width: 100, height: 100, ..Default::default() };
+        let opts = RenderOptions {
+            width: 100,
+            height: 100,
+            ..Default::default()
+        };
         let img = render_mesh(&facing_triangle(), &cam, &opts);
         let lit = count_non_background(&img, opts.background);
         // Triangle area 0.5 in a 2×2 view → 1/8 of 10 000 pixels = 1250.
@@ -200,7 +194,11 @@ mod tests {
             v[1] += 1.0; // move away from the camera at y=-3
         }
         let cam = Camera::orthographic([0.0, -3.0, 0.0], [0.0, 0.0, 0.0], 1.0);
-        let opts = RenderOptions { width: 64, height: 64, ..Default::default() };
+        let opts = RenderOptions {
+            width: 64,
+            height: 64,
+            ..Default::default()
+        };
         let red = Color::new(255, 0, 0);
         let blue = Color::new(0, 0, 255);
         let img = render_meshes(&[(&far_mesh, blue), (&near, red)], &cam, &opts);
@@ -217,7 +215,11 @@ mod tests {
     fn headlight_brightens_facing_surfaces() {
         // A triangle perpendicular to the view is brighter than a grazing one.
         let cam = Camera::orthographic([0.0, -3.0, 0.0], [0.0, 0.0, 0.0], 1.0);
-        let opts = RenderOptions { width: 64, height: 64, ..Default::default() };
+        let opts = RenderOptions {
+            width: 64,
+            height: 64,
+            ..Default::default()
+        };
         let img_facing = render_mesh(&facing_triangle(), &cam, &opts);
         let mut grazing = facing_triangle();
         // Tilt nearly edge-on (rotate about z by ~85°: y ← x·sin).
@@ -237,7 +239,11 @@ mod tests {
     #[test]
     fn empty_mesh_renders_background() {
         let cam = Camera::orthographic([0.0, -3.0, 0.0], [0.0, 0.0, 0.0], 1.0);
-        let opts = RenderOptions { width: 16, height: 16, ..Default::default() };
+        let opts = RenderOptions {
+            width: 16,
+            height: 16,
+            ..Default::default()
+        };
         let img = render_mesh(&TriMesh::new(), &cam, &opts);
         assert_eq!(count_non_background(&img, opts.background), 0);
     }
@@ -246,7 +252,12 @@ mod tests {
     fn smooth_and_flat_shading_both_work() {
         let cam = Camera::orthographic([0.0, -3.0, 0.0], [0.0, 0.0, 0.0], 1.0);
         for shading in [Shading::Flat, Shading::Smooth] {
-            let opts = RenderOptions { width: 32, height: 32, shading, ..Default::default() };
+            let opts = RenderOptions {
+                width: 32,
+                height: 32,
+                shading,
+                ..Default::default()
+            };
             let img = render_mesh(&facing_triangle(), &cam, &opts);
             assert!(count_non_background(&img, opts.background) > 50);
         }

@@ -166,7 +166,10 @@ mod tests {
         let img = render_slice(
             &h,
             "f",
-            &SliceOptions { pixels_per_cell: 3, ..Default::default() },
+            &SliceOptions {
+                pixels_per_cell: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Finest res 16×16, 3 px/cell.
@@ -180,7 +183,10 @@ mod tests {
         let img = render_slice(
             &h,
             "f",
-            &SliceOptions { draw_boxes: false, ..Default::default() },
+            &SliceOptions {
+                draw_boxes: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // f grows along +x → left and right edges differ.
@@ -195,13 +201,20 @@ mod tests {
         let with = render_slice(
             &h,
             "f",
-            &SliceOptions { frac: 0.5, ..Default::default() },
+            &SliceOptions {
+                frac: 0.5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let without = render_slice(
             &h,
             "f",
-            &SliceOptions { frac: 0.5, draw_boxes: false, ..Default::default() },
+            &SliceOptions {
+                frac: 0.5,
+                draw_boxes: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_ne!(with, without, "outline had no effect");
@@ -224,7 +237,10 @@ mod tests {
         let img = render_slice(
             &h,
             "f",
-            &SliceOptions { frac: 0.05, ..Default::default() },
+            &SliceOptions {
+                frac: 0.05,
+                ..Default::default()
+            },
         )
         .unwrap();
         for y in 0..img.height {
@@ -241,7 +257,11 @@ mod tests {
             let img = render_slice(
                 &h,
                 "f",
-                &SliceOptions { axis, log_scale: true, ..Default::default() },
+                &SliceOptions {
+                    axis,
+                    log_scale: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(img.width > 0 && img.height > 0);

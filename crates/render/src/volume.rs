@@ -59,7 +59,13 @@ pub fn render_volume(
     if nx == 0 || ny == 0 || nz == 0 {
         return img;
     }
-    let transform = |v: f64| if opts.log_scale { v.max(1e-300).log10() } else { v };
+    let transform = |v: f64| {
+        if opts.log_scale {
+            v.max(1e-300).log10()
+        } else {
+            v
+        }
+    };
     let (mut lo_v, mut hi_v) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &field.data {
         let t = transform(v);
@@ -80,7 +86,11 @@ pub fn render_volume(
         let cx = ((p[0] - prob_lo[0]) / h[0] - 0.5).clamp(0.0, nx as f64 - 1.0);
         let cy = ((p[1] - prob_lo[1]) / h[1] - 0.5).clamp(0.0, ny as f64 - 1.0);
         let cz = ((p[2] - prob_lo[2]) / h[2] - 0.5).clamp(0.0, nz as f64 - 1.0);
-        let (i0, j0, k0) = (cx.floor() as usize, cy.floor() as usize, cz.floor() as usize);
+        let (i0, j0, k0) = (
+            cx.floor() as usize,
+            cy.floor() as usize,
+            cz.floor() as usize,
+        );
         let (fx, fy, fz) = (cx - i0 as f64, cy - j0 as f64, cz - k0 as f64);
         let i1 = (i0 + 1).min(nx - 1);
         let j1 = (j0 + 1).min(ny - 1);
@@ -160,8 +170,7 @@ pub fn render_volume(
                 let norm = ((transform(sample(p)) - lo_v) / range).clamp(0.0, 1.0);
                 if norm > opts.threshold {
                     let c = colormap(opts.colormap, norm);
-                    let alpha =
-                        (opts.opacity * norm * opts.step_cells).clamp(0.0, 1.0);
+                    let alpha = (opts.opacity * norm * opts.step_cells).clamp(0.0, 1.0);
                     let w = transparency * alpha;
                     acc[0] += w * c.r as f64;
                     acc[1] += w * c.g as f64;
@@ -172,9 +181,15 @@ pub fn render_volume(
             }
             let bg = opts.background;
             let final_c = Color::new(
-                (acc[0] + transparency * bg.r as f64).round().clamp(0.0, 255.0) as u8,
-                (acc[1] + transparency * bg.g as f64).round().clamp(0.0, 255.0) as u8,
-                (acc[2] + transparency * bg.b as f64).round().clamp(0.0, 255.0) as u8,
+                (acc[0] + transparency * bg.r as f64)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
+                (acc[1] + transparency * bg.g as f64)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
+                (acc[2] + transparency * bg.b as f64)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
             );
             img.set(px, py, final_c);
         }
@@ -231,7 +246,11 @@ mod tests {
 
     #[test]
     fn blob_position_shows_in_image() {
-        let opts = VolumeOptions { width: 80, height: 80, ..Default::default() };
+        let opts = VolumeOptions {
+            width: 80,
+            height: 80,
+            ..Default::default()
+        };
         let left = render_volume(
             &blob_field(24, [0.25, 0.5, 0.5]),
             [0.0; 3],
@@ -258,7 +277,11 @@ mod tests {
     fn rays_missing_the_box_keep_background() {
         // Zoomed-out camera: corners of the frame miss the unit box.
         let cam = Camera::orthographic([0.5, -3.0, 0.5], [0.5, 0.5, 0.5], 3.0);
-        let opts = VolumeOptions { width: 40, height: 40, ..Default::default() };
+        let opts = VolumeOptions {
+            width: 40,
+            height: 40,
+            ..Default::default()
+        };
         let img = render_volume(&blob_field(8, [0.5; 3]), [0.0; 3], [1.0; 3], &cam, &opts);
         assert_eq!(img.get(0, 0), opts.background);
         assert_eq!(img.get(39, 39), opts.background);
@@ -268,7 +291,12 @@ mod tests {
     fn opacity_monotonicity() {
         let f = blob_field(16, [0.5; 3]);
         let mean_lum = |opacity: f64| {
-            let opts = VolumeOptions { width: 48, height: 48, opacity, ..Default::default() };
+            let opts = VolumeOptions {
+                width: 48,
+                height: 48,
+                opacity,
+                ..Default::default()
+            };
             let img = render_volume(&f, [0.0; 3], [1.0; 3], &cam(), &opts);
             img.luminance().iter().sum::<f64>() / (48.0 * 48.0)
         };
@@ -280,7 +308,11 @@ mod tests {
     fn perspective_camera_supported() {
         let f = blob_field(16, [0.5; 3]);
         let cam = Camera::perspective([0.5, -2.5, 0.5], [0.5, 0.5, 0.5], 0.6);
-        let opts = VolumeOptions { width: 32, height: 32, ..Default::default() };
+        let opts = VolumeOptions {
+            width: 32,
+            height: 32,
+            ..Default::default()
+        };
         let img = render_volume(&f, [0.0; 3], [1.0; 3], &cam, &opts);
         let lum: f64 = img.luminance().iter().sum();
         assert!(lum > 0.0);

@@ -2,8 +2,8 @@
 //! fine-resolution fields.
 
 use amrviz_amr::{
-    berger_rigoutsos, AmrHierarchy, Box3, BoxArray, Fab, Geometry, IntVect, MultiFab,
-    Raster, RegridConfig,
+    berger_rigoutsos, AmrHierarchy, Box3, BoxArray, Fab, Geometry, IntVect, MultiFab, Raster,
+    RegridConfig,
 };
 
 /// Structural parameters of a two-level snapshot.
@@ -24,9 +24,8 @@ pub(crate) fn quantile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty() && (0.0..=1.0).contains(&p));
     let mut v: Vec<f64> = values.to_vec();
     let k = ((v.len() - 1) as f64 * p).round() as usize;
-    let (_, val, _) = v.select_nth_unstable_by(k, |a, b| {
-        a.partial_cmp(b).expect("no NaNs in field data")
-    });
+    let (_, val, _) =
+        v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("no NaNs in field data"));
     *val
 }
 
@@ -43,8 +42,7 @@ pub(crate) fn restrict_dense(fine: &[f64], coarse_dims: [usize; 3]) -> Vec<f64> 
                 for dk in 0..2 {
                     for dj in 0..2 {
                         for di in 0..2 {
-                            acc += fine[(2 * i + di)
-                                + fx * ((2 * j + dj) + fy * (2 * k + dk))];
+                            acc += fine[(2 * i + di) + fx * ((2 * j + dj) + fy * (2 * k + dk))];
                         }
                     }
                 }
@@ -224,7 +222,11 @@ mod tests {
         let fine: Vec<f64> = (0..fine_dims[0] * fine_dims[1] * fine_dims[2])
             .map(|n| {
                 let i = n % 32;
-                if i < 16 { 10.0 } else { 1.0 }
+                if i < 16 {
+                    10.0
+                } else {
+                    1.0
+                }
             })
             .collect();
         let coarse = restrict_dense(&fine, spec.coarse_dims);

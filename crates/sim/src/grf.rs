@@ -24,26 +24,27 @@ pub struct Spectrum {
 impl Spectrum {
     /// Smooth, large-scale-dominated field.
     pub fn smooth() -> Self {
-        Spectrum { alpha: -4.0, k_cutoff: 8.0 }
+        Spectrum {
+            alpha: -4.0,
+            k_cutoff: 8.0,
+        }
     }
 
     /// Rough, multi-scale field (cosmology-ish).
     pub fn rough() -> Self {
-        Spectrum { alpha: -1.5, k_cutoff: 1e9 }
+        Spectrum {
+            alpha: -1.5,
+            k_cutoff: 1e9,
+        }
     }
 }
-
 
 /// Generates a zero-mean, unit-variance Gaussian random field on a
 /// power-of-two grid.
 ///
 /// # Panics
 /// Panics if any dim is not a power of two.
-pub fn gaussian_random_field(
-    dims: [usize; 3],
-    spectrum: Spectrum,
-    seed: u64,
-) -> Vec<f64> {
+pub fn gaussian_random_field(dims: [usize; 3], spectrum: Spectrum, seed: u64) -> Vec<f64> {
     let [nx, ny, nz] = dims;
     assert!(
         nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
@@ -54,7 +55,11 @@ pub fn gaussian_random_field(
 
     // Signed wavenumber of FFT bin `i` on an axis of length `n`.
     let wave = |i: usize, n: usize| -> f64 {
-        if i <= n / 2 { i as f64 } else { i as f64 - n as f64 }
+        if i <= n / 2 {
+            i as f64
+        } else {
+            i as f64 - n as f64
+        }
     };
     for k in 0..nz {
         for j in 0..ny {
@@ -66,8 +71,7 @@ pub fn gaussian_random_field(
                 if kk == 0.0 {
                     continue; // zero mean
                 }
-                let amp = kk.powf(spectrum.alpha / 2.0)
-                    * (-(kk / spectrum.k_cutoff).powi(2)).exp();
+                let amp = kk.powf(spectrum.alpha / 2.0) * (-(kk / spectrum.k_cutoff).powi(2)).exp();
                 let re = rng.normal() * amp;
                 let im = rng.normal() * amp;
                 grid.set(i, j, k, Complex::new(re, im));
@@ -132,9 +136,8 @@ pub fn random_smooth_modes(
             for i in 0..nx {
                 let mut acc = 0.0;
                 for &(k, phase, amp) in &modes {
-                    acc += amp
-                        * (k[0] * i as f64 + k[1] * j as f64 + k[2] * z as f64 + phase)
-                            .cos();
+                    acc +=
+                        amp * (k[0] * i as f64 + k[1] * j as f64 + k[2] * z as f64 + phase).cos();
                 }
                 slab[i + nx * j] = acc * norm;
             }
@@ -178,8 +181,7 @@ pub fn roughness(data: &[f64], dims: [usize; 3]) -> f64 {
         }
     }
     let mean = data.iter().sum::<f64>() / data.len() as f64;
-    let sd = (data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / data.len() as f64)
-        .sqrt();
+    let sd = (data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / data.len() as f64).sqrt();
     if sd == 0.0 {
         0.0
     } else {
@@ -217,10 +219,7 @@ mod tests {
         let r = gaussian_random_field(dims, Spectrum::rough(), 3);
         let rs = roughness(&s, dims);
         let rr = roughness(&r, dims);
-        assert!(
-            rr > 2.0 * rs,
-            "rough field not rougher: {rr} vs {rs}"
-        );
+        assert!(rr > 2.0 * rs, "rough field not rougher: {rr} vs {rs}");
     }
 
     #[test]

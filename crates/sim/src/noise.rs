@@ -34,7 +34,11 @@ fn fade(t: f64) -> f64 {
 /// Single-octave value noise at a continuous position, range ≈ [−1, 1].
 pub fn value_noise(seed: u64, x: f64, y: f64, z: f64) -> f64 {
     let (i0, j0, k0) = (x.floor() as i64, y.floor() as i64, z.floor() as i64);
-    let (fx, fy, fz) = (fade(x - i0 as f64), fade(y - j0 as f64), fade(z - k0 as f64));
+    let (fx, fy, fz) = (
+        fade(x - i0 as f64),
+        fade(y - j0 as f64),
+        fade(z - k0 as f64),
+    );
     let mut acc = 0.0;
     for dk in 0..2i64 {
         let wz = if dk == 0 { 1.0 - fz } else { fz };
@@ -59,7 +63,13 @@ pub fn fractal(seed: u64, x: f64, y: f64, z: f64, octaves: u32, gain: f64) -> f6
     let mut acc = 0.0;
     let mut norm = 0.0;
     for o in 0..octaves {
-        acc += amp * value_noise(seed.wrapping_add(o as u64 * 0x9E37), x * freq, y * freq, z * freq);
+        acc += amp
+            * value_noise(
+                seed.wrapping_add(o as u64 * 0x9E37),
+                x * freq,
+                y * freq,
+                z * freq,
+            );
         norm += amp;
         amp *= gain;
         freq *= 2.0;
@@ -120,9 +130,8 @@ mod tests {
             (0..500)
                 .map(|n| {
                     let x = n as f64 * 0.05;
-                    (fractal(3, x + 0.05, 0.0, 0.0, oct, 0.6)
-                        - fractal(3, x, 0.0, 0.0, oct, 0.6))
-                    .abs()
+                    (fractal(3, x + 0.05, 0.0, 0.0, oct, 0.6) - fractal(3, x, 0.0, 0.0, oct, 0.6))
+                        .abs()
                 })
                 .sum()
         };

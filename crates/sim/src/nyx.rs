@@ -75,7 +75,10 @@ impl NyxScenario {
         // the fractal multiplier below supply the small-scale spikiness.
         let g = gaussian_random_field(
             fine_dims,
-            Spectrum { alpha: -2.2, k_cutoff: 1e9 },
+            Spectrum {
+                alpha: -2.2,
+                k_cutoff: 1e9,
+            },
             self.seed,
         );
         let mut density: Vec<f64> = g.iter().map(|&v| (self.sigma * v).exp()).collect();
@@ -142,7 +145,10 @@ impl NyxScenario {
                     };
                     let gv = gaussian_random_field(
                         fine_dims,
-                        Spectrum { alpha: -3.0, k_cutoff: 1e9 },
+                        Spectrum {
+                            alpha: -3.0,
+                            k_cutoff: 1e9,
+                        },
                         self.seed ^ axis_seed,
                     );
                     // km/s-ish scale.
@@ -157,8 +163,7 @@ impl NyxScenario {
         // (clustering can round coverage up slightly).
         let coarse_density = restrict_dense(&density, coarse_dims);
         let domain = Box3::from_dims(coarse_dims[0], coarse_dims[1], coarse_dims[2]);
-        let tags =
-            tag_top_fraction_blocks(domain, &coarse_density, 4, self.target_fine_fraction);
+        let tags = tag_top_fraction_blocks(domain, &coarse_density, 4, self.target_fine_fraction);
 
         let spec = TwoLevelSpec {
             coarse_dims,
@@ -210,8 +215,7 @@ mod tests {
     #[test]
     fn density_is_spiky_and_positive() {
         let h = tiny();
-        let u = flatten_to_finest(&h, "baryon_density", Upsample::PiecewiseConstant)
-            .unwrap();
+        let u = flatten_to_finest(&h, "baryon_density", Upsample::PiecewiseConstant).unwrap();
         assert!(u.data.iter().all(|&v| v > 0.0));
         assert!(
             skewness(&u.data) > 1.0,
@@ -254,7 +258,9 @@ mod tests {
 
     #[test]
     fn all_six_fields_generate() {
-        let h = NyxScenario::new(Scale::Tiny, 3).with_all_fields().generate();
+        let h = NyxScenario::new(Scale::Tiny, 3)
+            .with_all_fields()
+            .generate();
         assert_eq!(h.field_names().len(), 6);
         // Velocities are signed; temperature positive.
         let v = h.field_level("velocity_x", 0).unwrap();
@@ -267,8 +273,7 @@ mod tests {
     fn nyx_density_is_rougher_than_a_smooth_field() {
         // Cross-check the key property the paper relies on.
         let h = tiny();
-        let u = flatten_to_finest(&h, "baryon_density", Upsample::PiecewiseConstant)
-            .unwrap();
+        let u = flatten_to_finest(&h, "baryon_density", Upsample::PiecewiseConstant).unwrap();
         let dims = u.dims();
         let r_nyx = roughness(&u.data, dims);
         let smooth = gaussian_random_field(dims, Spectrum::smooth(), 1);

@@ -12,8 +12,7 @@
 use amrviz_amr::multifab::rasterize_into;
 use amrviz_amr::regrid::tag_gradient;
 use amrviz_amr::{
-    berger_rigoutsos, AmrHierarchy, Box3, BoxArray, Fab, Geometry, IntVect, MultiFab,
-    RegridConfig,
+    berger_rigoutsos, AmrHierarchy, Box3, BoxArray, Fab, Geometry, IntVect, MultiFab, RegridConfig,
 };
 
 /// The advected field name.
@@ -54,14 +53,15 @@ impl AmrAdvection {
         .unwrap_or_else(|_| unreachable!("valid construction"));
         // An empty fine level is not allowed by `add_field` per-level
         // validation only if boxes mismatch; empty is fine.
-        let coarse = MultiFab::from_fn(hier.box_array(0), |iv| {
-            init(geom.cell_center(iv, 1))
-        });
+        let coarse = MultiFab::from_fn(hier.box_array(0), |iv| init(geom.cell_center(iv, 1)));
         hier.add_field(FIELD, vec![coarse, MultiFab::from_fabs(Vec::new())])
             .expect("field matches boxes");
 
         let h = geom.cell_size()[0] / 2.0; // fine spacing
-        let vmax = velocity.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+        let vmax = velocity
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-12);
         let dt = 0.4 * h / vmax;
 
         let mut solver = AmrAdvection {
@@ -137,12 +137,8 @@ impl AmrAdvection {
 
         let coarse_ba = self.hier.box_array(0).clone();
         let coarse_mf = self.hier.field_level(FIELD, 0).expect("field").clone();
-        let mut new_hier = AmrHierarchy::new(
-            geom,
-            vec![2],
-            vec![coarse_ba, fine_ba],
-        )
-        .expect("regridded boxes are valid");
+        let mut new_hier = AmrHierarchy::new(geom, vec![2], vec![coarse_ba, fine_ba])
+            .expect("regridded boxes are valid");
         new_hier.time = self.hier.time;
         new_hier.step = self.hier.step;
         new_hier
@@ -158,7 +154,11 @@ impl AmrAdvection {
         let dom0 = self.hier.level_domain(0);
         let h0 = self.hier.geometry().cell_size();
         let mut u0 = vec![0.0; dom0.num_cells()];
-        rasterize_into(self.hier.field_level(FIELD, 0).expect("field"), dom0, &mut u0);
+        rasterize_into(
+            self.hier.field_level(FIELD, 0).expect("field"),
+            dom0,
+            &mut u0,
+        );
         let new0 = upwind_periodic(&u0, dom0.size(), h0, self.velocity, dt);
         let new0_fab = Fab::from_vec(dom0, new0);
 
@@ -231,13 +231,7 @@ impl AmrAdvection {
 }
 
 /// First-order upwind advection with periodic wrap on a dense grid.
-fn upwind_periodic(
-    u: &[f64],
-    dims: [usize; 3],
-    h: [f64; 3],
-    vel: [f64; 3],
-    dt: f64,
-) -> Vec<f64> {
+fn upwind_periodic(u: &[f64], dims: [usize; 3], h: [f64; 3], vel: [f64; 3], dt: f64) -> Vec<f64> {
     let [nx, ny, nz] = dims;
     let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
     let mut out = vec![0.0; u.len()];
@@ -330,14 +324,16 @@ mod tests {
             ),
             1,
         );
-        assert!((center[0] - 0.3).abs() < 0.15, "refined region at {center:?}");
+        assert!(
+            (center[0] - 0.3).abs() < 0.15,
+            "refined region at {center:?}"
+        );
         assert!((center[1] - 0.5).abs() < 0.15);
     }
 
     #[test]
     fn max_principle_holds() {
-        let mut s =
-            AmrAdvection::new(16, [1.0, 0.5, 0.25], 0.05, gaussian_blob([0.5, 0.5, 0.5]));
+        let mut s = AmrAdvection::new(16, [1.0, 0.5, 0.25], 0.05, gaussian_blob([0.5, 0.5, 0.5]));
         s.run(10);
         for lev in 0..2 {
             let mf = s.hierarchy().field_level(FIELD, lev).unwrap();
@@ -352,12 +348,15 @@ mod tests {
 
     #[test]
     fn blob_moves_with_the_flow() {
-        let mut s =
-            AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, gaussian_blob([0.3, 0.5, 0.5]));
+        let mut s = AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, gaussian_blob([0.3, 0.5, 0.5]));
         let peak_x = |s: &AmrAdvection| -> f64 {
             let dom = s.hierarchy().level_domain(0);
             let mut dense = vec![0.0; dom.num_cells()];
-            rasterize_into(s.hierarchy().field_level(FIELD, 0).unwrap(), dom, &mut dense);
+            rasterize_into(
+                s.hierarchy().field_level(FIELD, 0).unwrap(),
+                dom,
+                &mut dense,
+            );
             let (mut best, mut best_x) = (f64::NEG_INFINITY, 0.0);
             for (n, cell) in dom.cells().enumerate() {
                 if dense[n] > best {
@@ -381,15 +380,11 @@ mod tests {
 
     #[test]
     fn regridding_follows_the_blob() {
-        let mut s =
-            AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, gaussian_blob([0.25, 0.5, 0.5]));
+        let mut s = AmrAdvection::new(32, [1.0, 0.0, 0.0], 0.02, gaussian_blob([0.25, 0.5, 0.5]));
         let slab_center = |s: &AmrAdvection| -> f64 {
             let bb = s.hierarchy().box_array(1).bounding_box().unwrap();
             let geom = s.hierarchy().geometry();
-            geom.cell_center(
-                IntVect::new((bb.lo()[0] + bb.hi()[0]) / 2, 0, 0),
-                2,
-            )[0]
+            geom.cell_center(IntVect::new((bb.lo()[0] + bb.hi()[0]) / 2, 0, 0), 2)[0]
         };
         let c0 = slab_center(&s);
         s.run(24); // several regrids

@@ -121,11 +121,7 @@ impl WarpxScenario {
         }
         let slab = Box3::new(
             amrviz_amr::IntVect::new(0, 0, best.0 as i64),
-            amrviz_amr::IntVect::new(
-                ccx as i64 - 1,
-                ccy as i64 - 1,
-                (best.0 + width) as i64 - 1,
-            ),
+            amrviz_amr::IntVect::new(ccx as i64 - 1, ccy as i64 - 1, (best.0 + width) as i64 - 1),
         );
 
         let spec = TwoLevelSpec {
@@ -172,7 +168,10 @@ mod tests {
     fn fine_fraction_near_target() {
         let h = tiny();
         let f = h.level_density(1);
-        assert!((0.05..=0.25).contains(&f), "fine fraction {f} far from 0.086");
+        assert!(
+            (0.05..=0.25).contains(&f),
+            "fine fraction {f} far from 0.086"
+        );
     }
 
     #[test]
@@ -188,7 +187,10 @@ mod tests {
             "refined slab [{lo_k}, {hi_k}] not around the pulse"
         );
         // Pulse z-range must be inside.
-        assert!((lo_k..=hi_k).contains(&79), "slab [{lo_k},{hi_k}] misses z0");
+        assert!(
+            (lo_k..=hi_k).contains(&79),
+            "slab [{lo_k},{hi_k}] misses z0"
+        );
     }
 
     #[test]
@@ -196,7 +198,10 @@ mod tests {
         let h = tiny();
         let mf = h.field_level("Ez", 1).unwrap();
         let (lo, hi) = mf.min_max();
-        assert!(lo < -0.1 * 1e9 && hi > 0.1 * 1e9, "no oscillation: [{lo}, {hi}]");
+        assert!(
+            lo < -0.1 * 1e9 && hi > 0.1 * 1e9,
+            "no oscillation: [{lo}, {hi}]"
+        );
     }
 
     #[test]
@@ -205,8 +210,7 @@ mod tests {
         let hw = tiny();
         let uw = flatten_to_finest(&hw, "Ez", Upsample::PiecewiseConstant).unwrap();
         let hn = NyxScenario::new(Scale::Tiny, 42).generate();
-        let un =
-            flatten_to_finest(&hn, "baryon_density", Upsample::PiecewiseConstant).unwrap();
+        let un = flatten_to_finest(&hn, "baryon_density", Upsample::PiecewiseConstant).unwrap();
         let rw = roughness(&uw.data, uw.dims());
         let rn = roughness(&un.data, un.dims());
         assert!(

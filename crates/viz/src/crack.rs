@@ -74,8 +74,7 @@ pub fn interface_gap(
             0.5 * (p[1] + q[1]),
             0.5 * (p[2] + q[2]),
         ];
-        let len = ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2))
-            .sqrt();
+        let len = ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)).sqrt();
         rim_length += len;
         n_rim += 1;
         gaps.push(locator.distance(mid));
@@ -117,18 +116,14 @@ mod tests {
             vec![2],
             vec![
                 BoxArray::single(geom.domain),
-                BoxArray::single(Box3::new(
-                    IntVect::new(16, 0, 0),
-                    IntVect::new(31, 31, 31),
-                )),
+                BoxArray::single(Box3::new(IntVect::new(16, 0, 0), IntVect::new(31, 31, 31))),
             ],
         )
         .unwrap();
         let g = *h.geometry();
         h.add_field_from_fn("f", move |lev, iv| {
             let p = g.cell_center(iv, if lev == 0 { 1 } else { 2 });
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         h
@@ -153,7 +148,11 @@ mod tests {
         assert!(m.n_rim_edges > 0, "expected an interface rim");
         // Cracks are sub-coarse-cell mismatches: nonzero but smaller than a
         // coarse cell (1/16).
-        assert!(m.mean_gap > 1e-6, "mean gap {} suspiciously small", m.mean_gap);
+        assert!(
+            m.mean_gap > 1e-6,
+            "mean gap {} suspiciously small",
+            m.mean_gap
+        );
         assert!(m.max_gap < 2.0 / 16.0, "max gap {} too large", m.max_gap);
     }
 
@@ -194,8 +193,7 @@ mod tests {
         let g = *h.geometry();
         h.add_field_from_fn("f", move |_, iv| {
             let p = g.cell_center(iv, 1);
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         let mesh = crate::dual::extract_dual_level(

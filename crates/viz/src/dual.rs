@@ -61,46 +61,39 @@ pub fn extract_dual_level(
     let mut mask = vec![false; dx * dy * dz];
     let sp_mask = amrviz_obs::span!("dual.mask", level = lev);
     amrviz_par::for_each_chunk_mut(&mut mask, dx * dy, |k, slab| {
-            for j in 0..dy {
-                for i in 0..dx {
-                    let mut all_valid = true;
-                    let mut any_unique = false;
-                    let mut all_unique = true;
-                    for dk in 0..2i64 {
-                        for dj in 0..2i64 {
-                            for di in 0..2i64 {
-                                let iv = dom.lo()
-                                    + IntVect::new(
-                                        i as i64 + di,
-                                        j as i64 + dj,
-                                        k as i64 + dk,
-                                    );
-                                let v = valid.get_unchecked(iv);
-                                let c = covered.get_unchecked(iv);
-                                all_valid &= v;
-                                let unique = v && !c;
-                                any_unique |= unique;
-                                all_unique &= unique;
-                            }
+        for j in 0..dy {
+            for i in 0..dx {
+                let mut all_valid = true;
+                let mut any_unique = false;
+                let mut all_unique = true;
+                for dk in 0..2i64 {
+                    for dj in 0..2i64 {
+                        for di in 0..2i64 {
+                            let iv = dom.lo()
+                                + IntVect::new(i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let v = valid.get_unchecked(iv);
+                            let c = covered.get_unchecked(iv);
+                            all_valid &= v;
+                            let unique = v && !c;
+                            any_unique |= unique;
+                            all_unique &= unique;
                         }
                     }
-                    slab[i + dx * j] = match mode {
-                        DualMode::Plain => all_unique,
-                        DualMode::SwitchingCells => all_valid && any_unique,
-                    };
                 }
+                slab[i + dx * j] = match mode {
+                    DualMode::Plain => all_unique,
+                    DualMode::SwitchingCells => all_valid && any_unique,
+                };
             }
-        });
+        }
+    });
     sp_mask.finish();
 
     // Node grid sits at cell centers: origin shifted by h/2.
     let origin = [
-        hier.geometry().prob_lo[0]
-            + (dom.lo()[0] as f64 + 0.5) * h[0],
-        hier.geometry().prob_lo[1]
-            + (dom.lo()[1] as f64 + 0.5) * h[1],
-        hier.geometry().prob_lo[2]
-            + (dom.lo()[2] as f64 + 0.5) * h[2],
+        hier.geometry().prob_lo[0] + (dom.lo()[0] as f64 + 0.5) * h[0],
+        hier.geometry().prob_lo[1] + (dom.lo()[1] as f64 + 0.5) * h[1],
+        hier.geometry().prob_lo[2] + (dom.lo()[2] as f64 + 0.5) * h[2],
     ];
     let grid = SampledGrid {
         dims: [cx, cy, cz],
@@ -121,8 +114,7 @@ mod tests {
     fn sphere_field(g: Geometry, ratio: i64) -> impl Fn(IntVect) -> f64 {
         move |iv| {
             let p = g.cell_center(iv, ratio);
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         }
     }
 
@@ -141,10 +133,7 @@ mod tests {
             vec![2],
             vec![
                 BoxArray::single(geom.domain),
-                BoxArray::single(Box3::new(
-                    IntVect::new(16, 0, 0),
-                    IntVect::new(31, 31, 31),
-                )),
+                BoxArray::single(Box3::new(IntVect::new(16, 0, 0), IntVect::new(31, 31, 31))),
             ],
         )
         .unwrap();
@@ -171,8 +160,7 @@ mod tests {
         let h = two_level();
         let coarse =
             extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         let hc = 1.0 / 16.0;
         let hf = 1.0 / 32.0;
         // Plain coarse dual stops at least half a coarse cell short of the
@@ -210,8 +198,7 @@ mod tests {
             0.0,
             DualMode::SwitchingCells,
         );
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         let hf = 1.0 / 32.0;
         // With redundant coarse data the coarse surface now extends past the
         // interface, overlapping the fine surface region.

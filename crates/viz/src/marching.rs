@@ -51,7 +51,13 @@ impl SampledGrid {
                 }
             }
         }
-        SampledGrid { dims, origin, spacing, values, cell_mask: None }
+        SampledGrid {
+            dims,
+            origin,
+            spacing,
+            values,
+            cell_mask: None,
+        }
     }
 
     /// Number of cubes along each axis.
@@ -103,11 +109,7 @@ struct Extractor {
 
 impl Extractor {
     /// Mesh vertex on the crossing of edge (a, b); created on first use.
-    fn edge_vertex(
-        &mut self,
-        a: (u64, [f64; 3], f64),
-        b: (u64, [f64; 3], f64),
-    ) -> u32 {
+    fn edge_vertex(&mut self, a: (u64, [f64; 3], f64), b: (u64, [f64; 3], f64)) -> u32 {
         let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
         if let Some(&v) = self.edge_vertices.get(&key) {
             return v;
@@ -267,10 +269,38 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
     let boundary_zs: std::collections::HashSet<u64> = (1..n_slabs)
         .map(|s| (grid.origin[2] + (s * SLAB) as f64 * grid.spacing[2]).to_bits())
         .collect();
-    let mut out = TriMesh::new();
+    // The first slab seeds the output by move: with the shared map empty, the
+    // copy loop below would append every one of its vertices in order anyway,
+    // so taking over its buffers is byte-identical — unless the slab itself
+    // holds two bit-equal boundary-plane vertices, which the copy loop would
+    // have merged. The pre-scan detects that (pathological) case and falls
+    // back to copying the first slab too. Remaining slabs are consumed one at
+    // a time — each freed as soon as it is merged — with exact reservations,
+    // so the merge holds ~one output plus one slab rather than two full
+    // meshes.
+    let mut slabs = slabs.into_iter();
+    let first = slabs.next().expect("cz > SLAB implies at least two slabs");
     let mut shared: HashMap<[u64; 3], u32> = HashMap::new();
-    for slab in &slabs {
-        let mut remap = Vec::with_capacity(slab.vertices.len());
+    let mut seed_dup = false;
+    for (i, p) in first.vertices.iter().enumerate() {
+        let key = [p[0].to_bits(), p[1].to_bits(), p[2].to_bits()];
+        if boundary_zs.contains(&key[2]) && shared.insert(key, i as u32).is_some() {
+            seed_dup = true;
+            break;
+        }
+    }
+    let (mut out, fallback) = if seed_dup {
+        shared.clear();
+        (TriMesh::new(), Some(first))
+    } else {
+        (first, None)
+    };
+    let mut remap = Vec::new();
+    for slab in fallback.into_iter().chain(slabs) {
+        remap.clear();
+        remap.reserve(slab.vertices.len());
+        out.vertices.reserve_exact(slab.vertices.len());
+        out.triangles.reserve_exact(slab.triangles.len());
         for &p in &slab.vertices {
             let key = [p[0].to_bits(), p[1].to_bits(), p[2].to_bits()];
             let id = if boundary_zs.contains(&key[2]) {
@@ -286,11 +316,13 @@ pub fn marching_tetrahedra(grid: &SampledGrid, iso: f64) -> TriMesh {
             };
             remap.push(id);
         }
-        out.triangles.extend(
-            slab.triangles
-                .iter()
-                .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]]),
-        );
+        out.triangles.extend(slab.triangles.iter().map(|t| {
+            [
+                remap[t[0] as usize],
+                remap[t[1] as usize],
+                remap[t[2] as usize],
+            ]
+        }));
     }
     amrviz_obs::counter!("viz.triangles", out.num_triangles());
     out
@@ -321,11 +353,9 @@ fn extract_range(grid: &SampledGrid, iso: f64, k_begin: usize, k_end: usize) -> 
                     for dy in 0..2usize {
                         for dx in 0..2usize {
                             let (gi, gj, gk) = (i + dx, j + dy, k + dz);
-                            let v =
-                                grid.values[gi + nx * (gj + ny * gk)];
+                            let v = grid.values[gi + nx * (gj + ny * gk)];
                             let c = dx + 2 * dy + 4 * dz;
-                            corners[c] =
-                                (grid.node_id(gi, gj, gk), grid.node_pos(gi, gj, gk), v);
+                            corners[c] = (grid.node_id(gi, gj, gk), grid.node_pos(gi, gj, gk), v);
                             if v >= iso {
                                 any_in = true;
                             } else {
@@ -349,6 +379,11 @@ fn extract_range(grid: &SampledGrid, iso: f64, k_begin: usize, k_end: usize) -> 
             }
         }
     }
+    // Trim the doubling-growth overshoot: the mesh is retained (and, on the
+    // slab path, coexists with its siblings during the merge) long after
+    // extraction, so the ~25% capacity slack is pure dead weight.
+    ex.mesh.vertices.shrink_to_fit();
+    ex.mesh.triangles.shrink_to_fit();
     ex.mesh
 }
 
@@ -359,14 +394,9 @@ mod tests {
     fn sphere_grid(n: usize, r: f64) -> SampledGrid {
         // Field = r − |x − c|: positive inside the ball.
         let c = [0.5, 0.5, 0.5];
-        SampledGrid::from_fn(
-            [n, n, n],
-            [0.0; 3],
-            [1.0 / (n - 1) as f64; 3],
-            |x, y, z| {
-                r - ((x - c[0]).powi(2) + (y - c[1]).powi(2) + (z - c[2]).powi(2)).sqrt()
-            },
-        )
+        SampledGrid::from_fn([n, n, n], [0.0; 3], [1.0 / (n - 1) as f64; 3], |x, y, z| {
+            r - ((x - c[0]).powi(2) + (y - c[1]).powi(2) + (z - c[2]).powi(2)).sqrt()
+        })
     }
 
     #[test]
@@ -374,7 +404,11 @@ mod tests {
         let grid = sphere_grid(33, 0.3);
         let mesh = marching_tetrahedra(&grid, 0.0);
         assert!(mesh.num_triangles() > 500);
-        assert!(mesh.is_watertight(), "open edges: {}", mesh.boundary_edges().len());
+        assert!(
+            mesh.is_watertight(),
+            "open edges: {}",
+            mesh.boundary_edges().len()
+        );
         let area = mesh.total_area();
         let exact = 4.0 * std::f64::consts::PI * 0.3 * 0.3;
         assert!(
@@ -402,8 +436,7 @@ mod tests {
         let mesh = marching_tetrahedra(&grid, 0.0);
         let h = 1.0 / 32.0;
         for v in &mesh.vertices {
-            let r = ((v[0] - 0.5).powi(2) + (v[1] - 0.5).powi(2) + (v[2] - 0.5).powi(2))
-                .sqrt();
+            let r = ((v[0] - 0.5).powi(2) + (v[1] - 0.5).powi(2) + (v[2] - 0.5).powi(2)).sqrt();
             assert!((r - 0.3).abs() < h, "vertex off surface: r = {r}");
         }
     }
@@ -480,8 +513,8 @@ mod tests {
         let exact = 4.0 * std::f64::consts::PI * 0.35 * 0.35;
         assert!((mesh.total_area() - exact).abs() / exact < 0.02);
         // No duplicated vertices anywhere (welding with a tiny tolerance
-        // must be a no-op).
-        let mut welded = mesh.clone();
+        // must be a no-op). `mesh` is not needed afterwards, so weld in place.
+        let mut welded = mesh;
         assert_eq!(welded.weld(1e-12), 0, "duplicate vertices survived merge");
     }
 

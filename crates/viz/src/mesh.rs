@@ -2,7 +2,6 @@
 
 use std::collections::HashMap;
 
-
 /// An indexed triangle mesh in physical coordinates.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TriMesh {
@@ -31,8 +30,12 @@ impl TriMesh {
     pub fn append(&mut self, other: &TriMesh) {
         let off = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles
-            .extend(other.triangles.iter().map(|t| [t[0] + off, t[1] + off, t[2] + off]));
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + off, t[1] + off, t[2] + off]),
+        );
     }
 
     /// Axis-aligned bounding box, or `None` when empty.
@@ -322,7 +325,7 @@ mod tests {
                 [0.0, 0.0, 0.0],
                 [1.0, 0.0, 0.0],
                 [0.0, 1.0, 0.0],
-                [1.0, 0.0, 1e-12], // dup of 1
+                [1.0, 0.0, 1e-12],  // dup of 1
                 [0.0, 1.0, -1e-12], // dup of 2
                 [1.0, 1.0, 0.0],
             ],

@@ -7,8 +7,12 @@ use crate::mesh::TriMesh;
 
 /// Writes a mesh as Wavefront OBJ.
 pub fn write_obj(w: &mut impl Write, mesh: &TriMesh) -> io::Result<()> {
-    writeln!(w, "# amrviz isosurface: {} vertices, {} triangles",
-        mesh.num_vertices(), mesh.num_triangles())?;
+    writeln!(
+        w,
+        "# amrviz isosurface: {} vertices, {} triangles",
+        mesh.num_vertices(),
+        mesh.num_triangles()
+    )?;
     for v in &mesh.vertices {
         writeln!(w, "v {} {} {}", v[0], v[1], v[2])?;
     }

@@ -41,21 +41,44 @@ impl ToJson for IsoMethod {
     }
 }
 
-/// Extraction output: per-level surfaces plus their concatenation.
+/// Extraction output: one surface per level.
 ///
-/// Levels are *not* welded together — the combined mesh shows exactly the
-/// cracks/gaps/overlaps each method produces, which is the object of study.
+/// Levels are *not* welded together — their concatenation
+/// ([`AmrIsoResult::combined`]) shows exactly the cracks/gaps/overlaps each
+/// method produces, which is the object of study. The concatenation is built
+/// on demand; the result stores each triangle once, not twice.
 #[derive(Debug, Clone)]
 pub struct AmrIsoResult {
     pub method: IsoMethod,
     pub iso: f64,
     pub level_meshes: Vec<TriMesh>,
-    pub combined: TriMesh,
 }
 
 impl AmrIsoResult {
+    /// Total triangle count across all level meshes.
     pub fn total_triangles(&self) -> usize {
-        self.combined.num_triangles()
+        self.level_meshes.iter().map(TriMesh::num_triangles).sum()
+    }
+
+    /// Concatenates the level meshes in level order (the crack-preserving
+    /// whole-hierarchy surface).
+    pub fn combined(&self) -> TriMesh {
+        let mut combined = TriMesh::new();
+        for m in &self.level_meshes {
+            combined.append(m);
+        }
+        combined
+    }
+
+    /// [`AmrIsoResult::combined`], consuming the result: the first level's
+    /// mesh storage is reused as the accumulator instead of copied.
+    pub fn into_combined(self) -> TriMesh {
+        let mut meshes = self.level_meshes.into_iter();
+        let mut combined = meshes.next().unwrap_or_default();
+        for m in meshes {
+            combined.append(&m);
+        }
+        combined
     }
 }
 
@@ -83,9 +106,7 @@ pub fn extract_amr_isosurface(
         let t0 = amrviz_obs::is_enabled().then(std::time::Instant::now);
         let mesh = match method {
             IsoMethod::Resampling => extract_resampled_level(hier, mf, lev, iso),
-            IsoMethod::DualCell => {
-                extract_dual_level(hier, mf, lev, iso, DualMode::Plain)
-            }
+            IsoMethod::DualCell => extract_dual_level(hier, mf, lev, iso, DualMode::Plain),
             IsoMethod::DualCellRedundant => {
                 extract_dual_level(hier, mf, lev, iso, DualMode::SwitchingCells)
             }
@@ -96,12 +117,13 @@ pub fn extract_amr_isosurface(
         lsp.add_field("triangles", mesh.num_triangles());
         mesh
     });
-    let mut combined = TriMesh::new();
-    for m in &level_meshes {
-        combined.append(m);
-    }
-    sp.add_field("triangles", combined.num_triangles());
-    AmrIsoResult { method, iso, level_meshes, combined }
+    let res = AmrIsoResult {
+        method,
+        iso,
+        level_meshes,
+    };
+    sp.add_field("triangles", res.total_triangles());
+    res
 }
 
 /// Convenience: extract from a named field stored in the hierarchy.
@@ -127,18 +149,14 @@ mod tests {
             vec![2],
             vec![
                 BoxArray::single(geom.domain),
-                BoxArray::single(Box3::new(
-                    IntVect::new(12, 0, 0),
-                    IntVect::new(23, 23, 23),
-                )),
+                BoxArray::single(Box3::new(IntVect::new(12, 0, 0), IntVect::new(23, 23, 23))),
             ],
         )
         .unwrap();
         let g = *h.geometry();
         h.add_field_from_fn("f", move |lev, iv| {
             let p = g.cell_center(iv, if lev == 0 { 1 } else { 2 });
-            0.35 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.35 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         h
@@ -151,10 +169,8 @@ mod tests {
             let res = extract_field_isosurface(&h, "f", 0.0, method).unwrap();
             assert_eq!(res.level_meshes.len(), 2);
             assert!(res.total_triangles() > 0, "{method:?} empty");
-            assert_eq!(
-                res.combined.num_triangles(),
-                res.level_meshes.iter().map(TriMesh::num_triangles).sum::<usize>()
-            );
+            assert_eq!(res.combined().num_triangles(), res.total_triangles());
+            assert_eq!(res.clone().into_combined(), res.combined());
         }
     }
 
@@ -165,8 +181,7 @@ mod tests {
         let switching =
             extract_field_isosurface(&h, "f", 0.0, IsoMethod::DualCellRedundant).unwrap();
         assert!(
-            switching.level_meshes[0].num_triangles()
-                > plain.level_meshes[0].num_triangles(),
+            switching.level_meshes[0].num_triangles() > plain.level_meshes[0].num_triangles(),
             "switching cells should extend the coarse surface"
         );
         // The fine level is unaffected by the mode.

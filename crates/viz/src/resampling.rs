@@ -31,8 +31,11 @@ pub fn extract_resampled_level(
     let ratio0 = hier.ratio_to_level0(lev);
     let h = hier.geometry().cell_size_at(ratio0);
 
-    // Dense cell values + validity.
-    let mut cells = vec![0.0f64; dom.num_cells()];
+    // Dense cell values + validity. The cell buffer is rented scratch: it
+    // is only needed while the node grid is assembled and goes back to the
+    // pool before marching, so it never stacks on top of the mesh build.
+    let mut cells = amrviz_par::scratch::take_f64();
+    cells.resize(dom.num_cells(), 0.0);
     rasterize_into(level_data, dom, &mut cells);
     let valid = hier.valid_mask(lev);
     let covered = hier.covered_mask(lev);
@@ -42,9 +45,11 @@ pub fn extract_resampled_level(
     // node" conflict responsible for cracks. Parallel over node slabs.
     let (nnx, nny, nnz) = (cx + 1, cy + 1, cz + 1);
     let mut nodes = vec![0.0f64; nnx * nny * nnz];
-    let cell_at = |i: usize, j: usize, k: usize| cells[i + cx * (j + cy * k)];
-    let sp_nodes = amrviz_obs::span!("resample.nodes", level = lev);
-    amrviz_par::for_each_chunk_mut(&mut nodes, nnx * nny, |nk, slab| {
+    {
+        let cells = &cells;
+        let cell_at = |i: usize, j: usize, k: usize| cells[i + cx * (j + cy * k)];
+        let sp_nodes = amrviz_obs::span!("resample.nodes", level = lev);
+        amrviz_par::for_each_chunk_mut(&mut nodes, nnx * nny, |nk, slab| {
             for nj in 0..nny {
                 for ni in 0..nnx {
                     let mut sum = 0.0;
@@ -60,8 +65,8 @@ pub fn extract_resampled_level(
                                     (nk + dk).wrapping_sub(1),
                                 );
                                 if ci < cx && cj < cy && ck < cz {
-                                    let iv = dom.lo()
-                                        + IntVect::new(ci as i64, cj as i64, ck as i64);
+                                    let iv =
+                                        dom.lo() + IntVect::new(ci as i64, cj as i64, ck as i64);
                                     if valid.get_unchecked(iv) {
                                         sum += cell_at(ci, cj, ck);
                                         cnt += 1;
@@ -76,19 +81,20 @@ pub fn extract_resampled_level(
                 }
             }
         });
-    sp_nodes.finish();
+        sp_nodes.finish();
+    }
+    amrviz_par::scratch::give_f64(cells);
 
     // March the level's unique cells only (parallel over cell slabs).
     let mut mask = vec![false; cx * cy * cz];
     amrviz_par::for_each_chunk_mut(&mut mask, cx * cy, |k, slab| {
-            for j in 0..cy {
-                for i in 0..cx {
-                    let iv = dom.lo() + IntVect::new(i as i64, j as i64, k as i64);
-                    slab[i + cx * j] =
-                        valid.get_unchecked(iv) && !covered.get_unchecked(iv);
-                }
+        for j in 0..cy {
+            for i in 0..cx {
+                let iv = dom.lo() + IntVect::new(i as i64, j as i64, k as i64);
+                slab[i + cx * j] = valid.get_unchecked(iv) && !covered.get_unchecked(iv);
             }
-        });
+        }
+    });
 
     let origin = hier.geometry().prob_lo;
     let grid = SampledGrid {
@@ -114,8 +120,7 @@ mod tests {
         let g = *h.geometry();
         h.add_field_from_fn("f", move |_, iv| {
             let p = g.cell_center(iv, 1);
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         h
@@ -130,18 +135,14 @@ mod tests {
             vec![2],
             vec![
                 BoxArray::single(geom.domain),
-                BoxArray::single(Box3::new(
-                    IntVect::new(16, 0, 0),
-                    IntVect::new(31, 31, 31),
-                )),
+                BoxArray::single(Box3::new(IntVect::new(16, 0, 0), IntVect::new(31, 31, 31))),
             ],
         )
         .unwrap();
         let g = *h.geometry();
         h.add_field_from_fn("f", move |lev, iv| {
             let p = g.cell_center(iv, if lev == 0 { 1 } else { 2 });
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         h
@@ -181,13 +182,22 @@ mod tests {
         // Each half-sphere has an open rim at the interface plane.
         let coarse_rim = coarse.boundary_edges();
         let fine_rim = fine.boundary_edges();
-        assert!(!coarse_rim.is_empty(), "coarse surface should end at the interface");
-        assert!(!fine_rim.is_empty(), "fine surface should end at the interface");
+        assert!(
+            !coarse_rim.is_empty(),
+            "coarse surface should end at the interface"
+        );
+        assert!(
+            !fine_rim.is_empty(),
+            "fine surface should end at the interface"
+        );
         // Rim vertices lie on the interface plane x = 0.5.
         for &(a, b) in &fine_rim {
             for vi in [a, b] {
                 let v = fine.vertices[vi as usize];
-                assert!((v[0] - 0.5).abs() < 0.5 / 16.0, "rim vertex off plane: {v:?}");
+                assert!(
+                    (v[0] - 0.5).abs() < 0.5 / 16.0,
+                    "rim vertex off plane: {v:?}"
+                );
             }
         }
         // The crack: rims from the two levels do not coincide exactly.

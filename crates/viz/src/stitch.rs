@@ -24,10 +24,7 @@ pub fn stitch_rims(fine: &TriMesh, coarse: &TriMesh, max_dist: f64) -> TriMesh {
         return TriMesh::new();
     }
     // Candidate attachment points: all coarse rim vertices.
-    let mut coarse_rim_verts: Vec<u32> = coarse_rim
-        .iter()
-        .flat_map(|&(a, b)| [a, b])
-        .collect();
+    let mut coarse_rim_verts: Vec<u32> = coarse_rim.iter().flat_map(|&(a, b)| [a, b]).collect();
     coarse_rim_verts.sort_unstable();
     coarse_rim_verts.dedup();
     let targets: Vec<[f64; 3]> = coarse_rim_verts
@@ -104,18 +101,14 @@ mod tests {
             vec![2],
             vec![
                 BoxArray::single(geom.domain),
-                BoxArray::single(Box3::new(
-                    IntVect::new(16, 0, 0),
-                    IntVect::new(31, 31, 31),
-                )),
+                BoxArray::single(Box3::new(IntVect::new(16, 0, 0), IntVect::new(31, 31, 31))),
             ],
         )
         .unwrap();
         let g = *h.geometry();
         h.add_field_from_fn("f", move |lev, iv| {
             let p = g.cell_center(iv, if lev == 0 { 1 } else { 2 });
-            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                .sqrt()
+            0.3 - ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt()
         })
         .unwrap();
         h
@@ -126,8 +119,7 @@ mod tests {
         let h = two_level_sphere();
         let coarse =
             extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         // Gap ≈ (h_c + h_f)/2 ≈ 0.047; allow up to 2 coarse cells.
         let band = stitch_rims(&fine, &coarse, 2.0 / 16.0);
         assert!(!band.is_empty(), "no stitching triangles produced");
@@ -161,8 +153,7 @@ mod tests {
     #[test]
     fn empty_inputs_yield_empty_band() {
         let h = two_level_sphere();
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         assert!(stitch_rims(&TriMesh::new(), &fine, 1.0).is_empty());
         assert!(stitch_rims(&fine, &TriMesh::new(), 1.0).is_empty());
     }
@@ -173,8 +164,7 @@ mod tests {
         let h = two_level_sphere();
         let coarse =
             extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         let band = stitch_rims(&fine, &coarse, 1e-6);
         assert!(band.is_empty());
     }
@@ -186,8 +176,7 @@ mod tests {
         let h = two_level_sphere();
         let plain_coarse =
             extract_dual_level(&h, h.field_level("f", 0).unwrap(), 0, 0.0, DualMode::Plain);
-        let fine =
-            extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
+        let fine = extract_dual_level(&h, h.field_level("f", 1).unwrap(), 1, 0.0, DualMode::Plain);
         let band = stitch_rims(&fine, &plain_coarse, 2.0 / 16.0);
         assert!(band.total_area() > 0.0);
         let _ = IsoMethod::DualCellRedundant; // the other fix, tested elsewhere

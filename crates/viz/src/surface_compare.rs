@@ -14,12 +14,7 @@ use crate::mesh::TriMesh;
 
 /// Exact closest point on triangle `(a, b, c)` to `p` (Ericson, *Real-Time
 /// Collision Detection*, §5.1.5).
-pub fn closest_point_on_triangle(
-    p: [f64; 3],
-    a: [f64; 3],
-    b: [f64; 3],
-    c: [f64; 3],
-) -> [f64; 3] {
+pub fn closest_point_on_triangle(p: [f64; 3], a: [f64; 3], b: [f64; 3], c: [f64; 3]) -> [f64; 3] {
     let sub = |x: [f64; 3], y: [f64; 3]| [x[0] - y[0], x[1] - y[1], x[2] - y[2]];
     let dot = |x: [f64; 3], y: [f64; 3]| x[0] * y[0] + x[1] * y[1] + x[2] * y[2];
     let ab = sub(b, a);
@@ -84,15 +79,24 @@ pub struct TriLocator {
 
 impl TriLocator {
     /// Builds the locator. Returns `None` for empty meshes.
+    ///
+    /// The locator stores its own copy of the geometry so it can outlive
+    /// the mesh; when the mesh is no longer needed, [`TriLocator::build_owned`]
+    /// reuses its buffers instead of copying them.
     pub fn build(mesh: &TriMesh) -> Option<Self> {
+        Self::build_owned(mesh.clone())
+    }
+
+    /// [`TriLocator::build`], consuming the mesh: its vertex and triangle
+    /// buffers become the locator's storage.
+    pub fn build_owned(mesh: TriMesh) -> Option<Self> {
         let (lo, hi) = mesh.bbox()?;
         if mesh.triangles.is_empty() {
             return None;
         }
-        let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2)
-            + (hi[2] - lo[2]).powi(2))
-        .sqrt()
-        .max(1e-300);
+        let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2) + (hi[2] - lo[2]).powi(2))
+            .sqrt()
+            .max(1e-300);
         // Aim for O(1) triangles per cell.
         let cell = (diag / (mesh.triangles.len() as f64).cbrt().max(1.0)).max(diag * 1e-6);
         let dims = [
@@ -127,9 +131,8 @@ impl TriLocator {
                 ];
                 (c0[2]..=c1[2]).flat_map(move |kz| {
                     (c0[1]..=c1[1]).flat_map(move |ky| {
-                        (c0[0]..=c1[0]).map(move |kx| {
-                            (kx + dims[0] * (ky + dims[1] * kz), t as u32)
-                        })
+                        (c0[0]..=c1[0])
+                            .map(move |kx| (kx + dims[0] * (ky + dims[1] * kz), t as u32))
                     })
                 })
             };
@@ -151,8 +154,7 @@ impl TriLocator {
             )
         };
         pairs.sort_unstable();
-        let mut buckets: HashMap<usize, Vec<u32>> =
-            HashMap::with_capacity(pairs.len() / 2 + 1);
+        let mut buckets: HashMap<usize, Vec<u32>> = HashMap::with_capacity(pairs.len() / 2 + 1);
         let mut i = 0;
         while i < pairs.len() {
             let key = pairs[i].0;
@@ -164,8 +166,8 @@ impl TriLocator {
             i = j;
         }
         Some(TriLocator {
-            vertices: mesh.vertices.clone(),
-            triangles: mesh.triangles.clone(),
+            vertices: mesh.vertices,
+            triangles: mesh.triangles,
             lo,
             cell,
             dims,
@@ -201,12 +203,9 @@ impl TriLocator {
         let outside = outside2.sqrt();
 
         let start = [
-            ((((p[0] - self.lo[0]) / self.cell).floor()).max(0.0) as usize)
-                .min(self.dims[0] - 1),
-            ((((p[1] - self.lo[1]) / self.cell).floor()).max(0.0) as usize)
-                .min(self.dims[1] - 1),
-            ((((p[2] - self.lo[2]) / self.cell).floor()).max(0.0) as usize)
-                .min(self.dims[2] - 1),
+            ((((p[0] - self.lo[0]) / self.cell).floor()).max(0.0) as usize).min(self.dims[0] - 1),
+            ((((p[1] - self.lo[1]) / self.cell).floor()).max(0.0) as usize).min(self.dims[1] - 1),
+            ((((p[2] - self.lo[2]) / self.cell).floor()).max(0.0) as usize).min(self.dims[2] - 1),
         ];
         let max_shell = self.dims[0].max(self.dims[1]).max(self.dims[2]);
         let mut best = f64::INFINITY;
@@ -236,8 +235,8 @@ impl TriLocator {
                         {
                             continue;
                         }
-                        let key = kx as usize
-                            + self.dims[0] * (ky as usize + self.dims[1] * kz as usize);
+                        let key =
+                            kx as usize + self.dims[0] * (ky as usize + self.dims[1] * kz as usize);
                         if let Some(tris) = self.buckets.get(&key) {
                             for &t in tris {
                                 best = best.min(self.tri_distance(p, t));
@@ -285,10 +284,7 @@ pub fn surface_distance(from: &TriMesh, to: &TriMesh) -> Option<SurfaceDistance>
 
 /// [`surface_distance`] against a prebuilt locator — use when comparing
 /// several meshes to the same reference surface.
-pub fn surface_distance_to(
-    from: &TriMesh,
-    locator: &TriLocator,
-) -> Option<SurfaceDistance> {
+pub fn surface_distance_to(from: &TriMesh, locator: &TriLocator) -> Option<SurfaceDistance> {
     if from.triangles.is_empty() {
         return None;
     }
@@ -314,12 +310,8 @@ pub fn surface_distance_to(
         return None;
     }
     let mean = per_tri.iter().map(|&(a, d)| a * d).sum::<f64>() / total_area;
-    let rms =
-        (per_tri.iter().map(|&(a, d)| a * d * d).sum::<f64>() / total_area).sqrt();
-    let max = per_tri
-        .iter()
-        .map(|&(_, d)| d)
-        .fold(vert_max, f64::max);
+    let rms = (per_tri.iter().map(|&(a, d)| a * d * d).sum::<f64>() / total_area).sqrt();
+    let max = per_tri.iter().map(|&(_, d)| d).fold(vert_max, f64::max);
     Some(SurfaceDistance {
         mean,
         rms,
@@ -367,8 +359,7 @@ pub fn normal_roughness(mesh: &TriMesh) -> f64 {
         if j - i == 2 {
             let n1 = mesh.face_normal(pairs[i].1 as usize);
             let n2 = mesh.face_normal(pairs[i + 1].1 as usize);
-            let dot =
-                (n1[0] * n2[0] + n1[1] * n2[1] + n1[2] * n2[2]).clamp(-1.0, 1.0);
+            let dot = (n1[0] * n2[0] + n1[1] * n2[1] + n1[2] * n2[2]).clamp(-1.0, 1.0);
             sum += dot.acos();
             count += 1;
         }
@@ -387,14 +378,10 @@ mod tests {
     use crate::marching::{marching_tetrahedra, SampledGrid};
 
     fn sphere_mesh(n: usize, r: f64, c: [f64; 3]) -> TriMesh {
-        let grid = SampledGrid::from_fn(
-            [n, n, n],
-            [0.0; 3],
-            [1.0 / (n - 1) as f64; 3],
-            |x, y, z| {
+        let grid =
+            SampledGrid::from_fn([n, n, n], [0.0; 3], [1.0 / (n - 1) as f64; 3], |x, y, z| {
                 r - ((x - c[0]).powi(2) + (y - c[1]).powi(2) + (z - c[2]).powi(2)).sqrt()
-            },
-        );
+            });
         marching_tetrahedra(&grid, 0.0)
     }
 
@@ -410,11 +397,17 @@ mod tests {
         let b = [1.0, 0.0, 0.0];
         let c = [0.0, 1.0, 0.0];
         // Above the interior → foot of perpendicular.
-        assert_pt(closest_point_on_triangle([0.2, 0.2, 5.0], a, b, c), [0.2, 0.2, 0.0]);
+        assert_pt(
+            closest_point_on_triangle([0.2, 0.2, 5.0], a, b, c),
+            [0.2, 0.2, 0.0],
+        );
         // Beyond vertex A.
         assert_pt(closest_point_on_triangle([-1.0, -1.0, 0.0], a, b, c), a);
         // Beyond edge AB.
-        assert_pt(closest_point_on_triangle([0.5, -2.0, 0.0], a, b, c), [0.5, 0.0, 0.0]);
+        assert_pt(
+            closest_point_on_triangle([0.5, -2.0, 0.0], a, b, c),
+            [0.5, 0.0, 0.0],
+        );
         // Beyond vertex B.
         assert_pt(closest_point_on_triangle([3.0, 0.0, 0.0], a, b, c), b);
         // Beyond edge BC.

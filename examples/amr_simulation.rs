@@ -44,7 +44,11 @@ fn main() {
         // Plotfile snapshot.
         let pf_path = out.join(format!("plt{:05}", h.step));
         write_plotfile(&pf_path, h).expect("write plotfile");
-        println!("      wrote {} and {}", img_path.display(), pf_path.display());
+        println!(
+            "      wrote {} and {}",
+            img_path.display(),
+            pf_path.display()
+        );
     }
 
     // Demonstrate the plotfile round-trip.

@@ -47,7 +47,10 @@ fn main() {
     resampled.push(blocky[n - 1]);
 
     let fmt = |s: &[f64]| {
-        s.iter().map(|v| format!("{v:4.1}")).collect::<Vec<_>>().join(" ")
+        s.iter()
+            .map(|v| format!("{v:4.1}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     println!("original:           {}", fmt(&original));
     println!("decompressed:       {}", fmt(&blocky));

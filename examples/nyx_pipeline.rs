@@ -6,9 +6,7 @@
 //! ```
 
 use amrviz_compress::{compress_hierarchy_field, AmrCodecConfig, ErrorBound};
-use amrviz_core::experiment::{
-    run_crack_analysis, run_rate_distortion, CompressorKind,
-};
+use amrviz_core::experiment::{run_crack_analysis, run_rate_distortion, CompressorKind};
 use amrviz_core::prelude::*;
 use amrviz_core::report;
 
@@ -33,7 +31,7 @@ fn main() {
     // finding: unlike on WarpX, SZ-Interp does *not* dominate here, and
     // SZ-L/R wins R-SSIM at large bounds.
     println!("rate-distortion (Fig. 13):");
-    let pts = run_rate_distortion(&built, &[1e-4, 1e-3, 1e-2, 3e-2]);
+    let pts = run_rate_distortion(&built, &[1e-4, 1e-3, 1e-2, 3e-2]).expect("rate-distortion runs");
     println!("{}", report::format_rate_distortion(&pts));
 
     // §2.2 ablation: omit the redundant coarse data during compression.
@@ -43,7 +41,13 @@ fn main() {
         let comp = kind.instance();
         for (label, cfg) in [
             ("keep", AmrCodecConfig::default()),
-            ("skip", AmrCodecConfig { skip_redundant: true, restore_redundant: false }),
+            (
+                "skip",
+                AmrCodecConfig {
+                    skip_redundant: true,
+                    restore_redundant: false,
+                },
+            ),
         ] {
             let c = compress_hierarchy_field(
                 &built.hierarchy,
@@ -57,7 +61,10 @@ fn main() {
                 kind.label().to_string(),
                 label.to_string(),
                 format!("{}", c.compressed_bytes()),
-                format!("{:.2}", (c.n_values * 8) as f64 / c.compressed_bytes() as f64),
+                format!(
+                    "{:.2}",
+                    (c.n_values * 8) as f64 / c.compressed_bytes() as f64
+                ),
             ]);
         }
     }

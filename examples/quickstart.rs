@@ -16,7 +16,11 @@ fn main() {
     // 1. Generate a small Nyx-like cosmology snapshot (two AMR levels,
     //    spiky log-normal density, ~40% refined).
     let scenario = Scenario::new(Application::Nyx, Scale::Small, 7);
-    println!("generating {} at {:?} scale…", scenario.app.label(), scenario.scale);
+    println!(
+        "generating {} at {:?} scale…",
+        scenario.app.label(),
+        scenario.scale
+    );
     let built = scenario.build();
     let h = &built.hierarchy;
     println!(
@@ -29,7 +33,7 @@ fn main() {
 
     // 2. Compress with SZ-Interp at a relative error bound of 1e-3 and
     //    report the paper's quality metrics.
-    let run = run_compression(&built, CompressorKind::SzInterp, 1e-3);
+    let run = run_compression(&built, CompressorKind::SzInterp, 1e-3).expect("compression runs");
     println!(
         "  {}: CR(f64) {:.1}x  CR(f32-equiv) {:.1}x  PSNR {:.1} dB  R-SSIM {:.2e}",
         run.compressor, run.compression_ratio, run.compression_ratio_f32, run.psnr_db, run.rssim
@@ -47,19 +51,24 @@ fn main() {
     println!(
         "  isosurface at {:.2}: {} triangles ({} coarse, {} fine)",
         built.iso,
-        res.combined.num_triangles(),
+        res.total_triangles(),
         res.level_meshes[0].num_triangles(),
         res.level_meshes[1].num_triangles()
     );
+    let mesh = res.into_combined();
 
     let mesh_path = Path::new("quickstart_isosurface.obj");
-    obj::save_obj(mesh_path, &res.combined).expect("write OBJ");
+    obj::save_obj(mesh_path, &mesh).expect("write OBJ");
     println!("  wrote {}", mesh_path.display());
 
     let img = render_mesh(
-        &res.combined,
+        &mesh,
         &standard_camera(&built),
-        &RenderOptions { width: 800, height: 600, ..Default::default() },
+        &RenderOptions {
+            width: 800,
+            height: 600,
+            ..Default::default()
+        },
     );
     let img_path = Path::new("quickstart_isosurface.png");
     img.save_png(img_path).expect("write PNG");

@@ -35,12 +35,15 @@ fn main() {
     // drift from the original-data surface under each method?
     let mut rows = Vec::new();
     for kind in CompressorKind::PAPER {
-        rows.extend(run_viz_quality(
-            &built,
-            kind,
-            &[1e-4, 1e-3, 1e-2],
-            &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
-        ));
+        rows.extend(
+            run_viz_quality(
+                &built,
+                kind,
+                &[1e-4, 1e-3, 1e-2],
+                &[IsoMethod::Resampling, IsoMethod::DualCellRedundant],
+            )
+            .expect("viz-quality runs"),
+        );
     }
     println!("{}", report::format_viz_quality(&rows));
     println!(
@@ -63,7 +66,11 @@ fn main() {
     let levels = decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
         .expect("own stream decodes");
     let cam = standard_camera(&built);
-    let opts = RenderOptions { width: 960, height: 720, ..Default::default() };
+    let opts = RenderOptions {
+        width: 960,
+        height: 720,
+        ..Default::default()
+    };
     for (method, name) in [
         (IsoMethod::Resampling, "warpx_szlr_1e-2_resampling.png"),
         (IsoMethod::DualCellRedundant, "warpx_szlr_1e-2_dualcell.png"),

@@ -46,7 +46,11 @@ pub fn canonical_triangles(mesh: &TriMesh) -> Vec<[[i64; 3]; 3]> {
             // Rotate so the lexicographically smallest corner leads (winding
             // preserved).
             let lead = (0..3).min_by_key(|&i| corners[i]).unwrap();
-            [corners[lead], corners[(lead + 1) % 3], corners[(lead + 2) % 3]]
+            [
+                corners[lead],
+                corners[(lead + 1) % 3],
+                corners[(lead + 2) % 3],
+            ]
         })
         .collect();
     tris.sort_unstable();
@@ -122,13 +126,23 @@ mod tests {
     #[test]
     fn fingerprint_is_invariant_to_triangle_and_vertex_order() {
         let mesh = TriMesh {
-            vertices: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            vertices: vec![
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ],
             triangles: vec![[0, 1, 2], [1, 3, 2]],
         };
         // Same geometry: triangles reordered, vertex list permuted, each
         // triangle rotated (winding preserved).
         let shuffled = TriMesh {
-            vertices: vec![[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
+            vertices: vec![
+                [0.0, 0.0, 1.0],
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ],
             triangles: vec![[1, 2, 0], [2, 1, 3]],
         };
         assert_eq!(mesh_fingerprint(&mesh), mesh_fingerprint(&shuffled));

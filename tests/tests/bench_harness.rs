@@ -25,10 +25,7 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 fn tmp_out(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "amrviz_bench_test_{tag}_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("amrviz_bench_test_{tag}_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -82,7 +79,11 @@ fn quick_bench_emits_complete_schema_and_gates() {
 
         // Per-cell latency/size histograms with percentiles.
         let hists = cell.get("histograms").expect("histograms object");
-        for name in ["compress.piece_us", "compress.blob_bytes", "decompress.piece_us"] {
+        for name in [
+            "compress.piece_us",
+            "compress.blob_bytes",
+            "decompress.piece_us",
+        ] {
             let h = hists
                 .get(name)
                 .unwrap_or_else(|| panic!("histogram {name} missing: {hists:?}"));

@@ -26,7 +26,8 @@ fn gap_for(built: &BuiltScenario, method: IsoMethod) -> CrackMetrics {
 /// One fine cell in physical units — the natural yardstick for gap sizes.
 fn fine_cell(built: &BuiltScenario) -> f64 {
     let h = &built.hierarchy;
-    h.geometry().cell_size_at(h.ratio_to_level0(h.num_levels() - 1))[0]
+    h.geometry()
+        .cell_size_at(h.ratio_to_level0(h.num_levels() - 1))[0]
 }
 
 #[test]

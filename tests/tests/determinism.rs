@@ -58,7 +58,7 @@ fn extraction_is_deterministic() {
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let m1 = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     let m2 = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
-    assert_eq!(m1.combined, m2.combined);
+    assert_eq!(m1.combined(), m2.combined());
 }
 
 #[test]

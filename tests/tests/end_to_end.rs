@@ -40,14 +40,9 @@ fn full_pipeline_both_apps() {
         // Compress the *reloaded* hierarchy, decompress, and check quality.
         let comp = CompressorKind::SzInterp.instance();
         let cfg = AmrCodecConfig::default();
-        let compressed = compress_hierarchy_field(
-            &reloaded,
-            field,
-            comp.as_ref(),
-            ErrorBound::Rel(1e-3),
-            &cfg,
-        )
-        .unwrap();
+        let compressed =
+            compress_hierarchy_field(&reloaded, field, comp.as_ref(), ErrorBound::Rel(1e-3), &cfg)
+                .unwrap();
         assert!(compressed.compressed_bytes() < compressed.n_values * 8 / 3);
         let levels =
             decompress_hierarchy_field(&reloaded, &compressed, comp.as_ref(), &cfg).unwrap();
@@ -66,7 +61,7 @@ fn full_pipeline_both_apps() {
         for method in IsoMethod::ALL {
             let res = extract_amr_isosurface(&reloaded, &levels, built.iso, method);
             assert!(
-                res.combined.num_triangles() > 0,
+                res.total_triangles() > 0,
                 "{app:?}/{method:?}: empty surface from decompressed data"
             );
         }
@@ -79,7 +74,7 @@ fn quality_metrics_track_error_bound() {
     let mut last_psnr = f64::INFINITY;
     let mut last_cr = 0.0;
     for eb in [1e-4, 1e-3, 1e-2] {
-        let run = run_compression(&built, CompressorKind::SzLr, eb);
+        let run = run_compression(&built, CompressorKind::SzLr, eb).unwrap();
         assert!(run.psnr_db < last_psnr, "PSNR must fall as eb grows");
         assert!(run.compression_ratio > last_cr, "CR must grow with eb");
         last_psnr = run.psnr_db;
@@ -104,11 +99,9 @@ fn flattened_reconstruction_matches_pointwise_quality() {
     .unwrap();
     let levels =
         decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg).unwrap();
-    let mut h2 = built.hierarchy.clone();
-    h2.add_field("recon", levels).unwrap();
-    let ur = amrviz_amr::resample::flatten_to_finest(
-        &h2,
-        "recon",
+    let ur = amrviz_amr::resample::flatten_levels_to_finest(
+        &built.hierarchy,
+        &levels,
         amrviz_amr::resample::Upsample::PiecewiseConstant,
     )
     .unwrap();

@@ -4,14 +4,18 @@
 #![allow(clippy::needless_range_loop)] // level-indexed loops mirror the math
 
 use amrviz_compress::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor,
-    ErrorBound, Field3, SzInterp, SzLr, ZfpLike,
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor, ErrorBound,
+    Field3, SzInterp, SzLr, ZfpLike,
 };
 use amrviz_core::prelude::*;
 use amrviz_rng::check;
 
 fn compressors() -> Vec<Box<dyn Compressor>> {
-    vec![Box::new(SzLr::default()), Box::new(SzInterp), Box::new(ZfpLike)]
+    vec![
+        Box::new(SzLr::default()),
+        Box::new(SzInterp),
+        Box::new(ZfpLike),
+    ]
 }
 
 #[test]
@@ -30,13 +34,9 @@ fn bound_holds_on_scenarios_for_all_compressors() {
                     &cfg,
                 )
                 .unwrap();
-                let levels = decompress_hierarchy_field(
-                    &built.hierarchy,
-                    &compressed,
-                    comp.as_ref(),
-                    &cfg,
-                )
-                .unwrap();
+                let levels =
+                    decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg)
+                        .unwrap();
                 for lev in 0..built.hierarchy.num_levels() {
                     let orig = built.hierarchy.field_level(field, lev).unwrap();
                     for (ofab, dfab) in orig.fabs().iter().zip(levels[lev].fabs()) {
@@ -62,7 +62,10 @@ fn adversarial_fields_respect_bound() {
         ("constant", Field3::new([6, 6, 6], vec![1.0; 216])),
         (
             "alternating",
-            Field3::from_fn([7, 5, 3], |i, j, k| if (i + j + k) % 2 == 0 { 1e8 } else { -1e8 }),
+            Field3::from_fn(
+                [7, 5, 3],
+                |i, j, k| if (i + j + k) % 2 == 0 { 1e8 } else { -1e8 },
+            ),
         ),
         (
             "tiny_values",
@@ -70,24 +73,36 @@ fn adversarial_fields_respect_bound() {
         ),
         (
             "huge_values",
-            Field3::from_fn([5, 5, 5], |i, j, k| 1e250 * ((i + 2 * j + 3 * k) as f64).sin()),
+            Field3::from_fn([5, 5, 5], |i, j, k| {
+                1e250 * ((i + 2 * j + 3 * k) as f64).sin()
+            }),
         ),
         (
             "single_spike",
-            Field3::from_fn([9, 9, 9], |i, j, k| {
-                if (i, j, k) == (4, 4, 4) { 1e9 } else { 0.0 }
-            }),
+            Field3::from_fn(
+                [9, 9, 9],
+                |i, j, k| {
+                    if (i, j, k) == (4, 4, 4) {
+                        1e9
+                    } else {
+                        0.0
+                    }
+                },
+            ),
         ),
     ];
     for (name, field) in &cases {
         let range = field.range();
         for comp in compressors() {
-            for bound in [ErrorBound::Rel(1e-3), ErrorBound::Abs(1e-2 * range.max(1e-9))] {
+            for bound in [
+                ErrorBound::Rel(1e-3),
+                ErrorBound::Abs(1e-2 * range.max(1e-9)),
+            ] {
                 let abs = bound.to_abs(range).max(1e-300);
                 let blob = comp.compress(field, bound);
-                let back = comp.decompress(&blob).unwrap_or_else(|e| {
-                    panic!("{} failed to decode {name}: {e}", comp.name())
-                });
+                let back = comp
+                    .decompress(&blob)
+                    .unwrap_or_else(|e| panic!("{} failed to decode {name}: {e}", comp.name()));
                 for (o, d) in field.data.iter().zip(&back.data) {
                     assert!(
                         (o - d).abs() <= abs * (1.0 + 1e-12),
@@ -107,8 +122,7 @@ fn random_fields_respect_bound_every_compressor() {
         let ny = rng.range_usize(1, 9);
         let nz = rng.range_usize(1, 9);
         let mut field_rng = rng.fork(1);
-        let field =
-            Field3::from_fn([nx, ny, nz], |_, _, _| field_rng.range_f64(-1e4, 1e4));
+        let field = Field3::from_fn([nx, ny, nz], |_, _, _| field_rng.range_f64(-1e4, 1e4));
         let abs = 0.5;
         for comp in compressors() {
             let blob = comp.compress(&field, ErrorBound::Abs(abs));

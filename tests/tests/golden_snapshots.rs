@@ -24,8 +24,8 @@ fn mesh_snapshot(built: &BuiltScenario) -> String {
             out,
             "{} triangles={} fnv={:016x}",
             method.label(),
-            res.combined.num_triangles(),
-            mesh_fingerprint(&res.combined),
+            res.total_triangles(),
+            mesh_fingerprint(&res.into_combined()),
         )
         .unwrap();
     }
@@ -35,7 +35,7 @@ fn mesh_snapshot(built: &BuiltScenario) -> String {
 fn compression_snapshot(built: &BuiltScenario) -> String {
     let mut out = String::new();
     for kind in CompressorKind::PAPER {
-        let run = run_compression(built, kind, 1e-3);
+        let run = run_compression(built, kind, 1e-3).unwrap();
         // Fixed precision: loose enough to absorb nothing — the pipeline is
         // bit-deterministic — but keeps the file human-readable.
         writeln!(
@@ -84,7 +84,10 @@ fn nyx_mesh_goldens() {
 
 #[test]
 fn warpx_compression_goldens() {
-    assert_golden("warpx_compression.txt", &compression_snapshot(&warpx_like(42)));
+    assert_golden(
+        "warpx_compression.txt",
+        &compression_snapshot(&warpx_like(42)),
+    );
 }
 
 #[test]

@@ -63,8 +63,7 @@ fn run_pipeline(built: &BuiltScenario) -> PipelineArtifacts {
             &cfg,
         )
         .unwrap();
-        let levels =
-            decompress_hierarchy_field(&built.hierarchy, &c, comp.as_ref(), &cfg).unwrap();
+        let levels = decompress_hierarchy_field(&built.hierarchy, &c, comp.as_ref(), &cfg).unwrap();
         let mut bits = Vec::new();
         for mf in &levels {
             for fab in mf.fabs() {
@@ -79,24 +78,22 @@ fn run_pipeline(built: &BuiltScenario) -> PipelineArtifacts {
     let orig_levels = &built.hierarchy.field(field).unwrap().levels;
     let mut meshes = Vec::new();
     for method in IsoMethod::ALL {
-        let res = extract_amr_isosurface(&built.hierarchy, orig_levels, built.iso, method);
-        let vbits: Vec<u64> = res
-            .combined
+        let mesh = extract_amr_isosurface(&built.hierarchy, orig_levels, built.iso, method)
+            .into_combined();
+        let vbits: Vec<u64> = mesh
             .vertices
             .iter()
             .flat_map(|v| v.iter().map(|c| c.to_bits()))
             .collect();
-        let idx: Vec<u32> = res.combined.triangles.iter().flatten().copied().collect();
+        let idx: Vec<u32> = mesh.triangles.iter().flatten().copied().collect();
         meshes.push((method.label(), vbits, idx));
     }
 
     // Score the first compressor's reconstruction on the uniform merge.
     let recon = first_recon.unwrap();
-    let mut hier = built.hierarchy.clone();
-    hier.add_field("__recon", recon).unwrap();
-    let recon_uniform = amrviz_amr::resample::flatten_to_finest(
-        &hier,
-        "__recon",
+    let recon_uniform = amrviz_amr::resample::flatten_levels_to_finest(
+        &built.hierarchy,
+        &recon,
         amrviz_amr::resample::Upsample::PiecewiseConstant,
     )
     .unwrap()

@@ -7,8 +7,8 @@
 
 use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
 use amrviz_compress::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor,
-    ErrorBound, SzInterp, SzLr,
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor, ErrorBound,
+    SzInterp, SzLr,
 };
 use amrviz_rng::{check, Rng};
 
@@ -39,9 +39,10 @@ fn random_hierarchy(rng: &mut Rng) -> AmrHierarchy {
         ref_ratios.push(r);
         // Chop so each level holds several boxes — exercising per-box
         // compression and box-boundary cells.
-        box_arrays.push(BoxArray::single(fine).chop_to_max_cells(
-            (fine.num_cells() / (1 + rng.range_usize(1, 4))).max(8),
-        ));
+        box_arrays.push(
+            BoxArray::single(fine)
+                .chop_to_max_cells((fine.num_cells() / (1 + rng.range_usize(1, 4))).max(8)),
+        );
         parent = fine;
     }
     AmrHierarchy::new(geom, ref_ratios, box_arrays).expect("nested construction is valid")
@@ -92,21 +93,17 @@ fn compressors() -> Vec<(&'static str, Box<dyn Compressor>)> {
 fn assert_bound_holds(h: &AmrHierarchy, bound: ErrorBound) {
     let cfg = AmrCodecConfig::default();
     for (name, comp) in compressors() {
-        let c = compress_hierarchy_field(h, "f", comp.as_ref(), bound, &cfg)
-            .expect("field exists");
-        let levels = decompress_hierarchy_field(h, &c, comp.as_ref(), &cfg)
-            .expect("own stream decodes");
+        let c = compress_hierarchy_field(h, "f", comp.as_ref(), bound, &cfg).expect("field exists");
+        let levels =
+            decompress_hierarchy_field(h, &c, comp.as_ref(), &cfg).expect("own stream decodes");
         let tol = c.abs_eb * (1.0 + 1e-12);
         for lev in 0..h.num_levels() {
             let orig = h.field_level("f", lev).unwrap();
-            for (bi, (ofab, dfab)) in
-                orig.fabs().iter().zip(levels[lev].fabs()).enumerate()
-            {
+            for (bi, (ofab, dfab)) in orig.fabs().iter().zip(levels[lev].fabs()).enumerate() {
                 let bx = ofab.box3();
                 for ((cell, o), d) in ofab.iter().zip(dfab.data()) {
-                    let on_boundary = (0..3).any(|a| {
-                        cell[a] == bx.lo()[a] || cell[a] == bx.hi()[a]
-                    });
+                    let on_boundary =
+                        (0..3).any(|a| cell[a] == bx.lo()[a] || cell[a] == bx.hi()[a]);
                     assert!(
                         (o - d).abs() <= tol,
                         "{name} lev {lev} box {bi} cell {cell:?} \

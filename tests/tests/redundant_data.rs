@@ -18,7 +18,10 @@ fn skip_and_restore_keeps_dual_cell_functional() {
     let comp = CompressorKind::SzInterp.instance();
 
     // Compress without redundant data, restore it by restriction.
-    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
         field,
@@ -61,7 +64,10 @@ fn skip_never_hurts_unique_cells() {
         let built = Scenario::new(app, Scale::Tiny, 13).build();
         let field = app.eval_field();
         let comp = CompressorKind::SzLr.instance();
-        let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: false };
+        let cfg = AmrCodecConfig {
+            skip_redundant: true,
+            restore_redundant: false,
+        };
         let compressed = compress_hierarchy_field(
             &built.hierarchy,
             field,
@@ -70,13 +76,8 @@ fn skip_never_hurts_unique_cells() {
             &cfg,
         )
         .unwrap();
-        let levels = decompress_hierarchy_field(
-            &built.hierarchy,
-            &compressed,
-            comp.as_ref(),
-            &cfg,
-        )
-        .unwrap();
+        let levels =
+            decompress_hierarchy_field(&built.hierarchy, &compressed, comp.as_ref(), &cfg).unwrap();
         let covered = built.hierarchy.covered_mask(0);
         let orig = built.hierarchy.field_level(field, 0).unwrap();
         for (ofab, dfab) in orig.fabs().iter().zip(levels[0].fabs()) {
@@ -99,7 +100,10 @@ fn restored_cells_match_restriction_of_fine_data() {
     let built = Scenario::new(Application::Nyx, Scale::Tiny, 19).build();
     let field = built.spec.app.eval_field();
     let comp = CompressorKind::SzInterp.instance();
-    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
         field,

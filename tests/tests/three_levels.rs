@@ -5,8 +5,7 @@
 
 use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
 use amrviz_compress::{
-    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, ErrorBound,
-    SzInterp,
+    compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, ErrorBound, SzInterp,
 };
 use amrviz_viz::{extract_amr_isosurface, IsoMethod};
 
@@ -69,7 +68,10 @@ fn compression_roundtrips_across_three_levels() {
 fn skip_redundant_works_on_middle_levels() {
     let h = three_level();
     let comp = SzInterp;
-    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
     let c = compress_hierarchy_field(&h, "f", &comp, ErrorBound::Rel(1e-3), &cfg).unwrap();
     let levels = decompress_hierarchy_field(&h, &c, &comp, &cfg).unwrap();
     // Level 1's covered strip must be restored from level 2 data within eb
@@ -85,7 +87,10 @@ fn skip_redundant_works_on_middle_levels() {
             if covered1.get(cell) {
                 // Restriction of the analytic field ≈ cell value to O(h²),
                 // plus the compression bound.
-                assert!((o - d).abs() <= h1 + c.abs_eb, "restored {cell:?}: {o} vs {d}");
+                assert!(
+                    (o - d).abs() <= h1 + c.abs_eb,
+                    "restored {cell:?}: {o} vs {d}"
+                );
             } else {
                 assert!((o - d).abs() <= c.abs_eb * (1.0 + 1e-12));
             }

@@ -42,8 +42,7 @@ fn traced_pipeline_doc() -> Json {
             &cfg,
         )
         .unwrap();
-        let levels =
-            decompress_hierarchy_field(&built.hierarchy, &c, comp.as_ref(), &cfg).unwrap();
+        let levels = decompress_hierarchy_field(&built.hierarchy, &c, comp.as_ref(), &cfg).unwrap();
         let _ = extract_amr_isosurface(&built.hierarchy, &levels, built.iso, IsoMethod::Resampling);
     }
     amrviz_obs::disable();
@@ -60,7 +59,10 @@ fn pipeline_chrome_trace_is_well_formed() {
         .get("traceEvents")
         .and_then(Json::as_arr)
         .expect("traceEvents array");
-    assert!(!events.is_empty(), "an instrumented pipeline must emit events");
+    assert!(
+        !events.is_empty(),
+        "an instrumented pipeline must emit events"
+    );
 
     let mut n_begin = 0u32;
     let mut n_end = 0u32;

@@ -10,9 +10,8 @@
 //! either.
 
 use amrviz_codec::{
-    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted,
-    read_uvarint, rle_decode_zeros_budgeted, rle_encode_zeros, write_uvarint, BitReader,
-    BitWriter, DecodeBudget,
+    huffman_decode_budgeted, huffman_encode, lzss_compress, lzss_decompress_budgeted, read_uvarint,
+    rle_decode_zeros_budgeted, rle_encode_zeros, write_uvarint, BitReader, BitWriter, DecodeBudget,
 };
 use amrviz_compress::{
     compress_hierarchy_field, AmrCodecConfig, CompressedHierarchyField, ErrorBound, SzLr,
@@ -106,7 +105,9 @@ fn lzss_survives_truncation_at_every_prefix() {
     check(0xA5, 12, |rng| {
         // Repetitive input so the stream contains real back-references.
         let n = rng.range_usize(1, 600);
-        let data: Vec<u8> = (0..n).map(|i| ((i / 7) % 31) as u8 ^ rng.below(4) as u8).collect();
+        let data: Vec<u8> = (0..n)
+            .map(|i| ((i / 7) % 31) as u8 ^ rng.below(4) as u8)
+            .collect();
         let stream = lzss_compress(&data);
         for cut in 0..=stream.len() {
             match lzss_decompress_budgeted(&stream[..cut], &budget) {
@@ -121,7 +122,10 @@ fn lzss_survives_truncation_at_every_prefix() {
 fn container_survives_truncation_at_every_prefix() {
     let built = nyx_like(5);
     let field = built.spec.app.eval_field();
-    let cfg = AmrCodecConfig { skip_redundant: true, restore_redundant: true };
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
         field,
@@ -141,7 +145,10 @@ fn container_survives_truncation_at_every_prefix() {
     // Only the complete stream parses: every v2 container ends with a
     // trailing-bytes check and a final blob section, so proper prefixes
     // must all fail structurally.
-    assert_eq!(prefix_oks, 1, "a proper prefix of a v2 container parsed as valid");
+    assert_eq!(
+        prefix_oks, 1,
+        "a proper prefix of a v2 container parsed as valid"
+    );
     assert!(
         CompressedHierarchyField::from_bytes_budgeted(&stream, &budget).is_ok(),
         "the full stream must still parse"

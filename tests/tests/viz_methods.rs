@@ -52,7 +52,7 @@ fn methods_agree_on_surface_location_for_original_data() {
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let a = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     let b = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::DualCell);
-    let d = surface_distance(&b.combined, &a.combined).unwrap();
+    let d = surface_distance(&b.into_combined(), &a.into_combined()).unwrap();
     let fine_h = built.hierarchy.geometry().cell_size_at(2)[0];
     assert!(
         d.mean < 1.5 * fine_h,
@@ -70,11 +70,10 @@ fn per_level_meshes_are_watertight_away_from_boundaries() {
     let built = Scenario::new(Application::Nyx, Scale::Tiny, 8).build();
     let field = built.spec.app.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
-    let res =
-        extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
+    let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     // Total open-boundary length must be small relative to total edge
     // length: cracks are a 1D defect on a 2D surface.
-    let combined = &res.combined;
+    let combined = res.into_combined();
     let area = combined.total_area();
     let rim = combined.boundary_length();
     assert!(
@@ -90,7 +89,10 @@ fn roughness_is_finite_and_comparable_across_methods() {
     let levels = &built.hierarchy.field(field).unwrap().levels;
     for method in IsoMethod::ALL {
         let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, method);
-        let r = normal_roughness(&res.combined);
-        assert!(r.is_finite() && (0.0..1.5).contains(&r), "{method:?}: roughness {r}");
+        let r = normal_roughness(&res.into_combined());
+        assert!(
+            r.is_finite() && (0.0..1.5).contains(&r),
+            "{method:?}: roughness {r}"
+        );
     }
 }
