@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--out DIR]
-//!                    [--threads N] [--flame FILE]
+//!                    [--threads N] [--flame FILE] [--journal FILE]
+//!                    [--metrics-out FILE] [--metrics-interval SECS]
+//!                    [--trace-sample N]
 //!
 //! experiments:
 //!   table1   dataset structure (grid sizes, per-level densities)
@@ -44,6 +46,10 @@ struct Args {
     seed: u64,
     out: PathBuf,
     flame: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    metrics_interval: f64,
+    trace_sample: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +59,10 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = PathBuf::from("repro_out");
     let mut flame = None;
+    let mut journal = None;
+    let mut metrics_out = None;
+    let mut metrics_interval = 5.0f64;
+    let mut trace_sample = 1u64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -69,6 +79,34 @@ fn parse_args() -> Result<Args, String> {
             "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
             "--flame" => {
                 flame = Some(PathBuf::from(args.next().ok_or("--flame needs a value")?));
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a value")?));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            "--metrics-interval" => {
+                metrics_interval = args
+                    .next()
+                    .ok_or("--metrics-interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad metrics interval: {e}"))?;
+                if !metrics_interval.is_finite() || metrics_interval <= 0.0 {
+                    return Err("--metrics-interval must be a positive number".to_string());
+                }
+            }
+            "--trace-sample" => {
+                trace_sample = args
+                    .next()
+                    .ok_or("--trace-sample needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad trace sample: {e}"))?;
+                if trace_sample == 0 {
+                    return Err("--trace-sample must be at least 1 (keep every Nth trace)".into());
+                }
             }
             "--threads" => {
                 let n: usize = args
@@ -93,6 +131,10 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         flame,
+        journal,
+        metrics_out,
+        metrics_interval,
+        trace_sample,
     })
 }
 
@@ -550,7 +592,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!(
-                "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] [--threads N] [--flame FILE]"
+                "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] \
+                 [--threads N] [--flame FILE] [--journal FILE] [--metrics-out FILE] \
+                 [--metrics-interval SECS] [--trace-sample N]"
             );
             return ExitCode::FAILURE;
         }
@@ -577,6 +621,25 @@ fn main() -> ExitCode {
         flame_events: Vec::new(),
     };
     amrviz_obs::enable();
+    // Trace ids are derived from the run seed, so the same seed reproduces
+    // the same ids (and the same sampling verdicts) at any thread count.
+    amrviz_obs::set_trace_seed(args.seed);
+    amrviz_obs::set_trace_sampling(args.trace_sample);
+    if let Some(jpath) = &args.journal {
+        if let Err(e) = amrviz_obs::journal::start(jpath) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(mpath) = &args.metrics_out {
+        if let Err(e) = amrviz_obs::expose::writer_start(
+            mpath.clone(),
+            std::time::Duration::from_secs_f64(args.metrics_interval),
+        ) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let exp = args.experiment.as_str();
     let known = [
         "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -670,6 +733,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // Tear streaming down before the SUMMARY line so its journal totals
+    // are final (the writer threads flush everything on stop).
+    if args.metrics_out.is_some() {
+        amrviz_obs::expose::writer_stop();
+    }
+    let journal_stats = args.journal.as_ref().map(|jpath| {
+        let stats = amrviz_obs::journal::stop();
+        eprintln!(
+            "[repro] journal written to {} ({} lines, {} dropped)",
+            jpath.display(),
+            stats.enqueued,
+            stats.dropped
+        );
+        stats
+    });
+
     // Final machine-readable one-liner: what ran, how well it compressed,
     // and where the wall time went. Also appended to summary.jsonl so
     // successive invocations accumulate a log.
@@ -686,6 +765,9 @@ fn main() -> ExitCode {
                 .set("ssim", r.ssim)
                 .set("compress_seconds", r.compress_seconds)
                 .set("decompress_seconds", r.decompress_seconds);
+            if r.trace_id != 0 {
+                o.set("trace", format!("{:016x}", r.trace_id));
+            }
             o
         })
         .collect();
@@ -709,6 +791,12 @@ fn main() -> ExitCode {
         .set("decode_fabs", decode_fabs)
         .set("runs", Json::Arr(runs))
         .set("stage_seconds", ctx.stage_seconds.to_json());
+    if let Some(stats) = journal_stats {
+        let mut j = Json::obj();
+        j.set("enqueued", stats.enqueued)
+            .set("dropped", stats.dropped);
+        summary.set("journal", j);
+    }
     let line = summary.to_string_compact();
     println!("SUMMARY {line}");
     use std::io::Write;

@@ -8,6 +8,11 @@ pub struct Parsed {
     pub positional: Vec<String>,
     options: BTreeMap<String, String>,
     switches: Vec<String>,
+    /// One entry per repeated value option (last occurrence wins, matching
+    /// the switch dedupe behavior, but noisily: callers print these to
+    /// stderr so `--metrics-interval 5 ... --metrics-interval 1` in a long
+    /// command line is never a silent surprise).
+    warnings: Vec<String>,
 }
 
 /// Parses `argv` given the set of value-taking option names and boolean
@@ -28,7 +33,11 @@ pub fn parse(argv: &[String], value_opts: &[&str], switch_opts: &[&str]) -> Resu
                 }
             } else if value_opts.contains(&name) {
                 let v = it.next().ok_or(format!("--{name} needs a value"))?;
-                out.options.insert(name.to_string(), v.clone());
+                if let Some(prev) = out.options.insert(name.to_string(), v.clone()) {
+                    out.warnings.push(format!(
+                        "--{name} given more than once; using `{v}` (ignoring `{prev}`)"
+                    ));
+                }
             } else {
                 return Err(format!("unknown option --{name}"));
             }
@@ -67,6 +76,18 @@ impl Parsed {
             .get(idx)
             .map(String::as_str)
             .ok_or(format!("missing {what}"))
+    }
+
+    /// Warnings accumulated during parsing (e.g. repeated value options).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Prints every accumulated warning to stderr.
+    pub fn report_warnings(&self) {
+        for w in self.warnings() {
+            eprintln!("warning: {w}");
+        }
     }
 }
 
@@ -111,6 +132,28 @@ mod tests {
     fn repeated_value_option_keeps_last() {
         let p = parse(&sv(&["--n", "1", "--n", "2"]), &["n"], &[]).unwrap();
         assert_eq!(p.opt("n"), Some("2"));
+    }
+
+    #[test]
+    fn repeated_value_option_warns() {
+        let p = parse(
+            &sv(&["--metrics-interval", "5", "--metrics-interval", "1"]),
+            &["metrics-interval"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(p.opt("metrics-interval"), Some("1"), "last wins");
+        assert_eq!(p.warnings().len(), 1);
+        assert!(
+            p.warnings()[0].contains("--metrics-interval given more than once"),
+            "unexpected warning: {}",
+            p.warnings()[0]
+        );
+        assert!(p.warnings()[0].contains("using `1`"));
+        assert!(p.warnings()[0].contains("ignoring `5`"));
+        // A single occurrence stays quiet.
+        let q = parse(&sv(&["--n", "1"]), &["n"], &[]).unwrap();
+        assert!(q.warnings().is_empty());
     }
 
     #[test]

@@ -458,8 +458,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
             "thread-counts",
             "ebs",
         ],
-        &["quick"],
+        &["quick", "obs-overhead"],
     )?;
+    p.report_warnings();
     let out_dir = std::path::PathBuf::from(p.opt("out").unwrap_or("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
@@ -467,6 +468,27 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
         Some(n) => n.to_string(),
         None => amrviz_bench::harness::git_describe(),
     };
+    if p.switch("obs-overhead") {
+        let scale = match p.opt("scale") {
+            None => Scale::Tiny,
+            Some(s) => Scale::parse(s).ok_or(format!("unknown scale `{s}`"))?,
+        };
+        let report = amrviz_bench::harness::run_obs_overhead(scale, &out_dir);
+        let path = out_dir.join(format!("OBS_OVERHEAD_{name}.json"));
+        std::fs::write(&path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("OBS_OVERHEAD written to {}", path.display());
+        print!("{}", report.render());
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err(format!(
+                "instrumentation overhead {:.2}% exceeds the {:.0}% budget",
+                report.overhead_pct,
+                amrviz_bench::harness::OBS_OVERHEAD_MAX_PCT
+            ))
+        };
+    }
     let mut cfg = if p.switch("quick") {
         amrviz_bench::harness::BenchConfig::quick(name, out_dir.clone())
     } else {
@@ -537,6 +559,208 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
                 cmp.regressions.len()
             ));
         }
+    }
+    Ok(())
+}
+
+/// Pretty-prints continuous-telemetry artifacts: a `--journal` JSONL file
+/// (validating every line) or a `--metrics-out` snapshot. Exits nonzero if
+/// any journal line fails to parse — the CI well-formedness check.
+pub fn stats(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &[], &[])?;
+    let path = p.positional(0, "telemetry file (journal JSONL or metrics snapshot)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let first = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or(format!("{path} is empty"))?;
+    let head = amrviz_json::Json::parse(first).map_err(|e| format!("{path}:1: {e}"))?;
+    let is_snapshot = head
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .is_some_and(|s| s.starts_with("amrviz-metrics"));
+    if is_snapshot {
+        stats_snapshot(path, &head)
+    } else {
+        stats_journal(path, &text)
+    }
+}
+
+/// One parsed `kind: "span"` journal line.
+struct JournalSpan {
+    trace: String,
+    id: u64,
+    parent: u64,
+    name: String,
+    thread: u64,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+fn stats_journal(path: &str, text: &str) -> Result<(), String> {
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut spans: Vec<JournalSpan> = Vec::new();
+    let mut dropped = 0u64;
+    let mut n_lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        n_lines += 1;
+        // Every line must be a standalone JSON object carrying `kind` —
+        // the schema contract CI relies on.
+        let v = amrviz_json::Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or(format!("{path}:{}: line has no `kind`", i + 1))?;
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        match kind {
+            "span" => {
+                let get_u64 = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                spans.push(JournalSpan {
+                    trace: v
+                        .get("trace")
+                        .and_then(|t| t.as_str())
+                        .unwrap_or("0")
+                        .to_string(),
+                    id: get_u64("span"),
+                    parent: get_u64("parent"),
+                    name: v
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .unwrap_or("?")
+                        .to_string(),
+                    thread: get_u64("thread"),
+                    start_ns: get_u64("start_ns"),
+                    dur_ns: get_u64("dur_ns"),
+                });
+            }
+            "meta" => {
+                if let Some(d) = v.get("dropped").and_then(|d| d.as_u64()) {
+                    dropped = d;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("journal {path}: {n_lines} lines, {dropped} dropped");
+    for (kind, n) in &kinds {
+        println!("  {kind:<12} {n}");
+    }
+
+    // Stitch spans into per-trace trees, traces in first-seen order.
+    let mut trace_order: Vec<String> = Vec::new();
+    let mut by_trace: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+    for (i, s) in spans.iter().enumerate() {
+        if !by_trace.contains_key(&s.trace) {
+            trace_order.push(s.trace.clone());
+        }
+        by_trace.entry(s.trace.clone()).or_default().push(i);
+    }
+    const MAX_TRACES: usize = 20;
+    for trace in trace_order.iter().take(MAX_TRACES) {
+        let idxs = &by_trace[trace];
+        println!("trace {trace} ({} spans):", idxs.len());
+        let ids: std::collections::BTreeSet<u64> = idxs.iter().map(|&i| spans[i].id).collect();
+        let mut children: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        let mut roots: Vec<usize> = Vec::new();
+        for &i in idxs {
+            let s = &spans[i];
+            if s.parent != 0 && ids.contains(&s.parent) {
+                children.entry(s.parent).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        let order = |list: &mut Vec<usize>| {
+            list.sort_by_key(|&i| (spans[i].start_ns, spans[i].id));
+        };
+        order(&mut roots);
+        for list in children.values_mut() {
+            order(list);
+        }
+        // Depth-first print; explicit stack so deep trees can't recurse out.
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &spans[i];
+            println!(
+                "  {:indent$}{} [{:.3} ms, thread {}]",
+                "",
+                s.name,
+                s.dur_ns as f64 / 1e6,
+                s.thread,
+                indent = depth * 2
+            );
+            if let Some(kids) = children.get(&s.id) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+    }
+    if trace_order.len() > MAX_TRACES {
+        println!("... and {} more trace(s)", trace_order.len() - MAX_TRACES);
+    }
+    Ok(())
+}
+
+fn stats_snapshot(path: &str, doc: &amrviz_json::Json) -> Result<(), String> {
+    let f = |v: Option<&amrviz_json::Json>| v.and_then(|x| x.as_f64()).unwrap_or(0.0);
+    println!(
+        "metrics snapshot {path} (schema {}, uptime {:.1} s, window {:.0} s)",
+        doc.get("schema").and_then(|s| s.as_str()).unwrap_or("?"),
+        f(doc.get("uptime_ns")) / 1e9,
+        f(doc.get("window").and_then(|w| w.get("view_secs"))),
+    );
+    if let Some(amrviz_json::Json::Obj(entries)) = doc.get("counters") {
+        if !entries.is_empty() {
+            println!("{:<32} {:>14} {:>14}", "counter", "lifetime", "window");
+            for (name, c) in entries {
+                println!(
+                    "{name:<32} {:>14} {:>14}",
+                    f(c.get("lifetime")) as u64,
+                    f(c.get("window")) as u64
+                );
+            }
+        }
+    }
+    if let Some(amrviz_json::Json::Obj(entries)) = doc.get("gauges") {
+        if !entries.is_empty() {
+            println!("{:<32} {:>14}", "gauge", "last");
+            for (name, g) in entries {
+                println!("{name:<32} {:>14.6}", f(g.get("last")));
+            }
+        }
+    }
+    if let Some(amrviz_json::Json::Obj(entries)) = doc.get("histograms") {
+        if !entries.is_empty() {
+            println!(
+                "{:<32} {:>9} {:>12} {:>12} {:>12}",
+                "histogram (lifetime)", "count", "p50", "p90", "p99"
+            );
+            for (name, h) in entries {
+                let l = h.get("lifetime");
+                let g = |k: &str| f(l.and_then(|x| x.get(k)));
+                println!(
+                    "{name:<32} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+                    g("count") as u64,
+                    g("p50"),
+                    g("p90"),
+                    g("p99")
+                );
+            }
+        }
+    }
+    if let Some(meta) = doc.get("meta") {
+        println!(
+            "obs: overhead {:.1} ms, {} spans, {} traces, {} dropped events",
+            f(meta.get("overhead_us")) / 1e3,
+            f(meta.get("spans_recorded")) as u64,
+            f(meta.get("traces_started")) as u64,
+            f(meta.get("dropped_events")) as u64
+        );
     }
     Ok(())
 }

@@ -45,6 +45,10 @@ fn main() -> ExitCode {
     if obs_opts.active() {
         amrviz_obs::enable();
     }
+    if let Err(e) = obs_opts.start_streaming() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let cmd = argv[0].clone();
     let rest = &argv[1..];
     let result = match cmd.as_str() {
@@ -58,9 +62,12 @@ fn main() -> ExitCode {
         "diff" => commands::diff(rest),
         "torture" => commands::torture(rest),
         "bench" => commands::bench(rest),
+        "stats" => commands::stats(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
-    let result = result.and_then(|()| obs_opts.export());
+    // Streaming shutdown and exporters run even when the command failed:
+    // a journal/trace of a failed run is exactly when you want one.
+    let result = result.and(obs_opts.finish());
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -77,11 +84,60 @@ struct ObsOptions {
     flame_path: Option<String>,
     timing: bool,
     threads: Option<usize>,
+    journal_path: Option<String>,
+    metrics_path: Option<String>,
+    metrics_interval_secs: Option<f64>,
+    trace_sample: Option<u64>,
 }
 
 impl ObsOptions {
     fn active(&self) -> bool {
-        self.trace_path.is_some() || self.flame_path.is_some() || self.timing
+        self.trace_path.is_some()
+            || self.flame_path.is_some()
+            || self.timing
+            || self.journal_path.is_some()
+            || self.metrics_path.is_some()
+    }
+
+    /// Starts the continuous-telemetry machinery (trace sampling, JSONL
+    /// journal, periodic metrics snapshots) before command dispatch.
+    fn start_streaming(&self) -> Result<(), String> {
+        if let Some(n) = self.trace_sample {
+            amrviz_obs::set_trace_sampling(n);
+        }
+        if let Some(path) = &self.journal_path {
+            amrviz_obs::journal::start(std::path::Path::new(path))?;
+        }
+        if let Some(path) = &self.metrics_path {
+            let secs = self.metrics_interval_secs.unwrap_or(5.0);
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!("--metrics-interval must be positive, got {secs}"));
+            }
+            amrviz_obs::expose::writer_start(
+                std::path::PathBuf::from(path),
+                std::time::Duration::from_secs_f64(secs),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Stops streaming (flushing the journal and a final metrics snapshot)
+    /// and then runs the batch exporters. Called whether or not the
+    /// command succeeded.
+    fn finish(&self) -> Result<(), String> {
+        if self.metrics_path.is_some() {
+            amrviz_obs::expose::writer_stop();
+        }
+        if self.journal_path.is_some() {
+            let stats = amrviz_obs::journal::stop();
+            if let Some(path) = &self.journal_path {
+                eprintln!(
+                    "journal written to {path} ({} lines, {} dropped)",
+                    stats.enqueued, stats.dropped
+                );
+            }
+        }
+        self.export()
     }
 
     /// Writes the chrome trace / flamegraph and/or prints the timing
@@ -117,10 +173,19 @@ impl ObsOptions {
     }
 }
 
-/// Strips `--trace PATH`, `--flame PATH`, `--timing`, and `--threads N`
-/// (valid anywhere on the command line) from `argv` before subcommand
-/// dispatch.
+/// Strips the global observability flags (`--trace PATH`, `--flame PATH`,
+/// `--timing`, `--threads N`, `--journal FILE`, `--metrics-out FILE`,
+/// `--metrics-interval SECS`, `--trace-sample N` — valid anywhere on the
+/// command line) from `argv` before subcommand dispatch. Repeated value
+/// flags keep the last occurrence and warn on stderr, matching
+/// [`args::parse`].
 fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
+    fn set_warn<T: std::fmt::Display>(slot: &mut Option<T>, flag: &str, value: T) {
+        if let Some(prev) = slot.replace(value) {
+            let v = slot.as_ref().expect("just replaced");
+            eprintln!("warning: {flag} given more than once; using `{v}` (ignoring `{prev}`)");
+        }
+    }
     let mut opts = ObsOptions::default();
     let mut rest = Vec::with_capacity(argv.len());
     let mut it = argv.into_iter();
@@ -128,11 +193,11 @@ fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), S
         match a.as_str() {
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a value".to_string())?;
-                opts.trace_path = Some(path);
+                set_warn(&mut opts.trace_path, "--trace", path);
             }
             "--flame" => {
                 let path = it.next().ok_or("--flame needs a value".to_string())?;
-                opts.flame_path = Some(path);
+                set_warn(&mut opts.flame_path, "--flame", path);
             }
             "--timing" => opts.timing = true,
             "--threads" => {
@@ -143,7 +208,36 @@ fn extract_obs_options(argv: Vec<String>) -> Result<(Vec<String>, ObsOptions), S
                 if n == 0 {
                     return Err("--threads must be at least 1".to_string());
                 }
-                opts.threads = Some(n);
+                set_warn(&mut opts.threads, "--threads", n);
+            }
+            "--journal" => {
+                let path = it.next().ok_or("--journal needs a value".to_string())?;
+                set_warn(&mut opts.journal_path, "--journal", path);
+            }
+            "--metrics-out" => {
+                let path = it.next().ok_or("--metrics-out needs a value".to_string())?;
+                set_warn(&mut opts.metrics_path, "--metrics-out", path);
+            }
+            "--metrics-interval" => {
+                let v = it
+                    .next()
+                    .ok_or("--metrics-interval needs a value".to_string())?;
+                let secs: f64 = v.parse().map_err(|_| {
+                    format!("--metrics-interval needs a number of seconds, got `{v}`")
+                })?;
+                set_warn(&mut opts.metrics_interval_secs, "--metrics-interval", secs);
+            }
+            "--trace-sample" => {
+                let v = it
+                    .next()
+                    .ok_or("--trace-sample needs a value".to_string())?;
+                let n: u64 = v.parse().map_err(|_| {
+                    format!("--trace-sample needs a positive integer N (keep 1/N), got `{v}`")
+                })?;
+                if n == 0 {
+                    return Err("--trace-sample must be at least 1".to_string());
+                }
+                set_warn(&mut opts.trace_sample, "--trace-sample", n);
             }
             _ => rest.push(a),
         }
@@ -190,6 +284,17 @@ USAGE:
                     band (default 200). Time metrics gate symmetrically —
                     an implausibly *faster* run also fails, since it means
                     the baseline is stale or doctored.
+                    [--obs-overhead] instead runs the instrumentation
+                    self-overhead cell (Nyx × szlr, recorder off vs. on +
+                    journal) and exits nonzero when the overhead exceeds
+                    the 3% wall-time budget.
+  amrviz stats      <FILE>
+                    pretty-prints continuous-telemetry artifacts: a
+                    `--journal` JSONL file (validates every line, shows
+                    event-kind totals and the stitched per-trace span
+                    trees) or a `--metrics-out` snapshot (counters, gauges,
+                    histogram percentiles, recorder self-overhead). Exits
+                    nonzero when any line fails to parse.
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run
@@ -202,5 +307,18 @@ GLOBAL OPTIONS (valid on every command):
   --threads N    size of the worker pool (default: available parallelism;
                  the AMRVIZ_THREADS env var sets the same default).
                  Results are bit-identical at any thread count.
+  --journal FILE stream every completed span (and fault/meta events) to
+                 FILE as JSONL (`amrviz-journal-v1`): bounded queues,
+                 drop-oldest backpressure, line-atomic appends. Inspect
+                 with `amrviz stats FILE`.
+  --metrics-out FILE
+                 write a rolling `amrviz-metrics-v1` JSON snapshot to FILE
+                 (plus Prometheus text at FILE.prom) every interval,
+                 atomically replaced so readers never see a torn file
+  --metrics-interval SECS
+                 snapshot period for --metrics-out (default 5)
+  --trace-sample N
+                 head-based trace sampling: keep every N-th trace's spans
+                 (counters/histograms are unaffected; default 1 = keep all)
 "
 }

@@ -70,6 +70,10 @@ pub struct CompressionRun {
     pub max_abs_error: f64,
     pub compress_seconds: f64,
     pub decompress_seconds: f64,
+    /// Trace id the run's spans were recorded under (0 when the recorder
+    /// is disabled). Lets a reader jump from a Table 2 row straight to the
+    /// matching span tree in a `--journal` file.
+    pub trace_id: u64,
 }
 
 /// Compresses and decompresses a built scenario's evaluation field, then
@@ -86,6 +90,8 @@ pub fn run_compression(
     let cfg = AmrCodecConfig::default();
 
     let sp = amrviz_obs::span!("compress", compressor = kind.label(), rel_eb = rel_eb);
+    // Captured while the root span is live: all of this run's spans share it.
+    let trace_id = amrviz_obs::current_trace_id();
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
         field,
@@ -125,6 +131,7 @@ pub fn run_compression(
         max_abs_error: q.max_abs_err,
         compress_seconds,
         decompress_seconds,
+        trace_id,
     })
 }
 
@@ -432,6 +439,11 @@ impl ToJson for CompressionRun {
             .set("max_abs_error", self.max_abs_error)
             .set("compress_seconds", self.compress_seconds)
             .set("decompress_seconds", self.decompress_seconds);
+        if self.trace_id != 0 {
+            // Hex string, matching the journal: `crates/json` numbers are
+            // f64 and would round a raw u64 id.
+            o.set("trace", format!("{:016x}", self.trace_id));
+        }
         o
     }
 }

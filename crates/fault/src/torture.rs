@@ -369,6 +369,32 @@ fn build_targets() -> Vec<Target> {
     targets
 }
 
+/// Records a contract violation into the streaming journal (kind `fault`),
+/// when one is attached. The trace id is the iteration's deterministic id,
+/// rendered the same way span lines render theirs, so `amrviz stats` and
+/// plain grep both land on the matching violation string.
+fn fault_event(what: &str, target: &str, iter: u32, seed: u64, trace: u64, kinds: &[&str]) {
+    if !amrviz_obs::journal::is_active() {
+        return;
+    }
+    let muts = kinds
+        .iter()
+        .map(|k| format!("\"{k}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    amrviz_obs::journal::emit(
+        "fault",
+        &[
+            ("what", format!("\"{what}\"")),
+            ("target", format!("\"{target}\"")),
+            ("iter", iter.to_string()),
+            ("seed", seed.to_string()),
+            ("fault_trace", format!("\"{trace:016x}\"")),
+            ("mutations", format!("[{muts}]")),
+        ],
+    );
+}
+
 /// Runs the torture loop and returns the tally.
 pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     let targets = build_targets();
@@ -393,6 +419,11 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     let master = Rng::seed(cfg.seed);
     for iter in 0..cfg.iters {
         let mut rng = master.fork(iter as u64 + 1);
+        // Deterministic per-iteration trace id (seed + iteration only), so
+        // a violation printed from any run names the exact iteration to
+        // replay — and matches the journal's `fault` events.
+        let mut tstate = cfg.seed ^ ((iter as u64 + 1) << 32);
+        let trace = amrviz_rng::splitmix64(&mut tstate).max(1);
         let ti = rng.below(targets.len() as u64) as usize;
         let target = &targets[ti];
         let (mutated, muts) = mutate_stream(&mut rng, &target.stream);
@@ -415,17 +446,19 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
             Err(payload) => {
                 panics += 1;
                 tallies[ti].panics += 1;
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
                 if violations.len() < 8 {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic>".into());
                     violations.push(format!(
-                        "panic: target={} iter={iter} mutations={kinds:?}: {msg}",
-                        target.name
+                        "panic: target={} iter={iter} seed={} trace={trace:016x} \
+                         mutations={kinds:?}: {msg}",
+                        target.name, cfg.seed
                     ));
                 }
+                fault_event("panic", target.name, iter, cfg.seed, trace, &kinds);
             }
         }
         if mem_checked && peak > cfg.max_peak_bytes {
@@ -433,10 +466,12 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
             tallies[ti].over_budget += 1;
             if violations.len() < 8 {
                 violations.push(format!(
-                    "over_budget: target={} iter={iter} mutations={kinds:?} peak={peak}",
-                    target.name
+                    "over_budget: target={} iter={iter} seed={} trace={trace:016x} \
+                     mutations={kinds:?} peak={peak}",
+                    target.name, cfg.seed
                 ));
             }
+            fault_event("over_budget", target.name, iter, cfg.seed, trace, &kinds);
         }
     }
 
@@ -490,6 +525,46 @@ mod tests {
             "mutations should usually break decodes"
         );
         assert!(a.passed());
+    }
+
+    #[test]
+    fn violations_name_reproducing_trace_ids_and_journal_faults() {
+        // The per-iteration trace id depends only on (seed, iter): any two
+        // runs (any thread count, any machine) derive the same id, so a
+        // violation string is a complete repro pointer.
+        let derive = |seed: u64, iter: u32| {
+            let mut s = seed ^ ((iter as u64 + 1) << 32);
+            amrviz_rng::splitmix64(&mut s).max(1)
+        };
+        assert_eq!(derive(7, 3), derive(7, 3));
+        assert_ne!(derive(7, 3), derive(7, 4));
+        assert_ne!(derive(7, 3), derive(8, 3));
+
+        // With a journal attached, a violation lands as a `fault` line.
+        let dir = std::env::temp_dir().join(format!("amrviz_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.jsonl");
+        let _ = std::fs::remove_file(&path);
+        amrviz_obs::journal::start(&path).unwrap();
+        let trace = derive(7, 3);
+        fault_event("panic", "szlr", 3, 7, trace, &["bitflip", "truncate"]);
+        amrviz_obs::journal::stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"kind\":\"fault\""))
+            .expect("fault line in journal");
+        assert!(line.contains("\"what\":\"panic\""), "{line}");
+        assert!(line.contains("\"target\":\"szlr\""), "{line}");
+        assert!(
+            line.contains(&format!("\"fault_trace\":\"{trace:016x}\"")),
+            "{line}"
+        );
+        assert!(
+            line.contains("\"mutations\":[\"bitflip\",\"truncate\"]"),
+            "{line}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

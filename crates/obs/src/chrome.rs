@@ -61,6 +61,14 @@ pub fn render_chrome_trace(
                 e.mem_peak_bytes, e.mem_net_bytes
             ));
         }
+        if e.trace_id != 0 {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            // Hex string: trace ids are full u64s and JSON tooling
+            // (including crates/json) rounds large numerics through f64.
+            args.push_str(&format!("\"trace\":\"{:016x}\"", e.trace_id));
+        }
         push(
             format!(
                 "{{\"name\":\"{}\",\"cat\":\"amrviz\",\"ph\":\"X\",\"ts\":{ts:.3},\
@@ -109,6 +117,7 @@ mod tests {
         SpanEvent {
             id,
             parent: 0,
+            trace_id: 0xfeed,
             name,
             fields: vec![("level", FieldValue::Int(1))],
             thread,
@@ -139,6 +148,7 @@ mod tests {
             assert!(s.contains("\"mem.peak_bytes\":128"));
             assert!(s.contains("\"mem.net_bytes\":64"));
         }
+        assert!(s.contains("\"trace\":\"000000000000feed\""));
     }
 
     #[test]

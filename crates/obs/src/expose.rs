@@ -1,0 +1,375 @@
+//! Metric exposition: point-in-time snapshots of the recorder as JSON and
+//! Prometheus-style text, plus a periodic background snapshot writer.
+//!
+//! Two formats from one snapshot pass:
+//!
+//! * **JSON** (`amrviz-metrics-v1`) — machine-readable document carrying
+//!   both *lifetime* aggregates (since the last [`crate::reset`]) and the
+//!   *rolling window* view (trailing [`crate::window::coverage_seconds`]),
+//!   plus the recorder's `obs.*` self-accounting meta-metrics. Consumed
+//!   by `amrviz stats`.
+//! * **Prometheus text exposition** — `amrviz_<name>` families with
+//!   counter totals, gauge values, and histogram summaries (quantiles
+//!   0.5/0.9/0.99 over the rolling window, `_sum`/`_count` lifetime), for
+//!   scraping or eyeballing with standard tooling.
+//!
+//! [`write_snapshot`] is crash-safe: the JSON document is written to a
+//! sibling temp file and atomically renamed over the target, so a reader
+//! polling the file mid-run never sees a torn document. The `.prom`
+//! sibling is written the same way.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::{lock_clean, window};
+
+/// Metrics snapshot schema identifier.
+pub const METRICS_SCHEMA: &str = "amrviz-metrics-v1";
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Plain decimal keeps Prometheus parsers happy; JSON accepts it too.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn hist_stats_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        fmt_f64(h.mean()),
+        fmt_f64(h.percentile(50.0)),
+        fmt_f64(h.percentile(90.0)),
+        fmt_f64(h.percentile(99.0)),
+    )
+}
+
+/// Renders the full recorder state as one `amrviz-metrics-v1` JSON
+/// document (single line, suitable for atomic replacement). `window_secs`
+/// bounds the rolling-window view; pass
+/// [`window::coverage_seconds`] for "everything the ring covers".
+pub fn snapshot_json(window_secs: f64) -> String {
+    let (slot_nanos, slots) = window::config();
+    let counters = crate::counters_snapshot();
+    let counters_w = crate::counters_window_snapshot(window_secs);
+    let gauges = crate::gauges_snapshot();
+    let gauges_w = crate::gauges_window_snapshot(window_secs);
+    let hists = crate::histograms_snapshot();
+    let hists_w = crate::histograms_window_snapshot(window_secs);
+    let meta = crate::meta_snapshot();
+
+    let mut out = format!(
+        "{{\"schema\":\"{METRICS_SCHEMA}\",\"uptime_ns\":{},\
+         \"window\":{{\"slot_ns\":{slot_nanos},\"slots\":{slots},\
+         \"view_secs\":{}}}",
+        crate::epoch_elapsed_ns(),
+        fmt_f64(window_secs),
+    );
+
+    out.push_str(",\"counters\":{");
+    for (i, (name, lifetime)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let w = counters_w.get(name).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "\"{}\":{{\"lifetime\":{lifetime},\"window\":{w}}}",
+            crate::json_escape(name)
+        ));
+    }
+    out.push('}');
+
+    out.push_str(",\"gauges\":{");
+    for (i, (name, last)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"last\":{}",
+            crate::json_escape(name),
+            fmt_f64(*last)
+        ));
+        if let Some(w) = gauges_w.get(name) {
+            out.push_str(&format!(",\"window\":{}", fmt_f64(*w)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+
+    out.push_str(",\"histograms\":{");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"lifetime\":{}",
+            crate::json_escape(name),
+            hist_stats_json(h)
+        ));
+        if let Some(w) = hists_w.get(name) {
+            out.push_str(&format!(",\"window\":{}", hist_stats_json(w)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+
+    out.push_str(&format!(
+        ",\"meta\":{{\"overhead_us\":{},\"spans_recorded\":{},\
+         \"traces_started\":{},\"dropped_events\":{},\"journal_enqueued\":{}}}}}",
+        meta.overhead_us,
+        meta.spans_recorded,
+        meta.traces_started,
+        meta.journal_dropped,
+        meta.journal_enqueued,
+    ));
+    out
+}
+
+/// Sanitizes a metric name into a Prometheus identifier
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_';
+        let c = if ok { c } else { '_' };
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders the recorder state as Prometheus text exposition. Counters and
+/// `_sum`/`_count` are lifetime totals; histogram quantiles are computed
+/// over the trailing `window_secs` rolling window (falling back to the
+/// lifetime distribution when the window is empty).
+pub fn prometheus_text(window_secs: f64) -> String {
+    let mut out = String::new();
+    for (name, v) in crate::counters_snapshot() {
+        let p = prom_name(name);
+        out.push_str(&format!(
+            "# TYPE amrviz_{p}_total counter\namrviz_{p}_total {v}\n"
+        ));
+    }
+    for (name, v) in crate::gauges_snapshot() {
+        let p = prom_name(name);
+        out.push_str(&format!(
+            "# TYPE amrviz_{p} gauge\namrviz_{p} {}\n",
+            fmt_f64(v)
+        ));
+    }
+    let hists = crate::histograms_snapshot();
+    let hists_w = crate::histograms_window_snapshot(window_secs);
+    for (name, lifetime) in &hists {
+        let p = prom_name(name);
+        let q = hists_w.get(name).unwrap_or(lifetime);
+        out.push_str(&format!("# TYPE amrviz_{p} summary\n"));
+        for (label, pct) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+            out.push_str(&format!(
+                "amrviz_{p}{{quantile=\"{label}\"}} {}\n",
+                fmt_f64(q.percentile(pct))
+            ));
+        }
+        out.push_str(&format!("amrviz_{p}_sum {}\n", lifetime.sum()));
+        out.push_str(&format!("amrviz_{p}_count {}\n", lifetime.count()));
+    }
+    let meta = crate::meta_snapshot();
+    out.push_str(&format!(
+        "# TYPE amrviz_obs_overhead_us counter\namrviz_obs_overhead_us {}\n",
+        meta.overhead_us
+    ));
+    out.push_str(&format!(
+        "# TYPE amrviz_obs_dropped_events counter\namrviz_obs_dropped_events {}\n",
+        meta.journal_dropped
+    ));
+    out.push_str(&format!(
+        "# TYPE amrviz_obs_spans_recorded counter\namrviz_obs_spans_recorded {}\n",
+        meta.spans_recorded
+    ));
+    out
+}
+
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Writes the JSON snapshot to `path` and the Prometheus exposition to the
+/// sibling `path.with_extension("prom")`, each via temp-file + atomic
+/// rename so concurrent readers never observe a torn document.
+pub fn write_snapshot(path: &Path) -> std::io::Result<()> {
+    let window_secs = window::coverage_seconds();
+    write_atomic(path, &snapshot_json(window_secs))?;
+    write_atomic(&path.with_extension("prom"), &prometheus_text(window_secs))
+}
+
+static WRITER_ACTIVE: AtomicBool = AtomicBool::new(false);
+static WRITER_STOP: AtomicBool = AtomicBool::new(false);
+
+fn writer_handle() -> &'static Mutex<Option<JoinHandle<()>>> {
+    static H: OnceLock<Mutex<Option<JoinHandle<()>>>> = OnceLock::new();
+    H.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts the periodic snapshot writer: every `interval` the current
+/// recorder state is flushed to `path` (+ `.prom` sibling) via
+/// [`write_snapshot`]. Errors if a writer is already running.
+pub fn writer_start(path: PathBuf, interval: Duration) -> Result<(), String> {
+    if WRITER_ACTIVE.swap(true, Ordering::SeqCst) {
+        return Err("metrics writer already active".into());
+    }
+    WRITER_STOP.store(false, Ordering::SeqCst);
+    // Fail fast on an unwritable path before detaching the thread.
+    write_snapshot(&path).map_err(|e| {
+        WRITER_ACTIVE.store(false, Ordering::SeqCst);
+        format!("metrics: cannot write {}: {e}", path.display())
+    })?;
+    let interval = interval.max(Duration::from_millis(10));
+    let handle = std::thread::Builder::new()
+        .name("amrviz-metrics".into())
+        .spawn(move || {
+            // Poll the stop flag at a finer grain than the interval so
+            // shutdown never blocks for a full period.
+            let tick = Duration::from_millis(25).min(interval);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                if WRITER_STOP.load(Ordering::SeqCst) {
+                    let _ = write_snapshot(&path);
+                    return;
+                }
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    let _ = write_snapshot(&path);
+                }
+            }
+        })
+        .map_err(|e| {
+            WRITER_ACTIVE.store(false, Ordering::SeqCst);
+            format!("metrics: cannot spawn writer: {e}")
+        })?;
+    *lock_clean(writer_handle()) = Some(handle);
+    Ok(())
+}
+
+/// Stops the periodic writer, flushing one final snapshot. No-op when no
+/// writer is running.
+pub fn writer_stop() {
+    if WRITER_ACTIVE.load(Ordering::SeqCst) {
+        WRITER_STOP.store(true, Ordering::SeqCst);
+        if let Some(h) = lock_clean(writer_handle()).take() {
+            let _ = h.join();
+        }
+        WRITER_ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Formats a snapshot's histogram map as the human-readable table used by
+/// `--timing` output (re-exported convenience over [`crate::hist::render_text`]).
+pub fn render_window_text(window_secs: f64) -> String {
+    let hists: BTreeMap<&'static str, Histogram> = crate::histograms_window_snapshot(window_secs);
+    crate::hist::render_text(&hists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("compress.blob_bytes"), "compress_blob_bytes");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn snapshot_shapes_are_stable() {
+        let _g = crate::tests::guard();
+        crate::reset();
+        crate::enable();
+        crate::counter_add("exp.bytes", 10);
+        crate::gauge_set("exp.eb", 0.5);
+        crate::histogram_record("exp.lat", 100);
+        crate::disable();
+        let j = snapshot_json(window::coverage_seconds());
+        assert!(j.starts_with("{\"schema\":\"amrviz-metrics-v1\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert!(j.contains("\"exp.bytes\":{\"lifetime\":10,\"window\":10}"));
+        assert!(j.contains("\"exp.eb\""));
+        assert!(j.contains("\"p99\""));
+        assert!(j.contains("\"meta\""));
+
+        let p = prometheus_text(window::coverage_seconds());
+        assert!(p.contains("amrviz_exp_bytes_total 10"));
+        assert!(p.contains("amrviz_exp_eb 0.5"));
+        assert!(p.contains("amrviz_exp_lat{quantile=\"0.99\"}"));
+        assert!(p.contains("amrviz_obs_overhead_us"));
+        assert!(p.contains("amrviz_obs_dropped_events"));
+    }
+
+    #[test]
+    fn write_snapshot_is_atomic_and_makes_prom_sibling() {
+        let _g = crate::tests::guard();
+        crate::reset();
+        let dir = std::env::temp_dir().join(format!("amrviz_m_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        write_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(METRICS_SCHEMA));
+        assert!(path.with_extension("prom").exists());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_writer_produces_midrun_snapshots() {
+        let _g = crate::tests::guard();
+        crate::reset();
+        crate::enable();
+        let dir = std::env::temp_dir().join(format!("amrviz_mw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.json");
+        writer_start(path.clone(), Duration::from_millis(30)).unwrap();
+        assert!(
+            writer_start(path.clone(), Duration::from_millis(30)).is_err(),
+            "double start must fail"
+        );
+        crate::counter_add("live.ticks", 1);
+        // Wait for at least one periodic flush beyond the initial one.
+        std::thread::sleep(Duration::from_millis(120));
+        let mid = std::fs::read_to_string(&path).unwrap();
+        writer_stop();
+        crate::disable();
+        assert!(mid.contains(METRICS_SCHEMA), "mid-run snapshot exists");
+        let fin = std::fs::read_to_string(&path).unwrap();
+        assert!(fin.contains("live.ticks"), "final flush sees the counter");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

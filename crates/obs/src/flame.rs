@@ -330,6 +330,7 @@ mod tests {
         SpanEvent {
             id,
             parent,
+            trace_id: 0xfeed,
             name,
             fields,
             thread: 0,

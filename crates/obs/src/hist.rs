@@ -335,6 +335,102 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_percentiles_collapse_to_the_sample() {
+        // One sample: every percentile must be exactly that value — the
+        // interpolation has nothing to spread over and the [min, max]
+        // clamp pins both ends.
+        for v in [0u64, 1, 15, 16, 17, 1000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), v as f64, "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_bucket_percentiles_split_at_the_rank_boundary() {
+        // 3 samples in the exact bucket for 2, 1 sample in the bucket for
+        // 1000: ranks 1-3 resolve inside the low bucket, rank 4 (p99, and
+        // anything above 75%) inside the high one.
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(2);
+        h.record(1000);
+        // Ranks 1-3 resolve in 2's exact bucket: interpolation spreads
+        // them across [2, 3), so p50 (rank 2) and p75 (rank 3) stay below
+        // the top of that bucket, never jumping toward 1000.
+        let p50 = h.percentile(50.0);
+        assert!((2.0..=3.0).contains(&p50), "rank 2 of 4: p50={p50}");
+        let p75 = h.percentile(75.0);
+        assert!((2.0..=3.0).contains(&p75), "rank 3 of 4: p75={p75}");
+        let p99 = h.percentile(99.0);
+        let (lo, hi) = bucket_bounds(bucket_index(1000));
+        assert!(
+            (lo as f64..=hi as f64 + 1.0).contains(&p99) && p99 <= 1000.0,
+            "p99={p99} must interpolate inside 1000's bucket and clamp to max"
+        );
+        assert_eq!(h.percentile(100.0), 1000.0);
+    }
+
+    #[test]
+    fn saturating_sum_keeps_percentiles_sane() {
+        // Two u64::MAX samples overflow the sum (which saturates), but
+        // counts, min/max and percentiles must stay exact.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // Rank 1 sits in 1's exact bucket (interpolated within [1, 2]).
+        let p1 = h.percentile(1.0);
+        assert!((1.0..=2.0).contains(&p1), "p1={p1}");
+        assert_eq!(h.percentile(99.0), u64::MAX as f64);
+        // Merging two saturated histograms must also saturate, not wrap.
+        let mut a = h.clone();
+        a.merge(&h);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 6);
+    }
+
+    #[test]
+    fn merge_commutes_property() {
+        // rng-seeded property: merge(a, b) == merge(b, a) and both equal
+        // direct recording of the combined multiset.
+        amrviz_rng::check(0x4157_0001, 32, |rng| {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            let mut whole = Histogram::new();
+            for _ in 0..rng.range_usize(0, 300) {
+                // Mix magnitudes so both the exact and log regions see
+                // traffic, including occasional u64-scale outliers.
+                let v = match rng.below(4) {
+                    0 => rng.below(16),
+                    1 => rng.below(1 << 10),
+                    2 => rng.below(1 << 40),
+                    _ => u64::MAX - rng.below(1 << 8),
+                };
+                whole.record(v);
+                if rng.chance(0.5) {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative");
+            assert_eq!(ab, whole, "merge must equal direct recording");
+        });
+    }
+
+    #[test]
     fn render_text_lists_each_histogram() {
         let mut m = BTreeMap::new();
         let mut h = Histogram::new();

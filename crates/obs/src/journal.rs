@@ -1,0 +1,328 @@
+//! Streaming event journal: bounded, mutex-sharded, drop-oldest queues
+//! drained by a background writer thread into a JSONL file.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Bounded memory** — each shard holds at most [`SHARD_CAP`] lines;
+//!    overflow evicts the oldest line and bumps a drop counter that is
+//!    itself exported (`obs.dropped_events`). A stalled disk can never
+//!    balloon the process.
+//! 2. **Crash safety** — lines are pre-serialized at emit time and written
+//!    with a single `write_all` per line, so a crash mid-run leaves a
+//!    prefix of whole lines (line-atomic appends); `amrviz stats` can
+//!    always parse what made it to disk.
+//! 3. **Ordering** — a global sequence number is stamped at emit; the
+//!    writer drains all shards and sorts by `seq` before writing, so the
+//!    file is totally ordered even though producers are sharded.
+//!
+//! Schema (`amrviz-journal-v1`): one JSON object per line with at least
+//! `seq`, `ts_ns` (nanoseconds since recorder epoch), and `kind`. `span`
+//! lines carry `name`/`trace`/`span`/`parent`/`thread`/`start_ns`/`dur_ns`
+//! plus user fields; `meta` lines bracket the stream (`journal_start` /
+//! `journal_stop` with schema + drop totals); other kinds (`fault`, ...)
+//! are free-form via [`emit`]. Trace ids are hex *strings* — the journal
+//! is consumed by `crates/json`, which parses numbers as f64 and would
+//! silently round u64 ids.
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::lock_clean;
+
+/// Journal schema identifier, written in the `journal_start` meta line.
+pub const SCHEMA: &str = "amrviz-journal-v1";
+
+/// Maximum buffered lines per shard before drop-oldest kicks in.
+const SHARD_CAP: usize = 8192;
+
+/// Number of producer shards (power of two; indexed by thread id).
+const SHARDS: usize = 8;
+
+/// Writer poll interval while the journal is active.
+const POLL: Duration = Duration::from_millis(50);
+
+struct Shard {
+    queue: Mutex<VecDeque<(u64, String)>>,
+}
+
+struct JournalState {
+    shards: Vec<Shard>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STOPPING: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static ENQUEUED: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn state() -> &'static JournalState {
+    static STATE: OnceLock<JournalState> = OnceLock::new();
+    STATE.get_or_init(|| JournalState {
+        shards: (0..SHARDS)
+            .map(|_| Shard {
+                queue: Mutex::new(VecDeque::new()),
+            })
+            .collect(),
+        writer: Mutex::new(None),
+    })
+}
+
+/// Cheap probe: is a journal file attached right now? Producers use this
+/// to skip serialization entirely when nobody is listening.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Lines accepted into the journal since process start.
+pub fn enqueued() -> u64 {
+    ENQUEUED.load(Ordering::Relaxed)
+}
+
+/// Lines evicted by drop-oldest backpressure since process start.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Summary returned by [`stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    pub enqueued: u64,
+    pub dropped: u64,
+}
+
+/// Enqueues a pre-serialized JSON *object body* (the part between `{` and
+/// `}`, without braces) under `kind`, stamping `seq`/`ts_ns`/`kind` and the
+/// calling thread. No-op (returning `None`) when the journal is inactive.
+pub(crate) fn push_raw(kind: &str, shard_hint: u64, body: &str) -> Option<u64> {
+    if !is_active() {
+        return None;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_ns = crate::epoch_elapsed_ns();
+    let line = if body.is_empty() {
+        format!("{{\"seq\":{seq},\"ts_ns\":{ts_ns},\"kind\":\"{kind}\"}}")
+    } else {
+        format!("{{\"seq\":{seq},\"ts_ns\":{ts_ns},\"kind\":\"{kind}\",{body}}}")
+    };
+    let s = state();
+    let shard = &s.shards[(shard_hint as usize) % SHARDS];
+    let mut q = lock_clean(&shard.queue);
+    if q.len() >= SHARD_CAP {
+        q.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    q.push_back((seq, line));
+    ENQUEUED.fetch_add(1, Ordering::Relaxed);
+    Some(seq)
+}
+
+/// Emits a free-form journal event of `kind` with the given pre-rendered
+/// JSON fields (e.g. `("target", "\"szlr\"")`). Values must already be
+/// valid JSON; keys must be plain identifiers. The event is stamped with
+/// the calling thread and the current trace id (if any). Returns the
+/// assigned sequence number, or `None` when no journal is attached.
+pub fn emit(kind: &str, fields: &[(&str, String)]) -> Option<u64> {
+    if !is_active() {
+        return None;
+    }
+    let mut body = String::new();
+    let trace = crate::current_trace_id();
+    if trace != 0 {
+        body.push_str(&format!("\"trace\":\"{trace:016x}\""));
+    }
+    let thread = crate::thread_id();
+    body.push_str(&format!(
+        "{}\"thread\":{thread}",
+        if body.is_empty() { "" } else { "," }
+    ));
+    for (k, v) in fields {
+        body.push_str(&format!(",\"{k}\":{v}"));
+    }
+    push_raw(kind, thread, &body)
+}
+
+fn drain_sorted() -> Vec<(u64, String)> {
+    let s = state();
+    let mut all: Vec<(u64, String)> = Vec::new();
+    for shard in &s.shards {
+        let mut q = lock_clean(&shard.queue);
+        all.extend(q.drain(..));
+    }
+    all.sort_by_key(|(seq, _)| *seq);
+    all
+}
+
+fn write_lines(file: &mut std::fs::File, lines: Vec<(u64, String)>) {
+    for (_, mut line) in lines {
+        line.push('\n');
+        // One write_all per full line: a crash leaves whole lines only.
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Attaches a journal file (append + create) and starts the background
+/// writer. Errors if a journal is already active or the file cannot be
+/// opened. Writes a `journal_start` meta line carrying the schema id.
+pub fn start(path: &Path) -> Result<(), String> {
+    if ACTIVE.swap(true, Ordering::SeqCst) {
+        return Err("journal already active".into());
+    }
+    STOPPING.store(false, Ordering::SeqCst);
+    let mut file = match OpenOptions::new().create(true).append(true).open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            ACTIVE.store(false, Ordering::SeqCst);
+            return Err(format!("journal: cannot open {}: {e}", path.display()));
+        }
+    };
+    push_raw(
+        "meta",
+        0,
+        &format!("\"event\":\"journal_start\",\"schema\":\"{SCHEMA}\""),
+    );
+    let handle = std::thread::Builder::new()
+        .name("amrviz-journal".into())
+        .spawn(move || loop {
+            let batch = drain_sorted();
+            if !batch.is_empty() {
+                write_lines(&mut file, batch);
+                let _ = file.flush();
+            }
+            if STOPPING.load(Ordering::SeqCst) {
+                // Final drain: everything emitted before stop() flipped
+                // ACTIVE off is already queued.
+                let rest = drain_sorted();
+                write_lines(&mut file, rest);
+                let _ = file.flush();
+                return;
+            }
+            std::thread::sleep(POLL);
+        })
+        .map_err(|e| format!("journal: cannot spawn writer: {e}"))?;
+    *lock_clean(&state().writer) = Some(handle);
+    Ok(())
+}
+
+/// Stops the journal: emits a `journal_stop` meta line with drop totals,
+/// detaches producers, and joins the writer (flushing everything queued).
+/// Safe to call when no journal is active (returns current totals).
+pub fn stop() -> JournalStats {
+    if is_active() {
+        push_raw(
+            "meta",
+            0,
+            &format!(
+                "\"event\":\"journal_stop\",\"enqueued\":{},\"dropped\":{}",
+                enqueued(),
+                dropped()
+            ),
+        );
+        ACTIVE.store(false, Ordering::SeqCst);
+        STOPPING.store(true, Ordering::SeqCst);
+        if let Some(h) = lock_clean(&state().writer).take() {
+            let _ = h.join();
+        }
+    }
+    JournalStats {
+        enqueued: enqueued(),
+        dropped: dropped(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_journal_is_a_cheap_noop() {
+        let _g = crate::tests::guard();
+        assert!(!is_active());
+        assert_eq!(push_raw("span", 0, "\"name\":\"x\""), None);
+        assert_eq!(emit("fault", &[("iter", "1".into())]), None);
+    }
+
+    #[test]
+    fn journal_roundtrip_writes_ordered_parseable_lines() {
+        let _g = crate::tests::guard();
+        let dir = std::env::temp_dir().join(format!("amrviz_j_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        start(&path).unwrap();
+        assert!(is_active());
+        assert!(start(&path).is_err(), "double start must fail");
+        for i in 0..50u64 {
+            push_raw("test", i, &format!("\"i\":{i}"));
+        }
+        emit(
+            "fault",
+            &[("target", "\"szlr\"".into()), ("iter", "3".into())],
+        );
+        let stats = stop();
+        assert!(!is_active());
+        assert!(stats.enqueued >= 52, "start meta + 50 + fault + stop meta");
+        assert_eq!(stats.dropped, 0);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // start meta, 50 test lines, 1 fault, stop meta.
+        assert!(lines.len() >= 53, "got {} lines", lines.len());
+        assert!(lines[0].contains("journal_start"));
+        assert!(lines[0].contains(SCHEMA));
+        assert!(lines.last().unwrap().contains("journal_stop"));
+        // Total order by seq despite sharded producers.
+        let mut prev = -1i64;
+        for l in &lines {
+            assert!(l.starts_with("{\"seq\":"), "line must open with seq: {l}");
+            let seq: i64 = l["{\"seq\":".len()..]
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(seq > prev, "seq must be strictly increasing");
+            prev = seq;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let _g = crate::tests::guard();
+        let dir = std::env::temp_dir().join(format!("amrviz_jo_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overflow.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let dropped_before = dropped();
+        start(&path).unwrap();
+        // Everything lands in one shard (fixed hint); exceed its cap
+        // faster than the 50 ms writer poll can drain.
+        for i in 0..(SHARD_CAP + 64) as u64 {
+            push_raw("flood", 7, &format!("\"i\":{i}"));
+        }
+        let stats = stop();
+        // The writer may have drained mid-flood, so we can only assert the
+        // counter moved if the queue truly overflowed; either way totals
+        // stay consistent and the file stays parseable.
+        assert!(stats.dropped >= dropped_before);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 0);
+        for l in text.lines() {
+            assert!(
+                l.starts_with('{') && l.ends_with('}'),
+                "whole lines only: {l}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

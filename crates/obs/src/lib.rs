@@ -24,6 +24,16 @@
 //!   stage/level summary with percentages; [`flame::write_flamegraph`]
 //!   renders the span tree as collapsed stacks or a self-contained HTML
 //!   flamegraph.
+//! * **Continuous operation** — counters/gauges/histograms additionally
+//!   feed a ring of rolling time windows ([`window`]) so "p99 over the
+//!   last minute" is queryable at any instant without [`reset`]; every
+//!   root span starts a **trace** (deterministic splitmix-derived
+//!   `trace_id`, propagated across `amrviz-par` workers via
+//!   [`current_context`] / [`context_scope`]); completed spans can stream
+//!   to a JSONL [`journal`]; and [`expose`] writes periodic JSON +
+//!   Prometheus-style metric snapshots. The recorder accounts for its own
+//!   cost in `obs.overhead_us` / `obs.dropped_events` meta-metrics
+//!   ([`meta_snapshot`]).
 //!
 //! # Overhead
 //!
@@ -52,10 +62,13 @@
 //! ```
 
 pub mod chrome;
+pub mod expose;
 pub mod flame;
 pub mod hist;
+pub mod journal;
 pub mod mem;
 pub mod summary;
+pub mod window;
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -144,6 +157,12 @@ pub struct SpanEvent {
     pub id: u64,
     /// Id of the enclosing span on the same thread, or 0 for roots.
     pub parent: u64,
+    /// Trace this span belongs to. Every root span starts a trace whose id
+    /// is splitmix-derived from the trace seed and the root's creation
+    /// ordinal, so for a fixed workload the *k*-th trace has the same id
+    /// at any `AMRVIZ_THREADS`. 0 only for spans recorded through the
+    /// legacy [`parent_scope`] path with no ambient trace.
+    pub trace_id: u64,
     pub name: &'static str,
     pub fields: Vec<(&'static str, FieldValue)>,
     /// Small sequential thread id (not the OS id).
@@ -176,11 +195,15 @@ struct Recorder {
     enabled: AtomicBool,
     next_id: AtomicU64,
     next_thread: AtomicU64,
+    /// Trace creation ordinal (0-based). Roots are created in program
+    /// order on the submitting thread, so this sequence — and therefore
+    /// the derived trace ids — is thread-count invariant.
+    next_trace: AtomicU64,
     epoch: Instant,
     events: [Mutex<Vec<SpanEvent>>; SHARDS],
-    counters: [Mutex<BTreeMap<&'static str, u64>>; SHARDS],
-    gauges: Mutex<BTreeMap<&'static str, f64>>,
-    hists: [Mutex<BTreeMap<&'static str, hist::Histogram>>; SHARDS],
+    counters: [Mutex<BTreeMap<&'static str, window::WindowedCounter>>; SHARDS],
+    gauges: Mutex<BTreeMap<&'static str, window::WindowedGauge>>,
+    hists: [Mutex<BTreeMap<&'static str, window::WindowedHistogram>>; SHARDS],
 }
 
 impl Recorder {
@@ -190,6 +213,7 @@ impl Recorder {
             // 0 means "no parent", so real ids start at 1.
             next_id: AtomicU64::new(1),
             next_thread: AtomicU64::new(0),
+            next_trace: AtomicU64::new(0),
             epoch: Instant::now(),
             events: std::array::from_fn(|_| Mutex::new(Vec::new())),
             counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
@@ -197,6 +221,17 @@ impl Recorder {
             hists: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
+
+    /// Current rolling-window slot under the global [`window::config`].
+    fn now_slot(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64 / window::config().0
+    }
+}
+
+/// Nanoseconds since the recorder epoch (process-global monotonic origin
+/// shared by span `start_ns` values and journal `ts_ns` stamps).
+pub fn epoch_elapsed_ns() -> u64 {
+    recorder().epoch.elapsed().as_nanos() as u64
 }
 
 static RECORDER: OnceLock<Recorder> = OnceLock::new();
@@ -259,6 +294,147 @@ impl Drop for ParentScope {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Ambient `(trace_id, sampled)` for the calling thread. `trace_id`
+    /// is 0 outside any trace; `sampled` defaults to true so counters and
+    /// ad-hoc journal events are never silently discarded.
+    static TRACE_STATE: Cell<(u64, bool)> = const { Cell::new((0, true)) };
+}
+
+/// Seed from which trace ids are derived (mixable per run: `repro` feeds
+/// its `--seed` here so trace ids are reproducible across reruns).
+static TRACE_SEED: AtomicU64 = AtomicU64::new(0xa317);
+
+/// Head-based sampling modulus: trace ordinal `% n == 0` is kept. 1 keeps
+/// everything.
+static TRACE_SAMPLE: AtomicU64 = AtomicU64::new(1);
+
+/// Sets the seed mixed into every derived trace id. Call before the first
+/// root span of a run (typically right after [`enable`]).
+pub fn set_trace_seed(seed: u64) {
+    TRACE_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// Enables head-based trace sampling: only every `n`-th trace (by creation
+/// ordinal) records span events and journal lines; counters, gauges and
+/// histograms are unaffected. `n <= 1` keeps every trace.
+pub fn set_trace_sampling(n: u64) {
+    TRACE_SAMPLE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Trace id of the innermost active trace on this thread (0 when none).
+pub fn current_trace_id() -> u64 {
+    TRACE_STATE.with(|t| t.get().0)
+}
+
+/// Everything a pool worker needs to continue the submitter's causal
+/// chain: ambient parent span plus trace identity. Capture on the
+/// submitting thread with [`current_context`], re-establish on the worker
+/// with [`context_scope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Innermost active span id on the capturing thread (0 when none).
+    pub parent: u64,
+    /// Trace the capturing thread is inside (0 when none).
+    pub trace: u64,
+    /// Whether that trace passed head-based sampling.
+    pub sampled: bool,
+}
+
+/// Captures the calling thread's ambient trace context.
+pub fn current_context() -> TraceContext {
+    let (trace, sampled) = TRACE_STATE.with(|t| t.get());
+    TraceContext {
+        parent: current_span_id(),
+        trace,
+        sampled,
+    }
+}
+
+/// RAII guard holding a restored [`TraceContext`] on a worker thread.
+/// Supersedes [`ParentScope`] (which restores only the parent span):
+/// spans opened under a `ContextScope` both nest under the submitting
+/// span *and* join its trace.
+pub struct ContextScope {
+    pushed: bool,
+    prev: (u64, bool),
+}
+
+/// Re-establishes `ctx` as the calling thread's ambient context.
+pub fn context_scope(ctx: TraceContext) -> ContextScope {
+    let pushed = ctx.parent != 0 && is_enabled();
+    if pushed {
+        SPAN_STACK.with(|s| s.borrow_mut().push(ctx.parent));
+    }
+    let prev = TRACE_STATE.with(|t| t.replace((ctx.trace, ctx.sampled)));
+    ContextScope { pushed, prev }
+}
+
+impl Drop for ContextScope {
+    fn drop(&mut self) {
+        if self.pushed {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+        TRACE_STATE.with(|t| t.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-overhead accounting
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds spent inside the recorder itself (span bookkeeping, shard
+/// locking, journal serialization) since the last [`reset`].
+static OVERHEAD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Span events pushed since the last [`reset`].
+static SPANS_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn overhead_add(t0: Instant) {
+    OVERHEAD_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Microseconds the recorder has spent on its own bookkeeping since the
+/// last [`reset`] — the numerator of the instrumentation-overhead budget
+/// checked by `amrviz bench --obs-overhead`.
+pub fn overhead_micros() -> u64 {
+    OVERHEAD_NS.load(Ordering::Relaxed) / 1_000
+}
+
+/// Recorder meta-metrics, exported as `obs.*` by [`expose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaSnapshot {
+    /// See [`overhead_micros`].
+    pub overhead_us: u64,
+    /// Span events recorded since the last [`reset`].
+    pub spans_recorded: u64,
+    /// Traces started since process start (never reset — root ordinals
+    /// must stay unique so derived trace ids never collide within a run).
+    pub traces_started: u64,
+    /// Journal lines accepted since process start.
+    pub journal_enqueued: u64,
+    /// Journal lines evicted by backpressure since process start.
+    pub journal_dropped: u64,
+}
+
+/// Snapshot of the recorder's self-accounting meta-metrics.
+pub fn meta_snapshot() -> MetaSnapshot {
+    MetaSnapshot {
+        overhead_us: overhead_micros(),
+        spans_recorded: SPANS_RECORDED.load(Ordering::Relaxed),
+        traces_started: recorder().next_trace.load(Ordering::Relaxed),
+        journal_enqueued: journal::enqueued(),
+        journal_dropped: journal::dropped(),
+    }
+}
+
 /// Turns recording on. Span/counter calls before this are free no-ops.
 pub fn enable() {
     recorder().enabled.store(true, Ordering::Relaxed);
@@ -279,11 +455,36 @@ pub fn is_enabled() -> bool {
         .is_some_and(|r| r.enabled.load(Ordering::Relaxed))
 }
 
-/// Clears all recorded events, counters, gauges and histograms, and
-/// collapses the global allocation high-water mark back to the current live
-/// count (enabled state and thread ids are kept). Successive measurements
-/// therefore never inherit a stale distribution or peak from an earlier
-/// experiment.
+/// Clears all recorded events, counters, gauges and histograms — lifetime
+/// totals *and* their rolling windows — zeroes the self-overhead
+/// meta-metrics, and collapses the global allocation high-water mark back
+/// to the current live count (enabled state, thread ids, and the trace
+/// ordinal counter are kept). Successive measurements therefore never
+/// inherit a stale distribution or peak from an earlier experiment.
+///
+/// # Windows vs. lifetime totals
+///
+/// This is the **only** operation that clears lifetime totals. Rolling
+/// window rotation (see [`window`]) merely recycles ring slots as time
+/// advances; `counters_snapshot()` keeps growing monotonically across
+/// rotations and only returns to zero after `reset()`.
+///
+/// # Reset during active spans
+///
+/// `reset()` is safe to call while spans are in flight on any thread (the
+/// long-running / `serve`-shaped use case). It cannot panic and cannot
+/// corrupt the per-thread watermark stacks in [`mem`]:
+///
+/// * Span state lives in each guard and in per-thread stacks; `reset` only
+///   clears the *completed*-event shards. An active [`SpanGuard`] keeps
+///   its id/parent/start and records normally into the fresh shards when
+///   it finishes (its `start_ns` predates the reset — callers slicing by
+///   time can drop it; exporters handle it like any orphan).
+/// * [`mem::reset_peak`] collapses only the *global* high-water mark.
+///   Per-thread watermark frames are owned by the active guards
+///   themselves, so `frame_exit` still pairs with its `frame_enter` and
+///   thread-local peaks stay internally consistent (see
+///   `mem::tests::reset_peak_during_active_frames_is_safe`).
 pub fn reset() {
     let r = recorder();
     for shard in &r.events {
@@ -296,6 +497,8 @@ pub fn reset() {
     for shard in &r.hists {
         lock_clean(shard).clear();
     }
+    OVERHEAD_NS.store(0, Ordering::Relaxed);
+    SPANS_RECORDED.store(0, Ordering::Relaxed);
     mem::reset_peak();
 }
 
@@ -319,9 +522,15 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() {
         return;
     }
+    let t0 = Instant::now();
     let r = recorder();
+    let slot = r.now_slot();
     let shard = (thread_id() as usize) % SHARDS;
-    *lock_clean(&r.counters[shard]).entry(name).or_insert(0) += delta;
+    lock_clean(&r.counters[shard])
+        .entry(name)
+        .or_default()
+        .add(slot, delta);
+    overhead_add(t0);
 }
 
 /// Sets the named gauge to `value` (last write wins).
@@ -335,7 +544,14 @@ pub fn gauge_set(name: &'static str, value: f64) {
     if !is_enabled() {
         return;
     }
-    lock_clean(&recorder().gauges).insert(name, value);
+    let t0 = Instant::now();
+    let r = recorder();
+    let slot = r.now_slot();
+    lock_clean(&r.gauges)
+        .entry(name)
+        .or_insert_with(|| window::WindowedGauge::new(value))
+        .set(slot, value);
+    overhead_add(t0);
 }
 
 /// Records one `u64` sample into the named histogram. No-op while
@@ -344,42 +560,97 @@ pub fn histogram_record(name: &'static str, value: u64) {
     if !is_enabled() {
         return;
     }
+    let t0 = Instant::now();
     let r = recorder();
+    let slot = r.now_slot();
     let shard = (thread_id() as usize) % SHARDS;
     lock_clean(&r.hists[shard])
         .entry(name)
         .or_default()
-        .record(value);
+        .record(slot, value);
+    overhead_add(t0);
 }
 
-/// Merged snapshot of all histograms. Shard merge is a bucket-wise integer
-/// sum, so the result is independent of which thread recorded which sample.
+/// Merged *lifetime* snapshot of all histograms (every sample since the
+/// last [`reset`]). Shard merge is a bucket-wise integer sum, so the
+/// result is independent of which thread recorded which sample.
 pub fn histograms_snapshot() -> BTreeMap<&'static str, hist::Histogram> {
     let r = recorder();
     let mut out: BTreeMap<&'static str, hist::Histogram> = BTreeMap::new();
     for shard in &r.hists {
         for (k, h) in lock_clean(shard).iter() {
-            out.entry(*k).or_default().merge(h);
+            out.entry(*k).or_default().merge(&h.lifetime);
         }
     }
     out
 }
 
-/// Merged snapshot of all counters.
+/// Merged histogram snapshot over the trailing `last_secs` seconds
+/// (clamped to the configured window coverage).
+pub fn histograms_window_snapshot(last_secs: f64) -> BTreeMap<&'static str, hist::Histogram> {
+    let r = recorder();
+    let now = r.now_slot();
+    let k = window::slots_for_secs(last_secs);
+    let mut out: BTreeMap<&'static str, hist::Histogram> = BTreeMap::new();
+    for shard in &r.hists {
+        for (name, h) in lock_clean(shard).iter() {
+            out.entry(*name)
+                .or_default()
+                .merge(&h.window_merged(now, k));
+        }
+    }
+    // Drop metrics that went quiet before the window opened.
+    out.retain(|_, h| h.count() > 0);
+    out
+}
+
+/// Merged *lifetime* snapshot of all counters (monotonic since the last
+/// [`reset`]; window rotation never lowers these).
 pub fn counters_snapshot() -> BTreeMap<&'static str, u64> {
     let r = recorder();
     let mut out = BTreeMap::new();
     for shard in &r.counters {
         for (k, v) in lock_clean(shard).iter() {
-            *out.entry(*k).or_insert(0) += *v;
+            *out.entry(*k).or_insert(0) += v.lifetime;
         }
     }
     out
 }
 
-/// Snapshot of all gauges.
+/// Counter totals over the trailing `last_secs` seconds (clamped to the
+/// configured window coverage). Quiet counters report 0 and are omitted.
+pub fn counters_window_snapshot(last_secs: f64) -> BTreeMap<&'static str, u64> {
+    let r = recorder();
+    let now = r.now_slot();
+    let k = window::slots_for_secs(last_secs);
+    let mut out = BTreeMap::new();
+    for shard in &r.counters {
+        for (name, v) in lock_clean(shard).iter() {
+            *out.entry(*name).or_insert(0) += v.window_sum(now, k);
+        }
+    }
+    out.retain(|_, v| *v > 0);
+    out
+}
+
+/// Snapshot of all gauges (last written value, lifetime).
 pub fn gauges_snapshot() -> BTreeMap<&'static str, f64> {
-    lock_clean(&recorder().gauges).clone()
+    lock_clean(&recorder().gauges)
+        .iter()
+        .map(|(k, g)| (*k, g.last))
+        .collect()
+}
+
+/// Gauges written within the trailing `last_secs` seconds (most recent
+/// value inside the window; gauges that went quiet earlier are omitted).
+pub fn gauges_window_snapshot(last_secs: f64) -> BTreeMap<&'static str, f64> {
+    let r = recorder();
+    let now = r.now_slot();
+    let k = window::slots_for_secs(last_secs);
+    lock_clean(&r.gauges)
+        .iter()
+        .filter_map(|(name, g)| g.window_last(now, k).map(|v| (*name, v)))
+        .collect()
 }
 
 /// Snapshot of all completed spans, ordered by start time.
@@ -402,6 +673,13 @@ struct ActiveSpan {
     thread: u64,
     start_ns: u64,
     mem: mem::MemFrame,
+    /// Trace identity inherited (non-root) or freshly derived (root).
+    trace: u64,
+    /// Head-based sampling verdict for this span's trace.
+    sampled: bool,
+    /// For root spans: the thread's previous `TRACE_STATE`, restored when
+    /// the root finishes. `None` for non-root spans (they never touch it).
+    prev_trace: Option<(u64, bool)>,
 }
 
 /// RAII timer for one pipeline stage. Always measures wall time (so
@@ -417,6 +695,7 @@ impl SpanGuard {
     /// field vector while recording is disabled.
     pub fn with_fields(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
         let active = if is_enabled() {
+            let t0 = Instant::now();
             let r = recorder();
             let id = r.next_id.fetch_add(1, Ordering::Relaxed);
             let parent = SPAN_STACK.with(|s| {
@@ -425,7 +704,25 @@ impl SpanGuard {
                 s.push(id);
                 parent
             });
-            Some(ActiveSpan {
+            let (trace, sampled, prev_trace) = if parent == 0 {
+                // Root span: start a new trace. The id is derived from the
+                // trace seed and the root's creation ordinal, so the k-th
+                // trace of a fixed workload has the same id at any thread
+                // count; sampling keys off the ordinal for the same reason.
+                let ordinal = r.next_trace.fetch_add(1, Ordering::Relaxed);
+                let mut sm = TRACE_SEED.load(Ordering::Relaxed) ^ ordinal;
+                let trace = amrviz_rng::splitmix64(&mut sm).max(1);
+                let sampled = ordinal.is_multiple_of(TRACE_SAMPLE.load(Ordering::Relaxed));
+                let prev = TRACE_STATE.with(|t| t.replace((trace, sampled)));
+                (trace, sampled, Some(prev))
+            } else {
+                // Nested span: inherit the ambient trace (set either by an
+                // enclosing root on this thread or by a ContextScope on a
+                // pool worker).
+                let (trace, sampled) = TRACE_STATE.with(|t| t.get());
+                (trace, sampled, None)
+            };
+            let a = ActiveSpan {
                 id,
                 parent,
                 name,
@@ -433,7 +730,12 @@ impl SpanGuard {
                 thread: thread_id(),
                 start_ns: r.epoch.elapsed().as_nanos() as u64,
                 mem: mem::frame_enter(),
-            })
+                trace,
+                sampled,
+                prev_trace,
+            };
+            overhead_add(t0);
+            Some(a)
         } else {
             None
         };
@@ -476,6 +778,11 @@ impl SpanGuard {
                     s.retain(|&id| id != a.id);
                 }
             });
+            // A finishing root ends its trace on this thread regardless of
+            // sampling or the enabled flag — ambient state must not leak.
+            if let Some(prev) = a.prev_trace {
+                TRACE_STATE.with(|t| t.set(prev));
+            }
             let (mem_net_bytes, mem_peak_bytes) = mem::frame_exit(a.mem);
             if !is_enabled() {
                 // Disabled mid-span: the event would be a torn measurement
@@ -483,19 +790,55 @@ impl SpanGuard {
                 // discard it and report 0.0 instead of a stale duration.
                 return 0.0;
             }
+            if !a.sampled {
+                // Head-based sampling: the whole trace (root and children
+                // share the verdict) skips event buffers and the journal;
+                // wall time is still returned so timing-driven callers are
+                // unaffected.
+                return dur.as_secs_f64();
+            }
+            let t0 = Instant::now();
+            let dur_ns = dur.as_nanos() as u64;
+            if journal::is_active() {
+                let mut body = format!(
+                    "\"name\":\"{}\",\"trace\":\"{:016x}\",\"span\":{},\"parent\":{},\
+                     \"thread\":{},\"start_ns\":{},\"dur_ns\":{}",
+                    json_escape(a.name),
+                    a.trace,
+                    a.id,
+                    a.parent,
+                    a.thread,
+                    a.start_ns,
+                    dur_ns
+                );
+                if !a.fields.is_empty() {
+                    body.push_str(",\"fields\":{");
+                    for (i, (k, v)) in a.fields.iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(&format!("\"{}\":{}", json_escape(k), v.to_json()));
+                    }
+                    body.push('}');
+                }
+                journal::push_raw("span", a.thread, &body);
+            }
             let r = recorder();
             let shard = (a.thread as usize) % SHARDS;
             lock_clean(&r.events[shard]).push(SpanEvent {
                 id: a.id,
                 parent: a.parent,
+                trace_id: a.trace,
                 name: a.name,
                 fields: a.fields,
                 thread: a.thread,
                 start_ns: a.start_ns,
-                dur_ns: dur.as_nanos() as u64,
+                dur_ns,
                 mem_net_bytes,
                 mem_peak_bytes,
             });
+            SPANS_RECORDED.fetch_add(1, Ordering::Relaxed);
+            overhead_add(t0);
         }
         dur.as_secs_f64()
     }
@@ -622,6 +965,145 @@ mod tests {
         disable();
         assert_eq!(counters_snapshot()["bytes"], 42);
         assert_eq!(gauges_snapshot()["eb"], 0.25);
+    }
+
+    #[test]
+    fn root_spans_start_traces_and_children_inherit() {
+        let _g = guard();
+        reset();
+        enable();
+        assert_eq!(current_trace_id(), 0, "no ambient trace outside spans");
+        {
+            let root = span!("root");
+            let trace = current_trace_id();
+            assert_ne!(trace, 0, "root must start a trace");
+            {
+                let child = span!("child");
+                assert_eq!(current_trace_id(), trace, "children inherit");
+                child.finish();
+            }
+            root.finish();
+        }
+        assert_eq!(current_trace_id(), 0, "trace ends with its root");
+        {
+            let _second = span!("root2");
+            // Fresh ordinal → distinct trace id.
+            assert_ne!(current_trace_id(), 0);
+        }
+        disable();
+        let ev = events_snapshot();
+        let root_ev = ev.iter().find(|e| e.name == "root").unwrap();
+        let child_ev = ev.iter().find(|e| e.name == "child").unwrap();
+        let second_ev = ev.iter().find(|e| e.name == "root2").unwrap();
+        assert_eq!(child_ev.trace_id, root_ev.trace_id);
+        assert_eq!(child_ev.parent, root_ev.id);
+        assert_ne!(second_ev.trace_id, root_ev.trace_id);
+    }
+
+    #[test]
+    fn context_scope_stitches_worker_spans_into_the_trace() {
+        let _g = guard();
+        reset();
+        enable();
+        let root = span!("root");
+        let ctx = current_context();
+        assert_ne!(ctx.parent, 0);
+        assert_ne!(ctx.trace, 0);
+        let handle = std::thread::spawn(move || {
+            let _scope = context_scope(ctx);
+            assert_eq!(current_trace_id(), ctx.trace);
+            span!("work").finish();
+        });
+        handle.join().unwrap();
+        root.finish();
+        disable();
+        let ev = events_snapshot();
+        let root_ev = ev.iter().find(|e| e.name == "root").unwrap();
+        let work_ev = ev.iter().find(|e| e.name == "work").unwrap();
+        assert_eq!(work_ev.parent, root_ev.id, "worker span nests under root");
+        assert_eq!(work_ev.trace_id, root_ev.trace_id, "one stitched trace");
+        assert_ne!(work_ev.thread, root_ev.thread);
+    }
+
+    #[test]
+    fn head_sampling_keeps_every_nth_trace() {
+        let _g = guard();
+        reset();
+        enable();
+        set_trace_sampling(2);
+        for i in 0..4 {
+            let mut sp = span!("sampled_root");
+            sp.add_field("i", i as u64);
+            sp.finish();
+        }
+        set_trace_sampling(1);
+        disable();
+        let ev = events_snapshot();
+        let kept: Vec<_> = ev.iter().filter(|e| e.name == "sampled_root").collect();
+        // Ordinals are global, so the phase is unknown — but exactly 2 of
+        // any 4 consecutive ordinals are ≡ 0 (mod 2).
+        assert_eq!(kept.len(), 2, "1/2 sampling keeps half of 4 roots");
+    }
+
+    #[test]
+    fn reset_during_active_span_cannot_corrupt_state() {
+        let _g = guard();
+        reset();
+        enable();
+        let outer = span!("outer");
+        let ballast: Vec<u8> = vec![7u8; 1 << 16];
+        // Reset mid-span: clears completed shards + global peak only. The
+        // active guard keeps its frame, so the exit pairs cleanly.
+        reset();
+        drop(ballast);
+        let inner = span!("inner");
+        inner.finish();
+        let secs = outer.finish();
+        assert!(secs >= 0.0);
+        disable();
+        let ev = events_snapshot();
+        assert_eq!(ev.len(), 2, "both spans land in the fresh shards");
+        let outer_ev = ev.iter().find(|e| e.name == "outer").unwrap();
+        let inner_ev = ev.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(inner_ev.parent, outer_ev.id, "nesting survives the reset");
+        assert_eq!(inner_ev.trace_id, outer_ev.trace_id);
+    }
+
+    #[test]
+    fn window_snapshots_subset_lifetime() {
+        let _g = guard();
+        reset();
+        enable();
+        counter!("win.bytes", 100u64);
+        gauge_set("win.eb", 0.5);
+        histogram!("win.lat", 42u64);
+        disable();
+        let cover = window::coverage_seconds();
+        assert_eq!(counters_snapshot()["win.bytes"], 100);
+        assert_eq!(counters_window_snapshot(cover)["win.bytes"], 100);
+        assert_eq!(gauges_window_snapshot(cover)["win.eb"], 0.5);
+        let wh = &histograms_window_snapshot(cover)["win.lat"];
+        assert_eq!(wh.count(), 1);
+        assert_eq!(histograms_snapshot()["win.lat"], *wh);
+    }
+
+    #[test]
+    fn overhead_meta_metrics_accumulate_and_reset() {
+        let _g = guard();
+        reset();
+        enable();
+        for _ in 0..10 {
+            span!("meta_probe").finish();
+            counter!("meta.c", 1u64);
+        }
+        disable();
+        let meta = meta_snapshot();
+        assert_eq!(meta.spans_recorded, 10);
+        assert!(meta.traces_started >= 10);
+        reset();
+        let after = meta_snapshot();
+        assert_eq!(after.spans_recorded, 0);
+        assert_eq!(after.overhead_us, 0);
     }
 
     #[test]

@@ -143,6 +143,17 @@ pub fn span_profiling_active() -> bool {
 /// Collapses the global high-water mark back to the current live count —
 /// part of [`crate::reset`], so successive measurements don't inherit a
 /// stale peak.
+///
+/// # Safety under active spans
+///
+/// This touches **only** the global `PEAK` atomic. The per-thread
+/// watermark state (`T_CUR`/`T_PEAK`) and the [`MemFrame`]s saved by
+/// in-flight [`crate::SpanGuard`]s are deliberately left alone: each
+/// frame's `start_cur`/`saved_peak` live in the guard itself, so a
+/// `reset()` racing with active spans can never unbalance a
+/// `frame_enter`/`frame_exit` pair or corrupt the watermark stack — the
+/// long-running-service requirement. See
+/// `reset_peak_during_active_frames_is_safe`.
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
@@ -249,6 +260,30 @@ mod tests {
         // own 100.
         assert_eq!(peak_o, 1100);
         sub(150); // balance the books for other tests sharing the globals
+    }
+
+    #[cfg(feature = "mem-profile")]
+    #[test]
+    fn reset_peak_during_active_frames_is_safe() {
+        let _g = guard();
+        // A reset fired while watermark frames are open (the long-running
+        // service pattern: obs::reset() between "requests" racing a span
+        // that straddles the boundary) must not corrupt per-span
+        // attribution — reset_peak touches only the global peak.
+        let outer = frame_enter();
+        add(100);
+        let inner = frame_enter();
+        add(1000);
+        reset_peak(); // mid-frame reset
+        sub(900);
+        let (net_i, peak_i) = frame_exit(inner);
+        assert_eq!(net_i, 100, "inner net unaffected by reset_peak");
+        assert_eq!(peak_i, 1000, "inner peak unaffected by reset_peak");
+        sub(50);
+        let (net_o, peak_o) = frame_exit(outer);
+        assert_eq!(net_o, 150);
+        assert_eq!(peak_o, 1100, "parent still sees through the child");
+        sub(150); // balance the global books for other tests
     }
 
     #[cfg(feature = "mem-profile")]

@@ -213,6 +213,7 @@ mod tests {
         SpanEvent {
             id,
             parent,
+            trace_id: 0xfeed,
             name,
             fields,
             thread: 0,

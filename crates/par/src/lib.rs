@@ -25,10 +25,12 @@
 //! `std::thread::available_parallelism()`. `threads() == 1` runs everything
 //! inline on the caller with zero synchronization.
 //!
-//! Workers re-enter the submitting thread's open `amrviz-obs` span (via
-//! `parent_scope`), so spans created inside tasks nest correctly in traces,
-//! and each worker's busy wall time is accumulated for the `--timing`
-//! utilization report ([`utilization`]).
+//! Workers re-enter the submitting thread's full `amrviz-obs` trace
+//! context (open span *and* trace id, via `current_context` /
+//! `context_scope`), so spans created inside tasks nest correctly and the
+//! whole fan-out stitches into one causal tree per root; each worker's
+//! busy wall time is accumulated for the `--timing` utilization report
+//! ([`utilization`]).
 
 pub mod scratch;
 
@@ -204,12 +206,12 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let parent = amrviz_obs::current_span_id();
+    let ctx = amrviz_obs::current_context();
     let t_region = Instant::now();
     let mut busy = vec![0.0f64; width];
 
     let worker = |slot: usize| -> (usize, f64, Vec<(usize, T)>) {
-        let _scope = amrviz_obs::parent_scope(parent);
+        let _scope = amrviz_obs::context_scope(ctx);
         IN_POOL.with(|c| c.set(true));
         let t0 = Instant::now();
         let mut local = Vec::new();
@@ -283,12 +285,12 @@ where
         buckets[ci % width].push((ci, chunk));
     }
 
-    let parent = amrviz_obs::current_span_id();
+    let ctx = amrviz_obs::current_context();
     let t_region = Instant::now();
     let mut busy = vec![0.0f64; width];
 
     let worker = |bucket: Vec<(usize, &mut [T])>| -> f64 {
-        let _scope = amrviz_obs::parent_scope(parent);
+        let _scope = amrviz_obs::context_scope(ctx);
         IN_POOL.with(|c| c.set(true));
         let t0 = Instant::now();
         for (ci, chunk) in bucket {
