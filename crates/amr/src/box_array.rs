@@ -80,6 +80,20 @@ impl BoxArray {
         }
     }
 
+    /// Coarsens inward: only the coarse cells every box *fully* covers
+    /// survive ([`Box3::coarsen_inward`]); boxes too small or too
+    /// misaligned to cover any coarse cell drop out entirely. The result
+    /// may therefore hold fewer boxes than `self`.
+    pub fn coarsen_inward(&self, ratio: i64) -> BoxArray {
+        BoxArray {
+            boxes: self
+                .boxes
+                .iter()
+                .filter_map(|b| b.coarsen_inward(ratio))
+                .collect(),
+        }
+    }
+
     /// Checks pairwise disjointness (O(n²); fine for the box counts AMR
     /// levels produce).
     pub fn validate_disjoint(&self) -> Result<(), (Box3, Box3)> {

@@ -134,6 +134,24 @@ impl Box3 {
         }
     }
 
+    /// The inward coarsening map: the coarse cells whose entire `ratio³`
+    /// block of fine children lies inside this box. Where [`Self::coarsen`]
+    /// rounds outward (any overlap counts), this rounds inward (only full
+    /// coverage counts); the two agree exactly on aligned boxes. Returns
+    /// `None` when no coarse cell is fully covered — e.g. an unaligned
+    /// 1×1×1 box.
+    pub fn coarsen_inward(&self, ratio: i64) -> Option<Box3> {
+        debug_assert!(ratio > 0);
+        let ceil_div = |a: i64| -> i64 { -((-a).div_euclid(ratio)) };
+        let lo = IntVect([
+            ceil_div(self.lo[0]),
+            ceil_div(self.lo[1]),
+            ceil_div(self.lo[2]),
+        ]);
+        let hi = (self.hi + IntVect::UNIT).coarsen(ratio) - IntVect::UNIT;
+        lo.all_le(hi).then_some(Box3 { lo, hi })
+    }
+
     /// Whether the box's lo/hi are aligned to multiples of `ratio` — i.e.
     /// it is exactly a refinement of a coarse box.
     pub fn is_aligned(&self, ratio: i64) -> bool {
@@ -288,6 +306,42 @@ mod tests {
         assert_eq!(fine.coarsen(2), bx);
         assert!(fine.is_aligned(2));
         assert_eq!(fine.num_cells(), bx.num_cells() * 8);
+    }
+
+    #[test]
+    fn coarsen_inward_agrees_on_aligned_boxes() {
+        for ratio in [2, 3, 4] {
+            let bx = b([1, -2, 3], [4, 5, 6]).refine(ratio);
+            assert_eq!(bx.coarsen_inward(ratio), Some(bx.coarsen(ratio)));
+        }
+    }
+
+    #[test]
+    fn coarsen_inward_drops_partial_cells() {
+        // [1..6] at ratio 2: outward → [0..3]; inward keeps only the cells
+        // whose full child pair {2k, 2k+1} is present → [1..2].
+        let bx = b([1, 1, 1], [6, 6, 6]);
+        assert_eq!(bx.coarsen(2), b([0, 0, 0], [3, 3, 3]));
+        assert_eq!(bx.coarsen_inward(2), Some(b([1, 1, 1], [2, 2, 2])));
+        // A lone unaligned cell fully covers no coarse cell.
+        assert_eq!(
+            Box3::single(IntVect::new(13, 13, 13)).coarsen_inward(2),
+            None
+        );
+        // …but an aligned 2³ block covers exactly one.
+        assert_eq!(
+            b([12, 12, 12], [13, 13, 13]).coarsen_inward(2),
+            Some(Box3::single(IntVect::new(6, 6, 6)))
+        );
+        // Negative coordinates round toward −∞ / +∞ correctly.
+        assert_eq!(
+            b([-4, -4, -4], [-1, -1, -1]).coarsen_inward(2),
+            Some(b([-2, -2, -2], [-1, -1, -1]))
+        );
+        assert_eq!(
+            b([-3, -3, -3], [-1, -1, -1]).coarsen_inward(2),
+            Some(b([-1, -1, -1], [-1, -1, -1]))
+        );
     }
 
     #[test]

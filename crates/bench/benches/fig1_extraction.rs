@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let built = bench_scenario(Application::Warpx, Scale::Tiny);
     let levels = built
         .hierarchy
-        .field(built.spec.app.eval_field())
+        .field(built.spec.eval_field())
         .unwrap()
         .levels
         .clone();

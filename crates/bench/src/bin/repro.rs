@@ -5,6 +5,7 @@
 //!                    [--threads N] [--flame FILE] [--journal FILE]
 //!                    [--metrics-out FILE] [--metrics-interval SECS]
 //!                    [--trace-sample N]
+//! repro --suite enumerated[:RECIPE] [--seed N] [--out DIR] [--threads N] …
 //!
 //! experiments:
 //!   table1   dataset structure (grid sizes, per-level densities)
@@ -19,6 +20,14 @@
 //!   fig14    1D block-artifact smoothing demonstration
 //!   ablation redundant-coarse-data handling (skip/restore) vs ratio
 //!   all      everything above
+//!
+//! `--suite enumerated` replaces the figure experiments with the
+//! recipe-enumerated scenario suite (crates/recipe): the built-in recipe
+//! expands to 32 scenarios spanning field family × refinement topology ×
+//! level count, and every one runs the CR/PSNR/R-SSIM matrix. Append
+//! `:@FILE` to expand a recipe file, or `:(scenario …)` for an inline
+//! recipe. Every summary.jsonl run row carries its reproducing canonical
+//! recipe string.
 //! ```
 //!
 //! Results print as ASCII tables; renders and machine-readable JSON land in
@@ -42,6 +51,9 @@ use amrviz_viz::extract_amr_isosurface;
 
 struct Args {
     experiment: String,
+    /// `--suite enumerated[:RECIPE]` — recipe source for the enumerated
+    /// suite (resolved to recipe text; replaces the figure experiments).
+    suite: Option<String>,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -55,6 +67,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut experiment = None;
+    let mut suite = None;
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
     let mut out = PathBuf::from("repro_out");
@@ -75,6 +88,10 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--suite" => {
+                let v = args.next().ok_or("--suite needs a value")?;
+                suite = Some(resolve_suite(&v)?);
             }
             "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
             "--flame" => {
@@ -125,8 +142,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
+    if suite.is_some() && experiment.is_some() {
+        return Err("--suite replaces the experiment name; pass one or the other".into());
+    }
+    let experiment = match (&suite, experiment) {
+        (Some(_), None) => "enumerated".to_string(),
+        (None, e) => e.ok_or("missing experiment name (try `all`)")?,
+        _ => unreachable!(),
+    };
     Ok(Args {
-        experiment: experiment.ok_or("missing experiment name (try `all`)")?,
+        experiment,
+        suite,
         scale,
         seed,
         out,
@@ -136,6 +162,25 @@ fn parse_args() -> Result<Args, String> {
         metrics_interval,
         trace_sample,
     })
+}
+
+/// Resolves a `--suite` value to recipe text: `enumerated` is the
+/// built-in suite, `enumerated:@FILE` reads a recipe file, and
+/// `enumerated:(scenario …)` is an inline recipe.
+fn resolve_suite(v: &str) -> Result<String, String> {
+    let rest = v
+        .strip_prefix("enumerated")
+        .ok_or_else(|| format!("unknown suite `{v}` (try `enumerated[:RECIPE]`)"))?;
+    match rest.strip_prefix(':') {
+        None if rest.is_empty() => Ok(amrviz_recipe::ENUMERATED_SUITE.to_string()),
+        None => Err(format!("unknown suite `{v}` (try `enumerated[:RECIPE]`)")),
+        Some(recipe) => match recipe.strip_prefix('@') {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("reading recipe file {path}: {e}")),
+            None if recipe.is_empty() => Err("empty recipe after `enumerated:`".into()),
+            None => Ok(recipe.to_string()),
+        },
+    }
 }
 
 /// Cache of built scenarios (generation is the expensive part).
@@ -318,7 +363,7 @@ fn fig1(ctx: &mut Ctx) {
     let built = ctx.scenario(Application::Warpx);
     let rows = experiment::run_crack_analysis(built);
     println!("{}", report::format_cracks(&rows));
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = built
         .hierarchy
         .field(field)
@@ -394,7 +439,7 @@ fn figs_9_10(ctx: &mut Ctx, kind: CompressorKind, figname: &str) {
 
     // Render the eb=1e-2 panels (the paper's most visible case).
     let comp = kind.instance();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig::default();
     let compressed = compress_hierarchy_field(
         &built.hierarchy,
@@ -439,7 +484,7 @@ fn fig11(ctx: &mut Ctx) {
     }
     println!("{}", report::format_viz_quality(&all));
     // Original-data render for reference.
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = built
         .hierarchy
         .field(field)
@@ -500,7 +545,7 @@ fn ablation(ctx: &mut Ctx) {
     let mut rows = Vec::new();
     for app in Application::ALL {
         let built = ctx.scenario(app);
-        let field = built.spec.app.eval_field();
+        let field = built.spec.eval_field();
         for kind in CompressorKind::PAPER {
             let comp = kind.instance();
             for (label, cfg) in [
@@ -545,7 +590,7 @@ fn ablation(ctx: &mut Ctx) {
     let mut rows = Vec::new();
     for app in Application::ALL {
         let built = ctx.scenario(app);
-        let field = built.spec.app.eval_field();
+        let field = built.spec.eval_field();
         let n = built.hierarchy.total_cells();
         let z = amrviz_compress::compress_zmesh(&built.hierarchy, field, ErrorBound::Rel(1e-3))
             .expect("field exists");
@@ -587,6 +632,40 @@ fn ablation(ctx: &mut Ctx) {
     ctx.record("ablation_predictors", &rows);
 }
 
+/// `--suite enumerated`: expand a recipe into concrete scenarios and run
+/// the compression-quality matrix over every one of them. Each run row
+/// (table and summary.jsonl) carries the scenario's canonical recipe
+/// string, so any row reproduces with
+/// `repro --suite "enumerated:<recipe>" --seed <seed>`.
+fn enumerated(ctx: &mut Ctx, recipe_src: &str) {
+    println!("\n=== Enumerated suite: recipe-expanded scenario matrix ===");
+    let exp = match amrviz_recipe::expand(recipe_src, ctx.seed) {
+        Ok(e) => e,
+        Err(e) => panic!("recipe error: {e}"),
+    };
+    println!(
+        "recipe expands to {} scenario(s), {} excluded",
+        exp.specs.len(),
+        exp.excluded.len()
+    );
+    for (recipe, reason) in &exp.excluded {
+        println!("  excluded ({reason}): {recipe}");
+    }
+    let mut all = Vec::new();
+    for spec in exp.specs {
+        eprintln!("[repro] generating {}…", spec.label());
+        let built = BuiltScenario::from_spec(spec);
+        for kind in CompressorKind::PAPER {
+            for eb in [1e-3, 1e-2] {
+                all.push(experiment::run_compression(&built, kind, eb).expect("suite run"));
+            }
+        }
+    }
+    println!("{}", report::format_table2(&all));
+    ctx.runs.extend(all.iter().cloned());
+    ctx.record("enumerated", &all);
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -594,7 +673,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: {e}\nusage: repro <experiment> [--scale S] [--seed N] [--out DIR] \
                  [--threads N] [--flame FILE] [--journal FILE] [--metrics-out FILE] \
-                 [--metrics-interval SECS] [--trace-sample N]"
+                 [--metrics-interval SECS] [--trace-sample N]\n\
+                 or:    repro --suite enumerated[:RECIPE] [--seed N] [--out DIR] [--threads N]"
             );
             return ExitCode::FAILURE;
         }
@@ -645,11 +725,11 @@ fn main() -> ExitCode {
         "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
         "ablation", "all",
     ];
-    if !known.contains(&exp) {
-        eprintln!("unknown experiment `{exp}`; known: {known:?}");
+    if args.suite.is_none() && !known.contains(&exp) {
+        eprintln!("unknown experiment `{exp}`; known: {known:?} (or --suite enumerated)");
         return ExitCode::FAILURE;
     }
-    let run = |name: &str| exp == name || exp == "all";
+    let run = |name: &str| args.suite.is_none() && (exp == name || exp == "all");
     // Each experiment records into a fresh obs recorder so its manifest only
     // covers its own spans and counters. A panicking experiment is recorded
     // as `"status":"failed"` and the batch continues — one broken figure
@@ -717,6 +797,9 @@ fn main() -> ExitCode {
     if run("ablation") {
         instrumented(&mut ctx, "ablation", &ablation);
     }
+    if let Some(recipe_src) = args.suite.clone() {
+        instrumented(&mut ctx, "enumerated", &|c| enumerated(c, &recipe_src));
+    }
 
     let json_path: &Path = &ctx.out.join("results.json");
     if std::fs::write(json_path, ctx.json.to_string_pretty()).is_ok() {
@@ -757,7 +840,8 @@ fn main() -> ExitCode {
         .iter()
         .map(|r| {
             let mut o = Json::obj();
-            o.set("scenario", r.app.label())
+            o.set("scenario", r.scenario.as_str())
+                .set("recipe", r.recipe.as_str())
                 .set("compressor", r.compressor)
                 .set("rel_eb", r.rel_error_bound)
                 .set("compression_ratio", r.compression_ratio)

@@ -66,6 +66,15 @@ const MATRIX_COMPRESSORS: [CompressorKind; 3] = [
     CompressorKind::ZfpLike,
 ];
 
+/// Extreme-corner cells from the recipe grammar, stressing the codec far
+/// outside the paper's two scenarios: the deepest hierarchy over
+/// scattered boxes, and a degenerate single-cell fine box. They ride the
+/// matrix under their recipe labels; baselines that predate them just
+/// warn as unmatched cells.
+const CORNER_RECIPE: &str = "\
+(scenario (family (grf -2.0)) (topology scattered) (levels 4))
+(scenario (family (grf -2.0)) (topology degenerate) (levels 2))";
+
 /// Configuration of one bench run.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
@@ -131,6 +140,15 @@ pub fn run_bench(cfg: &BenchConfig) -> Json {
                 }
             }
         }
+        // Recipe-grammar corners (always tiny scale — they gate crashes
+        // and gross regressions in odd topologies, not throughput).
+        let corners = amrviz_recipe::expand(CORNER_RECIPE, 42).expect("corner recipe is valid");
+        for spec in corners.specs {
+            let built = BuiltScenario::from_spec(spec);
+            for &rel_eb in &cfg.rel_ebs {
+                cells.push(run_cell(&built, CompressorKind::SzLr, threads, rel_eb));
+            }
+        }
     }
     amrviz_par::set_threads(prior_threads);
     if !was_enabled {
@@ -165,7 +183,7 @@ fn run_cell(built: &BuiltScenario, kind: CompressorKind, threads: usize, rel_eb:
     let mem_base = amrviz_obs::mem::alloc_baseline();
 
     let comp = kind.instance();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let codec_cfg = AmrCodecConfig::default();
 
     let sp = amrviz_obs::span!("bench.compress", compressor = kind.label());
@@ -212,7 +230,7 @@ fn run_cell(built: &BuiltScenario, kind: CompressorKind, threads: usize, rel_eb:
     let hists = amrviz_obs::histograms_snapshot();
 
     let mut cell = Json::obj();
-    cell.set("app", built.spec.app.label())
+    cell.set("app", built.spec.label())
         .set("compressor", compressor_key(kind))
         .set("threads", threads)
         .set("rel_eb", rel_eb)
@@ -339,7 +357,7 @@ pub fn run_obs_overhead(scale: Scale, out_dir: &Path) -> ObsOverheadReport {
         let sp = amrviz_obs::span!("bench.compress", compressor = "sz-lorenzo");
         let compressed = compress_hierarchy_field(
             &b.hierarchy,
-            b.spec.app.eval_field(),
+            b.spec.eval_field(),
             comp.as_ref(),
             ErrorBound::Rel(1e-3),
             &codec_cfg,

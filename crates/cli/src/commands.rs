@@ -411,7 +411,7 @@ pub fn diff(argv: &[String]) -> Result<(), String> {
 /// Fault-injection sweep: corrupt known-good streams and assert every
 /// decoder errors gracefully within its memory budget.
 pub fn torture(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv, &["iters", "seed", "max-peak-mb"], &[])?;
+    let p = parse(argv, &["iters", "seed", "max-peak-mb", "recipes"], &[])?;
     let cfg = amrviz_fault::TortureConfig {
         seed: p.opt_parse::<u64>("seed")?.unwrap_or(7),
         iters: p.opt_parse::<u32>("iters")?.unwrap_or(500),
@@ -419,6 +419,7 @@ pub fn torture(argv: &[String]) -> Result<(), String> {
             .opt_parse::<usize>("max-peak-mb")?
             .unwrap_or(128)
             .saturating_mul(1 << 20),
+        recipes: p.opt_parse::<u32>("recipes")?.unwrap_or(0),
     };
     if cfg.iters == 0 {
         return Err("--iters must be at least 1".into());
@@ -441,6 +442,9 @@ pub fn torture(argv: &[String]) -> Result<(), String> {
             "\nreproduce with: amrviz torture --seed {} --iters {}",
             report.seed, report.iters
         ));
+        if report.recipes > 0 {
+            msg.push_str(&format!(" --recipes {}", report.recipes));
+        }
         Err(msg)
     }
 }

@@ -267,12 +267,14 @@ USAGE:
                     [--mode surface|slice|volume] [--iso V | --quantile Q]
                     [--method M] [--width W] [--height H] [--log]
   amrviz diff       <plotfile A> <plotfile B> --field F [--field-b G]
-  amrviz torture    [--iters N] [--seed S] [--max-peak-mb M]
+  amrviz torture    [--iters N] [--seed S] [--max-peak-mb M] [--recipes K]
                     fault-injection sweep over every decoder: mutated
                     streams must error gracefully, never panic, and stay
                     under the peak-allocation cap (default 128 MiB).
-                    Prints one machine-readable `TORTURE {...}` line;
-                    exits nonzero on any contract violation.
+                    --recipes K appends K recipe-sampled AMR scenarios to
+                    the corrupted-stream corpus; violations print the
+                    reproducing recipe string. Prints one machine-readable
+                    `TORTURE {...}` line; exits nonzero on any violation.
   amrviz bench      [--quick] [--name LABEL] [--out DIR]
                     [--baseline OLD.json] [--threshold PCT]
                     [--thread-counts 1,4] [--scale S] [--ebs 1e-3,1e-2]

@@ -330,7 +330,11 @@ fn encode_pieces(
     if !cfg.skip_redundant || lev + 1 >= hier.num_levels() {
         return vec![bx];
     }
-    let covered = hier.box_array(lev + 1).coarsen(hier.ratio_at(lev));
+    // Inward coarsening: only coarse cells whose *entire* fine-child block
+    // exists may be skipped. Outward coarsening would also skip cells a
+    // degenerate (unaligned 1×1×1) fine box merely touches, losing the
+    // 7 uncovered children's worth of coarse data.
+    let covered = hier.box_array(lev + 1).coarsen_inward(hier.ratio_at(lev));
     covered.complement_in(&bx)
 }
 
@@ -594,8 +598,14 @@ pub fn decompress_hierarchy_field_into(
             for cfab in coarse.fabs_mut() {
                 for ffab in fine.fabs() {
                     let fine_bx = ffab.box3();
-                    // Only fully-refinable overlap (fine boxes are aligned).
-                    let Some(overlap) = cfab.box3().intersect(&fine_bx.coarsen(ratio)) else {
+                    // Only coarse cells with a full set of fine children can
+                    // be restored by averaging; a degenerate unaligned fine
+                    // box may fully cover none (its coarse parent keeps its
+                    // own encoded data — `encode_pieces` never skipped it).
+                    let Some(covered) = fine_bx.coarsen_inward(ratio) else {
+                        continue;
+                    };
+                    let Some(overlap) = cfab.box3().intersect(&covered) else {
                         continue;
                     };
                     let restricted = restrict_average(ffab, overlap, ratio);

@@ -19,7 +19,7 @@ use amrviz_viz::{
     TriLocator,
 };
 
-use crate::scenario::{Application, BuiltScenario};
+use crate::scenario::BuiltScenario;
 
 /// The compressors under evaluation (paper §3.3 plus the ZFP-like
 /// extension).
@@ -54,7 +54,10 @@ impl CompressorKind {
 /// One compression run: Table 2's columns (plus timings and bitrate).
 #[derive(Debug, Clone)]
 pub struct CompressionRun {
-    pub app: Application,
+    /// Scenario label ("Nyx", "WarpX", or a recipe-derived label).
+    pub scenario: String,
+    /// Canonical recipe string reproducing the scenario (provenance).
+    pub recipe: String,
     pub compressor: &'static str,
     pub rel_error_bound: f64,
     pub abs_error_bound: f64,
@@ -86,7 +89,7 @@ pub fn run_compression(
     rel_eb: f64,
 ) -> Result<CompressionRun, CompressError> {
     let comp = kind.instance();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig::default();
 
     let sp = amrviz_obs::span!("compress", compressor = kind.label(), rel_eb = rel_eb);
@@ -118,7 +121,8 @@ pub fn run_compression(
     );
     sp_score.finish();
     Ok(CompressionRun {
-        app: built.spec.app,
+        scenario: built.spec.label(),
+        recipe: built.spec.recipe.clone(),
         compressor: kind.label(),
         rel_error_bound: rel_eb,
         abs_error_bound: compressed.abs_eb,
@@ -148,7 +152,7 @@ fn flatten_levels(built: &BuiltScenario, levels: &[MultiFab]) -> Result<Vec<f64>
 /// Table 1 row: dataset structure.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
-    pub app: Application,
+    pub scenario: String,
     pub levels: usize,
     pub grid_sizes: Vec<[usize; 3]>,
     /// Per-level fraction of the domain whose finest data is that level.
@@ -164,7 +168,7 @@ pub fn run_table1(built: &[&BuiltScenario]) -> Vec<Table1Row> {
         .map(|b| {
             let h = &b.hierarchy;
             Table1Row {
-                app: b.spec.app,
+                scenario: b.spec.label(),
                 levels: h.num_levels(),
                 grid_sizes: (0..h.num_levels())
                     .map(|l| h.level_domain(l).size())
@@ -224,7 +228,7 @@ pub fn run_rate_distortion(
 /// Crack/gap structure of the *original* data under each method (Fig. 1).
 #[derive(Debug, Clone)]
 pub struct CrackRun {
-    pub app: Application,
+    pub scenario: String,
     pub method: &'static str,
     pub coarse_triangles: usize,
     pub fine_triangles: usize,
@@ -238,7 +242,7 @@ pub struct CrackRun {
 /// level-interface defects.
 pub fn run_crack_analysis(built: &BuiltScenario) -> Vec<CrackRun> {
     let _sp = amrviz_obs::span!("run.crack_analysis");
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).expect("eval field").levels;
     let geom = built.hierarchy.geometry();
     let mut rows = Vec::new();
@@ -259,7 +263,7 @@ pub fn run_crack_analysis(built: &BuiltScenario) -> Vec<CrackRun> {
             max_gap: 0.0,
         });
         rows.push(CrackRun {
-            app: built.spec.app,
+            scenario: built.spec.label(),
             method: method.label(),
             coarse_triangles: res.level_meshes[0].num_triangles(),
             fine_triangles: res.level_meshes[1].num_triangles(),
@@ -278,7 +282,7 @@ pub fn run_crack_analysis(built: &BuiltScenario) -> Vec<CrackRun> {
 /// got.
 #[derive(Debug, Clone)]
 pub struct VizQualityRun {
-    pub app: Application,
+    pub scenario: String,
     pub compressor: &'static str,
     pub rel_error_bound: f64,
     pub method: &'static str,
@@ -327,7 +331,7 @@ pub fn run_viz_quality(
 ) -> Result<Vec<VizQualityRun>, CompressError> {
     let _sp = amrviz_obs::span!("run.viz_quality", compressor = kind.label());
     let comp = kind.instance();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let orig_levels = &built
         .hierarchy
         .field(field)
@@ -402,7 +406,7 @@ pub fn run_viz_quality(
                 &SsimConfig::default(),
             );
             rows.push(VizQualityRun {
-                app: built.spec.app,
+                scenario: built.spec.label(),
                 compressor: kind.label(),
                 rel_error_bound: eb,
                 method: r.method.label(),
@@ -426,7 +430,9 @@ impl ToJson for CompressorKind {
 impl ToJson for CompressionRun {
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
-        o.set("app", self.app.to_json())
+        // Key stays "app" for continuity with pre-recipe summary.jsonl.
+        o.set("app", self.scenario.as_str())
+            .set("recipe", self.recipe.as_str())
             .set("compressor", self.compressor)
             .set("rel_error_bound", self.rel_error_bound)
             .set("abs_error_bound", self.abs_error_bound)
@@ -451,7 +457,7 @@ impl ToJson for CompressionRun {
 impl ToJson for Table1Row {
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
-        o.set("app", self.app.to_json())
+        o.set("app", self.scenario.as_str())
             .set("levels", self.levels)
             .set("grid_sizes", self.grid_sizes.to_json())
             .set("densities", self.densities.to_json())
@@ -475,7 +481,7 @@ impl ToJson for RateDistortionPoint {
 impl ToJson for CrackRun {
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
-        o.set("app", self.app.to_json())
+        o.set("app", self.scenario.as_str())
             .set("method", self.method)
             .set("coarse_triangles", self.coarse_triangles)
             .set("fine_triangles", self.fine_triangles)
@@ -490,7 +496,7 @@ impl ToJson for CrackRun {
 impl ToJson for VizQualityRun {
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
-        o.set("app", self.app.to_json())
+        o.set("app", self.scenario.as_str())
             .set("compressor", self.compressor)
             .set("rel_error_bound", self.rel_error_bound)
             .set("method", self.method)
@@ -506,7 +512,7 @@ impl ToJson for VizQualityRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::Scenario;
+    use crate::scenario::{Application, Scenario};
     use amrviz_sim::Scale;
 
     fn nyx() -> BuiltScenario {

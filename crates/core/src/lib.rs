@@ -37,7 +37,7 @@ pub use experiment::{
     run_viz_quality, CompressionRun, CompressorKind, CrackRun, RateDistortionPoint, Table1Row,
     VizQualityRun,
 };
-pub use scenario::{Application, BuiltScenario, Scenario};
+pub use scenario::{Application, BuiltScenario, Scenario, ScenarioSpec};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -46,7 +46,7 @@ pub mod prelude {
         run_viz_quality, CompressionRun, CompressorKind, CrackRun, RateDistortionPoint,
         VizQualityRun,
     };
-    pub use crate::scenario::{Application, BuiltScenario, Scenario};
+    pub use crate::scenario::{Application, BuiltScenario, Scenario, ScenarioSpec};
     pub use amrviz_sim::Scale;
     pub use amrviz_viz::IsoMethod;
 }

@@ -63,7 +63,7 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.app.label().to_string(),
+                r.scenario.clone(),
                 r.levels.to_string(),
                 r.grid_sizes
                     .iter()
@@ -98,7 +98,7 @@ pub fn format_table2(rows: &[CompressionRun]) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.app.label().to_string(),
+                r.scenario.clone(),
                 r.compressor.to_string(),
                 format!("{:.0e}", r.rel_error_bound),
                 format!("{:.1}", r.compression_ratio_f32),
@@ -152,7 +152,7 @@ pub fn format_cracks(rows: &[CrackRun]) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.app.label().to_string(),
+                r.scenario.clone(),
                 r.method.to_string(),
                 r.coarse_triangles.to_string(),
                 r.fine_triangles.to_string(),
@@ -182,7 +182,7 @@ pub fn format_viz_quality(rows: &[VizQualityRun]) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.app.label().to_string(),
+                r.scenario.clone(),
                 r.compressor.to_string(),
                 format!("{:.0e}", r.rel_error_bound),
                 r.method.to_string(),

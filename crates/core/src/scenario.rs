@@ -1,11 +1,17 @@
-//! The two evaluation scenarios (paper §3.2, Table 1).
+//! Scenario construction: the general [`ScenarioSpec`] (from
+//! `amrviz-recipe`) is the unit of experiment; the paper's two
+//! applications (§3.2, Table 1) are its canonical instances.
 
 use amrviz_amr::resample::{flatten_to_finest, Upsample};
 use amrviz_amr::{AmrHierarchy, UniformField};
 use amrviz_json::{Json, ToJson};
-use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
+use amrviz_recipe::Family;
+pub use amrviz_recipe::ScenarioSpec;
+use amrviz_sim::Scale;
 
-/// Which AMR application's data to emulate.
+/// Which AMR application's data to emulate — the paper's original
+/// two-point workload sample, kept as a convenience constructor over
+/// [`ScenarioSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Application {
     /// Nyx cosmology — irregular, spiky density field.
@@ -30,6 +36,15 @@ impl Application {
         }
     }
 
+    /// The canonical [`ScenarioSpec`] for this application.
+    pub fn spec(self, scale: Scale, seed: u64) -> ScenarioSpec {
+        let family = match self {
+            Application::Nyx => Family::Nyx,
+            Application::Warpx => Family::Warpx,
+        };
+        ScenarioSpec::paper(family, scale, seed)
+    }
+
     pub const ALL: [Application; 2] = [Application::Warpx, Application::Nyx];
 }
 
@@ -39,7 +54,8 @@ impl ToJson for Application {
     }
 }
 
-/// A scenario specification.
+/// A paper-application scenario specification (thin wrapper retaining the
+/// original two-app API; recipes construct [`ScenarioSpec`]s directly).
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     pub app: Application,
@@ -49,7 +65,7 @@ pub struct Scenario {
 
 /// A generated scenario: the hierarchy plus evaluation conveniences.
 pub struct BuiltScenario {
-    pub spec: Scenario,
+    pub spec: ScenarioSpec,
     pub hierarchy: AmrHierarchy,
     /// The evaluation field, merged to finest uniform resolution (redundant
     /// coarse data omitted — the standard post-analysis form, Fig. 3).
@@ -67,22 +83,24 @@ impl Scenario {
 
     /// Generates the snapshot and evaluation context.
     pub fn build(&self) -> BuiltScenario {
-        let hierarchy = match self.app {
-            Application::Nyx => NyxScenario::new(self.scale, self.seed).generate(),
-            Application::Warpx => WarpxScenario::new(self.scale, self.seed).generate(),
-        };
-        let field = self.app.eval_field();
+        BuiltScenario::from_spec(self.app.spec(self.scale, self.seed))
+    }
+}
+
+impl BuiltScenario {
+    /// Generates any spec — paper app or recipe-expanded — into its
+    /// evaluation context.
+    pub fn from_spec(spec: ScenarioSpec) -> BuiltScenario {
+        let hierarchy = spec.generate();
+        let field = spec.eval_field();
         let uniform = flatten_to_finest(&hierarchy, field, Upsample::PiecewiseConstant)
             .expect("scenario always carries its evaluation field");
-        let iso = match self.app {
-            // Over-density surface spanning refined and unrefined regions.
-            Application::Nyx => quantile_of(&uniform.data, 0.75),
-            // Low positive Ez level: wraps the pulse (fine) and the decaying
-            // wake (coarse), so the surface crosses the interface.
-            Application::Warpx => quantile_of(&uniform.data, 0.97),
-        };
+        // Nyx-like: over-density surface spanning refined and unrefined
+        // regions. WarpX-like: low positive Ez level wrapping the pulse
+        // (fine) and decaying wake (coarse), crossing the interface.
+        let iso = quantile_of(&uniform.data, spec.iso_quantile());
         BuiltScenario {
-            spec: *self,
+            spec,
             hierarchy,
             uniform,
             iso,
@@ -122,7 +140,7 @@ mod tests {
         // triangles at the chosen iso-value.
         for app in Application::ALL {
             let built = Scenario::new(app, Scale::Tiny, 1).build();
-            let field = built.spec.app.eval_field();
+            let field = built.spec.eval_field();
             let levels = &built.hierarchy.field(field).unwrap().levels;
             let res =
                 extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
@@ -141,5 +159,20 @@ mod tests {
     fn labels() {
         assert_eq!(Application::Nyx.label(), "Nyx");
         assert_eq!(Application::Warpx.eval_field(), "Ez");
+        assert_eq!(Application::Nyx.spec(Scale::Tiny, 1).label(), "Nyx");
+    }
+
+    #[test]
+    fn recipe_specs_build_too() {
+        let exp = amrviz_recipe::expand(
+            "(scenario (family (grf -2.0)) (topology scattered) (levels 3))",
+            42,
+        )
+        .unwrap();
+        let built = BuiltScenario::from_spec(exp.specs[0].clone());
+        assert_eq!(built.hierarchy.num_levels(), 3);
+        let (lo, hi) = built.uniform.min_max();
+        assert!(lo < built.iso && built.iso < hi);
+        assert!(built.spec.recipe.contains("(seed "));
     }
 }

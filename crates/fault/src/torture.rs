@@ -24,6 +24,7 @@ use amrviz_compress::{
     CompressedHierarchyField, Compressor, DecodePolicy, ErrorBound, Field3, SzInterp, SzLr,
     ZfpLike,
 };
+use amrviz_recipe::ScenarioSpec;
 use amrviz_rng::Rng;
 
 use crate::alloc::{alloc_baseline, counting_alloc_installed, peak_since};
@@ -39,6 +40,12 @@ pub struct TortureConfig {
     /// Peak-allocation cap per decode, in bytes (checked only when the
     /// counting allocator is installed).
     pub max_peak_bytes: usize,
+    /// Number of recipe-sampled hierarchy targets appended to the corpus
+    /// (0 = paper corpus only). Each is a scenario drawn from the recipe
+    /// space ([`ScenarioSpec::sample`]) whose compressed container is
+    /// corrupted like any other target; violations print the reproducing
+    /// recipe string.
+    pub recipes: u32,
 }
 
 impl Default for TortureConfig {
@@ -47,6 +54,7 @@ impl Default for TortureConfig {
             seed: 7,
             iters: 500,
             max_peak_bytes: 128 << 20,
+            recipes: 0,
         }
     }
 }
@@ -55,9 +63,23 @@ type DecodeFn = Box<dyn Fn(&[u8], &DecodeBudget) -> Result<(), String> + Sync>;
 
 /// A named decoder plus a known-good stream to corrupt.
 struct Target {
-    name: &'static str,
+    name: String,
+    /// Reproducing recipe string for recipe-sampled targets (empty for
+    /// the fixed corpus); appended to violation reports.
+    repro: String,
     stream: Vec<u8>,
     decode: DecodeFn,
+}
+
+impl Target {
+    fn fixed(name: &str, stream: Vec<u8>, decode: DecodeFn) -> Target {
+        Target {
+            name: name.to_string(),
+            repro: String::new(),
+            stream,
+            decode,
+        }
+    }
 }
 
 /// Per-target tallies.
@@ -84,6 +106,8 @@ pub struct TortureReport {
     pub seed: u64,
     /// Config echo.
     pub iters: u32,
+    /// Config echo: recipe-sampled targets appended to the corpus.
+    pub recipes: u32,
     /// Total graceful `Err` outcomes.
     pub graceful_errors: u64,
     /// Total harmless `Ok` outcomes.
@@ -119,9 +143,10 @@ impl TortureReport {
             ));
         }
         format!(
-            "{{\"seed\":{},\"iters\":{},\"graceful_errors\":{},\"harmless_ok\":{},\"panics\":{},\"over_budget\":{},\"mem_checked\":{},\"passed\":{},\"targets\":[{}]}}",
+            "{{\"seed\":{},\"iters\":{},\"recipes\":{},\"graceful_errors\":{},\"harmless_ok\":{},\"panics\":{},\"over_budget\":{},\"mem_checked\":{},\"passed\":{},\"targets\":[{}]}}",
             self.seed,
             self.iters,
+            self.recipes,
             self.graceful_errors,
             self.harmless_ok,
             self.panics,
@@ -166,15 +191,15 @@ fn corpus_field() -> Field3 {
 
 fn compressor_target<C: Compressor + 'static>(name: &'static str, c: C) -> Target {
     let stream = c.compress(&corpus_field(), ErrorBound::Rel(1e-3));
-    Target {
+    Target::fixed(
         name,
         stream,
-        decode: Box::new(move |bytes, budget| {
+        Box::new(move |bytes, budget| {
             c.decompress_budgeted(bytes, budget)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    }
+    )
 }
 
 /// Like [`compressor_target`] but via `decompress_into`, reusing one dirty
@@ -183,16 +208,16 @@ fn compressor_target<C: Compressor + 'static>(name: &'static str, c: C) -> Targe
 fn compressor_into_target<C: Compressor + 'static>(name: &'static str, c: C) -> Target {
     let stream = c.compress(&corpus_field(), ErrorBound::Rel(1e-3));
     let reused: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
-    Target {
+    Target::fixed(
         name,
         stream,
-        decode: Box::new(move |bytes, budget| {
+        Box::new(move |bytes, budget| {
             let mut out = reused.lock().unwrap_or_else(|p| p.into_inner());
             c.decompress_into(bytes, budget, &mut out)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    }
+    )
 }
 
 /// Builds the full decoder corpus: every public decode entry point, each
@@ -205,26 +230,26 @@ fn build_targets() -> Vec<Target> {
     for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
         write_uvarint(&mut varint_stream, v);
     }
-    targets.push(Target {
-        name: "varint",
-        stream: varint_stream,
-        decode: Box::new(|bytes, _| {
+    targets.push(Target::fixed(
+        "varint",
+        varint_stream,
+        Box::new(|bytes, _| {
             let mut pos = 0;
             while pos < bytes.len() {
                 read_uvarint(bytes, &mut pos).map_err(|e| e.to_string())?;
             }
             Ok(())
         }),
-    });
+    ));
 
     let mut bw = BitWriter::new();
     for i in 0..200u64 {
         bw.write_bits(i, 1 + (i % 13) as u32);
     }
-    targets.push(Target {
-        name: "bitio",
-        stream: bw.finish(),
-        decode: Box::new(|bytes, _| {
+    targets.push(Target::fixed(
+        "bitio",
+        bw.finish(),
+        Box::new(|bytes, _| {
             let mut r = BitReader::new(bytes);
             loop {
                 if r.read_bits(7).is_err() {
@@ -232,43 +257,43 @@ fn build_targets() -> Vec<Target> {
                 }
             }
         }),
-    });
+    ));
 
     let symbols: Vec<u32> = (0..2000u32).map(|i| (i * i) % 37).collect();
-    targets.push(Target {
-        name: "huffman",
-        stream: huffman_encode(&symbols),
-        decode: Box::new(|bytes, budget| {
+    targets.push(Target::fixed(
+        "huffman",
+        huffman_encode(&symbols),
+        Box::new(|bytes, budget| {
             huffman_decode_budgeted(bytes, budget)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    });
+    ));
 
     let mut rle_input = vec![0u32; 500];
     for i in (0..500).step_by(17) {
         rle_input[i] = i as u32;
     }
-    targets.push(Target {
-        name: "rle",
-        stream: rle_encode_zeros(&rle_input),
-        decode: Box::new(|bytes, budget| {
+    targets.push(Target::fixed(
+        "rle",
+        rle_encode_zeros(&rle_input),
+        Box::new(|bytes, budget| {
             rle_decode_zeros_budgeted(bytes, budget)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    });
+    ));
 
     let text: Vec<u8> = (0..3000).map(|i| ((i * 7) % 251) as u8).collect();
-    targets.push(Target {
-        name: "lzss",
-        stream: lzss_compress(&text),
-        decode: Box::new(|bytes, budget| {
+    targets.push(Target::fixed(
+        "lzss",
+        lzss_compress(&text),
+        Box::new(|bytes, budget| {
             lzss_decompress_budgeted(bytes, budget)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    });
+    ));
 
     // --- compressor layer ---
     targets.push(compressor_target("szlr", SzLr::default()));
@@ -284,15 +309,15 @@ fn build_targets() -> Vec<Target> {
         compress_zmesh(&hier, "density", ErrorBound::Rel(1e-3)).expect("zmesh corpus compresses");
     {
         let hier = corpus_hierarchy();
-        targets.push(Target {
-            name: "zmesh",
-            stream: zmesh_stream,
-            decode: Box::new(move |bytes, budget| {
+        targets.push(Target::fixed(
+            "zmesh",
+            zmesh_stream,
+            Box::new(move |bytes, budget| {
                 decompress_zmesh_budgeted(&hier, bytes, budget)
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             }),
-        });
+        ));
     }
 
     let cfg = AmrCodecConfig {
@@ -309,20 +334,20 @@ fn build_targets() -> Vec<Target> {
     .expect("corpus hierarchy compresses");
     let container = compressed.to_bytes();
 
-    targets.push(Target {
-        name: "container_from_bytes",
-        stream: container.clone(),
-        decode: Box::new(|bytes, budget| {
+    targets.push(Target::fixed(
+        "container_from_bytes",
+        container.clone(),
+        Box::new(|bytes, budget| {
             CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }),
-    });
+    ));
 
-    targets.push(Target {
-        name: "hierarchy_degrade",
-        stream: container.clone(),
-        decode: Box::new({
+    targets.push(Target::fixed(
+        "hierarchy_degrade",
+        container.clone(),
+        Box::new({
             let hier = hier.clone();
             move |bytes, budget| {
                 let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
@@ -339,16 +364,16 @@ fn build_targets() -> Vec<Target> {
                 .map_err(|e| e.to_string())
             }
         }),
-    });
+    ));
 
     // The storage-reusing decode path: one `levels` buffer survives across
     // iterations, so every corrupted stream lands on fabs dirtied (or left
     // partially decoded) by the previous one.
     let reused_levels: std::sync::Mutex<Vec<MultiFab>> = std::sync::Mutex::new(Vec::new());
-    targets.push(Target {
-        name: "hierarchy_degrade_into",
-        stream: container,
-        decode: Box::new(move |bytes, budget| {
+    targets.push(Target::fixed(
+        "hierarchy_degrade_into",
+        container,
+        Box::new(move |bytes, budget| {
             let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
                 .map_err(|e| e.to_string())?;
             let mut levels = reused_levels.lock().unwrap_or_else(|p| p.into_inner());
@@ -364,9 +389,66 @@ fn build_targets() -> Vec<Target> {
             .map(|_| ())
             .map_err(|e| e.to_string())
         }),
-    });
+    ));
 
     targets
+}
+
+/// Builds `count` recipe-sampled hierarchy targets: each draws a
+/// [`ScenarioSpec`] from the recipe space, compresses its evaluation
+/// field (skip+restore config — the structurally hardest decode path),
+/// and corrupts the container bytes under the `Degrade` policy. The
+/// spec's canonical recipe string rides along so any violation names the
+/// exact scenario to regenerate.
+fn recipe_targets(seed: u64, count: u32) -> Vec<Target> {
+    let mut rng = Rng::seed(seed).fork(0x7EC1FE5);
+    let cfg = AmrCodecConfig {
+        skip_redundant: true,
+        restore_redundant: true,
+    };
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let spec = ScenarioSpec::sample(&mut rng);
+        let hier = spec.generate();
+        let compressed = compress_hierarchy_field(
+            &hier,
+            spec.eval_field(),
+            &SzLr::default(),
+            ErrorBound::Rel(1e-3),
+            &cfg,
+        )
+        .expect("sampled scenario compresses");
+        out.push(Target {
+            name: format!("recipe:{}", spec.label()),
+            repro: spec.recipe.clone(),
+            stream: compressed.to_bytes(),
+            decode: Box::new(move |bytes, budget| {
+                let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
+                    .map_err(|e| e.to_string())?;
+                decompress_hierarchy_field_policy(
+                    &hier,
+                    &parsed,
+                    &SzLr::default(),
+                    &cfg,
+                    DecodePolicy::Degrade,
+                    budget,
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+            }),
+        });
+    }
+    out
+}
+
+/// The ` recipe="…"` suffix a violation carries when its target came from
+/// the recipe sampler — the quoted string regenerates the exact scenario.
+fn repro_suffix(target: &Target) -> String {
+    if target.repro.is_empty() {
+        String::new()
+    } else {
+        format!(" recipe={:?}", target.repro)
+    }
 }
 
 /// Records a contract violation into the streaming journal (kind `fault`),
@@ -397,14 +479,15 @@ fn fault_event(what: &str, target: &str, iter: u32, seed: u64, trace: u64, kinds
 
 /// Runs the torture loop and returns the tally.
 pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
-    let targets = build_targets();
+    let mut targets = build_targets();
+    targets.extend(recipe_targets(cfg.seed, cfg.recipes));
     let budget = DecodeBudget::strict();
     let mem_checked = counting_alloc_installed();
 
     let mut tallies: Vec<TargetTally> = targets
         .iter()
         .map(|t| TargetTally {
-            name: t.name.to_string(),
+            name: t.name.clone(),
             ..TargetTally::default()
         })
         .collect();
@@ -454,11 +537,13 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
                 if violations.len() < 8 {
                     violations.push(format!(
                         "panic: target={} iter={iter} seed={} trace={trace:016x} \
-                         mutations={kinds:?}: {msg}",
-                        target.name, cfg.seed
+                         mutations={kinds:?}{}: {msg}",
+                        target.name,
+                        cfg.seed,
+                        repro_suffix(target)
                     ));
                 }
-                fault_event("panic", target.name, iter, cfg.seed, trace, &kinds);
+                fault_event("panic", &target.name, iter, cfg.seed, trace, &kinds);
             }
         }
         if mem_checked && peak > cfg.max_peak_bytes {
@@ -467,11 +552,13 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
             if violations.len() < 8 {
                 violations.push(format!(
                     "over_budget: target={} iter={iter} seed={} trace={trace:016x} \
-                     mutations={kinds:?} peak={peak}",
-                    target.name, cfg.seed
+                     mutations={kinds:?} peak={peak}{}",
+                    target.name,
+                    cfg.seed,
+                    repro_suffix(target)
                 ));
             }
-            fault_event("over_budget", target.name, iter, cfg.seed, trace, &kinds);
+            fault_event("over_budget", &target.name, iter, cfg.seed, trace, &kinds);
         }
     }
 
@@ -480,6 +567,7 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     TortureReport {
         seed: cfg.seed,
         iters: cfg.iters,
+        recipes: cfg.recipes,
         graceful_errors: graceful,
         harmless_ok: harmless,
         panics,
@@ -565,6 +653,31 @@ mod tests {
             "{line}"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recipe_targets_decode_cleanly_and_torture_stays_green() {
+        let budget = DecodeBudget::strict();
+        for t in recipe_targets(5, 3) {
+            assert!(t.name.starts_with("recipe:"), "{}", t.name);
+            assert!(t.repro.starts_with("(scenario"), "{}", t.repro);
+            assert!(
+                (t.decode)(&t.stream, &budget).is_ok(),
+                "valid {} corpus stream must decode under the strict budget",
+                t.name
+            );
+        }
+        let cfg = TortureConfig {
+            seed: 5,
+            iters: 80,
+            recipes: 3,
+            ..Default::default()
+        };
+        let a = run_torture(&cfg);
+        let b = run_torture(&cfg);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.per_target.iter().any(|t| t.name.starts_with("recipe:")));
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Hierarchy generation for concrete [`ScenarioSpec`]s: refinement
+//! topology builders (nested / slab / scattered / degenerate) over 1–4
+//! levels, filled with continuous fields from [`amrviz_sim::synth`].
+//!
+//! Everything is a pure function of the spec's fork-stream seed: box
+//! layout draws from one stream, each field from its own, so adding a
+//! field or level never perturbs the others. Field values come from
+//! resolution-independent functions of physical position, evaluated at
+//! each level's cell centers — bit-identical at any thread count because
+//! `add_field_from_fn` is per-cell pure.
+
+use amrviz_amr::{AmrHierarchy, Box3, BoxArray, Geometry, IntVect};
+use amrviz_rng::Rng;
+use amrviz_sim::noise::fractal;
+use amrviz_sim::synth::{plane_step, ModeSum, PulseWake};
+use amrviz_sim::{NyxScenario, Scale, WarpxScenario};
+
+use crate::spec::{Aniso, Family, ScenarioSpec, Topology};
+
+/// Cells per fab at most — keeps every level multi-fab at small scales,
+/// like a `max_grid_size` distribution would.
+const MAX_BOX_CELLS: usize = 4096;
+
+impl ScenarioSpec {
+    /// Generates the hierarchy this spec describes. Paper specs route to
+    /// the dedicated two-level Nyx/WarpX generators (bit-identical to the
+    /// seed apps); everything else uses the generic topology builder.
+    pub fn generate(&self) -> AmrHierarchy {
+        if self.is_paper() {
+            return match self.family {
+                Family::Nyx => NyxScenario::new(self.scale, self.seed).generate(),
+                Family::Warpx => WarpxScenario::new(self.scale, self.seed).generate(),
+                Family::Grf { .. } => unreachable!(),
+            };
+        }
+        let (domain, prob_hi) = self.domain();
+        let geom = Geometry::new(domain, [0.0; 3], prob_hi);
+        let arrays = self.build_box_arrays(domain);
+        let ratios = vec![2i64; self.levels - 1];
+        let mut hier = AmrHierarchy::new(geom, ratios, arrays)
+            .expect("recipe topology builder emits valid structure");
+        for f in 0..self.fields {
+            let field_seed = Rng::seed(self.seed).fork(2 + f as u64).next_u64();
+            let func = self.field_fn(field_seed);
+            let name = self.field_name(f);
+            hier.add_field_from_fn(&name, move |lev, iv| func(geom.cell_center(iv, 1 << lev)))
+                .expect("field names are distinct");
+        }
+        hier
+    }
+
+    /// Level-0 index domain and physical extent.
+    fn domain(&self) -> (Box3, [f64; 3]) {
+        let n = match self.scale {
+            Scale::Tiny => 16,
+            Scale::Small => 32,
+            Scale::Medium => 64,
+            Scale::Paper => 128,
+        };
+        match self.aniso {
+            Aniso::Iso => (Box3::from_dims(n, n, n), [1.0, 1.0, 1.0]),
+            // Stretched: doubled z-extent in index *and* physical space
+            // (cubic cells, elongated domain + elongated features).
+            Aniso::Stretched => (Box3::from_dims(n, n, 2 * n), [1.0, 1.0, 2.0]),
+        }
+    }
+
+    /// One `BoxArray` per level, topology-driven, from fork stream 1.
+    fn build_box_arrays(&self, domain: Box3) -> Vec<BoxArray> {
+        let mut rng = Rng::seed(self.seed).fork(1);
+        let mut arrays = vec![BoxArray::single(domain).chop_to_max_cells(MAX_BOX_CELLS)];
+        // `region` tracks, per level, the rectangle (in that level's index
+        // space) inside which the next level refines.
+        let mut region = domain;
+        for lev in 1..self.levels {
+            let (coarse_boxes, next_region) = carve(&mut rng, region, self.topology);
+            let mut fine: Vec<Box3> = coarse_boxes.iter().map(|b| b.refine(2)).collect();
+            if self.topology == Topology::Degenerate && lev == self.levels - 1 {
+                if let Some(cell) = degenerate_cell(region, &coarse_boxes) {
+                    fine.push(cell);
+                }
+            }
+            let ba = BoxArray::new(fine).chop_to_max_cells(MAX_BOX_CELLS);
+            arrays.push(ba);
+            region = next_region.refine(2);
+        }
+        arrays
+    }
+
+    /// The continuous field function for one field's fork-stream seed.
+    fn field_fn(&self, seed: u64) -> Box<dyn Fn([f64; 3]) -> f64 + Sync + Send> {
+        let stretch = match self.aniso {
+            Aniso::Iso => 1.0,
+            Aniso::Stretched => 0.5, // z features elongated 2×
+        };
+        let warp = move |p: [f64; 3]| [p[0], p[1], p[2] * stretch];
+        // A planar discontinuity with a seeded orientation; applied
+        // additively to the base (for Nyx, inside the exponent, so the
+        // jump is multiplicative like a shocked density).
+        let shock = self.shock.then(|| {
+            let mut r = Rng::seed(seed).fork(0x5C);
+            let n = [
+                r.range_f64(-1.0, 1.0),
+                r.range_f64(-1.0, 1.0),
+                r.range_f64(-1.0, 1.0),
+            ];
+            let c = [
+                r.range_f64(0.35, 0.65),
+                r.range_f64(0.35, 0.65),
+                r.range_f64(0.35, 0.65),
+            ];
+            (n, c)
+        });
+        let step = move |p: [f64; 3]| -> f64 {
+            match shock {
+                Some((n, c)) => plane_step(p, n, c, 0.0, 1.5),
+                None => 0.0,
+            }
+        };
+        match self.family {
+            Family::Grf { alpha } => {
+                let modes = ModeSum::power_law(seed, 48, 12.0, alpha);
+                Box::new(move |p| modes.eval(warp(p)) + step(p))
+            }
+            Family::Nyx => {
+                // Spiky log-normal density over a steep GRF, roughened by
+                // fractal noise (cf. `sim::nyx`, but resolution-free).
+                let modes = ModeSum::power_law(seed, 48, 12.0, -2.2);
+                let sigma = 1.3;
+                Box::new(move |p| {
+                    let q = warp(p);
+                    let g = modes.eval(q) + step(p);
+                    let rough = 1.0
+                        + 0.25 * fractal(seed ^ 0xD1CE, q[0] * 8.3, q[1] * 8.3, q[2] * 8.3, 3, 0.5);
+                    (sigma * g).exp() * rough
+                })
+            }
+            Family::Warpx => {
+                let z_hi = match self.aniso {
+                    Aniso::Iso => 1.0,
+                    Aniso::Stretched => 2.0,
+                };
+                let pulse = PulseWake::for_extent(z_hi);
+                let ripple = ModeSum::power_law(seed ^ 0xE2, 24, 16.0, -4.0);
+                let amp = 1.0e9;
+                Box::new(move |p| {
+                    amp * (pulse.eval(p) + 0.03 * ripple.eval(warp(p)) + 0.3 * step(p))
+                })
+            }
+        }
+    }
+}
+
+/// Carves the refinement footprint for one level: disjoint sub-boxes of
+/// `region` (in `region`'s own index space), plus the rectangle the
+/// *next* level nests into.
+fn carve(rng: &mut Rng, region: Box3, topology: Topology) -> (Vec<Box3>, Box3) {
+    match topology {
+        Topology::Nested => {
+            let sub = nested_sub(rng, region);
+            (vec![sub], sub)
+        }
+        Topology::Slab => {
+            let axis = region.longest_axis();
+            let ext = region.extent(axis) as i64;
+            let w = (ext / 3).max(2).min(ext);
+            let start = region.lo()[axis] + rng.range_i64(0, ext - w);
+            let mut lo = region.lo();
+            let mut hi = region.hi();
+            lo[axis] = start;
+            hi[axis] = start + w - 1;
+            let sub = Box3::new(lo, hi);
+            (vec![sub], sub)
+        }
+        Topology::Scattered | Topology::Degenerate => {
+            let parts = split_octants(region);
+            let want = 2 + rng.below(2) as usize;
+            let chosen = choose_distinct(rng, parts.len(), want.min(parts.len()));
+            let subs: Vec<Box3> = chosen.iter().map(|&i| shrink_one(parts[i])).collect();
+            let next = *subs
+                .iter()
+                .max_by_key(|b| b.num_cells())
+                .expect("at least one octant chosen");
+            (subs, next)
+        }
+    }
+}
+
+/// A centered sub-box with ~quarter margins and a seeded ±1 shift,
+/// always ≥ 2 cells along every axis that allows it.
+fn nested_sub(rng: &mut Rng, region: Box3) -> Box3 {
+    let mut lo = region.lo();
+    let mut hi = region.hi();
+    for a in 0..3 {
+        let ext = region.extent(a) as i64;
+        let m = ext / 4;
+        if m > 0 {
+            let shift = rng.range_i64(-1, 1).clamp(-m, m);
+            lo[a] = region.lo()[a] + m + shift;
+            hi[a] = region.hi()[a] - m + shift;
+        }
+    }
+    Box3::new(lo, hi)
+}
+
+/// Splits a box at the midpoint of every splittable axis: up to 8
+/// pairwise-disjoint parts covering the box.
+fn split_octants(region: Box3) -> Vec<Box3> {
+    let mut parts = vec![region];
+    for axis in 0..3 {
+        let mut next = Vec::with_capacity(parts.len() * 2);
+        for b in parts {
+            let mid = b.lo()[axis] + (b.extent(axis) as i64) / 2;
+            match b.chop(axis, mid) {
+                Some((l, r)) => {
+                    next.push(l);
+                    next.push(r);
+                }
+                None => next.push(b),
+            }
+        }
+        parts = next;
+    }
+    parts
+}
+
+/// `k` distinct indices from `0..n`, seeded order (partial Fisher–Yates).
+fn choose_distinct(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k.min(n) {
+        let j = i + rng.below((n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Shrinks a box by a 1-cell margin on every axis that can spare it.
+fn shrink_one(b: Box3) -> Box3 {
+    let mut lo = b.lo();
+    let mut hi = b.hi();
+    for a in 0..3 {
+        if b.extent(a) >= 4 {
+            lo[a] += 1;
+            hi[a] -= 1;
+        }
+    }
+    Box3::new(lo, hi)
+}
+
+/// A 1×1×1 odd-coordinate (hence 2-unaligned) fine cell placed in the
+/// region but outside every chosen coarse box: the degenerate corner the
+/// recipe grammar's `degenerate` topology exists to exercise. Returns
+/// `None` when the region leaves no free room.
+fn degenerate_cell(region: Box3, taken: &[Box3]) -> Option<Box3> {
+    for part in split_octants(region) {
+        if taken.iter().any(|t| t.intersects(&part)) {
+            continue;
+        }
+        let center = IntVect::new(
+            (part.lo()[0] + part.hi()[0]) / 2,
+            (part.lo()[1] + part.hi()[1]) / 2,
+            (part.lo()[2] + part.hi()[2]) / 2,
+        );
+        // Refined octant spans [2·lo, 2·hi+1]; 2·center+1 is inside it
+        // and odd on every axis.
+        return Some(Box3::single(center.refine(2) + IntVect::UNIT));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{expand, ENUMERATED_SUITE};
+
+    fn quick_spec(topology: Topology, levels: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec {
+            family: Family::Grf { alpha: -2.0 },
+            topology,
+            levels,
+            fields: 1,
+            scale: Scale::Tiny,
+            aniso: Aniso::Iso,
+            shock: false,
+            seed: 0xABCD,
+            recipe: String::new(),
+        };
+        spec.recipe = spec.canonical().to_string();
+        spec
+    }
+
+    #[test]
+    fn every_topology_builds_at_every_level_count() {
+        for topology in Topology::ALL {
+            for levels in 1..=4 {
+                let spec = quick_spec(topology, levels);
+                if spec.excluded().is_some() {
+                    continue;
+                }
+                let h = spec.generate();
+                assert_eq!(h.num_levels(), levels, "{topology:?} L{levels}");
+                assert!(h.field("f0").is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_topology_contains_a_single_cell_box() {
+        let spec = quick_spec(Topology::Degenerate, 3);
+        let h = spec.generate();
+        let finest = h.box_array(h.num_levels() - 1);
+        assert!(
+            finest.iter().any(|b| b.num_cells() == 1),
+            "no 1×1×1 box in {finest:?}"
+        );
+        // …and it is unaligned, so it stresses the inward-coarsening path.
+        let cell = finest.iter().find(|b| b.num_cells() == 1).unwrap();
+        assert!(!cell.is_aligned(2));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = quick_spec(Topology::Scattered, 3);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.box_arrays(), b.box_arrays());
+        let fa = a.field("f0").unwrap();
+        let fb = b.field("f0").unwrap();
+        for (ma, mb) in fa.levels.iter().zip(&fb.levels) {
+            for (x, y) in ma.fabs().iter().zip(mb.fabs()) {
+                assert_eq!(x.data(), y.data());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_specs_match_the_seed_generators() {
+        let spec = ScenarioSpec::paper(Family::Nyx, Scale::Tiny, 42);
+        let a = spec.generate();
+        let b = NyxScenario::new(Scale::Tiny, 42).generate();
+        assert_eq!(a.box_arrays(), b.box_arrays());
+        let fa = a.field("baryon_density").unwrap();
+        let fb = b.field("baryon_density").unwrap();
+        for (ma, mb) in fa.levels.iter().zip(&fb.levels) {
+            for (x, y) in ma.fabs().iter().zip(mb.fabs()) {
+                assert_eq!(x.data(), y.data());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_field_specs_carry_distinct_fields() {
+        let mut spec = quick_spec(Topology::Nested, 2);
+        spec.fields = 3;
+        let h = spec.generate();
+        assert!(h.field("f0").is_ok());
+        assert!(h.field("f1").is_ok());
+        assert!(h.field("f2").is_ok());
+        // Different fork streams → different data.
+        let a = h.field("f0").unwrap().levels[0].fabs()[0].data()[0];
+        let b = h.field("f1").unwrap().levels[0].fabs()[0].data()[0];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shock_specs_have_discontinuities() {
+        let mut smooth = quick_spec(Topology::Nested, 2);
+        let mut spec = quick_spec(Topology::Nested, 2);
+        spec.shock = true;
+        smooth.seed = spec.seed;
+        let tv = |h: &AmrHierarchy| -> f64 {
+            let mf = &h.field("f0").unwrap().levels[0];
+            let fab = &mf.fabs()[0];
+            fab.data().windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+        };
+        assert!(tv(&spec.generate()) > tv(&smooth.generate()));
+    }
+
+    #[test]
+    fn whole_enumerated_suite_generates() {
+        let exp = expand(ENUMERATED_SUITE, 42).unwrap();
+        assert_eq!(exp.specs.len(), 32);
+        for spec in &exp.specs {
+            let h = spec.generate();
+            assert_eq!(h.num_levels(), spec.levels, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn stretched_specs_have_elongated_domains() {
+        let mut spec = quick_spec(Topology::Slab, 2);
+        spec.aniso = Aniso::Stretched;
+        spec.recipe = spec.canonical().to_string();
+        let h = spec.generate();
+        let d = h.geometry().domain.size();
+        assert_eq!(d[2], 2 * d[0]);
+    }
+}

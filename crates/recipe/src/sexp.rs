@@ -1,0 +1,197 @@
+//! The s-expression layer of the recipe grammar: atoms, lists, a
+//! whitespace/comment-tolerant parser, and a canonical printer whose
+//! output re-parses to the identical tree (the round-trip property
+//! `tests/tests/recipe_expansion.rs` locks down).
+
+use std::fmt;
+
+/// One node of a recipe: a bare atom (`nyx`, `-1.5`, `L`) or a
+/// parenthesized list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    Atom(String),
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    pub fn atom(s: &str) -> Sexp {
+        Sexp::Atom(s.to_string())
+    }
+
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            Sexp::List(_) => None,
+        }
+    }
+
+    /// The list's items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::Atom(_) => None,
+            Sexp::List(items) => Some(items),
+        }
+    }
+
+    /// The head atom of a list — `(scenario ...)` → `"scenario"`.
+    pub fn head(&self) -> Option<&str> {
+        self.as_list()?.first()?.as_atom()
+    }
+}
+
+impl fmt::Display for Sexp {
+    /// Canonical form: single spaces between siblings, no trailing
+    /// whitespace, atoms verbatim.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(s) => f.write_str(s),
+            Sexp::List(items) => {
+                f.write_str("(")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Prints a sequence of top-level terms, one per line (the canonical form
+/// of a whole recipe file).
+pub fn print_terms(terms: &[Sexp]) -> String {
+    terms
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parses a recipe source into its sequence of top-level terms.
+/// `;` starts a comment running to end of line.
+pub fn parse(src: &str) -> Result<Vec<Sexp>, String> {
+    let tokens = tokenize(src)?;
+    let mut pos = 0;
+    let mut terms = Vec::new();
+    while pos < tokens.len() {
+        let (term, next) = parse_term(&tokens, pos)?;
+        terms.push(term);
+        pos = next;
+    }
+    Ok(terms)
+}
+
+#[derive(Debug, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Atom(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::Open);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::Close);
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut atom = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '(' || c == ')' || c == ';' || c.is_whitespace() {
+                        break;
+                    }
+                    atom.push(c);
+                    chars.next();
+                }
+                out.push(Token::Atom(atom));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_term(tokens: &[Token], pos: usize) -> Result<(Sexp, usize), String> {
+    match tokens.get(pos) {
+        None => Err("unexpected end of recipe".into()),
+        Some(Token::Atom(a)) => Ok((Sexp::Atom(a.clone()), pos + 1)),
+        Some(Token::Close) => Err("unexpected `)`".into()),
+        Some(Token::Open) => {
+            let mut items = Vec::new();
+            let mut p = pos + 1;
+            loop {
+                match tokens.get(p) {
+                    None => return Err("unclosed `(`".into()),
+                    Some(Token::Close) => return Ok((Sexp::List(items), p + 1)),
+                    _ => {
+                        let (item, next) = parse_term(tokens, p)?;
+                        items.push(item);
+                        p = next;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists_and_atoms() {
+        let terms = parse("(scenario (family nyx) (levels 2))").unwrap();
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].head(), Some("scenario"));
+        assert_eq!(
+            terms[0].as_list().unwrap()[1],
+            Sexp::list(vec![Sexp::atom("family"), Sexp::atom("nyx")])
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let terms = parse("; header\n(a b) ; trailing\n\n  (c (d))").unwrap();
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[1].to_string(), "(c (d))");
+    }
+
+    #[test]
+    fn print_reparses_identically() {
+        let src = "(plug F (nyx warpx (grf -1.5)) (scenario (family F)))";
+        let terms = parse(src).unwrap();
+        let printed = print_terms(&terms);
+        assert_eq!(parse(&printed).unwrap(), terms);
+        assert_eq!(printed, src);
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        assert!(parse("(a (b)").is_err());
+        assert!(parse(")").is_err());
+        assert!(parse("(a))").is_err());
+    }
+}

@@ -17,7 +17,9 @@
 //!   `Ez` field; pulse-following slab refinement;
 //! * [`solver`] — a small time-stepping AMR advection solver with live
 //!   regridding (the paper's Fig. 2 analogue);
-//! * [`scale`] — laptop-to-paper problem-size presets.
+//! * [`scale`] — laptop-to-paper problem-size presets;
+//! * [`synth`] — continuous (resolution-independent) field families that
+//!   the recipe grammar samples at arbitrary level counts and topologies.
 
 pub(crate) mod build;
 pub mod grf;
@@ -25,6 +27,7 @@ pub mod noise;
 pub mod nyx;
 pub mod scale;
 pub mod solver;
+pub mod synth;
 pub mod warpx;
 
 pub use nyx::NyxScenario;

@@ -1,0 +1,209 @@
+//! Resolution-independent synthetic field families for recipe-driven
+//! scenarios.
+//!
+//! Unlike [`crate::grf`], which synthesizes a dense array at one fixed
+//! resolution, everything here is a *continuous function of physical
+//! position* — the same function can be sampled at every AMR level of a
+//! 1–4 level hierarchy and the levels agree wherever they overlap. That is
+//! what lets the recipe expander vary level count and refinement topology
+//! without re-generating (or storing) per-level data.
+
+use amrviz_rng::Rng;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+/// A band-limited random field: a sum of cosine modes with a power-law
+/// amplitude spectrum `|k|^(alpha/2)` (so the *power* spectrum falls as
+/// `|k|^alpha`, matching [`crate::grf::Spectrum`]'s convention). Steeper
+/// (more negative) `alpha` → smoother fields; shallower → rougher.
+#[derive(Debug, Clone)]
+pub struct ModeSum {
+    /// `(k, amplitude, phase)` per mode; `k` in cycles per unit length.
+    modes: Vec<([f64; 3], f64, f64)>,
+}
+
+impl ModeSum {
+    /// Draws `n_modes` random modes with wavenumbers up to `k_max` and a
+    /// power-law amplitude spectrum. Amplitudes are normalized so the
+    /// field's RMS is ≈ 1 regardless of `alpha` or mode count.
+    pub fn power_law(seed: u64, n_modes: usize, k_max: f64, alpha: f64) -> ModeSum {
+        assert!(n_modes > 0 && k_max >= 1.0);
+        let mut rng = Rng::seed(seed);
+        let mut modes = Vec::with_capacity(n_modes);
+        let mut power = 0.0;
+        for _ in 0..n_modes {
+            // Rejection-sample a wavevector with 1 ≤ |k| ≤ k_max.
+            let k = loop {
+                let k = [
+                    rng.range_f64(-k_max, k_max),
+                    rng.range_f64(-k_max, k_max),
+                    rng.range_f64(-k_max, k_max),
+                ];
+                let mag = (k[0] * k[0] + k[1] * k[1] + k[2] * k[2]).sqrt();
+                if (1.0..=k_max).contains(&mag) {
+                    break k;
+                }
+            };
+            let mag = (k[0] * k[0] + k[1] * k[1] + k[2] * k[2]).sqrt();
+            let amp = mag.powf(alpha / 2.0);
+            let phase = rng.range_f64(0.0, TAU);
+            power += 0.5 * amp * amp; // mean of cos² is 1/2
+            modes.push((k, amp, phase));
+        }
+        let norm = power.sqrt().recip();
+        for (_, amp, _) in &mut modes {
+            *amp *= norm;
+        }
+        ModeSum { modes }
+    }
+
+    /// Evaluates the field at physical position `p`.
+    pub fn eval(&self, p: [f64; 3]) -> f64 {
+        self.modes
+            .iter()
+            .map(|(k, amp, phase)| {
+                amp * (TAU * (k[0] * p[0] + k[1] * p[1] + k[2] * p[2]) + phase).cos()
+            })
+            .sum()
+    }
+}
+
+/// A WarpX-like laser-wakefield pulse, as a continuous function of
+/// position in `[0,1]² × [0, z_hi]`: a Gaussian-envelope oscillation at
+/// `z0` trailed by a decaying plasma wake, both confined radially
+/// (cf. [`crate::warpx`], which samples the same structure on a fixed
+/// two-level grid).
+#[derive(Debug, Clone)]
+pub struct PulseWake {
+    pub z0: f64,
+    pub wavelength: f64,
+    pub wake_wavelength: f64,
+    pub wake_decay: f64,
+    pub sigma_r: f64,
+}
+
+impl PulseWake {
+    /// Pulse parameters scaled to a domain of height `z_hi`.
+    pub fn for_extent(z_hi: f64) -> PulseWake {
+        PulseWake {
+            z0: 0.62 * z_hi,
+            wavelength: 0.04 * z_hi,
+            wake_wavelength: 0.12 * z_hi,
+            wake_decay: 0.25 * z_hi,
+            sigma_r: 0.22,
+        }
+    }
+
+    /// Evaluates the pulse+wake field at physical position `p` (unit
+    /// amplitude; scale externally).
+    pub fn eval(&self, p: [f64; 3]) -> f64 {
+        let (x, y, z) = (p[0], p[1], p[2]);
+        let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+        let radial = (-r2 / (2.0 * self.sigma_r * self.sigma_r)).exp();
+        // Wavefront curvature: off-axis parts of the pulse lag behind.
+        let zc = z + 0.15 * self.wavelength * r2 / (self.sigma_r * self.sigma_r);
+        let dz = zc - self.z0;
+        let pulse_env = (-dz * dz / (2.0 * self.wavelength * self.wavelength)).exp();
+        let wake_env = if dz < 0.0 {
+            (dz / self.wake_decay).exp()
+        } else {
+            0.0
+        };
+        radial
+            * (pulse_env * (TAU * zc / self.wavelength).sin()
+                + 0.35 * wake_env * (TAU * (self.z0 - zc) / self.wake_wavelength).cos())
+    }
+}
+
+/// A planar discontinuity: returns `hi_side` on the positive side of the
+/// plane through `c` with normal `n`, else `lo_side`. The recipe grammar's
+/// `shock` axis multiplies fields by this to create the hard jumps that
+/// stress predictor-based compressors.
+pub fn plane_step(p: [f64; 3], n: [f64; 3], c: [f64; 3], lo_side: f64, hi_side: f64) -> f64 {
+    let d = n[0] * (p[0] - c[0]) + n[1] * (p[1] - c[1]) + n[2] * (p[2] - c[2]);
+    if d > 0.0 {
+        hi_side
+    } else {
+        lo_side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_sum_is_deterministic_and_continuous() {
+        let a = ModeSum::power_law(42, 32, 8.0, -2.0);
+        let b = ModeSum::power_law(42, 32, 8.0, -2.0);
+        let p = [0.3, 0.7, 0.1];
+        assert_eq!(a.eval(p), b.eval(p));
+        // Continuity: nearby points give nearby values.
+        let q = [0.3 + 1e-6, 0.7, 0.1];
+        assert!((a.eval(p) - a.eval(q)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn steeper_spectrum_is_smoother() {
+        // Mean |∇|-proxy over a line of samples: the steep spectrum must
+        // vary less between adjacent samples than the shallow one.
+        let rough = ModeSum::power_law(7, 48, 12.0, -0.5);
+        let smooth = ModeSum::power_law(7, 48, 12.0, -4.0);
+        let tv = |f: &ModeSum| -> f64 {
+            (0..200)
+                .map(|i| {
+                    let t0 = i as f64 / 200.0;
+                    let t1 = (i + 1) as f64 / 200.0;
+                    (f.eval([t0, 0.4, 0.6]) - f.eval([t1, 0.4, 0.6])).abs()
+                })
+                .sum()
+        };
+        assert!(
+            tv(&smooth) < tv(&rough),
+            "{} !< {}",
+            tv(&smooth),
+            tv(&rough)
+        );
+    }
+
+    #[test]
+    fn rms_is_normalized() {
+        for alpha in [-0.5, -2.0, -4.0] {
+            let f = ModeSum::power_law(3, 64, 10.0, alpha);
+            let mut sum2 = 0.0;
+            let n = 4096;
+            let mut rng = Rng::seed(9);
+            for _ in 0..n {
+                let p = [rng.f64(), rng.f64(), rng.f64()];
+                let v = f.eval(p);
+                sum2 += v * v;
+            }
+            let rms = (sum2 / n as f64).sqrt();
+            assert!((0.3..3.0).contains(&rms), "alpha {alpha}: rms {rms}");
+        }
+    }
+
+    #[test]
+    fn pulse_peaks_at_focus_and_decays_radially() {
+        let pw = PulseWake::for_extent(1.0);
+        let on_axis: f64 = (0..40)
+            .map(|i| pw.eval([0.5, 0.5, pw.z0 + (i as f64 - 20.0) * 0.002]).abs())
+            .fold(0.0, f64::max);
+        let off_axis: f64 = (0..40)
+            .map(|i| {
+                pw.eval([0.05, 0.05, pw.z0 + (i as f64 - 20.0) * 0.002])
+                    .abs()
+            })
+            .fold(0.0, f64::max);
+        assert!(on_axis > 0.5);
+        assert!(off_axis < 0.5 * on_axis);
+    }
+
+    #[test]
+    fn plane_step_jumps() {
+        let n = [1.0, 0.0, 0.0];
+        let c = [0.5, 0.5, 0.5];
+        assert_eq!(plane_step([0.6, 0.1, 0.1], n, c, 1.0, 2.5), 2.5);
+        assert_eq!(plane_step([0.4, 0.9, 0.9], n, c, 1.0, 2.5), 1.0);
+    }
+}

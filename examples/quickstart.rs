@@ -45,7 +45,7 @@ fn main() {
 
     // 3. Extract the over-density isosurface with the basic re-sampling
     //    method and save it.
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &h.field(field).expect("field exists").levels;
     let res = extract_amr_isosurface(h, levels, built.iso, IsoMethod::Resampling);
     println!(

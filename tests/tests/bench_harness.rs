@@ -54,8 +54,20 @@ fn quick_bench_emits_complete_schema_and_gates() {
     assert_eq!(doc.get("mem_profile").and_then(Json::as_bool), Some(true));
 
     let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
-    // 2 apps × 3 compressors × 1 thread count × 1 eb.
-    assert_eq!(cells.len(), 6);
+    // 2 apps × 3 compressors × 1 thread count × 1 eb, plus the two
+    // recipe extreme-corner cells (L4 scattered, degenerate) × 1 eb.
+    assert_eq!(cells.len(), 8);
+    assert_eq!(
+        cells
+            .iter()
+            .filter(|c| {
+                let app = c.get("app").and_then(Json::as_str).unwrap();
+                app.contains("scattered") || app.contains("degenerate")
+            })
+            .count(),
+        2,
+        "corner recipe cells missing from the matrix"
+    );
     let mut compressors = std::collections::BTreeSet::new();
     for cell in cells {
         let comp = cell.get("compressor").and_then(Json::as_str).unwrap();

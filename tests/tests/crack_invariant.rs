@@ -9,7 +9,7 @@ use amrviz_integration_tests::warpx_like;
 use amrviz_viz::{extract_amr_isosurface, interface_gap, CrackMetrics};
 
 fn gap_for(built: &BuiltScenario, method: IsoMethod) -> CrackMetrics {
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let geom = built.hierarchy.geometry();
     let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, method);
@@ -95,7 +95,7 @@ fn watertight_single_level_reports_zero_everywhere() {
     // pins the metric's zero so the positive assertions above mean
     // something.
     let built = warpx_like(42);
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let geom = built.hierarchy.geometry();
     let res = extract_amr_isosurface(

@@ -54,7 +54,7 @@ fn different_seeds_differ() {
 #[test]
 fn extraction_is_deterministic() {
     let built = Scenario::new(Application::Warpx, Scale::Tiny, 77).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let m1 = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     let m2 = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);

@@ -15,7 +15,7 @@ use amrviz_integration_tests::{assert_golden, mesh_fingerprint, nyx_like, warpx_
 use amrviz_viz::extract_amr_isosurface;
 
 fn mesh_snapshot(built: &BuiltScenario) -> String {
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let mut out = String::new();
     for method in IsoMethod::ALL {
@@ -49,7 +49,7 @@ fn compression_snapshot(built: &BuiltScenario) -> String {
         .unwrap();
     }
     // Compressed stream size is the strongest codec fingerprint.
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     for kind in CompressorKind::PAPER {
         let comp = kind.instance();
         let c = compress_hierarchy_field(

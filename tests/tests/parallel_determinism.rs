@@ -40,7 +40,7 @@ struct PipelineArtifacts {
 }
 
 fn run_pipeline(built: &BuiltScenario) -> PipelineArtifacts {
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig::default();
 
     let mut field_bits = Vec::new();

@@ -2,6 +2,11 @@
 //! the reconstruction error of every cell — including cells on box
 //! boundaries, where predictors have one-sided context — stays within the
 //! advertised absolute bound, for both paper compressors.
+//!
+//! Two samplers drive the property: a free-form random hierarchy builder
+//! (arbitrary nesting, chopped boxes) and the recipe-space sampler from
+//! `crates/recipe`, whose failures report the canonical recipe string
+//! that regenerates the offending scenario.
 
 #![allow(clippy::needless_range_loop)] // level-indexed loops mirror the math
 
@@ -10,6 +15,7 @@ use amrviz_compress::{
     compress_hierarchy_field, decompress_hierarchy_field, AmrCodecConfig, Compressor, ErrorBound,
     SzInterp, SzLr,
 };
+use amrviz_recipe::ScenarioSpec;
 use amrviz_rng::{check, Rng};
 
 /// A random 2- or 3-level hierarchy. Fine levels are nested boxes chopped
@@ -91,14 +97,22 @@ fn compressors() -> Vec<(&'static str, Box<dyn Compressor>)> {
 }
 
 fn assert_bound_holds(h: &AmrHierarchy, bound: ErrorBound) {
+    assert_bound_holds_on(h, "f", bound, "");
+}
+
+/// The round-trip property itself. `repro` is appended to failure
+/// messages — recipe-sampled scenarios pass their canonical recipe string
+/// so a failure names the exact scenario to regenerate.
+fn assert_bound_holds_on(h: &AmrHierarchy, field: &str, bound: ErrorBound, repro: &str) {
     let cfg = AmrCodecConfig::default();
     for (name, comp) in compressors() {
-        let c = compress_hierarchy_field(h, "f", comp.as_ref(), bound, &cfg).expect("field exists");
+        let c =
+            compress_hierarchy_field(h, field, comp.as_ref(), bound, &cfg).expect("field exists");
         let levels =
             decompress_hierarchy_field(h, &c, comp.as_ref(), &cfg).expect("own stream decodes");
         let tol = c.abs_eb * (1.0 + 1e-12);
         for lev in 0..h.num_levels() {
-            let orig = h.field_level("f", lev).unwrap();
+            let orig = h.field_level(field, lev).unwrap();
             for (bi, (ofab, dfab)) in orig.fabs().iter().zip(levels[lev].fabs()).enumerate() {
                 let bx = ofab.box3();
                 for ((cell, o), d) in ofab.iter().zip(dfab.data()) {
@@ -107,7 +121,8 @@ fn assert_bound_holds(h: &AmrHierarchy, bound: ErrorBound) {
                     assert!(
                         (o - d).abs() <= tol,
                         "{name} lev {lev} box {bi} cell {cell:?} \
-                         (boundary: {on_boundary}): |{o} - {d}| > {tol}",
+                         (boundary: {on_boundary}): |{o} - {d}| > {tol}{}{repro}",
+                        if repro.is_empty() { "" } else { "\n  recipe: " },
                     );
                 }
             }
@@ -131,6 +146,19 @@ fn random_hierarchies_respect_absolute_bound() {
         let mut h = random_hierarchy(rng);
         add_random_field(&mut h, rng);
         assert_bound_holds(&h, ErrorBound::Abs(rng.range_f64(1e-4, 1e-1)));
+    });
+}
+
+#[test]
+fn recipe_sampled_scenarios_respect_the_bound() {
+    // The recipe-space sampler covers what the free-form builder cannot:
+    // named topologies (slab, scattered, degenerate single-cell boxes),
+    // anisotropic domains, shocks. Any failure prints the canonical
+    // recipe string, which `expand` turns back into this exact spec.
+    check(0xF010, 6, |rng| {
+        let spec = ScenarioSpec::sample(rng);
+        let h = spec.generate();
+        assert_bound_holds_on(&h, spec.eval_field(), ErrorBound::Rel(1e-3), &spec.recipe);
     });
 }
 

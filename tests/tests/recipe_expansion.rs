@@ -1,0 +1,98 @@
+//! Recipe DSL integration: grammar round-trips, expansion counts follow
+//! the cross-product minus exclusion rules, and identical recipes yield
+//! byte-identical scenarios at any thread count.
+
+use amrviz_recipe::{expand, parse, print_terms, ScenarioSpec, ENUMERATED_SUITE, PINNED_SUBSET};
+
+#[test]
+fn grammar_round_trips_through_the_printer() {
+    for src in [
+        ENUMERATED_SUITE,
+        PINNED_SUBSET,
+        "(union (scenario (family nyx)) (plug A (-1.5 -3.0) (scenario (family (grf A)))))",
+        "; comment\n(scenario (family warpx) (levels 2) (seed 9))",
+    ] {
+        let terms = parse(src).expect("parses");
+        let printed = print_terms(&terms);
+        let reparsed = parse(&printed).expect("printed form parses");
+        assert_eq!(terms, reparsed, "round-trip changed the tree for:\n{src}");
+        // The canonical printed form is a fixed point.
+        assert_eq!(printed, print_terms(&reparsed));
+    }
+}
+
+#[test]
+fn expansion_count_is_cross_product_minus_exclusions() {
+    // 3 topologies × 3 level counts = 9 combinations. Exclusions: R1
+    // drops levels-1 for the two non-nested topologies (2), R2 drops
+    // nothing (no levels-4, and scale defaults to tiny anyway).
+    let src = "(plug T (nested slab scattered)
+                 (plug L (1 2 3) (scenario (topology T) (levels L))))";
+    let exp = expand(src, 11).unwrap();
+    assert_eq!(exp.specs.len() + exp.excluded.len(), 9);
+    assert_eq!(exp.excluded.len(), 2);
+    // R2: levels-4 beyond tiny scale is excluded, tiny survives.
+    let src = "(plug S (tiny small) (scenario (levels 4) (scale S)))";
+    let exp = expand(src, 11).unwrap();
+    assert_eq!(exp.specs.len(), 1);
+    assert_eq!(exp.excluded.len(), 1);
+    assert!(exp.excluded[0].1.contains("tiny"), "{}", exp.excluded[0].1);
+}
+
+#[test]
+fn builtin_suite_is_compact_and_broad() {
+    // The acceptance floor: ≥ 24 distinct scenarios from ≤ 5 recipe lines.
+    assert!(ENUMERATED_SUITE.lines().count() <= 5);
+    let exp = expand(ENUMERATED_SUITE, 42).unwrap();
+    assert!(exp.specs.len() >= 24, "only {} specs", exp.specs.len());
+    let mut labels: Vec<String> = exp.specs.iter().map(ScenarioSpec::label).collect();
+    labels.sort();
+    labels.dedup();
+    assert_eq!(labels.len(), exp.specs.len(), "scenario labels collide");
+    for spec in &exp.specs {
+        // Every spec's provenance string pins its resolved seed, so the
+        // string alone reproduces the spec under any base seed.
+        assert!(spec.recipe.contains("(seed "), "{}", spec.recipe);
+        let again = expand(&spec.recipe, 12345).unwrap();
+        assert_eq!(again.specs.len(), 1);
+        assert_eq!(&again.specs[0], spec, "recipe string did not round-trip");
+    }
+}
+
+#[test]
+fn expansion_and_generation_are_thread_count_invariant() {
+    let fingerprint = || -> Vec<(ScenarioSpec, Vec<u64>)> {
+        expand(PINNED_SUBSET, 42)
+            .unwrap()
+            .specs
+            .into_iter()
+            .map(|spec| {
+                let h = spec.generate();
+                let field = spec.eval_field();
+                let mut bits = Vec::new();
+                for lev in 0..h.num_levels() {
+                    let mf = h.field_level(field, lev).unwrap();
+                    for fab in mf.fabs() {
+                        bits.extend(fab.data().iter().map(|v| v.to_bits()));
+                    }
+                }
+                (spec, bits)
+            })
+            .collect()
+    };
+    amrviz_par::set_threads(1);
+    let seq = fingerprint();
+    amrviz_par::set_threads(4);
+    let par = fingerprint();
+    amrviz_par::set_threads(1);
+    assert_eq!(seq.len(), par.len());
+    for ((s1, b1), (s4, b4)) in seq.iter().zip(&par) {
+        assert_eq!(s1, s4, "spec differs across thread counts");
+        assert_eq!(
+            b1,
+            b4,
+            "{}: field bits differ across thread counts",
+            s1.label()
+        );
+    }
+}

@@ -14,7 +14,7 @@ use amrviz_viz::{extract_amr_isosurface, interface_gap};
 #[test]
 fn skip_and_restore_keeps_dual_cell_functional() {
     let built = Scenario::new(Application::Warpx, Scale::Tiny, 11).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let comp = CompressorKind::SzInterp.instance();
 
     // Compress without redundant data, restore it by restriction.
@@ -98,7 +98,7 @@ fn skip_never_hurts_unique_cells() {
 #[test]
 fn restored_cells_match_restriction_of_fine_data() {
     let built = Scenario::new(Application::Nyx, Scale::Tiny, 19).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let comp = CompressorKind::SzInterp.instance();
     let cfg = AmrCodecConfig {
         skip_redundant: true,

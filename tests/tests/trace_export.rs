@@ -29,7 +29,7 @@ fn traced_pipeline_doc() -> Json {
     amrviz_obs::reset();
     amrviz_obs::enable();
     let built = warpx_like(42);
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig::default();
     let comp = CompressorKind::SzLr.instance();
     {

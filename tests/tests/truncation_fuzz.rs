@@ -121,7 +121,7 @@ fn lzss_survives_truncation_at_every_prefix() {
 #[test]
 fn container_survives_truncation_at_every_prefix() {
     let built = nyx_like(5);
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig {
         skip_redundant: true,
         restore_redundant: true,

@@ -48,7 +48,7 @@ fn methods_agree_on_surface_location_for_original_data() {
     // surfaces are visually similar (the resolution advantage is ~(n+1)/n).
     // Quantitatively: their mutual distance is a fraction of a fine cell.
     let built = Scenario::new(Application::Warpx, Scale::Tiny, 4).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let a = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     let b = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::DualCell);
@@ -68,7 +68,7 @@ fn per_level_meshes_are_watertight_away_from_boundaries() {
     // only appear at level interfaces and domain boundaries. Check the
     // single-level case has *no* open edges at all for an interior surface.
     let built = Scenario::new(Application::Nyx, Scale::Tiny, 8).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, IsoMethod::Resampling);
     // Total open-boundary length must be small relative to total edge
@@ -85,7 +85,7 @@ fn per_level_meshes_are_watertight_away_from_boundaries() {
 #[test]
 fn roughness_is_finite_and_comparable_across_methods() {
     let built = Scenario::new(Application::Warpx, Scale::Tiny, 2).build();
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let levels = &built.hierarchy.field(field).unwrap().levels;
     for method in IsoMethod::ALL {
         let res = extract_amr_isosurface(&built.hierarchy, levels, built.iso, method);

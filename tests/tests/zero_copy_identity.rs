@@ -83,7 +83,7 @@ fn hierarchy_decode_into_reused_levels_is_bit_identical() {
     // same stream again so it lands on its own previous output.
     for round in 0..2 {
         for (built, comp) in &scenarios {
-            let field = built.spec.app.eval_field();
+            let field = built.spec.eval_field();
             let compressed = compress_hierarchy_field(
                 &built.hierarchy,
                 field,
@@ -124,7 +124,7 @@ fn hierarchy_decode_into_reused_levels_is_bit_identical() {
 fn streams_and_meshes_identical_across_thread_counts() {
     let prior = amrviz_par::threads();
     let built = nyx_like(42);
-    let field = built.spec.app.eval_field();
+    let field = built.spec.eval_field();
     let cfg = AmrCodecConfig::default();
     let budget = DecodeBudget::default();
 
