@@ -411,7 +411,14 @@ pub fn diff(argv: &[String]) -> Result<(), String> {
 /// Fault-injection sweep: corrupt known-good streams and assert every
 /// decoder errors gracefully within its memory budget.
 pub fn torture(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv, &["iters", "seed", "max-peak-mb", "recipes"], &[])?;
+    let p = parse(
+        argv,
+        &["iters", "seed", "max-peak-mb", "recipes", "workers"],
+        &["serve"],
+    )?;
+    if p.switch("serve") {
+        return serve_torture(&p);
+    }
     let cfg = amrviz_fault::TortureConfig {
         seed: p.opt_parse::<u64>("seed")?.unwrap_or(7),
         iters: p.opt_parse::<u32>("iters")?.unwrap_or(500),
@@ -601,9 +608,19 @@ struct JournalSpan {
     dur_ns: u64,
 }
 
+/// One parsed `kind: "serve"` journal line (server- or client-side).
+struct ServeLine {
+    trace: String,
+    role: String,
+    /// Server `status` or client `outcome`.
+    result: String,
+    elapsed_us: u64,
+}
+
 fn stats_journal(path: &str, text: &str) -> Result<(), String> {
     let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut spans: Vec<JournalSpan> = Vec::new();
+    let mut serve_lines: Vec<ServeLine> = Vec::new();
     let mut dropped = 0u64;
     let mut n_lines = 0u64;
     for (i, line) in text.lines().enumerate() {
@@ -640,6 +657,24 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
                     dur_ns: get_u64("dur_ns"),
                 });
             }
+            "serve" => {
+                let str_of = |k: &str| v.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string();
+                // Server lines carry `status`, client lines `outcome`;
+                // lifecycle events (e.g. drain) carry neither and are
+                // counted in the kind totals only.
+                let result = v
+                    .get("status")
+                    .or_else(|| v.get("outcome"))
+                    .and_then(|x| x.as_str());
+                if let Some(result) = result {
+                    serve_lines.push(ServeLine {
+                        trace: str_of("trace"),
+                        role: str_of("role"),
+                        result: result.to_string(),
+                        elapsed_us: v.get("elapsed_us").and_then(|x| x.as_u64()).unwrap_or(0),
+                    });
+                }
+            }
             "meta" => {
                 if let Some(d) = v.get("dropped").and_then(|d| d.as_u64()) {
                     dropped = d;
@@ -652,6 +687,9 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
     println!("journal {path}: {n_lines} lines, {dropped} dropped");
     for (kind, n) in &kinds {
         println!("  {kind:<12} {n}");
+    }
+    if !serve_lines.is_empty() {
+        print_serve_summary(&serve_lines);
     }
 
     // Stitch spans into per-trace trees, traces in first-seen order.
@@ -710,6 +748,64 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-role outcome table plus client↔server trace stitching for the
+/// `serve` journal kind.
+fn print_serve_summary(lines: &[ServeLine]) {
+    let pct = |sorted_us: &[u64], p: f64| -> f64 {
+        if sorted_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+        sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1e3
+    };
+    // (role, result) -> latencies; BTreeMap keeps the table stable.
+    let mut table: std::collections::BTreeMap<(String, String), Vec<u64>> = Default::default();
+    for l in lines {
+        table
+            .entry((l.role.clone(), l.result.clone()))
+            .or_default()
+            .push(l.elapsed_us);
+    }
+    println!("serve outcomes ({} lines):", lines.len());
+    println!(
+        "  {:<8} {:<16} {:>8} {:>10} {:>10}",
+        "role", "outcome", "count", "p50 ms", "p99 ms"
+    );
+    for ((role, result), lat) in &mut table {
+        lat.sort_unstable();
+        println!(
+            "  {role:<8} {result:<16} {:>8} {:>10.2} {:>10.2}",
+            lat.len(),
+            pct(lat, 0.50),
+            pct(lat, 0.99)
+        );
+    }
+    // Stitching: a trace observed by both ends means the client journal line
+    // and the server journal line describe the same exchange.
+    let mut server_traces: std::collections::BTreeSet<&str> = Default::default();
+    let mut client_traces: std::collections::BTreeSet<&str> = Default::default();
+    for l in lines {
+        if l.trace == "?" {
+            continue;
+        }
+        match l.role.as_str() {
+            "server" => {
+                server_traces.insert(&l.trace);
+            }
+            "client" => {
+                client_traces.insert(&l.trace);
+            }
+            _ => {}
+        }
+    }
+    let both = server_traces.intersection(&client_traces).count();
+    println!(
+        "  traces: {both} stitched (both ends), {} server-only, {} client-only",
+        server_traces.len() - both,
+        client_traces.len() - both
+    );
+}
+
 fn stats_snapshot(path: &str, doc: &amrviz_json::Json) -> Result<(), String> {
     let f = |v: Option<&amrviz_json::Json>| v.and_then(|x| x.as_f64()).unwrap_or(0.0);
     println!(
@@ -765,6 +861,242 @@ fn stats_snapshot(path: &str, doc: &amrviz_json::Json) -> Result<(), String> {
             f(meta.get("traces_started")) as u64,
             f(meta.get("dropped_events")) as u64
         );
+    }
+    Ok(())
+}
+
+/// `amrviz torture --serve`: chaos-test the serving stack end to end.
+fn serve_torture(p: &crate::args::Parsed) -> Result<(), String> {
+    let cfg = amrviz_serve::ServeTortureConfig {
+        iters: p.opt_parse::<u64>("iters")?.unwrap_or(300),
+        seed: p.opt_parse::<u64>("seed")?.unwrap_or(7),
+        workers: p.opt_parse::<usize>("workers")?.unwrap_or(2),
+        max_peak_bytes: p
+            .opt_parse::<usize>("max-peak-mb")?
+            .unwrap_or(1024)
+            .saturating_mul(1 << 20),
+        ..amrviz_serve::ServeTortureConfig::default()
+    };
+    if cfg.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    let report = amrviz_serve::torture::run(&cfg);
+    println!("SERVE_TORTURE {}", report.to_json_line());
+    if report.passed() {
+        Ok(())
+    } else {
+        let mut msg = format!(
+            "serve torture failed: {} violation(s)",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            msg.push('\n');
+            msg.push_str("  ");
+            msg.push_str(v);
+        }
+        msg.push_str(&format!(
+            "\nreproduce with: amrviz torture --serve --seed {} --iters {}",
+            cfg.seed, cfg.iters
+        ));
+        Err(msg)
+    }
+}
+
+/// Seeds a serve store with deterministic tiny scenario artifacts so the
+/// server (and CI) has something to stream without a prior `generate` +
+/// `compress` pipeline run.
+fn seed_store(dir: &Path, n: usize, seed: u64) -> Result<Vec<u64>, String> {
+    let store = amrviz_serve::BlobStore::open(dir).map_err(|e| e.to_string())?;
+    let cfg = AmrCodecConfig::default();
+    let mut keys = Vec::new();
+    for i in 0..n {
+        // Alternate Nyx (spiky) and WarpX (smooth) tiny snapshots.
+        let (hier, field) = if i % 2 == 0 {
+            (
+                NyxScenario::new(Scale::Tiny, seed + i as u64).generate(),
+                "baryon_density",
+            )
+        } else {
+            (
+                WarpxScenario::new(Scale::Tiny, seed + i as u64).generate(),
+                "Ez",
+            )
+        };
+        let container =
+            compress_hierarchy_field(&hier, field, &SzLr::default(), ErrorBound::Rel(1e-3), &cfg)
+                .map_err(|e| format!("seeding store: {e}"))?;
+        let key = store
+            .put(&amrviz_serve::encode_artifact(
+                &hier, field, "szlr", &container,
+            ))
+            .map_err(|e| e.to_string())?;
+        keys.push(key);
+    }
+    Ok(keys)
+}
+
+/// `amrviz serve`: run the progressive server (optionally behind a chaos
+/// proxy) until `--shutdown-after` elapses.
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &[
+            "store",
+            "addr",
+            "workers",
+            "queue-depth",
+            "cache-mb",
+            "max-deadline-ms",
+            "shutdown-after",
+            "chaos",
+            "seed-scenarios",
+            "seed",
+        ],
+        &[],
+    )?;
+    p.report_warnings();
+    let store_dir = std::path::PathBuf::from(p.required("store")?);
+    if let Some(n) = p.opt_parse::<usize>("seed-scenarios")? {
+        let seed = p.opt_parse::<u64>("seed")?.unwrap_or(1);
+        let keys = seed_store(&store_dir, n, seed)?;
+        let hex: Vec<String> = keys.iter().map(|k| format!("\"{k:016x}\"")).collect();
+        println!("SERVE_KEYS [{}]", hex.join(","));
+    }
+    let shutdown_after = p
+        .opt_parse::<f64>("shutdown-after")?
+        .map(std::time::Duration::from_secs_f64);
+    if shutdown_after.is_none() {
+        eprintln!("note: no --shutdown-after given; serving until killed");
+    }
+    let cfg = amrviz_serve::ServeConfig {
+        addr: p.opt("addr").unwrap_or("127.0.0.1:0").to_string(),
+        store_dir,
+        workers: p.opt_parse::<usize>("workers")?.unwrap_or(2),
+        queue_depth: p.opt_parse::<usize>("queue-depth")?.unwrap_or(32),
+        cache_bytes: p
+            .opt_parse::<usize>("cache-mb")?
+            .unwrap_or(256)
+            .saturating_mul(1 << 20),
+        max_deadline_ms: p.opt_parse::<u32>("max-deadline-ms")?.unwrap_or(10_000),
+        shutdown_after,
+        ..amrviz_serve::ServeConfig::default()
+    };
+    let server = amrviz_serve::start(cfg).map_err(|e| format!("starting server: {e}"))?;
+    let proxy = match p.opt_parse::<u64>("chaos")? {
+        Some(chaos_seed) => Some(
+            amrviz_serve::ChaosProxy::start(
+                server.addr(),
+                chaos_seed,
+                amrviz_serve::ChaosConfig::default(),
+            )
+            .map_err(|e| format!("starting chaos proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    // Machine-readable address line for scripts (CI parses this).
+    match &proxy {
+        Some(pr) => println!("SERVE_LISTENING addr={} chaos={}", server.addr(), pr.addr()),
+        None => println!("SERVE_LISTENING addr={}", server.addr()),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // With --shutdown-after, `start`'s accept thread flips the stop flag
+    // itself; joining blocks until the drain completes.
+    let stats = server.join();
+    if let Some(pr) = proxy {
+        pr.stop();
+    }
+    println!("SERVE_STATS {}", stats.to_json_line());
+    if stats.panics > 0 || stats.post_deadline_responses > 0 {
+        return Err(format!(
+            "serve invariants violated: {} panic(s), {} post-deadline response(s)",
+            stats.panics, stats.post_deadline_responses
+        ));
+    }
+    Ok(())
+}
+
+/// `amrviz loadgen`: drive a running server and report latency/outcome
+/// distribution; exits nonzero below the success-rate floor.
+pub fn loadgen(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &[
+            "addr",
+            "clients",
+            "rps",
+            "duration",
+            "deadline-ms",
+            "retries",
+            "seed",
+            "min-success",
+        ],
+        &[],
+    )?;
+    p.report_warnings();
+    let addr: std::net::SocketAddr = p
+        .required("addr")?
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    let cfg = amrviz_serve::LoadgenConfig {
+        addr,
+        clients: p.opt_parse::<usize>("clients")?.unwrap_or(4),
+        rps: p.opt_parse::<f64>("rps")?.unwrap_or(20.0),
+        duration: std::time::Duration::from_secs_f64(
+            p.opt_parse::<f64>("duration")?.unwrap_or(5.0),
+        ),
+        deadline_ms: p.opt_parse::<u32>("deadline-ms")?.unwrap_or(500),
+        max_retries: p.opt_parse::<u32>("retries")?.unwrap_or(3),
+        seed: p.opt_parse::<u64>("seed")?.unwrap_or(1),
+        ..amrviz_serve::LoadgenConfig::default()
+    };
+    let min_success = p.opt_parse::<f64>("min-success")?.unwrap_or(0.9);
+
+    // Discover keys from the server itself: one LIST exchange.
+    let list = amrviz_serve::exchange(
+        addr,
+        &amrviz_serve::Request {
+            op: amrviz_serve::Op::List,
+            trace: 1,
+            key: 0,
+            deadline_ms: 5_000,
+            max_level: 0,
+        },
+        &amrviz_serve::ClientConfig::default(),
+    );
+    let keys = match list.keys {
+        Some(k) if !k.is_empty() => k,
+        _ => {
+            return Err(format!(
+                "could not list keys from {addr} (outcome: {}); is the server \
+                 running with a seeded store?",
+                list.outcome.name()
+            ))
+        }
+    };
+
+    let report = amrviz_serve::loadgen::run(&cfg, &keys);
+    println!("LOADGEN {}", report.to_json_line());
+    println!(
+        "loadgen: {} requests ({} attempts), p50 {:.1} ms, p99 {:.1} ms, success {:.1}%",
+        report.requests,
+        report.attempts,
+        report.p50_us as f64 / 1e3,
+        report.p99_us as f64 / 1e3,
+        report.success_rate * 100.0
+    );
+    if report.late_frames > 0 {
+        return Err(format!(
+            "{} frame(s) arrived after deadline+grace",
+            report.late_frames
+        ));
+    }
+    if report.success_rate < min_success {
+        return Err(format!(
+            "success rate {:.3} below --min-success {min_success}",
+            report.success_rate
+        ));
     }
     Ok(())
 }

@@ -61,6 +61,8 @@ fn main() -> ExitCode {
         "render" => commands::render(rest),
         "diff" => commands::diff(rest),
         "torture" => commands::torture(rest),
+        "serve" => commands::serve(rest),
+        "loadgen" => commands::loadgen(rest),
         "bench" => commands::bench(rest),
         "stats" => commands::stats(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -88,6 +90,18 @@ struct ObsOptions {
     metrics_path: Option<String>,
     metrics_interval_secs: Option<f64>,
     trace_sample: Option<u64>,
+}
+
+impl Drop for ObsOptions {
+    /// Flush-on-drop backstop: if a command panics (or any path skips
+    /// `finish`), unwinding still stops the journal and lands the queued
+    /// tail — a short run must never lose its final events to the 50 ms
+    /// writer poll. No-op on the normal path where `finish` already ran.
+    fn drop(&mut self) {
+        if self.journal_path.is_some() && amrviz_obs::journal::is_active() {
+            amrviz_obs::journal::stop();
+        }
+    }
 }
 
 impl ObsOptions {
@@ -275,6 +289,39 @@ USAGE:
                     the corrupted-stream corpus; violations print the
                     reproducing recipe string. Prints one machine-readable
                     `TORTURE {...}` line; exits nonzero on any violation.
+                    [--serve] instead chaos-tests the serving stack: an
+                    in-process server behind a fault-injecting proxy, with
+                    good/degraded/disk-corrupt/unknown keys and randomized
+                    deadlines. Asserts no panics, no post-deadline data,
+                    typed errors for corrupt blobs, and bounded peak
+                    memory. Prints `SERVE_TORTURE {...}`; exits nonzero on
+                    any violation with a reproducing command line.
+  amrviz serve      --store DIR [--addr HOST:PORT] [--workers N]
+                    [--queue-depth D] [--cache-mb MB] [--max-deadline-ms MS]
+                    [--shutdown-after SECS] [--chaos SEED]
+                    [--seed-scenarios N [--seed S]]
+                    progressive AMR server: streams cached decoded
+                    hierarchies coarse-level-first over a length-prefixed
+                    binary protocol, honoring per-request deadline budgets
+                    (late work is cut mid-stream, never delivered late) and
+                    shedding load with typed RETRY_LATER + retry hint when
+                    the queue is full. --chaos puts a deterministic
+                    fault-injecting proxy in front (for CI/torture).
+                    --seed-scenarios pre-populates the store with N tiny
+                    compressed snapshots. Prints `SERVE_LISTENING addr=...`
+                    once ready and `SERVE_STATS {...}` after drain; exits
+                    nonzero if any worker panicked or any data frame was
+                    written past its deadline.
+  amrviz loadgen    --addr HOST:PORT [--clients N] [--rps R]
+                    [--duration SECS] [--deadline-ms MS] [--retries K]
+                    [--seed S] [--min-success FRAC]
+                    closed-loop load generator: N client threads with
+                    jittered pacing and seeded exponential backoff on
+                    shed/timeout. Discovers keys via LIST, prints a
+                    `LOADGEN {...}` line with p50/p99 latency and
+                    per-outcome counts; exits nonzero when the success rate
+                    drops below --min-success (default 0.9) or any frame
+                    arrived after deadline + grace.
   amrviz bench      [--quick] [--name LABEL] [--out DIR]
                     [--baseline OLD.json] [--threshold PCT]
                     [--thread-counts 1,4] [--scale S] [--ebs 1e-3,1e-2]
@@ -296,7 +343,10 @@ USAGE:
                     event-kind totals and the stitched per-trace span
                     trees) or a `--metrics-out` snapshot (counters, gauges,
                     histogram percentiles, recorder self-overhead). Exits
-                    nonzero when any line fails to parse.
+                    nonzero when any line fails to parse. Journals from
+                    `serve`/`loadgen` additionally get a per-role outcome
+                    table (ok/degraded/shed/timeout with p50/p99) and a
+                    client-to-server trace-stitching summary.
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run

@@ -98,7 +98,7 @@ impl<'a> BitReader<'a> {
     pub fn read_bit(&mut self) -> Result<bool, CodecError> {
         let byte = self.pos / 8;
         if byte >= self.bytes.len() {
-            return Err(CodecError::UnexpectedEof);
+            return Err(CodecError::Truncated);
         }
         let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
         self.pos += 1;
@@ -110,7 +110,7 @@ impl<'a> BitReader<'a> {
     pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
         debug_assert!(n <= 64);
         if self.remaining() < n as usize {
-            return Err(CodecError::UnexpectedEof);
+            return Err(CodecError::Truncated);
         }
         let mut v = 0u64;
         for _ in 0..n {
@@ -159,10 +159,10 @@ mod tests {
         let buf = [0xFFu8];
         let mut r = BitReader::new(&buf);
         assert_eq!(r.read_bits(8).unwrap(), 0xFF);
-        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.read_bit(), Err(CodecError::Truncated));
         assert_eq!(
             BitReader::new(&buf).read_bits(9),
-            Err(CodecError::UnexpectedEof)
+            Err(CodecError::Truncated)
         );
     }
 

@@ -14,8 +14,10 @@
 //! should trip immediately.
 
 use crate::CodecError;
+use std::time::Instant;
 
-/// Caps on declared sizes, enforced before allocation.
+/// Caps on declared sizes, enforced before allocation, plus an optional
+/// cooperative deadline checked inside decode loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodeBudget {
     /// Maximum number of decoded values/symbols one stream may declare
@@ -26,6 +28,12 @@ pub struct DecodeBudget {
     pub max_section_bytes: usize,
     /// Maximum extent along a single declared box/domain dimension.
     pub max_dim: usize,
+    /// Optional wall-clock deadline. Decode loops call
+    /// [`DecodeBudget::check_deadline`] every [`DecodeBudget::DEADLINE_STRIDE`]
+    /// iterations; past the deadline they bail with
+    /// [`CodecError::deadline`] instead of holding the worker. `None`
+    /// (the default) never trips.
+    pub deadline: Option<Instant>,
 }
 
 impl DecodeBudget {
@@ -37,6 +45,7 @@ impl DecodeBudget {
             max_values: 1 << 30,
             max_section_bytes: 1 << 31,
             max_dim: 1 << 20,
+            deadline: None,
         }
     }
 
@@ -47,13 +56,49 @@ impl DecodeBudget {
             max_values: 1 << 22,
             max_section_bytes: 1 << 24,
             max_dim: 1 << 12,
+            deadline: None,
+        }
+    }
+
+    /// Iterations between deadline probes inside tight decode loops:
+    /// frequent enough that one stride is far below any useful deadline,
+    /// rare enough that `Instant::now()` stays off the profile.
+    pub const DEADLINE_STRIDE: usize = 16 * 1024;
+
+    /// Returns a copy of this budget with a wall-clock deadline attached.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cooperative cancellation probe: errors with [`CodecError::deadline`]
+    /// once the wall clock passes the attached deadline. Cheap no-op when
+    /// no deadline is set.
+    #[inline]
+    pub fn check_deadline(&self) -> Result<(), CodecError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(CodecError::deadline()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Stride-gated deadline probe for per-item loops: probes the clock only
+    /// when `i` is a multiple of [`DecodeBudget::DEADLINE_STRIDE`].
+    #[inline]
+    pub fn check_deadline_every(&self, i: usize) -> Result<(), CodecError> {
+        if self.deadline.is_some() && i.is_multiple_of(Self::DEADLINE_STRIDE) {
+            self.check_deadline()
+        } else {
+            Ok(())
         }
     }
 
     /// Validates a declared value/symbol count.
     pub fn check_values(&self, declared: usize) -> Result<usize, CodecError> {
         if declared > self.max_values {
-            return Err(CodecError::Malformed("declared value count exceeds budget"));
+            return Err(CodecError::BudgetExceeded(
+                "declared value count exceeds budget",
+            ));
         }
         Ok(declared)
     }
@@ -62,10 +107,10 @@ impl DecodeBudget {
     /// the `remaining` input bytes.
     pub fn check_section(&self, declared: usize, remaining: usize) -> Result<usize, CodecError> {
         if declared > remaining {
-            return Err(CodecError::UnexpectedEof);
+            return Err(CodecError::Truncated);
         }
         if declared > self.max_section_bytes {
-            return Err(CodecError::Malformed(
+            return Err(CodecError::BudgetExceeded(
                 "declared section length exceeds budget",
             ));
         }
@@ -77,7 +122,7 @@ impl DecodeBudget {
     /// the budget only.
     pub fn check_payload(&self, declared: usize) -> Result<usize, CodecError> {
         if declared > self.max_section_bytes {
-            return Err(CodecError::Malformed(
+            return Err(CodecError::BudgetExceeded(
                 "declared payload length exceeds budget",
             ));
         }
@@ -87,10 +132,12 @@ impl DecodeBudget {
     /// Validates one declared box/domain dimension (must be nonzero).
     pub fn check_dim(&self, declared: usize) -> Result<usize, CodecError> {
         if declared == 0 {
-            return Err(CodecError::Malformed("zero dimension"));
+            return Err(CodecError::Corrupt("zero dimension"));
         }
         if declared > self.max_dim {
-            return Err(CodecError::Malformed("declared dimension exceeds budget"));
+            return Err(CodecError::BudgetExceeded(
+                "declared dimension exceeds budget",
+            ));
         }
         Ok(declared)
     }
@@ -126,6 +173,44 @@ mod tests {
     #[test]
     fn section_longer_than_remaining_is_eof() {
         let b = DecodeBudget::default();
-        assert_eq!(b.check_section(100, 50), Err(CodecError::UnexpectedEof));
+        assert_eq!(b.check_section(100, 50), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn budget_breaches_are_typed() {
+        let b = DecodeBudget::strict();
+        assert!(matches!(
+            b.check_values(usize::MAX),
+            Err(CodecError::BudgetExceeded(_))
+        ));
+        assert!(matches!(
+            b.check_payload(usize::MAX),
+            Err(CodecError::BudgetExceeded(_))
+        ));
+        assert!(matches!(b.check_dim(0), Err(CodecError::Corrupt(_))));
+        assert!(matches!(
+            b.check_dim(usize::MAX),
+            Err(CodecError::BudgetExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn deadline_budget_trips_and_is_retryable() {
+        let b = DecodeBudget::default();
+        assert!(b.check_deadline().is_ok());
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        let b = DecodeBudget::default().with_deadline(past);
+        let err = b.check_deadline().unwrap_err();
+        assert!(err.is_deadline());
+        assert_eq!(err.class(), "budget");
+        // A stride-gated probe at i=0 still fires.
+        assert!(b.check_deadline_every(0).is_err());
+        // Off-stride indices never touch the clock.
+        assert!(b.check_deadline_every(1).is_ok());
+        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        assert!(DecodeBudget::default()
+            .with_deadline(future)
+            .check_deadline()
+            .is_ok());
     }
 }

@@ -153,8 +153,8 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
 
 /// Decodes a stream produced by [`huffman_encode`], validating every
 /// declared count against `budget` and the remaining input before any
-/// allocation. Malformed tables (non-canonical order, over-full Kraft sums,
-/// out-of-range indices) return [`CodecError::Malformed`]; they never panic
+/// allocation. Corrupt tables (non-canonical order, over-full Kraft sums,
+/// out-of-range indices) return [`CodecError::Corrupt`]; they never panic
 /// or mis-index.
 pub fn huffman_decode_budgeted(
     bytes: &[u8],
@@ -181,32 +181,32 @@ pub fn huffman_decode_into(
     }
     let distinct = read_uvarint(bytes, &mut pos)? as usize;
     if distinct == 0 {
-        return Err(CodecError::Malformed("no code table for nonempty stream"));
+        return Err(CodecError::Corrupt("no code table for nonempty stream"));
     }
     // A table can't have more distinct symbols than the stream has symbols,
     // and each header entry costs at least two bytes — both bounds hold
     // before we reserve a single entry.
     if distinct > total || distinct > (bytes.len() - pos) / 2 {
-        return Err(CodecError::Malformed("code table larger than stream"));
+        return Err(CodecError::Corrupt("code table larger than stream"));
     }
     let mut entries = Vec::with_capacity(distinct);
     for _ in 0..distinct {
         let sym = read_uvarint(bytes, &mut pos)? as u32;
         let len = read_uvarint(bytes, &mut pos)? as u32;
         if len == 0 || len > MAX_CODE_LEN {
-            return Err(CodecError::Malformed("bad code length"));
+            return Err(CodecError::Corrupt("bad code length"));
         }
         entries.push((len, sym));
     }
     // The header must already be in canonical (len, symbol) order.
     if entries.windows(2).any(|w| w[0] > w[1]) {
-        return Err(CodecError::Malformed("code table not canonical"));
+        return Err(CodecError::Corrupt("code table not canonical"));
     }
 
     // Every symbol takes at least one bit, so `total` must fit in the
     // remaining bitstream — checked before the output buffer is reserved.
     if total > (bytes.len() - pos).saturating_mul(8) {
-        return Err(CodecError::UnexpectedEof);
+        return Err(CodecError::Truncated);
     }
 
     // Canonical decode tables indexed by length.
@@ -224,12 +224,12 @@ pub fn huffman_decode_into(
         first_index[len] = idx;
         let next = code
             .checked_add(count[len])
-            .ok_or(CodecError::Malformed("code table overflow"))?;
+            .ok_or(CodecError::Corrupt("code table overflow"))?;
         // Kraft validity: codes of length `len` must fit in `len` bits,
         // which also guarantees every decode-loop table index stays in
         // range.
         if next > 1u64 << len {
-            return Err(CodecError::Malformed("code table over-full"));
+            return Err(CodecError::Corrupt("code table over-full"));
         }
         code = next << 1;
         idx += count[len];
@@ -238,21 +238,22 @@ pub fn huffman_decode_into(
 
     let mut reader = BitReader::new(&bytes[pos..]);
     out.reserve(total);
-    for _ in 0..total {
+    for i in 0..total {
+        budget.check_deadline_every(i)?;
         let mut code = 0u64;
         let mut len = 0u32;
         loop {
             code = (code << 1) | reader.read_bit()? as u64;
             len += 1;
             if len > max_len {
-                return Err(CodecError::Malformed("code exceeds max length"));
+                return Err(CodecError::Corrupt("code exceeds max length"));
             }
             let l = len as usize;
             if count[l] > 0 && code >= first_code[l] && code - first_code[l] < count[l] {
                 let i = first_index[l] + (code - first_code[l]);
                 let sym = *syms
                     .get(i as usize)
-                    .ok_or(CodecError::Malformed("code index outside table"))?;
+                    .ok_or(CodecError::Corrupt("code index outside table"))?;
                 out.push(sym);
                 break;
             }
@@ -347,7 +348,7 @@ mod tests {
     #[test]
     fn overfull_code_table_rejected() {
         // Three codes of length 1 violate Kraft (only two 1-bit codes
-        // exist); must be Malformed, not a mis-indexed decode.
+        // exist); must be Corrupt, not a mis-indexed decode.
         let mut buf = Vec::new();
         write_uvarint(&mut buf, 5); // total symbols
         write_uvarint(&mut buf, 3); // distinct
@@ -358,7 +359,7 @@ mod tests {
         buf.push(0x00); // bitstream
         assert_eq!(
             huffman_decode(&buf),
-            Err(CodecError::Malformed("code table over-full"))
+            Err(CodecError::Corrupt("code table over-full"))
         );
     }
 
@@ -373,10 +374,7 @@ mod tests {
             write_uvarint(&mut buf, 4);
         }
         buf.push(0x00);
-        assert!(matches!(
-            huffman_decode(&buf),
-            Err(CodecError::Malformed(_))
-        ));
+        assert!(matches!(huffman_decode(&buf), Err(CodecError::Corrupt(_))));
     }
 
     #[test]
@@ -402,7 +400,7 @@ mod tests {
         };
         assert!(matches!(
             huffman_decode_budgeted(&enc, &tiny),
-            Err(CodecError::Malformed(_))
+            Err(CodecError::BudgetExceeded(_))
         ));
         assert_eq!(
             huffman_decode_budgeted(&enc, &DecodeBudget::strict()).unwrap(),

@@ -54,20 +54,62 @@ pub use lzss::{
 pub use rle::{rle_decode_zeros, rle_decode_zeros_budgeted, rle_encode_zeros};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
 
-/// Errors returned by decoders when the input is malformed or truncated.
+/// Errors returned by decoders when the input is malformed, truncated, or
+/// over budget.
+///
+/// The three variants are a *taxonomy*, not just messages: callers (the
+/// torture harness, `amrviz serve`) match on the variant to decide whether a
+/// failure is retryable. A [`CodecError::BudgetExceeded`] from a deadline is
+/// transient — the same request may succeed with a larger budget — while
+/// [`CodecError::Corrupt`] and [`CodecError::Truncated`] describe the bytes
+/// themselves and never go away on retry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
-    /// Ran out of input bits/bytes.
-    UnexpectedEof,
-    /// Structurally invalid stream (bad header, impossible code, …).
-    Malformed(&'static str),
+    /// Ran out of input bits/bytes: the stream ends before the structure it
+    /// declared (truncation, short read).
+    Truncated,
+    /// Structurally invalid stream (bad header, impossible code, checksum
+    /// mismatch, …): the bytes are wrong, not merely missing.
+    Corrupt(&'static str),
+    /// A [`DecodeBudget`] cap tripped: a declared size exceeded the limit,
+    /// or the cooperative deadline passed mid-decode. The input may be
+    /// fine — the *budget* said stop.
+    BudgetExceeded(&'static str),
+}
+
+impl CodecError {
+    /// Message used by deadline breaches; [`CodecError::is_deadline`] keys
+    /// off it so serve can tell "too slow" from "stream declared too much".
+    pub const DEADLINE_MSG: &'static str = "decode deadline exceeded";
+
+    /// The deadline-breach error.
+    pub const fn deadline() -> Self {
+        CodecError::BudgetExceeded(Self::DEADLINE_MSG)
+    }
+
+    /// True when this is the cooperative-deadline breach (retry with a
+    /// larger budget may succeed; the input itself is not implicated).
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, CodecError::BudgetExceeded(m) if *m == Self::DEADLINE_MSG)
+    }
+
+    /// Short stable class name for logs/journal: `corrupt`, `truncated`,
+    /// or `budget`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CodecError::Truncated => "truncated",
+            CodecError::Corrupt(_) => "corrupt",
+            CodecError::BudgetExceeded(_) => "budget",
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
-            CodecError::Malformed(what) => write!(f, "malformed stream: {what}"),
+            CodecError::Truncated => write!(f, "truncated stream: unexpected end of input"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::BudgetExceeded(what) => write!(f, "decode budget exceeded: {what}"),
         }
     }
 }

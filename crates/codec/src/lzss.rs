@@ -150,13 +150,16 @@ pub fn lzss_decompress_into(
     // `remaining` bytes can never legitimately decode to more than
     // `remaining * MAX_MATCH`.
     if total > (bytes.len() - pos).saturating_mul(MAX_MATCH) {
-        return Err(CodecError::UnexpectedEof);
+        return Err(CodecError::Truncated);
     }
     out.reserve(total);
+    let mut tokens = 0usize;
     while out.len() < total {
+        budget.check_deadline_every(tokens)?;
+        tokens += 1;
         let lit_len = read_uvarint(bytes, &mut pos)? as usize;
         if lit_len > bytes.len() - pos || out.len() + lit_len > total {
-            return Err(CodecError::Malformed("literal run out of bounds"));
+            return Err(CodecError::Corrupt("literal run out of bounds"));
         }
         out.extend_from_slice(&bytes[pos..pos + lit_len]);
         pos += lit_len;
@@ -165,10 +168,10 @@ pub fn lzss_decompress_into(
         }
         let match_len = (read_uvarint(bytes, &mut pos)? as usize)
             .checked_add(MIN_MATCH)
-            .ok_or(CodecError::Malformed("match length overflow"))?;
+            .ok_or(CodecError::Corrupt("match length overflow"))?;
         let dist = read_uvarint(bytes, &mut pos)? as usize;
         if dist == 0 || dist > out.len() || out.len() + match_len > total {
-            return Err(CodecError::Malformed("bad match"));
+            return Err(CodecError::Corrupt("bad match"));
         }
         // Overlap-safe byte-by-byte copy.
         let start = out.len() - dist;

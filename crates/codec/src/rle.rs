@@ -51,17 +51,20 @@ pub fn rle_decode_zeros_budgeted(
     let mut pos = 0;
     let total = budget.check_values(read_uvarint(bytes, &mut pos)? as usize)?;
     let mut out = Vec::with_capacity(total);
+    let mut tokens = 0usize;
     while out.len() < total {
+        budget.check_deadline_every(tokens)?;
+        tokens += 1;
         let tok = read_uvarint(bytes, &mut pos)?;
         if tok == 0 {
             let run = read_uvarint(bytes, &mut pos)? as usize;
             if run == 0 || out.len() + run > total {
-                return Err(CodecError::Malformed("bad zero run"));
+                return Err(CodecError::Corrupt("bad zero run"));
             }
             out.resize(out.len() + run, 0);
         } else {
             if tok > u32::MAX as u64 {
-                return Err(CodecError::Malformed("token exceeds u32"));
+                return Err(CodecError::Corrupt("token exceeds u32"));
             }
             out.push(tok as u32);
         }

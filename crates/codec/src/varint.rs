@@ -20,10 +20,10 @@ pub fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        let &byte = bytes.get(*pos).ok_or(CodecError::Truncated)?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return Err(CodecError::Malformed("varint overflow"));
+            return Err(CodecError::Corrupt("varint overflow"));
         }
         v |= ((byte & 0x7F) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -31,7 +31,7 @@ pub fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(CodecError::Malformed("varint too long"));
+            return Err(CodecError::Corrupt("varint too long"));
         }
     }
 }
@@ -82,7 +82,7 @@ mod tests {
     fn truncated_varint_errors() {
         let buf = [0x80u8, 0x80];
         let mut pos = 0;
-        assert_eq!(read_uvarint(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(CodecError::Truncated));
     }
 
     #[test]

@@ -484,6 +484,7 @@ pub fn decompress_hierarchy_field_into(
     let mut failures: Vec<Vec<(usize, amrviz_amr::Box3, String)>> =
         vec![Vec::new(); hier.num_levels()];
     for (lev, level_blobs) in compressed.blobs.iter().enumerate() {
+        budget.check_deadline()?;
         let mut sp = amrviz_obs::span!("decompress.level", level = lev);
         let ba = hier.box_array(lev);
         // Reconstruct the deterministic (fab, piece) schedule. Tasks are
@@ -537,6 +538,19 @@ pub fn decompress_hierarchy_field_into(
         });
         let mut failed = failed.into_inner().unwrap_or_else(|p| p.into_inner());
         failed.sort_by_key(|&(ti, ..)| ti);
+        // A deadline breach is *not* repairable data: escalate it to a typed
+        // error even under `Degrade`, so a timed-out request can never be
+        // passed off as a degraded-but-served hierarchy.
+        if let Some((_, fi, _, cause)) = failed
+            .iter()
+            .find(|(.., cause)| cause.contains(amrviz_codec::CodecError::DEADLINE_MSG))
+        {
+            return Err(CompressError::FabDecode {
+                level: lev,
+                fab: *fi,
+                cause: cause.clone(),
+            });
+        }
         match policy {
             DecodePolicy::Strict => {
                 if let Some((_, fi, _, cause)) = failed.into_iter().next() {

@@ -114,6 +114,43 @@ impl std::fmt::Display for CompressError {
     }
 }
 
+impl CompressError {
+    /// Maps this failure onto the codec taxonomy so callers (serve, torture)
+    /// can decide retryable-vs-fatal without string matching: `"corrupt"`,
+    /// `"truncated"`, or `"budget"`. Structural failures above the codec
+    /// layer are corruption; a `FabDecode` cause string produced from a
+    /// [`amrviz_codec::CodecError`] keeps its class.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CompressError::Malformed(_) => "corrupt",
+            CompressError::Codec(e) => e.class(),
+            CompressError::FabDecode { cause, .. } => {
+                // Cause strings are rendered Display output; the class
+                // prefixes below are stable (tested in the codec crate).
+                if cause.contains("decode budget exceeded") {
+                    "budget"
+                } else if cause.contains("truncated stream") {
+                    "truncated"
+                } else {
+                    "corrupt"
+                }
+            }
+        }
+    }
+
+    /// True when the failure is the cooperative-deadline breach — the one
+    /// class a client may retry with a larger budget.
+    pub fn is_deadline(&self) -> bool {
+        match self {
+            CompressError::Codec(e) => e.is_deadline(),
+            CompressError::FabDecode { cause, .. } => {
+                cause.contains(amrviz_codec::CodecError::DEADLINE_MSG)
+            }
+            CompressError::Malformed(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for CompressError {}
 
 impl From<amrviz_codec::CodecError> for CompressError {

@@ -95,7 +95,7 @@ impl<'a> ByteReader<'a> {
     }
 
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        let b = *self.buf.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
@@ -106,11 +106,8 @@ impl<'a> ByteReader<'a> {
 
     /// Reads exactly `n` bytes, with checked cursor arithmetic.
     fn exact(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
-        let bytes = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(CodecError::UnexpectedEof)?;
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
         self.pos = end;
         Ok(bytes)
     }
@@ -156,7 +153,7 @@ impl<'a> ByteReader<'a> {
         let n = nx
             .checked_mul(ny)
             .and_then(|v| v.checked_mul(nz))
-            .ok_or(CodecError::Malformed("dims overflow"))?;
+            .ok_or(CodecError::Corrupt("dims overflow"))?;
         self.budget.check_values(n)?;
         Ok(([nx, ny, nz], n))
     }

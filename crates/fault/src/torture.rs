@@ -59,7 +59,42 @@ impl Default for TortureConfig {
     }
 }
 
-type DecodeFn = Box<dyn Fn(&[u8], &DecodeBudget) -> Result<(), String> + Sync>;
+/// A typed decode failure: the codec-taxonomy class (`corrupt` /
+/// `truncated` / `budget`) plus the rendered message. The torture loop
+/// matches on the class so the report shows *which kind* of graceful error
+/// each target produced — the same split serve uses for retryable-vs-fatal.
+pub struct DecodeFailure {
+    /// Stable class name from [`amrviz_codec::CodecError::class`].
+    pub class: &'static str,
+    /// Human-readable message (kept for violation triage only).
+    pub msg: String,
+}
+
+/// Errors that carry a taxonomy class.
+trait ClassifiedError: std::fmt::Display {
+    fn class(&self) -> &'static str;
+}
+
+impl ClassifiedError for amrviz_codec::CodecError {
+    fn class(&self) -> &'static str {
+        amrviz_codec::CodecError::class(self)
+    }
+}
+
+impl ClassifiedError for amrviz_compress::CompressError {
+    fn class(&self) -> &'static str {
+        amrviz_compress::CompressError::class(self)
+    }
+}
+
+fn fail<E: ClassifiedError>(e: E) -> DecodeFailure {
+    DecodeFailure {
+        class: e.class(),
+        msg: e.to_string(),
+    }
+}
+
+type DecodeFn = Box<dyn Fn(&[u8], &DecodeBudget) -> Result<(), DecodeFailure> + Sync>;
 
 /// A named decoder plus a known-good stream to corrupt.
 struct Target {
@@ -91,6 +126,15 @@ pub struct TargetTally {
     pub runs: u64,
     /// Decodes that returned `Err` (the expected outcome).
     pub errors: u64,
+    /// `Err` outcomes classified [`CodecError::Corrupt`]-like.
+    ///
+    /// [`CodecError::Corrupt`]: amrviz_codec::CodecError::Corrupt
+    pub errors_corrupt: u64,
+    /// `Err` outcomes classified truncation.
+    pub errors_truncated: u64,
+    /// `Err` outcomes where a [`DecodeBudget`] cap (size or deadline)
+    /// tripped.
+    pub errors_budget: u64,
     /// Decodes that returned `Ok` (mutation landed somewhere harmless).
     pub oks: u64,
     /// Decodes that panicked — contract violations.
@@ -138,8 +182,16 @@ impl TortureReport {
                 targets.push(',');
             }
             targets.push_str(&format!(
-                "{{\"name\":\"{}\",\"runs\":{},\"errors\":{},\"oks\":{},\"panics\":{},\"over_budget\":{}}}",
-                t.name, t.runs, t.errors, t.oks, t.panics, t.over_budget
+                "{{\"name\":\"{}\",\"runs\":{},\"errors\":{},\"corrupt\":{},\"truncated\":{},\"budget\":{},\"oks\":{},\"panics\":{},\"over_budget\":{}}}",
+                t.name,
+                t.runs,
+                t.errors,
+                t.errors_corrupt,
+                t.errors_truncated,
+                t.errors_budget,
+                t.oks,
+                t.panics,
+                t.over_budget
             ));
         }
         format!(
@@ -197,7 +249,7 @@ fn compressor_target<C: Compressor + 'static>(name: &'static str, c: C) -> Targe
         Box::new(move |bytes, budget| {
             c.decompress_budgeted(bytes, budget)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     )
 }
@@ -215,7 +267,7 @@ fn compressor_into_target<C: Compressor + 'static>(name: &'static str, c: C) -> 
             let mut out = reused.lock().unwrap_or_else(|p| p.into_inner());
             c.decompress_into(bytes, budget, &mut out)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     )
 }
@@ -236,7 +288,7 @@ fn build_targets() -> Vec<Target> {
         Box::new(|bytes, _| {
             let mut pos = 0;
             while pos < bytes.len() {
-                read_uvarint(bytes, &mut pos).map_err(|e| e.to_string())?;
+                read_uvarint(bytes, &mut pos).map_err(fail)?;
             }
             Ok(())
         }),
@@ -266,7 +318,7 @@ fn build_targets() -> Vec<Target> {
         Box::new(|bytes, budget| {
             huffman_decode_budgeted(bytes, budget)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     ));
 
@@ -280,7 +332,7 @@ fn build_targets() -> Vec<Target> {
         Box::new(|bytes, budget| {
             rle_decode_zeros_budgeted(bytes, budget)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     ));
 
@@ -291,7 +343,7 @@ fn build_targets() -> Vec<Target> {
         Box::new(|bytes, budget| {
             lzss_decompress_budgeted(bytes, budget)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     ));
 
@@ -315,7 +367,7 @@ fn build_targets() -> Vec<Target> {
             Box::new(move |bytes, budget| {
                 decompress_zmesh_budgeted(&hier, bytes, budget)
                     .map(|_| ())
-                    .map_err(|e| e.to_string())
+                    .map_err(fail)
             }),
         ));
     }
@@ -340,7 +392,7 @@ fn build_targets() -> Vec<Target> {
         Box::new(|bytes, budget| {
             CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
         }),
     ));
 
@@ -350,8 +402,8 @@ fn build_targets() -> Vec<Target> {
         Box::new({
             let hier = hier.clone();
             move |bytes, budget| {
-                let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
-                    .map_err(|e| e.to_string())?;
+                let parsed =
+                    CompressedHierarchyField::from_bytes_budgeted(bytes, budget).map_err(fail)?;
                 decompress_hierarchy_field_policy(
                     &hier,
                     &parsed,
@@ -361,7 +413,7 @@ fn build_targets() -> Vec<Target> {
                     budget,
                 )
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
             }
         }),
     ));
@@ -374,8 +426,8 @@ fn build_targets() -> Vec<Target> {
         "hierarchy_degrade_into",
         container,
         Box::new(move |bytes, budget| {
-            let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
-                .map_err(|e| e.to_string())?;
+            let parsed =
+                CompressedHierarchyField::from_bytes_budgeted(bytes, budget).map_err(fail)?;
             let mut levels = reused_levels.lock().unwrap_or_else(|p| p.into_inner());
             decompress_hierarchy_field_into(
                 &hier,
@@ -387,7 +439,7 @@ fn build_targets() -> Vec<Target> {
                 &mut levels,
             )
             .map(|_| ())
-            .map_err(|e| e.to_string())
+            .map_err(fail)
         }),
     ));
 
@@ -423,8 +475,8 @@ fn recipe_targets(seed: u64, count: u32) -> Vec<Target> {
             repro: spec.recipe.clone(),
             stream: compressed.to_bytes(),
             decode: Box::new(move |bytes, budget| {
-                let parsed = CompressedHierarchyField::from_bytes_budgeted(bytes, budget)
-                    .map_err(|e| e.to_string())?;
+                let parsed =
+                    CompressedHierarchyField::from_bytes_budgeted(bytes, budget).map_err(fail)?;
                 decompress_hierarchy_field_policy(
                     &hier,
                     &parsed,
@@ -434,7 +486,7 @@ fn recipe_targets(seed: u64, count: u32) -> Vec<Target> {
                     budget,
                 )
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(fail)
             }),
         });
     }
@@ -522,9 +574,14 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
                 harmless += 1;
                 tallies[ti].oks += 1;
             }
-            Ok(Err(_)) => {
+            Ok(Err(failure)) => {
                 graceful += 1;
                 tallies[ti].errors += 1;
+                match failure.class {
+                    "corrupt" => tallies[ti].errors_corrupt += 1,
+                    "truncated" => tallies[ti].errors_truncated += 1,
+                    _ => tallies[ti].errors_budget += 1,
+                }
             }
             Err(payload) => {
                 panics += 1;

@@ -39,10 +39,10 @@ use crate::lock_clean;
 pub const SCHEMA: &str = "amrviz-journal-v1";
 
 /// Maximum buffered lines per shard before drop-oldest kicks in.
-const SHARD_CAP: usize = 8192;
+pub const SHARD_CAP: usize = 8192;
 
 /// Number of producer shards (power of two; indexed by thread id).
-const SHARDS: usize = 8;
+pub const SHARDS: usize = 8;
 
 /// Writer poll interval while the journal is active.
 const POLL: Duration = Duration::from_millis(50);
@@ -54,10 +54,16 @@ struct Shard {
 struct JournalState {
     shards: Vec<Shard>,
     writer: Mutex<Option<JoinHandle<()>>>,
+    /// The journal file, shared between the background writer and
+    /// synchronous [`flush`] callers. Drain-and-write always happens *under*
+    /// this lock, which is what keeps the file totally seq-ordered even when
+    /// a flush races the writer's poll.
+    file: Mutex<Option<std::fs::File>>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static STOPPING: AtomicBool = AtomicBool::new(false);
+static WRITER_PAUSED: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static ENQUEUED: AtomicU64 = AtomicU64::new(0);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
@@ -71,6 +77,7 @@ fn state() -> &'static JournalState {
             })
             .collect(),
         writer: Mutex::new(None),
+        file: Mutex::new(None),
     })
 }
 
@@ -168,6 +175,37 @@ fn write_lines(file: &mut std::fs::File, lines: Vec<(u64, String)>) {
     }
 }
 
+/// Drains every shard and writes the sorted batch, all under the file lock
+/// so concurrent callers (writer thread vs. [`flush`]) cannot interleave
+/// batches out of seq order.
+fn drain_and_write() {
+    let mut guard = lock_clean(&state().file);
+    if let Some(file) = guard.as_mut() {
+        let batch = drain_sorted();
+        if !batch.is_empty() {
+            write_lines(file, batch);
+        }
+        let _ = file.flush();
+    }
+}
+
+/// Synchronously drains all pending journal lines to the file and flushes
+/// it. Safe to call from any thread at any time; a no-op when no journal is
+/// attached. `amrviz serve` calls this during graceful drain, and the CLI
+/// teardown path calls it so short runs cannot lose the queued tail between
+/// writer polls.
+pub fn flush() {
+    drain_and_write();
+}
+
+/// Test hook: pauses the background writer's polling so queue-overflow
+/// behavior can be exercised deterministically. Synchronous [`flush`] and
+/// [`stop`] still drain.
+#[doc(hidden)]
+pub fn set_writer_paused(paused: bool) {
+    WRITER_PAUSED.store(paused, Ordering::SeqCst);
+}
+
 /// Attaches a journal file (append + create) and starts the background
 /// writer. Errors if a journal is already active or the file cannot be
 /// opened. Writes a `journal_start` meta line carrying the schema id.
@@ -176,13 +214,14 @@ pub fn start(path: &Path) -> Result<(), String> {
         return Err("journal already active".into());
     }
     STOPPING.store(false, Ordering::SeqCst);
-    let mut file = match OpenOptions::new().create(true).append(true).open(path) {
+    let file = match OpenOptions::new().create(true).append(true).open(path) {
         Ok(f) => f,
         Err(e) => {
             ACTIVE.store(false, Ordering::SeqCst);
             return Err(format!("journal: cannot open {}: {e}", path.display()));
         }
     };
+    *lock_clean(&state().file) = Some(file);
     push_raw(
         "meta",
         0,
@@ -191,17 +230,14 @@ pub fn start(path: &Path) -> Result<(), String> {
     let handle = std::thread::Builder::new()
         .name("amrviz-journal".into())
         .spawn(move || loop {
-            let batch = drain_sorted();
-            if !batch.is_empty() {
-                write_lines(&mut file, batch);
-                let _ = file.flush();
+            if !WRITER_PAUSED.load(Ordering::SeqCst) {
+                drain_and_write();
             }
             if STOPPING.load(Ordering::SeqCst) {
                 // Final drain: everything emitted before stop() flipped
-                // ACTIVE off is already queued.
-                let rest = drain_sorted();
-                write_lines(&mut file, rest);
-                let _ = file.flush();
+                // ACTIVE off is already queued. Runs even when paused —
+                // stop always lands the tail.
+                drain_and_write();
                 return;
             }
             std::thread::sleep(POLL);
@@ -230,6 +266,8 @@ pub fn stop() -> JournalStats {
         if let Some(h) = lock_clean(&state().writer).take() {
             let _ = h.join();
         }
+        // Close the file so a later start() on a new path gets a fresh one.
+        *lock_clean(&state().file) = None;
     }
     JournalStats {
         enqueued: enqueued(),

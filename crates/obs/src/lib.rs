@@ -67,6 +67,14 @@ pub mod flame;
 pub mod hist;
 pub mod journal;
 pub mod mem;
+
+/// Synchronously drains pending journal lines to disk — see
+/// [`journal::flush`]. Exposed at the crate root because serve's graceful
+/// drain calls it without caring about the journal's internals.
+pub fn journal_flush() {
+    journal::flush();
+}
+
 pub mod summary;
 pub mod window;
 

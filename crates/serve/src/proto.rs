@@ -1,0 +1,551 @@
+//! Length-prefixed binary wire protocol for `amrviz serve`.
+//!
+//! Every frame on the wire is `u32` little-endian payload length followed by
+//! the payload. A request is one frame; a response is a *sequence* of frames
+//! the client may stop consuming at any prefix:
+//!
+//! ```text
+//! client → server   [REQUEST]
+//! server → client   [HEADER] ([KEYS] | [LEVEL]*) [END]
+//! ```
+//!
+//! `HEADER` carries the typed status (and, for `RetryLater`, a retry-after
+//! hint) plus response flags — `FLAG_DEGRADED` when any fab was repaired
+//! under `DecodePolicy::Degrade`, `FLAG_COARSE_ONLY` when the deadline
+//! budget forced a coarse-only response. `LEVEL` frames stream the decoded
+//! hierarchy coarse-first; `END` closes a successful stream. A stream cut
+//! without `END` means the server hit the deadline mid-response and stopped
+//! rather than write past it — the received prefix is still a valid
+//! progressive result.
+//!
+//! Frame payloads are encoded with the same budget-checked
+//! [`ByteWriter`]/[`ByteReader`] pair the compressed container uses, so a
+//! chaos-corrupted frame surfaces as a typed [`CodecError`], never a panic.
+
+use amrviz_codec::{zigzag_decode, zigzag_encode, CodecError, DecodeBudget};
+use amrviz_compress::wire::{ByteReader, ByteWriter};
+use std::io::{Read, Write};
+
+/// Protocol version byte, first in every request and header payload.
+pub const PROTO_VERSION: u8 = 1;
+/// Request payload magic.
+pub const REQ_MAGIC: u8 = 0xA5;
+/// Response header magic.
+pub const RESP_MAGIC: u8 = 0x5A;
+
+/// Hard cap on a *request* frame (requests are tiny; anything bigger is an
+/// attack or corruption).
+pub const MAX_REQUEST_FRAME: usize = 4 << 10;
+/// Hard cap on a *response* frame (one level of a decoded hierarchy).
+pub const MAX_RESPONSE_FRAME: usize = 256 << 20;
+
+/// Frame tags: first payload byte of every response frame.
+pub const TAG_HEADER: u8 = 0;
+pub const TAG_LEVEL: u8 = 1;
+pub const TAG_END: u8 = 2;
+pub const TAG_KEYS: u8 = 3;
+
+/// Response header flag: at least one fab was served repaired
+/// (`DecodePolicy::Degrade`) rather than decoded cleanly.
+pub const FLAG_DEGRADED: u8 = 1;
+/// Response header flag: the deadline budget was near exhaustion at
+/// admission, so only the coarse level is streamed.
+pub const FLAG_COARSE_ONLY: u8 = 2;
+
+/// Request operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Progressive fetch of a decoded hierarchy by blob key.
+    Get,
+    /// Enumerate the store's blob keys.
+    List,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Op {
+    pub fn code(self) -> u8 {
+        match self {
+            Op::Get => 1,
+            Op::List => 2,
+            Op::Ping => 3,
+        }
+    }
+
+    pub fn from_code(c: u8) -> Option<Op> {
+        match c {
+            1 => Some(Op::Get),
+            2 => Some(Op::List),
+            3 => Some(Op::Ping),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::List => "list",
+            Op::Ping => "ping",
+        }
+    }
+}
+
+/// Typed response statuses. The split mirrors the codec error taxonomy:
+/// `RetryLater` and `Timeout` are transient (retry may succeed); `Corrupt`,
+/// `NotFound` and `BadRequest` are permanent for the same request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Fully decoded, all fabs clean.
+    Ok,
+    /// Served, but some fabs were repaired (see `FLAG_DEGRADED`).
+    Degraded,
+    /// Load shed at admission: the work queue was full. The header carries
+    /// a retry-after hint in milliseconds.
+    RetryLater,
+    /// No blob under that key.
+    NotFound,
+    /// Blob failed its checksum (quarantined) or its contents failed
+    /// structural decode — permanently unservable as stored.
+    Corrupt,
+    /// The deadline budget expired before even the coarse level was ready.
+    Timeout,
+    /// Unparseable or unsupported request frame.
+    BadRequest,
+    /// Server is draining; no new work accepted.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl Status {
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Degraded => 1,
+            Status::RetryLater => 2,
+            Status::NotFound => 3,
+            Status::Corrupt => 4,
+            Status::Timeout => 5,
+            Status::BadRequest => 6,
+            Status::ShuttingDown => 7,
+            Status::Internal => 8,
+        }
+    }
+
+    pub fn from_code(c: u8) -> Option<Status> {
+        Some(match c {
+            0 => Status::Ok,
+            1 => Status::Degraded,
+            2 => Status::RetryLater,
+            3 => Status::NotFound,
+            4 => Status::Corrupt,
+            5 => Status::Timeout,
+            6 => Status::BadRequest,
+            7 => Status::ShuttingDown,
+            8 => Status::Internal,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::RetryLater => "retry_later",
+            Status::NotFound => "not_found",
+            Status::Corrupt => "corrupt",
+            Status::Timeout => "timeout",
+            Status::BadRequest => "bad_request",
+            Status::ShuttingDown => "shutting_down",
+            Status::Internal => "internal",
+        }
+    }
+
+    /// True when the same request may succeed if retried later.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            Status::RetryLater | Status::Timeout | Status::ShuttingDown
+        )
+    }
+}
+
+/// A client request. One request per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub op: Op,
+    /// Client-generated trace id, propagated into the server's journal so
+    /// `amrviz stats` can stitch the client and server halves of a request.
+    pub trace: u64,
+    /// Blob key (GET only).
+    pub key: u64,
+    /// Deadline budget in milliseconds (0 = expire immediately; the server
+    /// also caps this at its own maximum).
+    pub deadline_ms: u32,
+    /// Finest level the client wants (0xFF = all levels).
+    pub max_level: u8,
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(REQ_MAGIC);
+        w.u8(PROTO_VERSION);
+        w.u8(self.op.code());
+        w.u64_le(self.trace);
+        w.u64_le(self.key);
+        w.uvarint(self.deadline_ms as u64);
+        w.u8(self.max_level);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Request, CodecError> {
+        let mut r = ByteReader::with_budget(bytes, DecodeBudget::strict());
+        if r.u8()? != REQ_MAGIC {
+            return Err(CodecError::Corrupt("bad request magic"));
+        }
+        if r.u8()? != PROTO_VERSION {
+            return Err(CodecError::Corrupt("unsupported protocol version"));
+        }
+        let op = Op::from_code(r.u8()?).ok_or(CodecError::Corrupt("unknown op"))?;
+        let trace = r.u64_le()?;
+        let key = r.u64_le()?;
+        let deadline_ms = u32::try_from(r.uvarint()?)
+            .map_err(|_| CodecError::Corrupt("deadline out of range"))?;
+        let max_level = r.u8()?;
+        Ok(Request {
+            op,
+            trace,
+            key,
+            deadline_ms,
+            max_level,
+        })
+    }
+}
+
+/// Response header frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespHeader {
+    pub status: Status,
+    pub flags: u8,
+    pub retry_after_ms: u32,
+    /// Levels the server intends to stream (0 for non-OK statuses).
+    pub n_levels: u8,
+    pub key: u64,
+}
+
+impl RespHeader {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_HEADER);
+        w.u8(RESP_MAGIC);
+        w.u8(PROTO_VERSION);
+        w.u8(self.status.code());
+        w.u8(self.flags);
+        w.uvarint(self.retry_after_ms as u64);
+        w.u8(self.n_levels);
+        w.u64_le(self.key);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<RespHeader, CodecError> {
+        let mut r = ByteReader::with_budget(bytes, DecodeBudget::strict());
+        if r.u8()? != TAG_HEADER {
+            return Err(CodecError::Corrupt("expected header frame"));
+        }
+        if r.u8()? != RESP_MAGIC || r.u8()? != PROTO_VERSION {
+            return Err(CodecError::Corrupt("bad response magic/version"));
+        }
+        let status =
+            Status::from_code(r.u8()?).ok_or(CodecError::Corrupt("unknown status code"))?;
+        let flags = r.u8()?;
+        let retry_after_ms = u32::try_from(r.uvarint()?)
+            .map_err(|_| CodecError::Corrupt("retry-after out of range"))?;
+        let n_levels = r.u8()?;
+        let key = r.u64_le()?;
+        Ok(RespHeader {
+            status,
+            flags,
+            retry_after_ms,
+            n_levels,
+            key,
+        })
+    }
+}
+
+/// End-of-stream frame: marks a response the server *completed* (as opposed
+/// to one cut mid-stream at the deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndFrame {
+    pub status: Status,
+    pub levels_sent: u8,
+    pub server_elapsed_us: u64,
+}
+
+impl EndFrame {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_END);
+        w.u8(self.status.code());
+        w.u8(self.levels_sent);
+        w.uvarint(self.server_elapsed_us);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<EndFrame, CodecError> {
+        let mut r = ByteReader::with_budget(bytes, DecodeBudget::strict());
+        if r.u8()? != TAG_END {
+            return Err(CodecError::Corrupt("expected end frame"));
+        }
+        let status = Status::from_code(r.u8()?).ok_or(CodecError::Corrupt("unknown status"))?;
+        let levels_sent = r.u8()?;
+        let server_elapsed_us = r.uvarint()?;
+        Ok(EndFrame {
+            status,
+            levels_sent,
+            server_elapsed_us,
+        })
+    }
+}
+
+/// Encodes one level of a decoded hierarchy as a `LEVEL` frame payload.
+pub fn encode_level_frame(level: usize, degraded_fabs: u32, mf: &amrviz_amr::MultiFab) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(TAG_LEVEL);
+    w.u8(level as u8);
+    w.uvarint(degraded_fabs as u64);
+    w.uvarint(mf.len() as u64);
+    for fab in mf.fabs() {
+        let bx = fab.box3();
+        for v in [
+            bx.lo()[0],
+            bx.lo()[1],
+            bx.lo()[2],
+            bx.hi()[0],
+            bx.hi()[1],
+            bx.hi()[2],
+        ] {
+            w.uvarint(zigzag_encode(v));
+        }
+        for &v in fab.data() {
+            w.f64(v);
+        }
+    }
+    w.finish()
+}
+
+/// Summary of a parsed `LEVEL` frame (the client validates structure and
+/// counts cells; it does not retain the data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSummary {
+    pub level: u8,
+    pub degraded_fabs: u64,
+    pub fabs: u64,
+    pub cells: u64,
+}
+
+/// Parses a `LEVEL` frame payload, validating every declared size against
+/// `budget` before trusting it.
+pub fn decode_level_frame(bytes: &[u8], budget: &DecodeBudget) -> Result<LevelSummary, CodecError> {
+    let mut r = ByteReader::with_budget(bytes, *budget);
+    if r.u8()? != TAG_LEVEL {
+        return Err(CodecError::Corrupt("expected level frame"));
+    }
+    let level = r.u8()?;
+    let degraded_fabs = r.uvarint()?;
+    let fabs = budget.check_values(r.uvarint()? as usize)? as u64;
+    let mut cells = 0u64;
+    for _ in 0..fabs {
+        let mut c = [0i64; 6];
+        for v in c.iter_mut() {
+            *v = zigzag_decode(r.uvarint()?);
+        }
+        let (lo, hi) = (&c[..3], &c[3..]);
+        let mut n = 1usize;
+        for a in 0..3 {
+            if hi[a] < lo[a] {
+                return Err(CodecError::Corrupt("inverted fab box"));
+            }
+            let d = budget.check_dim((hi[a] - lo[a] + 1) as usize)?;
+            n = n
+                .checked_mul(d)
+                .ok_or(CodecError::Corrupt("fab dims overflow"))?;
+        }
+        budget.check_values(n)?;
+        budget.check_section(n * 8, r.remaining())?;
+        for _ in 0..n {
+            r.f64()?;
+        }
+        cells += n as u64;
+    }
+    Ok(LevelSummary {
+        level,
+        degraded_fabs,
+        fabs,
+        cells,
+    })
+}
+
+/// Encodes a `KEYS` frame (LIST response).
+pub fn encode_keys_frame(keys: &[u64]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(TAG_KEYS);
+    w.uvarint(keys.len() as u64);
+    for &k in keys {
+        w.u64_le(k);
+    }
+    w.finish()
+}
+
+/// Parses a `KEYS` frame payload.
+pub fn decode_keys_frame(bytes: &[u8], budget: &DecodeBudget) -> Result<Vec<u64>, CodecError> {
+    let mut r = ByteReader::with_budget(bytes, *budget);
+    if r.u8()? != TAG_KEYS {
+        return Err(CodecError::Corrupt("expected keys frame"));
+    }
+    let n = budget.check_values(r.uvarint()? as usize)?;
+    budget.check_section(n * 8, r.remaining())?;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(r.u64_le()?);
+    }
+    Ok(keys)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame, capping the declared length at `max`.
+/// Returns `Ok(None)` on clean EOF *before* the length prefix (peer closed
+/// between frames).
+pub fn read_frame(r: &mut impl Read, max: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrviz_amr::{Box3, BoxArray, MultiFab};
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            op: Op::Get,
+            trace: 0xDEAD_BEEF_1234,
+            key: 42,
+            deadline_ms: 250,
+            max_level: 0xFF,
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn header_and_end_roundtrip() {
+        let h = RespHeader {
+            status: Status::RetryLater,
+            flags: 0,
+            retry_after_ms: 75,
+            n_levels: 0,
+            key: 7,
+        };
+        assert_eq!(RespHeader::decode(&h.encode()).unwrap(), h);
+        let e = EndFrame {
+            status: Status::Degraded,
+            levels_sent: 3,
+            server_elapsed_us: 12_345,
+        };
+        assert_eq!(EndFrame::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn level_frame_roundtrip_counts_cells() {
+        let ba = BoxArray::new(vec![
+            Box3::from_dims(4, 4, 4),
+            Box3::new(
+                amrviz_amr::IntVect::new(4, 0, 0),
+                amrviz_amr::IntVect::new(7, 3, 3),
+            ),
+        ]);
+        let mf = MultiFab::from_fn(&ba, |iv| iv[0] as f64);
+        let frame = encode_level_frame(1, 2, &mf);
+        let s = decode_level_frame(&frame, &DecodeBudget::strict()).unwrap();
+        assert_eq!(s.level, 1);
+        assert_eq!(s.degraded_fabs, 2);
+        assert_eq!(s.fabs, 2);
+        assert_eq!(s.cells, 128);
+    }
+
+    #[test]
+    fn corrupt_frames_yield_typed_errors() {
+        let req = Request {
+            op: Op::Get,
+            trace: 1,
+            key: 2,
+            deadline_ms: 3,
+            max_level: 0,
+        };
+        let mut bytes = req.encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(CodecError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Request::decode(&bytes[..2]),
+            Err(CodecError::Corrupt(_) | CodecError::Truncated)
+        ));
+        let keys = encode_keys_frame(&[1, 2, 3]);
+        assert!(matches!(
+            decode_keys_frame(&keys[..keys.len() - 2], &DecodeBudget::strict()),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur, 64).unwrap().is_none(), "clean EOF");
+
+        let mut big = Vec::new();
+        write_frame(&mut big, &[0u8; 100]).unwrap();
+        let mut cur = std::io::Cursor::new(big);
+        let err = read_frame(&mut cur, 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

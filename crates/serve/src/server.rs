@@ -1,0 +1,723 @@
+//! The `amrviz serve` TCP server: blocking worker pool, bounded admission
+//! queue, per-request deadline budgets, graceful drain.
+//!
+//! Robustness contract (chaos-tested by [`crate::torture`]):
+//!
+//! - **No panic escapes.** Each connection runs under `catch_unwind`; a
+//!   panicking request is counted and the connection dropped, the pool
+//!   keeps serving.
+//! - **No data frame is decided at/after its deadline.** Every data-frame
+//!   write goes through one gated choke point that samples the clock
+//!   *before* writing; an expired deadline aborts the stream (counted in
+//!   `deadline_aborts`) instead. The stream then lacks its `END` frame —
+//!   the client's received prefix is still a valid progressive result.
+//!   `post_deadline_responses` measures violations of this invariant and
+//!   must stay 0.
+//! - **Overload sheds, never queues unboundedly.** The accept thread keeps
+//!   the work queue bounded; beyond it, connections get a typed
+//!   `RetryLater` + retry-after hint (drop-newest) rather than waiting.
+//! - **Corruption degrades or errors, never lies.** A quarantined blob is
+//!   `Corrupt`; a blob whose fabs partially fail decodes under
+//!   `DecodePolicy::Degrade` and is served flagged `FLAG_DEGRADED`.
+
+use crate::artifact::{compressor_for, decode_artifact};
+use crate::cache::{ArenaCache, DecodedEntry};
+use crate::proto::{
+    self, EndFrame, Op, Request, RespHeader, Status, FLAG_COARSE_ONLY, FLAG_DEGRADED,
+    MAX_REQUEST_FRAME,
+};
+use crate::store::{BlobStore, StoreError};
+use amrviz_codec::DecodeBudget;
+use amrviz_compress::{decompress_hierarchy_field_into, AmrCodecConfig, DecodePolicy};
+use amrviz_obs::{context_scope, journal, TraceContext};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` is sized for tests and smoke runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Blob store directory.
+    pub store_dir: PathBuf,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Bounded admission queue depth; beyond this, shed with `RetryLater`.
+    pub queue_depth: usize,
+    /// Decoded-arena cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Cap on client-requested deadlines.
+    pub max_deadline_ms: u32,
+    /// Per-socket read/write timeout (a stalled or chaos-delayed peer can
+    /// hold a worker at most this long per syscall).
+    pub io_timeout_ms: u64,
+    /// Retry-after hint handed to shed clients.
+    pub retry_after_ms: u32,
+    /// When the remaining deadline budget falls below this fraction at
+    /// stream-planning time, serve only the coarse level.
+    pub coarse_only_frac: f64,
+    /// Stop accepting and drain after this long (None = run until `stop`).
+    pub shutdown_after: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            store_dir: PathBuf::from("serve_store"),
+            workers: 2,
+            queue_depth: 32,
+            cache_bytes: 256 << 20,
+            max_deadline_ms: 10_000,
+            io_timeout_ms: 2_000,
+            retry_after_ms: 50,
+            coarse_only_frac: 0.25,
+            shutdown_after: None,
+        }
+    }
+}
+
+/// Monotonic counters shared by all server threads.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    pub requests: AtomicU64,
+    pub ok: AtomicU64,
+    pub degraded: AtomicU64,
+    pub shed: AtomicU64,
+    pub not_found: AtomicU64,
+    pub corrupt: AtomicU64,
+    pub timeout: AtomicU64,
+    pub bad_request: AtomicU64,
+    pub io_errors: AtomicU64,
+    pub panics: AtomicU64,
+    /// Data frames written at/after their deadline — the invariant counter;
+    /// must be 0.
+    pub post_deadline_responses: AtomicU64,
+    /// Streams cut (no END) because the deadline expired mid-response.
+    pub deadline_aborts: AtomicU64,
+    pub coarse_only: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub ok: u64,
+    pub degraded: u64,
+    pub shed: u64,
+    pub not_found: u64,
+    pub corrupt: u64,
+    pub timeout: u64,
+    pub bad_request: u64,
+    pub io_errors: u64,
+    pub panics: u64,
+    pub post_deadline_responses: u64,
+    pub deadline_aborts: u64,
+    pub coarse_only: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl ServeStats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            timeout: self.timeout.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            post_deadline_responses: self.post_deadline_responses.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            coarse_only: self.coarse_only.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// One-line JSON for the `SERVE_STATS` stdout marker and CI greps.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\":{},\"ok\":{},\"degraded\":{},\"shed\":{},",
+                "\"not_found\":{},\"corrupt\":{},\"timeout\":{},",
+                "\"bad_request\":{},\"io_errors\":{},\"panics\":{},",
+                "\"post_deadline_responses\":{},\"deadline_aborts\":{},",
+                "\"coarse_only\":{},\"cache_hits\":{},\"cache_misses\":{}}}"
+            ),
+            self.requests,
+            self.ok,
+            self.degraded,
+            self.shed,
+            self.not_found,
+            self.corrupt,
+            self.timeout,
+            self.bad_request,
+            self.io_errors,
+            self.panics,
+            self.post_deadline_responses,
+            self.deadline_aborts,
+            self.coarse_only,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    store: BlobStore,
+    cache: ArenaCache,
+    stats: ServeStats,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    cond: Condvar,
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] (or let `shutdown_after` elapse) then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live stats (threads may still be mutating them).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Begins graceful drain: stop accepting, finish queued work.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.cond.notify_all();
+    }
+
+    /// Waits for drain to complete, flushes the journal, and returns the
+    /// final stats. Call [`ServerHandle::shutdown`] first unless
+    /// `shutdown_after` was set.
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // Accept thread exit implies stop is set; wake any idle workers.
+        self.inner.cond.notify_all();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        let snap = self.inner.stats.snapshot();
+        journal::emit(
+            "serve",
+            &[
+                ("role", "\"server\"".into()),
+                ("event", "\"drain\"".into()),
+                ("requests", snap.requests.to_string()),
+                ("ok", snap.ok.to_string()),
+                ("degraded", snap.degraded.to_string()),
+                ("shed", snap.shed.to_string()),
+                ("timeout", snap.timeout.to_string()),
+                ("panics", snap.panics.to_string()),
+                (
+                    "post_deadline_responses",
+                    snap.post_deadline_responses.to_string(),
+                ),
+                ("deadline_aborts", snap.deadline_aborts.to_string()),
+                ("cache_hits", snap.cache_hits.to_string()),
+            ],
+        );
+        amrviz_obs::journal_flush();
+        snap
+    }
+}
+
+/// Binds, spawns the accept thread and worker pool, and returns.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let store = BlobStore::open(&cfg.store_dir)
+        .map_err(|e| std::io::Error::other(format!("store: {e}")))?;
+    let inner = Arc::new(Inner {
+        cache: ArenaCache::new(cfg.cache_bytes),
+        stats: ServeStats::default(),
+        stop: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        cond: Condvar::new(),
+        store,
+        cfg,
+    });
+
+    let mut workers = Vec::new();
+    for w in 0..inner.cfg.workers.max(1) {
+        let inner = Arc::clone(&inner);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || worker_loop(&inner))?,
+        );
+    }
+    let accept = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&inner, listener))?
+    };
+    Ok(ServerHandle {
+        addr,
+        inner,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(inner: &Inner, listener: TcpListener) {
+    let started = Instant::now();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(after) = inner.cfg.shutdown_after {
+            if started.elapsed() >= after {
+                inner.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let io_t = Duration::from_millis(inner.cfg.io_timeout_ms.max(1));
+                let _ = stream.set_read_timeout(Some(io_t));
+                let _ = stream.set_write_timeout(Some(io_t));
+                admit(inner, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    inner.cond.notify_all();
+}
+
+/// Admission control: bounded queue, drop-newest with a typed shed reply.
+fn admit(inner: &Inner, mut stream: TcpStream) {
+    let mut q = inner.queue.lock().unwrap();
+    if q.len() >= inner.cfg.queue_depth.max(1) {
+        drop(q);
+        inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+        amrviz_obs::counter!("serve.shed", 1);
+        journal::emit(
+            "serve",
+            &[
+                ("role", "\"server\"".into()),
+                ("event", "\"shed\"".into()),
+                ("retry_after_ms", inner.cfg.retry_after_ms.to_string()),
+            ],
+        );
+        // Best-effort typed reply from the accept thread (bounded by the
+        // socket write timeout). The request frame is never read — shedding
+        // must not depend on a possibly-slow client.
+        let header = RespHeader {
+            status: Status::RetryLater,
+            flags: 0,
+            retry_after_ms: inner.cfg.retry_after_ms,
+            n_levels: 0,
+            key: 0,
+        };
+        let _ = proto::write_frame(&mut stream, &header.encode());
+        let _ = proto::write_frame(
+            &mut stream,
+            &EndFrame {
+                status: Status::RetryLater,
+                levels_sent: 0,
+                server_elapsed_us: 0,
+            }
+            .encode(),
+        );
+        return;
+    }
+    q.push_back(stream);
+    drop(q);
+    inner.cond.notify_one();
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = inner
+                    .cond
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(inner, stream)));
+        if result.is_err() {
+            inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+            amrviz_obs::counter!("serve.panic", 1);
+            journal::emit(
+                "serve",
+                &[("role", "\"server\"".into()), ("event", "\"panic\"".into())],
+            );
+        }
+    }
+}
+
+/// Outcome of a gated data-frame write.
+enum Gated {
+    Written,
+    /// Deadline expired at decision time; nothing was written.
+    Expired,
+    Io,
+}
+
+/// The single choke point for data-bearing frames: sample the clock, refuse
+/// to write at/after the deadline. `post_deadline_responses` re-checks the
+/// *decision* timestamp after the write — it can only increment if a write
+/// was started despite an expired deadline, i.e. if this gate is broken.
+fn write_gated(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    deadline: Instant,
+    stats: &ServeStats,
+) -> Gated {
+    let decided_at = Instant::now();
+    if decided_at >= deadline {
+        return Gated::Expired;
+    }
+    let r = proto::write_frame(stream, payload);
+    if decided_at >= deadline {
+        stats
+            .post_deadline_responses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    match r {
+        Ok(()) => Gated::Written,
+        Err(_) => Gated::Io,
+    }
+}
+
+/// Writes an error/notification header + END. Exempt from the deadline gate:
+/// a `Timeout` reply *is* the deadline signal, and shed/corrupt/not-found
+/// replies carry no hierarchy data.
+fn write_notification(stream: &mut TcpStream, status: Status, retry_after_ms: u32, key: u64) {
+    let header = RespHeader {
+        status,
+        flags: 0,
+        retry_after_ms,
+        n_levels: 0,
+        key,
+    };
+    let _ = proto::write_frame(stream, &header.encode());
+    let _ = proto::write_frame(
+        stream,
+        &EndFrame {
+            status,
+            levels_sent: 0,
+            server_elapsed_us: 0,
+        }
+        .encode(),
+    );
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let payload = match proto::read_frame(&mut stream, MAX_REQUEST_FRAME) {
+        Ok(Some(p)) => p,
+        Ok(None) => return, // peer connected and left
+        Err(_) => {
+            inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let req = match Request::decode(&payload) {
+        Ok(r) => r,
+        Err(_) => {
+            inner.stats.bad_request.fetch_add(1, Ordering::Relaxed);
+            inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+            write_notification(&mut stream, Status::BadRequest, 0, 0);
+            return;
+        }
+    };
+    // Adopt the client's trace so journal lines from both halves stitch.
+    let _scope = context_scope(TraceContext {
+        parent: 0,
+        trace: req.trace,
+        sampled: true,
+    });
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    amrviz_obs::counter!("serve.requests", 1);
+    let t0 = Instant::now();
+    let (status, levels_sent, flags) = match req.op {
+        Op::Ping => {
+            write_notification(&mut stream, Status::Ok, 0, 0);
+            (Status::Ok, 0u8, 0u8)
+        }
+        Op::List => serve_list(inner, &mut stream, &req, t0),
+        Op::Get => serve_get(inner, &mut stream, &req, t0),
+    };
+    let elapsed_us = t0.elapsed().as_micros() as u64;
+    match status {
+        Status::Ok => inner.stats.ok.fetch_add(1, Ordering::Relaxed),
+        Status::Degraded => inner.stats.degraded.fetch_add(1, Ordering::Relaxed),
+        Status::NotFound => inner.stats.not_found.fetch_add(1, Ordering::Relaxed),
+        Status::Corrupt => inner.stats.corrupt.fetch_add(1, Ordering::Relaxed),
+        Status::Timeout => inner.stats.timeout.fetch_add(1, Ordering::Relaxed),
+        Status::BadRequest => inner.stats.bad_request.fetch_add(1, Ordering::Relaxed),
+        Status::Internal => inner.stats.io_errors.fetch_add(1, Ordering::Relaxed),
+        Status::RetryLater | Status::ShuttingDown => 0,
+    };
+    amrviz_obs::histogram!("serve.latency_us", elapsed_us as f64);
+    journal::emit(
+        "serve",
+        &[
+            ("role", "\"server\"".into()),
+            ("op", format!("\"{}\"", req.op.name())),
+            ("status", format!("\"{}\"", status.name())),
+            ("key", format!("\"{:016x}\"", req.key)),
+            ("levels", levels_sent.to_string()),
+            ("elapsed_us", elapsed_us.to_string()),
+            ("degraded", ((flags & FLAG_DEGRADED) != 0).to_string()),
+            ("coarse_only", ((flags & FLAG_COARSE_ONLY) != 0).to_string()),
+        ],
+    );
+}
+
+fn serve_list(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &Request,
+    t0: Instant,
+) -> (Status, u8, u8) {
+    let deadline = t0 + Duration::from_millis(effective_deadline_ms(inner, req) as u64);
+    let keys = match inner.store.list() {
+        Ok(k) => k,
+        Err(_) => {
+            write_notification(stream, Status::Internal, 0, 0);
+            return (Status::Internal, 0, 0);
+        }
+    };
+    let header = RespHeader {
+        status: Status::Ok,
+        flags: 0,
+        retry_after_ms: 0,
+        n_levels: 0,
+        key: 0,
+    };
+    for payload in [header.encode(), proto::encode_keys_frame(&keys)] {
+        match write_gated(stream, &payload, deadline, &inner.stats) {
+            Gated::Written => {}
+            Gated::Expired => {
+                inner.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                return (Status::Timeout, 0, 0);
+            }
+            Gated::Io => {
+                inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return (Status::Internal, 0, 0);
+            }
+        }
+    }
+    let _ = proto::write_frame(
+        stream,
+        &EndFrame {
+            status: Status::Ok,
+            levels_sent: 0,
+            server_elapsed_us: t0.elapsed().as_micros() as u64,
+        }
+        .encode(),
+    );
+    (Status::Ok, 0, 0)
+}
+
+fn effective_deadline_ms(inner: &Inner, req: &Request) -> u32 {
+    req.deadline_ms.min(inner.cfg.max_deadline_ms)
+}
+
+/// Looks up (or decodes into cache) the entry for `key`. Deadline-aware:
+/// decode loops carry the budget's deadline and bail cooperatively.
+fn lookup_or_decode(
+    inner: &Inner,
+    key: u64,
+    deadline: Instant,
+) -> Result<Arc<DecodedEntry>, Status> {
+    if let Some(entry) = inner.cache.get(key) {
+        inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(entry);
+    }
+    inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let bytes = match inner.store.get(key) {
+        Ok(b) => b,
+        Err(StoreError::NotFound) => return Err(Status::NotFound),
+        Err(StoreError::Corrupt { .. }) => return Err(Status::Corrupt),
+        Err(StoreError::Io(_)) => return Err(Status::Internal),
+    };
+    let budget = DecodeBudget::permissive().with_deadline(deadline);
+    let art = match decode_artifact(&bytes, &budget) {
+        Ok(a) => a,
+        Err(e) if e.is_deadline() => return Err(Status::Timeout),
+        Err(_) => return Err(Status::Corrupt),
+    };
+    let Some(compressor) = compressor_for(&art.algo) else {
+        return Err(Status::Corrupt);
+    };
+    let mut levels = inner.cache.take_arena();
+    let cfg = AmrCodecConfig::default();
+    let report = match decompress_hierarchy_field_into(
+        &art.hier,
+        &art.container,
+        compressor.as_ref(),
+        &cfg,
+        DecodePolicy::Degrade,
+        &budget,
+        &mut levels,
+    ) {
+        Ok(r) => r,
+        Err(e) if e.is_deadline() => return Err(Status::Timeout),
+        Err(_) => return Err(Status::Corrupt),
+    };
+    let mut degraded_fabs = vec![0u32; levels.len()];
+    for (lev, _, status) in &report.fabs {
+        if !matches!(status, amrviz_compress::FabStatus::Ok) {
+            degraded_fabs[*lev] += 1;
+        }
+    }
+    let entry = DecodedEntry {
+        algo: art.algo,
+        field: art.field,
+        levels,
+        degraded_fabs,
+    };
+    Ok(inner.cache.insert(key, entry))
+}
+
+fn serve_get(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &Request,
+    t0: Instant,
+) -> (Status, u8, u8) {
+    let budget_ms = effective_deadline_ms(inner, req);
+    let total = Duration::from_millis(budget_ms as u64);
+    let deadline = t0 + total;
+    if budget_ms == 0 || Instant::now() >= deadline {
+        write_notification(stream, Status::Timeout, inner.cfg.retry_after_ms, req.key);
+        return (Status::Timeout, 0, 0);
+    }
+    let entry = match lookup_or_decode(inner, req.key, deadline) {
+        Ok(e) => e,
+        Err(status) => {
+            let retry = if status.is_retryable() {
+                inner.cfg.retry_after_ms
+            } else {
+                0
+            };
+            write_notification(stream, status, retry, req.key);
+            return (status, 0, 0);
+        }
+    };
+
+    // Plan the stream: cap at the client's max level; drop to coarse-only
+    // when the remaining budget is thin.
+    let want = (req.max_level as usize + 1).min(entry.levels.len());
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    let mut flags = if entry.is_degraded() {
+        FLAG_DEGRADED
+    } else {
+        0
+    };
+    let n_levels = if remaining < total.mul_f64(inner.cfg.coarse_only_frac) {
+        flags |= FLAG_COARSE_ONLY;
+        inner.stats.coarse_only.fetch_add(1, Ordering::Relaxed);
+        1
+    } else {
+        want
+    };
+    let status = if entry.is_degraded() {
+        Status::Degraded
+    } else {
+        Status::Ok
+    };
+    let header = RespHeader {
+        status,
+        flags,
+        retry_after_ms: 0,
+        n_levels: n_levels as u8,
+        key: req.key,
+    };
+    match write_gated(stream, &header.encode(), deadline, &inner.stats) {
+        Gated::Written => {}
+        Gated::Expired => {
+            // Nothing sent yet: a typed Timeout is still possible.
+            inner.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+            write_notification(stream, Status::Timeout, inner.cfg.retry_after_ms, req.key);
+            return (Status::Timeout, 0, 0);
+        }
+        Gated::Io => {
+            inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            return (Status::Internal, 0, 0);
+        }
+    }
+    let mut sent = 0u8;
+    for lev in 0..n_levels {
+        let frame = proto::encode_level_frame(lev, entry.degraded_fabs[lev], &entry.levels[lev]);
+        match write_gated(stream, &frame, deadline, &inner.stats) {
+            Gated::Written => sent += 1,
+            Gated::Expired => {
+                // Mid-stream expiry: cut WITHOUT the END frame. The prefix
+                // the client holds is a valid progressive result.
+                inner.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                amrviz_obs::counter!("serve.deadline_abort", 1);
+                return (Status::Timeout, sent, flags);
+            }
+            Gated::Io => {
+                inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return (Status::Internal, sent, flags);
+            }
+        }
+    }
+    let end = EndFrame {
+        status,
+        levels_sent: sent,
+        server_elapsed_us: t0.elapsed().as_micros() as u64,
+    };
+    match write_gated(stream, &end.encode(), deadline, &inner.stats) {
+        Gated::Written => (status, sent, flags),
+        Gated::Expired => {
+            inner.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+            (Status::Timeout, sent, flags)
+        }
+        Gated::Io => {
+            inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            (Status::Internal, sent, flags)
+        }
+    }
+}
