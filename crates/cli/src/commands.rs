@@ -575,10 +575,15 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
 }
 
 /// Pretty-prints continuous-telemetry artifacts: a `--journal` JSONL file
-/// (validating every line) or a `--metrics-out` snapshot. Exits nonzero if
-/// any journal line fails to parse — the CI well-formedness check.
+/// or a `--metrics-out` snapshot. Journals written by newer binaries may
+/// carry event kinds this binary doesn't know; those (and malformed lines)
+/// warn and are skipped so the tool stays useful across versions —
+/// `--strict` restores hard failure on the first bad line (the CI
+/// well-formedness check). `--slo SPEC` additionally gates the journal's
+/// server-side outcomes against a declared objective.
 pub fn stats(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv, &[], &[])?;
+    let p = parse(argv, &["slo"], &["strict"])?;
+    p.report_warnings();
     let path = p.positional(0, "telemetry file (journal JSONL or metrics snapshot)")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let first = text
@@ -593,7 +598,7 @@ pub fn stats(argv: &[String]) -> Result<(), String> {
     if is_snapshot {
         stats_snapshot(path, &head)
     } else {
-        stats_journal(path, &text)
+        stats_journal(path, &text, p.switch("strict"), p.opt("slo"))
     }
 }
 
@@ -615,27 +620,78 @@ struct ServeLine {
     /// Server `status` or client `outcome`.
     result: String,
     elapsed_us: u64,
+    /// Per-stage timing breakdown (server GET lines), taxonomy order.
+    stages_us: Vec<(String, u64)>,
 }
 
-fn stats_journal(path: &str, text: &str) -> Result<(), String> {
+/// One parsed `kind: "slo"` journal line (burn-rate window evaluation).
+struct SloEvent {
+    spec: String,
+    window: String,
+    good: u64,
+    total: u64,
+    p99_us: u64,
+    burn: f64,
+    breached: bool,
+}
+
+/// Journal event kinds this binary understands.
+const KNOWN_KINDS: [&str; 5] = ["span", "serve", "meta", "fault", "slo"];
+
+fn stats_journal(path: &str, text: &str, strict: bool, slo: Option<&str>) -> Result<(), String> {
     let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut spans: Vec<JournalSpan> = Vec::new();
     let mut serve_lines: Vec<ServeLine> = Vec::new();
+    let mut slo_events: Vec<SloEvent> = Vec::new();
+    let mut warned_kinds: std::collections::BTreeSet<String> = Default::default();
     let mut dropped = 0u64;
     let mut n_lines = 0u64;
+    let mut skipped = 0u64;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         n_lines += 1;
-        // Every line must be a standalone JSON object carrying `kind` —
-        // the schema contract CI relies on.
-        let v = amrviz_json::Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-        let kind = v
-            .get("kind")
-            .and_then(|k| k.as_str())
-            .ok_or(format!("{path}:{}: line has no `kind`", i + 1))?;
+        // Every line should be a standalone JSON object carrying `kind` —
+        // the schema contract. Violations are fatal under --strict and
+        // warn-and-skip otherwise (a journal from a newer binary must stay
+        // readable).
+        let v = match amrviz_json::Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                if strict {
+                    return Err(format!("{path}:{}: {e}", i + 1));
+                }
+                eprintln!("warning: {path}:{}: skipping unparseable line: {e}", i + 1);
+                skipped += 1;
+                continue;
+            }
+        };
+        let kind = match v.get("kind").and_then(|k| k.as_str()) {
+            Some(k) => k,
+            None => {
+                if strict {
+                    return Err(format!("{path}:{}: line has no `kind`", i + 1));
+                }
+                eprintln!("warning: {path}:{}: skipping line with no `kind`", i + 1);
+                skipped += 1;
+                continue;
+            }
+        };
         *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        if !KNOWN_KINDS.contains(&kind) {
+            if strict {
+                return Err(format!("{path}:{}: unknown event kind `{kind}`", i + 1));
+            }
+            if warned_kinds.insert(kind.to_string()) {
+                eprintln!(
+                    "warning: {path}: unknown event kind `{kind}` (newer journal \
+                     schema?); counting but not interpreting it"
+                );
+            }
+            skipped += 1;
+            continue;
+        }
         match kind {
             "span" => {
                 let get_u64 = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
@@ -667,11 +723,18 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
                     .or_else(|| v.get("outcome"))
                     .and_then(|x| x.as_str());
                 if let Some(result) = result {
+                    let mut stages_us = Vec::new();
+                    if let Some(amrviz_json::Json::Obj(entries)) = v.get("stages_us") {
+                        for (name, us) in entries {
+                            stages_us.push((name.clone(), us.as_u64().unwrap_or(0)));
+                        }
+                    }
                     serve_lines.push(ServeLine {
                         trace: str_of("trace"),
                         role: str_of("role"),
                         result: result.to_string(),
                         elapsed_us: v.get("elapsed_us").and_then(|x| x.as_u64()).unwrap_or(0),
+                        stages_us,
                     });
                 }
             }
@@ -680,16 +743,52 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
                     dropped = d;
                 }
             }
+            "slo" => {
+                let str_of = |k: &str| v.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string();
+                let u64_of = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                slo_events.push(SloEvent {
+                    spec: str_of("spec"),
+                    window: str_of("window"),
+                    good: u64_of("good"),
+                    total: u64_of("total"),
+                    p99_us: u64_of("p99_us"),
+                    burn: v.get("burn").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                    breached: v.get("breached").and_then(|x| x.as_bool()).unwrap_or(false),
+                });
+            }
             _ => {}
         }
     }
 
-    println!("journal {path}: {n_lines} lines, {dropped} dropped");
+    if skipped > 0 {
+        println!("journal {path}: {n_lines} lines, {dropped} dropped, {skipped} skipped");
+    } else {
+        println!("journal {path}: {n_lines} lines, {dropped} dropped");
+    }
     for (kind, n) in &kinds {
         println!("  {kind:<12} {n}");
     }
     if !serve_lines.is_empty() {
         print_serve_summary(&serve_lines);
+        print_tail_breakdown(&serve_lines);
+    }
+    if !slo_events.is_empty() {
+        println!("slo events ({}):", slo_events.len());
+        println!(
+            "  {:<20} {:<6} {:>12} {:>10} {:>8} {:>9}",
+            "spec", "window", "good/total", "p99 ms", "burn", "breached"
+        );
+        for e in &slo_events {
+            println!(
+                "  {:<20} {:<6} {:>12} {:>10.2} {:>8.2} {:>9}",
+                e.spec,
+                e.window,
+                format!("{}/{}", e.good, e.total),
+                e.p99_us as f64 / 1e3,
+                e.burn,
+                e.breached
+            );
+        }
     }
 
     // Stitch spans into per-trace trees, traces in first-seen order.
@@ -745,7 +844,85 @@ fn stats_journal(path: &str, text: &str) -> Result<(), String> {
     if trace_order.len() > MAX_TRACES {
         println!("... and {} more trace(s)", trace_order.len() - MAX_TRACES);
     }
+
+    // `--slo SPEC`: gate the journal's server-side outcomes against a
+    // declared objective, whole journal as one window. Exact-rank p99 (not
+    // log-bucketed) since the raw latencies are all in hand.
+    if let Some(spec_str) = slo {
+        let spec = amrviz_obs::slo::SloSpec::parse(spec_str)?;
+        // Client-attributable errors don't burn the server's budget —
+        // same exclusion the live STATS endpoint applies.
+        let server: Vec<&ServeLine> = serve_lines
+            .iter()
+            .filter(|l| {
+                l.role == "server" && !matches!(l.result.as_str(), "not_found" | "bad_request")
+            })
+            .collect();
+        let good = server
+            .iter()
+            .filter(|l| matches!(l.result.as_str(), "ok" | "degraded"))
+            .count() as u64;
+        let mut lat: Vec<u64> = server.iter().map(|l| l.elapsed_us).collect();
+        lat.sort_unstable();
+        let p99_us = if lat.is_empty() {
+            0
+        } else {
+            let idx = ((lat.len() as f64 - 1.0) * 0.99).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        let reading = amrviz_obs::slo::WindowReading {
+            label: "journal",
+            secs: 0,
+            good,
+            total: server.len() as u64,
+            p99_us,
+        };
+        let eval = amrviz_obs::slo::evaluate(&spec, &[reading]);
+        println!("SLO_EVAL {}", eval.to_json());
+        if eval.breached() {
+            return Err(format!(
+                "SLO {} breached over {} server request(s) in {path}",
+                spec.display(),
+                server.len()
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Names the dominant stage of the slowest server requests — the "p99 is
+/// decode-bound" answer, straight from journal `stages_us` breakdowns.
+fn print_tail_breakdown(lines: &[ServeLine]) {
+    let mut tail: Vec<&ServeLine> = lines
+        .iter()
+        .filter(|l| l.role == "server" && !l.stages_us.is_empty())
+        .collect();
+    if tail.is_empty() {
+        return;
+    }
+    tail.sort_by(|a, b| b.elapsed_us.cmp(&a.elapsed_us).then(b.trace.cmp(&a.trace)));
+    println!("slowest server requests (stage-attributed):");
+    for l in tail.iter().take(3) {
+        let dominant = l
+            .stages_us
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let attribution = match dominant {
+            Some((name, us)) if l.elapsed_us > 0 => format!(
+                "{name}-bound ({:.2} ms, {:.0}%)",
+                *us as f64 / 1e3,
+                *us as f64 / l.elapsed_us as f64 * 100.0
+            ),
+            Some((name, us)) => format!("{name}-bound ({:.2} ms)", *us as f64 / 1e3),
+            None => "no stage breakdown".to_string(),
+        };
+        println!(
+            "  {:>10.2} ms  trace {}  {}  {attribution}",
+            l.elapsed_us as f64 / 1e3,
+            l.trace,
+            l.result
+        );
+    }
 }
 
 /// Per-role outcome table plus client↔server trace stitching for the
@@ -951,6 +1128,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             "chaos",
             "seed-scenarios",
             "seed",
+            "slo",
         ],
         &[],
     )?;
@@ -979,6 +1157,10 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             .saturating_mul(1 << 20),
         max_deadline_ms: p.opt_parse::<u32>("max-deadline-ms")?.unwrap_or(10_000),
         shutdown_after,
+        slo: match p.opt("slo") {
+            Some(s) => amrviz_obs::slo::SloSpec::parse(s)?,
+            None => amrviz_obs::slo::SloSpec::default(),
+        },
         ..amrviz_serve::ServeConfig::default()
     };
     let server = amrviz_serve::start(cfg).map_err(|e| format!("starting server: {e}"))?;
@@ -1031,6 +1213,7 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
             "retries",
             "seed",
             "min-success",
+            "slo",
         ],
         &[],
     )?;
@@ -1097,6 +1280,34 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
             "success rate {:.3} below --min-success {min_success}",
             report.success_rate
         ));
+    }
+    // `--slo`: gate the whole run as one evaluation window, reusing the
+    // same evaluator the server's burn-rate windows run through.
+    if let Some(spec_str) = p.opt("slo") {
+        let spec = amrviz_obs::slo::SloSpec::parse(spec_str)?;
+        let good: u64 = report
+            .outcomes
+            .iter()
+            .filter(|(name, _)| matches!(**name, "ok" | "degraded" | "cut_short"))
+            .map(|(_, n)| n)
+            .sum();
+        let reading = amrviz_obs::slo::WindowReading {
+            label: "run",
+            secs: cfg.duration.as_secs(),
+            good,
+            total: report.requests,
+            p99_us: report.p99_us,
+        };
+        let eval = amrviz_obs::slo::evaluate(&spec, &[reading]);
+        println!("LOADGEN_SLO {}", eval.to_json());
+        if eval.breached() {
+            return Err(format!(
+                "SLO {} breached over the run ({good}/{} good, p99 {:.1} ms)",
+                spec.display(),
+                report.requests,
+                report.p99_us as f64 / 1e3
+            ));
+        }
     }
     Ok(())
 }

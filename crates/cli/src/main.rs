@@ -17,6 +17,7 @@
 
 mod args;
 mod commands;
+mod top;
 
 use std::process::ExitCode;
 
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         "loadgen" => commands::loadgen(rest),
         "bench" => commands::bench(rest),
         "stats" => commands::stats(rest),
+        "top" => top::top(rest),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     // Streaming shutdown and exporters run even when the command failed:
@@ -298,7 +300,7 @@ USAGE:
                     any violation with a reproducing command line.
   amrviz serve      --store DIR [--addr HOST:PORT] [--workers N]
                     [--queue-depth D] [--cache-mb MB] [--max-deadline-ms MS]
-                    [--shutdown-after SECS] [--chaos SEED]
+                    [--shutdown-after SECS] [--chaos SEED] [--slo SPEC]
                     [--seed-scenarios N [--seed S]]
                     progressive AMR server: streams cached decoded
                     hierarchies coarse-level-first over a length-prefixed
@@ -308,20 +310,36 @@ USAGE:
                     the queue is full. --chaos puts a deterministic
                     fault-injecting proxy in front (for CI/torture).
                     --seed-scenarios pre-populates the store with N tiny
-                    compressed snapshots. Prints `SERVE_LISTENING addr=...`
+                    compressed snapshots. --slo declares the objectives
+                    (e.g. p99<250,avail>99) evaluated over 5m/1h burn
+                    windows and reported by the in-band STATS endpoint.
+                    Prints `SERVE_LISTENING addr=...`
                     once ready and `SERVE_STATS {...}` after drain; exits
                     nonzero if any worker panicked or any data frame was
                     written past its deadline.
   amrviz loadgen    --addr HOST:PORT [--clients N] [--rps R]
                     [--duration SECS] [--deadline-ms MS] [--retries K]
-                    [--seed S] [--min-success FRAC]
+                    [--seed S] [--min-success FRAC] [--slo SPEC]
                     closed-loop load generator: N client threads with
                     jittered pacing and seeded exponential backoff on
                     shed/timeout. Discovers keys via LIST, prints a
                     `LOADGEN {...}` line with p50/p99 latency and
-                    per-outcome counts; exits nonzero when the success rate
-                    drops below --min-success (default 0.9) or any frame
-                    arrived after deadline + grace.
+                    per-outcome latency histograms; exits nonzero when the
+                    success rate drops below --min-success (default 0.9) or
+                    any frame arrived after deadline + grace. --slo gates
+                    the whole run against a declared objective (e.g.
+                    p99<250,avail>99), printing `LOADGEN_SLO {...}` and
+                    exiting nonzero on breach.
+  amrviz top        HOST:PORT [--interval SECS] [--exemplars N]
+                    [--once] [--json]
+                    live dashboard over the server's in-band STATS request
+                    (same port as data traffic): outcome sparklines,
+                    windowed latency and stage-timing percentiles, SLO
+                    burn-rate windows, and tail exemplars naming the stage
+                    each slow request spent its time in. Retries through
+                    chaos-proxy faults. --once renders a single frame;
+                    --once --json prints the raw validated snapshot for
+                    scripts and CI.
   amrviz bench      [--quick] [--name LABEL] [--out DIR]
                     [--baseline OLD.json] [--threshold PCT]
                     [--thread-counts 1,4] [--scale S] [--ebs 1e-3,1e-2]
@@ -337,16 +355,22 @@ USAGE:
                     self-overhead cell (Nyx × szlr, recorder off vs. on +
                     journal) and exits nonzero when the overhead exceeds
                     the 3% wall-time budget.
-  amrviz stats      <FILE>
+  amrviz stats      <FILE> [--strict] [--slo SPEC]
                     pretty-prints continuous-telemetry artifacts: a
-                    `--journal` JSONL file (validates every line, shows
-                    event-kind totals and the stitched per-trace span
-                    trees) or a `--metrics-out` snapshot (counters, gauges,
-                    histogram percentiles, recorder self-overhead). Exits
-                    nonzero when any line fails to parse. Journals from
-                    `serve`/`loadgen` additionally get a per-role outcome
-                    table (ok/degraded/shed/timeout with p50/p99) and a
-                    client-to-server trace-stitching summary.
+                    `--journal` JSONL file or a `--metrics-out` snapshot
+                    (counters, gauges, histogram percentiles, recorder
+                    self-overhead). Unknown event kinds and malformed
+                    journal lines warn and are skipped so old binaries can
+                    read new journals; --strict restores hard failure on
+                    the first bad line. Journals from `serve`/`loadgen`
+                    additionally get a per-role outcome table
+                    (ok/degraded/shed/timeout with p50/p99), a
+                    client-to-server trace-stitching summary, a tail
+                    breakdown naming the dominant stage of the slowest
+                    requests, and any `slo` burn-rate events. --slo
+                    evaluates server-side outcomes in the journal against
+                    a declared objective, printing `SLO_EVAL {...}` and
+                    exiting nonzero on breach.
 
 GLOBAL OPTIONS (valid on every command):
   --trace FILE   write a chrome://tracing / Perfetto trace of the run

@@ -32,7 +32,9 @@ use crate::{lock_clean, window};
 /// Metrics snapshot schema identifier.
 pub const METRICS_SCHEMA: &str = "amrviz-metrics-v1";
 
-fn fmt_f64(v: f64) -> String {
+/// Formats a float as plain decimal (Prometheus- and JSON-safe; integral
+/// values render with a trailing `.0`, non-finite values as `0.0`).
+pub fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         // Plain decimal keeps Prometheus parsers happy; JSON accepts it too.
         if v == v.trunc() && v.abs() < 1e15 {
@@ -45,7 +47,10 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn hist_stats_json(h: &Histogram) -> String {
+/// Renders a histogram's summary stats (count/sum/min/max/mean + p50/p90/
+/// p99) as one JSON object. Shared by the metrics snapshot and the serve
+/// STATS endpoint so both report identical shapes.
+pub fn hist_stats_json(h: &Histogram) -> String {
     format!(
         "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
          \"p50\":{},\"p90\":{},\"p99\":{}}}",
@@ -189,6 +194,26 @@ pub fn prometheus_text(window_secs: f64) -> String {
         }
         out.push_str(&format!("amrviz_{p}_sum {}\n", lifetime.sum()));
         out.push_str(&format!("amrviz_{p}_count {}\n", lifetime.count()));
+        // Full distribution as a native Prometheus histogram: cumulative
+        // `_bucket{le=...}` counts straight from the log-bucketed storage.
+        // A separate `_hist` family — the summary above predates it and
+        // the two TYPEs cannot share a name.
+        out.push_str(&format!("# TYPE amrviz_{p}_hist histogram\n"));
+        let mut cumulative = 0u64;
+        for (_lo, hi, count) in lifetime.nonzero_buckets() {
+            cumulative += count;
+            // Bucket bounds are inclusive [lo, hi], so `le = hi` is exact.
+            out.push_str(&format!(
+                "amrviz_{p}_hist_bucket{{le=\"{}\"}} {cumulative}\n",
+                fmt_f64(hi as f64)
+            ));
+        }
+        out.push_str(&format!(
+            "amrviz_{p}_hist_bucket{{le=\"+Inf\"}} {}\n",
+            lifetime.count()
+        ));
+        out.push_str(&format!("amrviz_{p}_hist_sum {}\n", lifetime.sum()));
+        out.push_str(&format!("amrviz_{p}_hist_count {}\n", lifetime.count()));
     }
     let meta = crate::meta_snapshot();
     out.push_str(&format!(
@@ -328,6 +353,67 @@ mod tests {
         assert!(p.contains("amrviz_exp_lat{quantile=\"0.99\"}"));
         assert!(p.contains("amrviz_obs_overhead_us"));
         assert!(p.contains("amrviz_obs_dropped_events"));
+    }
+
+    #[test]
+    fn prom_histogram_buckets_are_cumulative_and_parse() {
+        let _g = crate::tests::guard();
+        crate::reset();
+        crate::enable();
+        // Samples spread across several octaves so multiple buckets fill.
+        for v in [1u64, 3, 3, 17, 170, 170, 170, 4096, 100_000] {
+            crate::histogram_record("bkt.lat", v);
+        }
+        crate::disable();
+        let p = prometheus_text(window::coverage_seconds());
+
+        // Parse the `_bucket{le=...}` lines back out of the exposition.
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        let mut hist_count = None;
+        let mut hist_sum = None;
+        for line in p.lines() {
+            if let Some(rest) = line.strip_prefix("amrviz_bkt_lat_hist_bucket{le=\"") {
+                let (le, count) = rest.split_once("\"} ").expect("bucket line shape");
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().expect("le bound parses")
+                };
+                buckets.push((le, count.parse().expect("bucket count parses")));
+            } else if let Some(v) = line.strip_prefix("amrviz_bkt_lat_hist_count ") {
+                hist_count = Some(v.parse::<u64>().unwrap());
+            } else if let Some(v) = line.strip_prefix("amrviz_bkt_lat_hist_sum ") {
+                hist_sum = Some(v.parse::<u64>().unwrap());
+            }
+        }
+        assert!(
+            buckets.len() >= 6,
+            "distinct sample octaves produce distinct buckets: {buckets:?}"
+        );
+        // le bounds strictly increase and counts are monotone non-decreasing.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "le bounds must increase: {buckets:?}");
+            assert!(w[0].1 <= w[1].1, "cumulative counts must not drop");
+        }
+        let (last_le, last_count) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "terminal bucket is +Inf");
+        assert_eq!(last_count, 9, "+Inf bucket equals total count");
+        assert_eq!(hist_count, Some(9));
+        assert_eq!(hist_sum, Some(1u64 + 3 + 3 + 17 + 170 * 3 + 4096 + 100_000));
+        // Every sample is <= its bucket's le (cumulative count at the
+        // first bucket whose le >= v must include v).
+        for v in [1u64, 3, 17, 170, 4096, 100_000] {
+            let covered = buckets
+                .iter()
+                .find(|(le, _)| *le >= v as f64)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            assert!(covered > 0, "sample {v} falls inside some bucket");
+        }
+        // The TYPE line declares the family as a histogram.
+        assert!(p.contains("# TYPE amrviz_bkt_lat_hist histogram"));
+        // The legacy summary family still exists alongside.
+        assert!(p.contains("amrviz_bkt_lat{quantile=\"0.99\"}"));
     }
 
     #[test]

@@ -62,11 +62,13 @@
 //! ```
 
 pub mod chrome;
+pub mod exemplar;
 pub mod expose;
 pub mod flame;
 pub mod hist;
 pub mod journal;
 pub mod mem;
+pub mod slo;
 
 /// Synchronously drains pending journal lines to disk — see
 /// [`journal::flush`]. Exposed at the crate root because serve's graceful

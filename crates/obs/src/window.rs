@@ -147,6 +147,16 @@ impl WindowedCounter {
         }
     }
 
+    /// Counter with an explicit ring size, independent of the global
+    /// geometry — for subsystems (e.g. serve telemetry) that need longer
+    /// coverage than the recorder's window without reconfiguring it.
+    pub fn with_slots(n: usize) -> Self {
+        WindowedCounter {
+            lifetime: 0,
+            ring: SlotRing::new(n),
+        }
+    }
+
     /// Adds `delta` at `slot` (and to the lifetime total).
     pub fn add(&mut self, slot: u64, delta: u64) {
         self.lifetime += delta;
@@ -213,6 +223,15 @@ impl WindowedHistogram {
         WindowedHistogram {
             lifetime: Histogram::new(),
             ring: SlotRing::with_global_config(),
+        }
+    }
+
+    /// Histogram with an explicit ring size, independent of the global
+    /// geometry (see [`WindowedCounter::with_slots`]).
+    pub fn with_slots(n: usize) -> Self {
+        WindowedHistogram {
+            lifetime: Histogram::new(),
+            ring: SlotRing::new(n),
         }
     }
 

@@ -79,6 +79,8 @@ pub struct Exchange {
     pub header: Option<RespHeader>,
     pub levels: Vec<LevelSummary>,
     pub keys: Option<Vec<u64>>,
+    /// STATS snapshot JSON (`Op::Stats` responses).
+    pub stats: Option<String>,
     pub end: Option<EndFrame>,
     /// Wire bytes received (payloads only).
     pub bytes: u64,
@@ -123,6 +125,7 @@ pub fn exchange(addr: SocketAddr, req: &Request, cfg: &ClientConfig) -> Exchange
         header: None,
         levels: Vec::new(),
         keys: None,
+        stats: None,
         end: None,
         bytes: 0,
         elapsed: Duration::ZERO,
@@ -206,6 +209,13 @@ pub fn exchange(addr: SocketAddr, req: &Request, cfg: &ClientConfig) -> Exchange
             },
             proto::TAG_KEYS => match proto::decode_keys_frame(&payload, &budget) {
                 Ok(k) => ex.keys = Some(k),
+                Err(_) => {
+                    ex.outcome = Outcome::ProtocolError;
+                    return finish(ex);
+                }
+            },
+            proto::TAG_STATS => match proto::decode_stats_frame(&payload, &budget) {
+                Ok(s) => ex.stats = Some(s),
                 Err(_) => {
                     ex.outcome = Outcome::ProtocolError;
                     return finish(ex);

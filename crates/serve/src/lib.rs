@@ -36,6 +36,7 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 pub mod torture;
 
 pub use artifact::{compressor_for, decode_artifact, encode_artifact, Artifact};
@@ -46,4 +47,5 @@ pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use proto::{Op, Request, RespHeader, Status};
 pub use server::{start, ServeConfig, ServerHandle, StatsSnapshot};
 pub use store::{BlobStore, StoreError};
+pub use telemetry::{ReqTelemetry, StageTimes, STATS_SCHEMA};
 pub use torture::{ServeTortureConfig, ServeTortureReport};

@@ -10,6 +10,7 @@
 
 use crate::client::{exchange, ClientConfig, Exchange};
 use crate::proto::{Op, Request};
+use amrviz_obs::hist::Histogram;
 use amrviz_obs::journal;
 use amrviz_rng::Rng;
 use std::collections::BTreeMap;
@@ -70,6 +71,9 @@ pub struct LoadgenReport {
     pub retries: u64,
     /// Final-outcome counts by name.
     pub outcomes: BTreeMap<&'static str, u64>,
+    /// Per-outcome end-to-end latency distributions (log-bucketed, so
+    /// per-outcome p50/p99 come from the same machinery the server uses).
+    pub outcome_latency: BTreeMap<&'static str, Histogram>,
     /// Frames observed after deadline+grace across the whole run.
     pub late_frames: u64,
     pub p50_us: u64,
@@ -88,11 +92,24 @@ impl LoadgenReport {
             }
             outcomes.push_str(&format!("\"{name}\":{n}"));
         }
+        let mut lat = String::new();
+        for (i, (name, h)) in self.outcome_latency.iter().enumerate() {
+            if i > 0 {
+                lat.push(',');
+            }
+            lat.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                h.count(),
+                h.percentile(50.0).round() as u64,
+                h.percentile(99.0).round() as u64,
+            ));
+        }
         format!(
             concat!(
                 "{{\"requests\":{},\"attempts\":{},\"retries\":{},",
                 "\"late_frames\":{},\"p50_us\":{},\"p99_us\":{},",
-                "\"success_rate\":{:.4},\"outcomes\":{{{}}}}}"
+                "\"success_rate\":{:.4},\"outcomes\":{{{}}},",
+                "\"outcome_latency_us\":{{{}}}}}"
             ),
             self.requests,
             self.attempts,
@@ -102,6 +119,7 @@ impl LoadgenReport {
             self.p99_us,
             self.success_rate,
             outcomes,
+            lat,
         )
     }
 }
@@ -208,9 +226,13 @@ pub fn run(cfg: &LoadgenConfig, keys: &[u64]) -> LoadgenReport {
 
     let mut all_latencies = Vec::new();
     let mut outcome_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut outcome_latency: BTreeMap<&'static str, Histogram> = BTreeMap::new();
     let mut successes = 0u64;
     let mut requests = 0u64;
     for (lat, outs) in per_thread {
+        for (us, name) in lat.iter().zip(outs.iter().copied()) {
+            outcome_latency.entry(name).or_default().record(*us);
+        }
         all_latencies.extend(lat);
         for name in outs {
             *outcome_counts.entry(name).or_insert(0) += 1;
@@ -227,6 +249,7 @@ pub fn run(cfg: &LoadgenConfig, keys: &[u64]) -> LoadgenReport {
         attempts,
         retries: attempts.saturating_sub(requests),
         outcomes: outcome_counts,
+        outcome_latency,
         late_frames: late_total.load(Ordering::Relaxed),
         p50_us: percentile(&all_latencies, 0.50),
         p99_us: percentile(&all_latencies, 0.99),

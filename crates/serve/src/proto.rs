@@ -44,6 +44,7 @@ pub const TAG_HEADER: u8 = 0;
 pub const TAG_LEVEL: u8 = 1;
 pub const TAG_END: u8 = 2;
 pub const TAG_KEYS: u8 = 3;
+pub const TAG_STATS: u8 = 4;
 
 /// Response header flag: at least one fab was served repaired
 /// (`DecodePolicy::Degrade`) rather than decoded cleanly.
@@ -61,6 +62,11 @@ pub enum Op {
     List,
     /// Liveness probe.
     Ping,
+    /// In-band telemetry pull: the server answers with a versioned JSON
+    /// snapshot (health, windowed latency/stage percentiles, SLO burn,
+    /// tail exemplars) in a single `STATS` frame. Same listener, same
+    /// framing — no second port to firewall or keep alive.
+    Stats,
 }
 
 impl Op {
@@ -69,6 +75,7 @@ impl Op {
             Op::Get => 1,
             Op::List => 2,
             Op::Ping => 3,
+            Op::Stats => 4,
         }
     }
 
@@ -77,6 +84,7 @@ impl Op {
             1 => Some(Op::Get),
             2 => Some(Op::List),
             3 => Some(Op::Ping),
+            4 => Some(Op::Stats),
             _ => None,
         }
     }
@@ -86,6 +94,7 @@ impl Op {
             Op::Get => "get",
             Op::List => "list",
             Op::Ping => "ping",
+            Op::Stats => "stats",
         }
     }
 }
@@ -397,6 +406,30 @@ pub fn encode_keys_frame(keys: &[u64]) -> Vec<u8> {
     w.finish()
 }
 
+/// Encodes a `STATS` frame: the telemetry snapshot JSON as one
+/// length-prefixed section.
+pub fn encode_stats_frame(json: &str) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(TAG_STATS);
+    w.section(json.as_bytes());
+    w.finish()
+}
+
+/// Parses a `STATS` frame payload back into the snapshot JSON string,
+/// validating the section length against `budget` and requiring UTF-8
+/// (a chaos-corrupted snapshot surfaces as a typed error, never a panic
+/// or mojibake downstream).
+pub fn decode_stats_frame(bytes: &[u8], budget: &DecodeBudget) -> Result<String, CodecError> {
+    let mut r = ByteReader::with_budget(bytes, *budget);
+    if r.u8()? != TAG_STATS {
+        return Err(CodecError::Corrupt("expected stats frame"));
+    }
+    let body = r.section()?;
+    std::str::from_utf8(body)
+        .map(|s| s.to_string())
+        .map_err(|_| CodecError::Corrupt("stats frame not utf-8"))
+}
+
 /// Parses a `KEYS` frame payload.
 pub fn decode_keys_frame(bytes: &[u8], budget: &DecodeBudget) -> Result<Vec<u64>, CodecError> {
     let mut r = ByteReader::with_budget(bytes, *budget);
@@ -504,6 +537,47 @@ mod tests {
         assert_eq!(s.degraded_fabs, 2);
         assert_eq!(s.fabs, 2);
         assert_eq!(s.cells, 128);
+    }
+
+    #[test]
+    fn stats_frame_roundtrip_and_corruption() {
+        let json = "{\"schema\":\"amrviz-serve-stats-v1\",\"health\":\"ok\"}";
+        let frame = encode_stats_frame(json);
+        assert_eq!(frame[0], TAG_STATS);
+        assert_eq!(
+            decode_stats_frame(&frame, &DecodeBudget::strict()).unwrap(),
+            json
+        );
+        // Truncated section: typed error.
+        assert!(matches!(
+            decode_stats_frame(&frame[..frame.len() - 3], &DecodeBudget::strict()),
+            Err(CodecError::Corrupt(_) | CodecError::Truncated)
+        ));
+        // Wrong tag: typed error.
+        let mut bad = frame.clone();
+        bad[0] = TAG_KEYS;
+        assert!(matches!(
+            decode_stats_frame(&bad, &DecodeBudget::strict()),
+            Err(CodecError::Corrupt(_))
+        ));
+        // Non-UTF-8 body: typed error, not a panic.
+        let mut w = amrviz_compress::wire::ByteWriter::new();
+        w.u8(TAG_STATS);
+        w.section(&[0xFF, 0xFE, 0x80]);
+        assert!(matches!(
+            decode_stats_frame(&w.finish(), &DecodeBudget::strict()),
+            Err(CodecError::Corrupt(_))
+        ));
+        // Op::Stats roundtrips through the request codec.
+        let req = Request {
+            op: Op::Stats,
+            trace: 0x70B,
+            key: 0,
+            deadline_ms: 1000,
+            max_level: 0,
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        assert_eq!(Op::Stats.name(), "stats");
     }
 
     #[test]

@@ -27,8 +27,10 @@ use crate::proto::{
     MAX_REQUEST_FRAME,
 };
 use crate::store::{BlobStore, StoreError};
+use crate::telemetry::{ReqTelemetry, StageTimes};
 use amrviz_codec::DecodeBudget;
 use amrviz_compress::{decompress_hierarchy_field_into, AmrCodecConfig, DecodePolicy};
+use amrviz_obs::slo::SloSpec;
 use amrviz_obs::{context_scope, journal, TraceContext};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +65,9 @@ pub struct ServeConfig {
     pub coarse_only_frac: f64,
     /// Stop accepting and drain after this long (None = run until `stop`).
     pub shutdown_after: Option<Duration>,
+    /// Declared service-level objectives, evaluated over 5 m/1 h burn
+    /// windows and surfaced in STATS snapshots + `slo` journal events.
+    pub slo: SloSpec,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +83,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             coarse_only_frac: 0.25,
             shutdown_after: None,
+            slo: SloSpec::default(),
         }
     }
 }
@@ -106,7 +112,7 @@ pub struct ServeStats {
 }
 
 /// Point-in-time copy of [`ServeStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub requests: u64,
     pub ok: u64,
@@ -182,8 +188,11 @@ struct Inner {
     store: BlobStore,
     cache: ArenaCache,
     stats: ServeStats,
+    telemetry: ReqTelemetry,
     stop: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Admitted connections with their admission timestamp, so queue-wait
+    /// is attributable per request.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     cond: Condvar,
 }
 
@@ -227,6 +236,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         let snap = self.inner.stats.snapshot();
+        // Final SLO verdict as typed journal events, so a run's breach
+        // state is on record even if nobody ever polled STATS.
+        amrviz_obs::slo::emit_journal(&self.inner.telemetry.slo_report());
         journal::emit(
             "serve",
             &[
@@ -261,6 +273,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let inner = Arc::new(Inner {
         cache: ArenaCache::new(cfg.cache_bytes),
         stats: ServeStats::default(),
+        telemetry: ReqTelemetry::new(cfg.slo.clone()),
         stop: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
         cond: Condvar::new(),
@@ -355,9 +368,11 @@ fn admit(inner: &Inner, mut stream: TcpStream) {
             }
             .encode(),
         );
+        // Shed requests count against availability in the SLO windows.
+        inner.telemetry.record(Status::RetryLater, 0, None, 0, 0);
         return;
     }
-    q.push_back(stream);
+    q.push_back((stream, Instant::now()));
     drop(q);
     inner.cond.notify_one();
 }
@@ -380,8 +395,12 @@ fn worker_loop(inner: &Inner) {
                 q = guard;
             }
         };
-        let Some(stream) = stream else { return };
-        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(inner, stream)));
+        let Some((stream, admitted_at)) = stream else {
+            return;
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(inner, stream, admitted_at)
+        }));
         if result.is_err() {
             inner.stats.panics.fetch_add(1, Ordering::Relaxed);
             amrviz_obs::counter!("serve.panic", 1);
@@ -450,7 +469,8 @@ fn write_notification(stream: &mut TcpStream, status: Status, retry_after_ms: u3
     );
 }
 
-fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+fn handle_connection(inner: &Inner, mut stream: TcpStream, admitted_at: Instant) {
+    let queue_wait_us = admitted_at.elapsed().as_micros() as u64;
     let payload = match proto::read_frame(&mut stream, MAX_REQUEST_FRAME) {
         Ok(Some(p)) => p,
         Ok(None) => return, // peer connected and left
@@ -477,13 +497,24 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
     amrviz_obs::counter!("serve.requests", 1);
     let t0 = Instant::now();
-    let (status, levels_sent, flags) = match req.op {
+    let (status, levels_sent, flags, stages) = match req.op {
         Op::Ping => {
             write_notification(&mut stream, Status::Ok, 0, 0);
-            (Status::Ok, 0u8, 0u8)
+            (Status::Ok, 0u8, 0u8, None)
         }
-        Op::List => serve_list(inner, &mut stream, &req, t0),
-        Op::Get => serve_get(inner, &mut stream, &req, t0),
+        Op::List => {
+            let (s, l, f) = serve_list(inner, &mut stream, &req, t0);
+            (s, l, f, None)
+        }
+        Op::Stats => (serve_stats(inner, &mut stream, t0), 0u8, 0u8, None),
+        Op::Get => {
+            let mut st = StageTimes {
+                queue_wait_us: Some(queue_wait_us),
+                ..StageTimes::default()
+            };
+            let (s, l, f) = serve_get(inner, &mut stream, &req, t0, &mut st);
+            (s, l, f, Some(st))
+        }
     };
     let elapsed_us = t0.elapsed().as_micros() as u64;
     match status {
@@ -497,19 +528,72 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
         Status::RetryLater | Status::ShuttingDown => 0,
     };
     amrviz_obs::histogram!("serve.latency_us", elapsed_us as f64);
-    journal::emit(
-        "serve",
-        &[
-            ("role", "\"server\"".into()),
-            ("op", format!("\"{}\"", req.op.name())),
-            ("status", format!("\"{}\"", status.name())),
-            ("key", format!("\"{:016x}\"", req.key)),
-            ("levels", levels_sent.to_string()),
-            ("elapsed_us", elapsed_us.to_string()),
-            ("degraded", ((flags & FLAG_DEGRADED) != 0).to_string()),
-            ("coarse_only", ((flags & FLAG_COARSE_ONLY) != 0).to_string()),
-        ],
+    // STATS polls are monitoring traffic: answered, counted in `requests`,
+    // but excluded from the SLO latency/availability windows so watching
+    // the server never moves its own objectives.
+    if req.op != Op::Stats {
+        inner
+            .telemetry
+            .record(status, elapsed_us, stages.as_ref(), req.trace, req.key);
+    }
+    let mut fields = vec![
+        ("role", "\"server\"".into()),
+        ("op", format!("\"{}\"", req.op.name())),
+        ("status", format!("\"{}\"", status.name())),
+        ("key", format!("\"{:016x}\"", req.key)),
+        ("levels", levels_sent.to_string()),
+        ("elapsed_us", elapsed_us.to_string()),
+        ("degraded", ((flags & FLAG_DEGRADED) != 0).to_string()),
+        ("coarse_only", ((flags & FLAG_COARSE_ONLY) != 0).to_string()),
+    ];
+    if let Some(st) = &stages {
+        fields.push(("stages_us", st.to_json()));
+    }
+    journal::emit("serve", &fields);
+}
+
+/// Answers `Op::Stats`: one header, one STATS frame carrying the snapshot
+/// JSON, one END. Exempt from the deadline gate like other notifications —
+/// the snapshot carries no hierarchy data, and an operator polling a
+/// saturated server wants the answer, not a timeout.
+fn serve_stats(inner: &Inner, stream: &mut TcpStream, t0: Instant) -> Status {
+    let (cache_entries, cache_bytes) = inner.cache.stats();
+    let queue_depth = inner.queue.lock().unwrap().len();
+    let snap = inner.stats.snapshot();
+    let json = inner.telemetry.snapshot_json(
+        &snap,
+        queue_depth,
+        inner.cfg.workers.max(1),
+        cache_entries,
+        cache_bytes,
+        inner.cfg.cache_bytes,
     );
+    // Every poll also journals the SLO state as typed events, so burn-rate
+    // history is reconstructible offline from the journal alone.
+    amrviz_obs::slo::emit_journal(&inner.telemetry.slo_report());
+    let header = RespHeader {
+        status: Status::Ok,
+        flags: 0,
+        retry_after_ms: 0,
+        n_levels: 0,
+        key: 0,
+    };
+    for payload in [
+        header.encode(),
+        proto::encode_stats_frame(&json),
+        EndFrame {
+            status: Status::Ok,
+            levels_sent: 0,
+            server_elapsed_us: t0.elapsed().as_micros() as u64,
+        }
+        .encode(),
+    ] {
+        if proto::write_frame(stream, &payload).is_err() {
+            inner.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            return Status::Internal;
+        }
+    }
+    Status::Ok
 }
 
 fn serve_list(
@@ -568,29 +652,37 @@ fn lookup_or_decode(
     inner: &Inner,
     key: u64,
     deadline: Instant,
+    st: &mut StageTimes,
 ) -> Result<Arc<DecodedEntry>, Status> {
     if let Some(entry) = inner.cache.get(key) {
         inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        // Cache hit: the read/validate/decode stages never ran; their
+        // absence in the breakdown is the "warm cache" signal.
         return Ok(entry);
     }
     inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let stage_t = Instant::now();
     let bytes = match inner.store.get(key) {
         Ok(b) => b,
         Err(StoreError::NotFound) => return Err(Status::NotFound),
         Err(StoreError::Corrupt { .. }) => return Err(Status::Corrupt),
         Err(StoreError::Io(_)) => return Err(Status::Internal),
     };
+    st.store_read_us = Some(stage_t.elapsed().as_micros() as u64);
     let budget = DecodeBudget::permissive().with_deadline(deadline);
+    let stage_t = Instant::now();
     let art = match decode_artifact(&bytes, &budget) {
         Ok(a) => a,
         Err(e) if e.is_deadline() => return Err(Status::Timeout),
         Err(_) => return Err(Status::Corrupt),
     };
+    st.structure_validate_us = Some(stage_t.elapsed().as_micros() as u64);
     let Some(compressor) = compressor_for(&art.algo) else {
         return Err(Status::Corrupt);
     };
     let mut levels = inner.cache.take_arena();
     let cfg = AmrCodecConfig::default();
+    let stage_t = Instant::now();
     let report = match decompress_hierarchy_field_into(
         &art.hier,
         &art.container,
@@ -604,6 +696,7 @@ fn lookup_or_decode(
         Err(e) if e.is_deadline() => return Err(Status::Timeout),
         Err(_) => return Err(Status::Corrupt),
     };
+    st.decode_us = Some(stage_t.elapsed().as_micros() as u64);
     let mut degraded_fabs = vec![0u32; levels.len()];
     for (lev, _, status) in &report.fabs {
         if !matches!(status, amrviz_compress::FabStatus::Ok) {
@@ -624,6 +717,7 @@ fn serve_get(
     stream: &mut TcpStream,
     req: &Request,
     t0: Instant,
+    st: &mut StageTimes,
 ) -> (Status, u8, u8) {
     let budget_ms = effective_deadline_ms(inner, req);
     let total = Duration::from_millis(budget_ms as u64);
@@ -632,7 +726,7 @@ fn serve_get(
         write_notification(stream, Status::Timeout, inner.cfg.retry_after_ms, req.key);
         return (Status::Timeout, 0, 0);
     }
-    let entry = match lookup_or_decode(inner, req.key, deadline) {
+    let entry = match lookup_or_decode(inner, req.key, deadline, st) {
         Ok(e) => e,
         Err(status) => {
             let retry = if status.is_retryable() {
@@ -673,7 +767,10 @@ fn serve_get(
         n_levels: n_levels as u8,
         key: req.key,
     };
-    match write_gated(stream, &header.encode(), deadline, &inner.stats) {
+    let write_t = Instant::now();
+    let gated = write_gated(stream, &header.encode(), deadline, &inner.stats);
+    st.add_write(write_t.elapsed().as_micros() as u64);
+    match gated {
         Gated::Written => {}
         Gated::Expired => {
             // Nothing sent yet: a typed Timeout is still possible.
@@ -689,7 +786,10 @@ fn serve_get(
     let mut sent = 0u8;
     for lev in 0..n_levels {
         let frame = proto::encode_level_frame(lev, entry.degraded_fabs[lev], &entry.levels[lev]);
-        match write_gated(stream, &frame, deadline, &inner.stats) {
+        let write_t = Instant::now();
+        let gated = write_gated(stream, &frame, deadline, &inner.stats);
+        st.add_write(write_t.elapsed().as_micros() as u64);
+        match gated {
             Gated::Written => sent += 1,
             Gated::Expired => {
                 // Mid-stream expiry: cut WITHOUT the END frame. The prefix
@@ -709,7 +809,10 @@ fn serve_get(
         levels_sent: sent,
         server_elapsed_us: t0.elapsed().as_micros() as u64,
     };
-    match write_gated(stream, &end.encode(), deadline, &inner.stats) {
+    let write_t = Instant::now();
+    let gated = write_gated(stream, &end.encode(), deadline, &inner.stats);
+    st.add_write(write_t.elapsed().as_micros() as u64);
+    match gated {
         Gated::Written => (status, sent, flags),
         Gated::Expired => {
             inner.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);

@@ -164,6 +164,107 @@ fn overload_sheds_with_typed_retry_later() {
 }
 
 #[test]
+fn stats_endpoint_reports_stages_slo_and_exemplars() {
+    let (dir, key, _) = populate("stats");
+    let server = start(ServeConfig {
+        store_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let cfg = ClientConfig::default();
+
+    // Drive a little traffic first: one cold GET (full stage breakdown),
+    // one warm GET (cache hit), one NotFound.
+    assert_eq!(exchange(addr, &get(key, 5_000), &cfg).outcome, Outcome::Ok);
+    assert_eq!(exchange(addr, &get(key, 5_000), &cfg).outcome, Outcome::Ok);
+    assert_eq!(
+        exchange(addr, &get(0xBAD_C0FFEE, 5_000), &cfg).outcome,
+        Outcome::NotFound
+    );
+
+    let ex = exchange(
+        addr,
+        &Request {
+            op: Op::Stats,
+            trace: 0,
+            key: 0,
+            deadline_ms: 5_000,
+            max_level: 0,
+        },
+        &cfg,
+    );
+    assert_eq!(ex.outcome, Outcome::Ok, "stats exchange: {ex:?}");
+    let raw = ex.stats.expect("stats frame carries the snapshot");
+    let doc = amrviz_json::Json::parse(&raw).expect("snapshot is valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str().unwrap(),
+        amrviz_serve::STATS_SCHEMA
+    );
+    assert_eq!(doc.get("health").unwrap().as_str().unwrap(), "ok");
+
+    // Stage-timing percentiles for the decode pipeline are present.
+    let stages = doc.get("stages_us").unwrap();
+    for stage in ["queue_wait", "store_read", "decode", "write"] {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing: {raw}"));
+        assert!(s.get("lifetime").unwrap().get("p99").is_some());
+        assert!(s.get("w5m").unwrap().get("count").is_some());
+    }
+    // Cache hits skip store/decode: those stage counts reflect misses only.
+    let decode_count = stages
+        .get("decode")
+        .unwrap()
+        .get("lifetime")
+        .unwrap()
+        .get("count")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(decode_count, 1, "only the cold GET decoded");
+
+    // Per-status latency, SLO report, and at least one exemplar whose
+    // trace id resolves back to the requests we just made.
+    assert!(doc.get("latency_us").unwrap().get("ok").is_some());
+    let slo = doc.get("slo").unwrap();
+    assert_eq!(slo.get("breached").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        slo.get("windows").unwrap().as_arr().unwrap().len(),
+        2,
+        "5m and 1h burn windows"
+    );
+    let exemplars = doc.get("exemplars").unwrap().as_arr().unwrap();
+    assert!(!exemplars.is_empty(), "tail reservoir retained a request");
+    for e in exemplars {
+        assert_eq!(
+            e.get("trace").unwrap().as_str().unwrap(),
+            "e2e",
+            "exemplar trace resolves to the driving request"
+        );
+        assert!(e.get("stages_us").unwrap().get("queue_wait").is_some());
+    }
+
+    // STATS polls are monitoring traffic and NotFound is a client error:
+    // neither moves the SLO windows' totals.
+    let total_before: u64 = slo.get("windows").unwrap().as_arr().unwrap()[0]
+        .get("total")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(
+        total_before, 2,
+        "two good GETs; not_found and stats polls excluded"
+    );
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_torture_smoke_zero_violations() {
     // A short chaos run as a tier-1 regression net; the CI torture job runs
     // the full 300 iterations.
